@@ -1,0 +1,149 @@
+//! Machine descriptions.
+
+use gpa_isa::Pipe;
+use serde::{Deserialize, Serialize};
+
+/// A GPU machine description.
+///
+/// Defaults model an NVIDIA Volta V100; [`ArchConfig::small`] produces a
+/// scaled-down part with the same per-SM shape (4 schedulers, same
+/// latencies) so unit tests and experiments can run quickly while
+/// preserving blocks-vs-SMs ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Streaming multiprocessors on the device.
+    pub num_sms: u32,
+    /// Warp schedulers (sub-partitions) per SM.
+    pub schedulers_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum resident warps per scheduler (64 per SM on Volta).
+    pub max_warps_per_scheduler: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+
+    /// Global-memory latency on an L2 hit (cycles).
+    pub lat_global_l2: u32,
+    /// Global-memory latency on a DRAM access (cycles).
+    pub lat_global_dram: u32,
+    /// Shared-memory load latency (cycles).
+    pub lat_shared: u32,
+    /// Constant-cache load latency (cycles).
+    pub lat_constant: u32,
+    /// Local-memory (spill) latency — mostly L1-resident (cycles).
+    pub lat_local: u32,
+    /// Extra cycles for each additional memory transaction of an
+    /// uncoalesced warp access.
+    pub lat_per_extra_transaction: u32,
+
+    /// L2 cache size in bytes (shared across SMs).
+    pub l2_size: u32,
+    /// L2 line size in bytes.
+    pub l2_line: u32,
+    /// Instruction-cache size per SM in bytes.
+    pub icache_size: u32,
+    /// Instruction-cache line size in bytes.
+    pub icache_line: u32,
+    /// Stall cycles on an instruction-cache miss.
+    pub lat_ifetch_miss: u32,
+    /// Taken-branch front-end bubble in cycles (fetch redirect).
+    pub lat_branch_redirect: u32,
+
+    /// Maximum in-flight memory requests per SM before the LSU back-
+    /// pressures issue (memory-throttle stalls).
+    pub max_mem_inflight_per_sm: u32,
+}
+
+impl ArchConfig {
+    /// A V100-like configuration.
+    pub fn volta_v100() -> Self {
+        ArchConfig {
+            name: "volta-v100".into(),
+            num_sms: 80,
+            schedulers_per_sm: 4,
+            warp_size: 32,
+            max_warps_per_scheduler: 16,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65536,
+            shared_mem_per_sm: 96 * 1024,
+            lat_global_l2: 220,
+            lat_global_dram: 450,
+            lat_shared: 25,
+            lat_constant: 30,
+            lat_local: 40,
+            lat_per_extra_transaction: 4,
+            l2_size: 6 * 1024 * 1024,
+            l2_line: 64,
+            icache_size: 12 * 1024,
+            icache_line: 256,
+            lat_ifetch_miss: 40,
+            lat_branch_redirect: 4,
+            max_mem_inflight_per_sm: 256,
+        }
+    }
+
+    /// A scaled-down Volta with `num_sms` SMs for fast experiments.
+    pub fn small(num_sms: u32) -> Self {
+        ArchConfig { name: format!("small-volta-{num_sms}sm"), num_sms, ..Self::volta_v100() }
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.schedulers_per_sm * self.max_warps_per_scheduler
+    }
+
+    /// Issue interval (cycles between issues) of a pipe per scheduler.
+    ///
+    /// One warp instruction occupies its pipe for this many cycles; a
+    /// second instruction for a busy pipe reports a *pipe busy* stall.
+    pub fn pipe_interval(&self, pipe: Pipe) -> u32 {
+        match pipe {
+            // 16 FP32/INT lanes per scheduler → a 32-thread warp needs 2
+            // cycles of the pipe.
+            Pipe::Alu | Pipe::Fma => 2,
+            // 8 FP64 lanes per scheduler on V100 → 4 cycles.
+            Pipe::Fp64 => 4,
+            // 4 SFU lanes per scheduler → 8 cycles.
+            Pipe::Sfu => 8,
+            // LSU accepts one warp access per scheduler every 4 cycles.
+            Pipe::Lsu => 4,
+            Pipe::Branch | Pipe::Misc => 2,
+        }
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::volta_v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_shape() {
+        let a = ArchConfig::volta_v100();
+        assert_eq!(a.num_sms, 80);
+        assert_eq!(a.max_warps_per_sm(), 64);
+        assert!(a.pipe_interval(Pipe::Sfu) > a.pipe_interval(Pipe::Fma));
+    }
+
+    #[test]
+    fn small_preserves_per_sm_shape() {
+        let a = ArchConfig::small(4);
+        assert_eq!(a.num_sms, 4);
+        assert_eq!(a.schedulers_per_sm, 4);
+        assert_eq!(a.max_warps_per_sm(), 64);
+    }
+}

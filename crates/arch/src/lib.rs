@@ -1,0 +1,27 @@
+//! The architectural-features substrate of GPA.
+//!
+//! The paper's static analyzer reads "specific hardware configurations,
+//! such as instruction latencies, warp size, and register limitations"
+//! keyed by the architecture flag of each CUBIN. This crate provides:
+//!
+//! * [`ArchConfig`] — a Volta-V100-like machine description (SM count,
+//!   schedulers, warp limits, memory latencies, cache sizes, pipe
+//!   throughputs) plus a scaled-down test configuration,
+//! * [`LatencyTable`] — fixed latencies for pipelined instructions
+//!   (microbenchmark-style numbers) and conservative upper bounds for
+//!   variable-latency instructions (the paper uses the TLB-miss latency as
+//!   the global-memory upper bound for the pruning rule),
+//! * [`Occupancy`] — the blocks/warps-per-SM calculator behind the Block
+//!   Increase and Thread Increase optimizers,
+//! * [`schedule::assign_stall_counts`] — the assembler pass that fills in
+//!   Volta control-code stall cycles so fixed-latency dependencies are
+//!   honored, mirroring what `ptxas` does when it schedules SASS.
+
+pub mod config;
+pub mod latency;
+pub mod occupancy;
+pub mod schedule;
+
+pub use config::ArchConfig;
+pub use latency::LatencyTable;
+pub use occupancy::{LaunchConfig, OccLimiter, Occupancy};

@@ -1,0 +1,166 @@
+//! Occupancy calculation for parallel optimizers.
+
+use crate::config::ArchConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A kernel launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// Registers used per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes.
+    pub smem_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// A launch with `grid_blocks × block_threads` threads and modest
+    /// per-thread resources.
+    pub fn new(grid_blocks: u32, block_threads: u32) -> Self {
+        LaunchConfig { grid_blocks, block_threads, regs_per_thread: 32, smem_per_block: 0 }
+    }
+
+    /// Warps per block (rounded up).
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        self.block_threads.div_ceil(warp_size)
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks as u64 * self.block_threads as u64
+    }
+}
+
+/// What bounds the number of resident blocks per SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccLimiter {
+    /// The warp limit per SM.
+    Warps,
+    /// The register file.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMem,
+    /// The hardware block-slot limit.
+    Blocks,
+    /// The grid has fewer blocks than the device could host.
+    GridSize,
+}
+
+impl fmt::Display for OccLimiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OccLimiter::Warps => "warps per SM",
+            OccLimiter::Registers => "register file",
+            OccLimiter::SharedMem => "shared memory",
+            OccLimiter::Blocks => "block slots",
+            OccLimiter::GridSize => "grid size",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Achievable occupancy of a launch on a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Average active warps per scheduler (the `W` of Eqs. 6–9).
+    pub warps_per_scheduler: f64,
+    /// The binding resource.
+    pub limiter: OccLimiter,
+    /// Fraction of the device's warp slots used (0..=1).
+    pub ratio: f64,
+}
+
+impl ArchConfig {
+    /// Computes the occupancy of `lc` on this machine.
+    pub fn occupancy(&self, lc: &LaunchConfig) -> Occupancy {
+        let wpb = lc.warps_per_block(self.warp_size).max(1);
+        let by_warps = self.max_warps_per_sm() / wpb;
+        let regs_per_block = lc.regs_per_thread * wpb * self.warp_size;
+        let by_regs =
+            if regs_per_block == 0 { u32::MAX } else { self.registers_per_sm / regs_per_block };
+        let by_smem = if lc.smem_per_block == 0 {
+            u32::MAX
+        } else {
+            self.shared_mem_per_sm / lc.smem_per_block
+        };
+        let by_slots = self.max_blocks_per_sm;
+        let hw_limit = by_warps.min(by_regs).min(by_smem).min(by_slots);
+        // Blocks the grid can actually spread over every SM.
+        let by_grid = lc.grid_blocks.div_ceil(self.num_sms);
+        let blocks_per_sm = hw_limit.min(by_grid).max(u32::from(lc.grid_blocks > 0));
+        let limiter = if by_grid < hw_limit {
+            OccLimiter::GridSize
+        } else if hw_limit == by_warps {
+            OccLimiter::Warps
+        } else if hw_limit == by_regs {
+            OccLimiter::Registers
+        } else if hw_limit == by_smem {
+            OccLimiter::SharedMem
+        } else {
+            OccLimiter::Blocks
+        };
+        let warps_per_sm = (blocks_per_sm * wpb).min(self.max_warps_per_sm());
+        Occupancy {
+            blocks_per_sm,
+            warps_per_sm,
+            warps_per_scheduler: warps_per_sm as f64 / self.schedulers_per_sm as f64,
+            limiter,
+            ratio: warps_per_sm as f64 / self.max_warps_per_sm() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_occupancy() {
+        let a = ArchConfig::volta_v100();
+        // 2048 threads per SM at 1024 threads/block needs 2 blocks/SM; the
+        // grid must supply 160 blocks.
+        let lc = LaunchConfig { regs_per_thread: 16, ..LaunchConfig::new(160, 1024) };
+        let o = a.occupancy(&lc);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.warps_per_sm, 64);
+        assert_eq!(o.warps_per_scheduler, 16.0);
+        assert_eq!(o.ratio, 1.0);
+    }
+
+    #[test]
+    fn grid_limited_occupancy() {
+        let a = ArchConfig::volta_v100();
+        // 16 blocks on 80 SMs: most SMs idle — the PeleC case.
+        let o = a.occupancy(&LaunchConfig::new(16, 256));
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, OccLimiter::GridSize);
+    }
+
+    #[test]
+    fn register_limited_occupancy() {
+        let a = ArchConfig::volta_v100();
+        let lc = LaunchConfig { regs_per_thread: 255, ..LaunchConfig::new(10_000, 1024) };
+        let o = a.occupancy(&lc);
+        assert_eq!(o.limiter, OccLimiter::Registers);
+        assert!(o.warps_per_sm < 64);
+    }
+
+    #[test]
+    fn tiny_blocks_starve_schedulers() {
+        let a = ArchConfig::volta_v100();
+        // The gaussian Fan2 case: 16-thread blocks → 1 warp per block; the
+        // 32-block slot limit caps warps per SM at 32.
+        let o = a.occupancy(&LaunchConfig::new(100_000, 16));
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.limiter, OccLimiter::Blocks);
+        assert!(o.ratio < 0.6);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benches for the tool's own components: simulator throughput,
+//! blamer, and end-to-end advise latency. (The paper argues PC sampling's
+//! post-mortem analysis is cheap — these benches quantify our analogue.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpa_arch::LatencyTable;
+use gpa_core::{Advisor, ModuleBlame};
+use gpa_kernels::apps;
+use gpa_kernels::runner::{arch_for, run_spec};
+use gpa_kernels::Params;
+use gpa_structure::ProgramStructure;
+
+fn bench_simulator(c: &mut Criterion) {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    let spec = (apps::hotspot::app().build)(0, &p);
+    c.bench_function("sim/hotspot_baseline_launch", |b| {
+        b.iter(|| run_spec(&spec, &arch).expect("launch"))
+    });
+}
+
+fn bench_blamer(c: &mut Criterion) {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    let app = apps::bfs::app();
+    let spec = (app.build)(0, &p);
+    let run = run_spec(&spec, &arch).expect("launch");
+    let structure = ProgramStructure::build(&spec.module);
+    let lat = LatencyTable::for_arch(&arch);
+    c.bench_function("blamer/bfs_module_blame", |b| {
+        b.iter(|| ModuleBlame::build(&spec.module, &structure, &run.profile, &lat))
+    });
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    let app = apps::exatensor::app();
+    let spec = (app.build)(0, &p);
+    let run = run_spec(&spec, &arch).expect("launch");
+    let advisor = Advisor::new();
+    c.bench_function("advisor/exatensor_advise", |b| {
+        b.iter(|| advisor.advise(&spec.module, &run.profile, &arch))
+    });
+}
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let p = Params::test();
+    let spec = (apps::myocyte::app().build)(0, &p);
+    c.bench_function("static/myocyte_program_structure", |b| {
+        b.iter(|| ProgramStructure::build(&spec.module))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator, bench_blamer, bench_advisor, bench_static_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Reproduces the paper's **Section 7 case studies**: the staged
+//! optimization sequences on ExaTENSOR, Quicksilver, PeleC, and Minimod,
+//! printing the top advice at each stage and the speedup of applying it.
+
+use gpa_bench::{advise_variant, print_table3_header, print_table3_row, run_app};
+use gpa_kernels::{apps, Params};
+
+fn main() {
+    let p = Params::full();
+    let studies =
+        [apps::exatensor::app(), apps::quicksilver::app(), apps::pelec::app(), apps::minimod::app()];
+    print_table3_header();
+    for app in &studies {
+        match run_app(app, &p) {
+            Ok(rows) => rows.iter().for_each(print_table3_row),
+            Err(e) => println!("ERROR: {e}"),
+        }
+    }
+    println!("\nTop advice per stage:");
+    for app in &studies {
+        for v in 0..app.stages.len() {
+            if let Ok(report) = advise_variant(app, v, &p) {
+                if let Some(top) = report.top() {
+                    println!(
+                        "  {} (variant {v}): {} — estimated {:.2}x",
+                        app.name, top.optimizer, top.estimated_speedup
+                    );
+                }
+            }
+        }
+    }
+}

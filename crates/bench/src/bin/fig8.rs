@@ -1,0 +1,11 @@
+//! Reproduces **Figure 8**: the advice report for ExaTENSOR's
+//! tensor_transpose kernel, with ranked optimizers and per-hotspot
+//! def/use source locations and distances.
+
+use gpa_bench::{advise_variant, render_report};
+use gpa_kernels::{apps, Params};
+
+fn main() {
+    let report = advise_variant(&apps::exatensor::app(), 0, &Params::full()).expect("advises");
+    print!("{}", render_report(&report, 3));
+}

@@ -1,0 +1,19 @@
+//! Reproduces **Table 2**: the optimizer catalog — name, category, and
+//! what each optimizer matches.
+
+use gpa_core::optimizers::all_optimizers;
+
+fn main() {
+    println!("Table 2 — GPU optimizers in GPA\n");
+    println!("{:<45} {:<20} first hint", "Optimizer", "Category");
+    println!("{}", "-".repeat(110));
+    for opt in all_optimizers() {
+        let hints = opt.hints();
+        println!(
+            "{:<45} {:<20} {}",
+            opt.name(),
+            opt.category().to_string(),
+            hints.first().copied().unwrap_or("")
+        );
+    }
+}

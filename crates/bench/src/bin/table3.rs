@@ -1,0 +1,48 @@
+//! Reproduces **Table 3**: achieved vs estimated speedups for every
+//! optimization row, with the expected optimizer's rank in GPA's report.
+//!
+//! Run with `cargo run --release -p gpa-bench --bin table3`. Pass an app
+//! name (e.g. `rodinia/hotspot`) to run a single application.
+
+use gpa_bench::{geomean, print_table3_header, print_table3_row, run_app};
+use gpa_kernels::{all_apps, Params};
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let p = Params::full();
+    let apps: Vec<_> = all_apps()
+        .into_iter()
+        .filter(|a| filter.as_deref().is_none_or(|f| a.name.contains(f)))
+        .collect();
+    println!("GPA Table 3 reproduction — {} applications, {} SM device\n", apps.len(), p.sms);
+    print_table3_header();
+    let mut rows = Vec::new();
+    // Stages of one app must run in order, but apps are independent.
+    let results: Vec<_> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> =
+            apps.iter().map(|app| s.spawn(move |_| run_app(app, &p))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope");
+    for res in results {
+        match res {
+            Ok(app_rows) => {
+                for r in &app_rows {
+                    print_table3_row(r);
+                }
+                rows.extend(app_rows);
+            }
+            Err(e) => println!("ERROR: {e}"),
+        }
+    }
+    println!("{}", "-".repeat(128));
+    let g_ach = geomean(rows.iter().map(|r| r.achieved));
+    let g_est = geomean(rows.iter().map(|r| r.estimated));
+    let g_err = geomean(rows.iter().map(|r| r.error.max(0.001)));
+    let in_top5 = rows.iter().filter(|r| r.rank.is_some_and(|k| k <= 5)).count();
+    println!(
+        "geomean: achieved {g_ach:.2}x  estimated {g_est:.2}x  error {:.1}%  (paper: 1.22x / 1.26x / 4.0%)",
+        100.0 * g_err
+    );
+    println!("expected optimizer in top-5 advice: {}/{} rows", in_top5, rows.len());
+}

@@ -1,0 +1,123 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index); this library holds the
+//! common measure-and-advise plumbing.
+
+use gpa_core::{report, AdviceReport, Advisor};
+use gpa_kernels::runner::{arch_for, run_spec, time_spec};
+use gpa_kernels::{App, Params};
+
+/// One reproduced Table 3 row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Optimization applied.
+    pub optimization: String,
+    /// Baseline cycles ("Original" column).
+    pub baseline_cycles: u64,
+    /// Optimized cycles.
+    pub optimized_cycles: u64,
+    /// Achieved speedup.
+    pub achieved: f64,
+    /// GPA's estimated speedup for the expected optimizer.
+    pub estimated: f64,
+    /// |estimated − achieved| / achieved.
+    pub error: f64,
+    /// Rank of the expected optimizer in the advice report (1 = top).
+    pub rank: Option<usize>,
+}
+
+/// Runs all stages of one application, producing its Table 3 rows.
+///
+/// # Errors
+///
+/// Returns a message when the simulator faults on a variant.
+pub fn run_app(app: &App, p: &Params) -> Result<Vec<Table3Row>, String> {
+    let arch = arch_for(p);
+    let advisor = Advisor::new();
+    let mut rows = Vec::new();
+    for (k, stage) in app.stages.iter().enumerate() {
+        let base = (app.build)(k, p);
+        let opt = (app.build)(k + 1, p);
+        let run = run_spec(&base, &arch).map_err(|e| format!("{} v{k}: {e}", app.name))?;
+        let report = advisor.advise(&base.module, &run.profile, &arch);
+        let opt_cycles =
+            time_spec(&opt, &arch).map_err(|e| format!("{} v{}: {e}", app.name, k + 1))?;
+        let achieved = run.cycles as f64 / opt_cycles as f64;
+        let item = report.item(stage.optimizer);
+        let estimated = item.map_or(1.0, |i| i.estimated_speedup);
+        let rank = report.rank_of(stage.optimizer);
+        rows.push(Table3Row {
+            app: app.name.to_string(),
+            kernel: app.kernel.to_string(),
+            optimization: stage.name.to_string(),
+            baseline_cycles: run.cycles,
+            optimized_cycles: opt_cycles,
+            achieved,
+            estimated,
+            error: (estimated - achieved).abs() / achieved,
+            rank,
+        });
+    }
+    Ok(rows)
+}
+
+/// Advises on one variant of an app (for the report binaries).
+///
+/// # Errors
+///
+/// Returns a message when the simulator faults.
+pub fn advise_variant(app: &App, variant: usize, p: &Params) -> Result<AdviceReport, String> {
+    let arch = arch_for(p);
+    let spec = (app.build)(variant, p);
+    let run = run_spec(&spec, &arch).map_err(|e| format!("{}: {e}", app.name))?;
+    Ok(Advisor::new().advise(&spec.module, &run.profile, &arch))
+}
+
+/// Prints the Table 3 header.
+pub fn print_table3_header() {
+    println!(
+        "{:<22} {:<28} {:<28} {:>12} {:>9} {:>10} {:>7} {:>5}",
+        "Application", "Kernel", "Optimization", "Original", "Achieved", "Estimated", "Error",
+        "Rank"
+    );
+    println!("{}", "-".repeat(128));
+}
+
+/// Prints one Table 3 row.
+pub fn print_table3_row(r: &Table3Row) {
+    println!(
+        "{:<22} {:<28} {:<28} {:>10}cy {:>8.2}x {:>9.2}x {:>6.0}% {:>5}",
+        r.app,
+        r.kernel,
+        r.optimization,
+        r.baseline_cycles,
+        r.achieved,
+        r.estimated,
+        100.0 * r.error,
+        r.rank.map_or("-".to_string(), |r| r.to_string()),
+    );
+}
+
+/// Geometric mean.
+pub fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Renders an advice report the way the CLI does.
+pub fn render_report(r: &AdviceReport, top: usize) -> String {
+    report::render(r, top)
+}

@@ -1,0 +1,49 @@
+//! Control-flow analysis for GPA's static analyzer.
+//!
+//! The GPA paper recovers control-flow graphs from `nvdisasm` output,
+//! splits super blocks into basic blocks, and feeds the result to Dyninst
+//! for loop-nest analysis. This crate is that substrate, built from
+//! scratch:
+//!
+//! * [`Cfg`] — basic blocks and edges of one [`gpa_isa::Function`],
+//! * [`Dominators`] / [`PostDominators`] — iterative Cooper–Harvey–Kennedy
+//!   dominator trees (postdominators drive branch reconvergence in the
+//!   simulator),
+//! * [`LoopForest`] — natural loops and their nesting, used both by the
+//!   Loop Unrolling optimizer and by Eq. 5's scope analysis,
+//! * path queries ([`Cfg::min_instrs_between`],
+//!   [`Cfg::max_instrs_between`], [`Cfg::on_every_path`]) backing the
+//!   blamer's latency- and dominator-based pruning rules and the Eq. 1
+//!   path-ratio heuristic.
+//!
+//! # Example
+//!
+//! ```
+//! use gpa_isa::parse_module;
+//! use gpa_cfg::{Cfg, LoopForest};
+//!
+//! let m = parse_module(r#"
+//! .kernel k
+//!   MOV32I R0, 0 {S:1}
+//! top:
+//!   IADD R0, R0, 1 {S:4}
+//!   ISETP.LT.AND P0, R0, 10 {S:2}
+//!   @P0 BRA top {S:5}
+//!   EXIT
+//! .endfunc
+//! "#)?;
+//! let f = m.function("k").unwrap();
+//! let cfg = Cfg::build(f);
+//! let loops = LoopForest::build(&cfg);
+//! assert_eq!(loops.loops().len(), 1);
+//! # Ok::<(), gpa_isa::IsaError>(())
+//! ```
+
+mod block;
+mod dom;
+mod loops;
+mod paths;
+
+pub use block::{BasicBlock, BlockId, Cfg};
+pub use dom::{Dominators, PostDominators};
+pub use loops::{Loop, LoopForest, LoopId};

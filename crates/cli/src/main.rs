@@ -1,0 +1,72 @@
+//! The `gpa` command-line tool.
+//!
+//! Mirrors the paper's workflow: GPA "is a command line tool that
+//! automates profiling and analysis stages". Subcommands:
+//!
+//! ```text
+//! gpa list                      enumerate built-in benchmark kernels
+//! gpa analyze <app> [variant]   profile a kernel and print the advice report
+//! gpa profile <app> [variant]   dump the PC-sampling profile as JSON
+//! gpa asm <app> [variant]       print the kernel's assembly
+//! ```
+
+use gpa_core::{report, Advisor};
+use gpa_kernels::runner::{arch_for, run_spec};
+use gpa_kernels::{all_apps, apps::app_by_name, Params};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gpa <command> [args]\n\n  list                    list built-in kernels\n  analyze <app> [variant] profile + advise (default variant 0)\n  profile <app> [variant] dump the profile JSON\n  asm <app> [variant]     print kernel assembly"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let p = Params::full();
+    match cmd.as_str() {
+        "list" => {
+            for app in all_apps() {
+                let stages: Vec<&str> = app.stages.iter().map(|s| s.name).collect();
+                println!("{:<24} kernel {:<28} stages: {}", app.name, app.kernel, stages.join(", "));
+            }
+            ExitCode::SUCCESS
+        }
+        "analyze" | "profile" | "asm" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(app) = app_by_name(name) else {
+                eprintln!("unknown app `{name}` (try `gpa list`)");
+                return ExitCode::FAILURE;
+            };
+            let variant: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(0);
+            if variant >= app.variants() {
+                eprintln!("{name} has variants 0..{}", app.variants() - 1);
+                return ExitCode::FAILURE;
+            }
+            let spec = (app.build)(variant, &p);
+            if cmd == "asm" {
+                print!("{}", spec.module.write_asm());
+                return ExitCode::SUCCESS;
+            }
+            let arch = arch_for(&p);
+            let run = match run_spec(&spec, &arch) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "profile" {
+                println!("{}", run.profile.to_json());
+                return ExitCode::SUCCESS;
+            }
+            let advice = Advisor::new().advise(&spec.module, &run.profile, &arch);
+            print!("{}", report::render(&advice, 5));
+            println!("kernel cycles: {}", run.cycles);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

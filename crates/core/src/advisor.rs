@@ -1,0 +1,300 @@
+//! The advisor: orchestrates blame → match → estimate → rank.
+
+use crate::blamer::{BlamedEdge, ModuleBlame};
+use crate::estimators::{
+    parallel_speedup, scoped_latency_hiding_speedup, stall_elimination_speedup,
+};
+use crate::optimizers::{all_optimizers, Hotspot, Optimizer, OptimizerCategory};
+use gpa_arch::{ArchConfig, LatencyTable};
+use gpa_sampling::{KernelProfile, StallReason};
+use gpa_structure::{ProgramStructure, Scope};
+use gpa_isa::Module;
+use serde::{Deserialize, Serialize};
+
+/// Everything an optimizer may inspect.
+pub struct AnalysisCtx<'a> {
+    /// The kernel's module (virtual CUBIN).
+    pub module: &'a Module,
+    /// Static program structure.
+    pub structure: &'a ProgramStructure,
+    /// The PC-sampling profile.
+    pub profile: &'a KernelProfile,
+    /// Machine description.
+    pub arch: &'a ArchConfig,
+    /// Latency tables.
+    pub latency: &'a LatencyTable,
+    /// Blame analysis.
+    pub blame: &'a ModuleBlame,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Absolute PC of an instruction.
+    pub fn pc_of(&self, func: usize, idx: usize) -> u64 {
+        self.module.functions[func].pc_of(idx)
+    }
+
+    /// The instruction at `(func, idx)`.
+    pub fn instr(&self, func: usize, idx: usize) -> &gpa_isa::Instruction {
+        &self.module.functions[func].instrs[idx]
+    }
+
+    /// All blamed edges as `(function, edge)`.
+    pub fn blamed_edges(&self) -> impl Iterator<Item = (usize, &BlamedEdge)> {
+        self.blame.edges()
+    }
+
+    /// Total samples `T`.
+    pub fn total_samples(&self) -> f64 {
+        self.profile.total_samples as f64
+    }
+
+    /// Active samples within a scope (Eq. 5's `Σ A`, since a scope's
+    /// blocks include all scopes nested inside it).
+    pub fn active_in_scope(&self, scope: Scope) -> f64 {
+        self.profile
+            .pcs
+            .iter()
+            .filter(|(pc, _)| self.structure.scope_contains(scope, **pc))
+            .map(|(_, st)| st.active_total() as f64)
+            .sum()
+    }
+
+    /// Observed (unattributed) stalls of one reason at one PC.
+    pub fn stalls_at(&self, pc: u64, reason: StallReason) -> f64 {
+        self.profile.pc(pc).map_or(0.0, |st| st.stalls(reason) as f64)
+    }
+
+    /// Whether a PC lies in CUDA-math-library code (by containing function
+    /// or inline stack).
+    pub fn is_math_pc(&self, pc: u64) -> bool {
+        if let Some((f, _)) = self.structure.locate(pc) {
+            if f.is_math_function() {
+                return true;
+            }
+        }
+        self.structure
+            .inline_stack_of(self.module, pc)
+            .iter()
+            .any(|fr| fr.callee.starts_with("__nv_") || fr.callee.starts_with("__internal_"))
+    }
+}
+
+/// A source-annotated def/use location in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationReport {
+    /// Absolute PC.
+    pub pc: u64,
+    /// Containing function.
+    pub function: String,
+    /// Source file, when line info exists.
+    pub file: Option<String>,
+    /// Source line.
+    pub line: Option<u32>,
+    /// Enclosing scope description (e.g. `Loop at x.cu:30 in k`).
+    pub scope: String,
+}
+
+/// One ranked hotspot in an advice item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotspotReport {
+    /// Blamed (source) location.
+    pub def: Option<LocationReport>,
+    /// Stalled location.
+    pub use_: LocationReport,
+    /// Matched samples / total samples.
+    pub ratio: f64,
+    /// Speedup from fixing this hotspot alone.
+    pub speedup: f64,
+    /// def→use distance in instructions.
+    pub distance: Option<u32>,
+}
+
+/// One optimizer's advice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdviceItem {
+    /// Optimizer name.
+    pub optimizer: String,
+    /// Optimizer family.
+    pub category: OptimizerCategory,
+    /// Matched samples / total samples.
+    pub matched_ratio: f64,
+    /// Estimated speedup if the advice is applied.
+    pub estimated_speedup: f64,
+    /// Static hints.
+    pub hints: Vec<String>,
+    /// Dynamic findings.
+    pub notes: Vec<String>,
+    /// Top hotspots.
+    pub hotspots: Vec<HotspotReport>,
+}
+
+/// The full advice report for one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdviceReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Total samples.
+    pub total_samples: u64,
+    /// Active samples.
+    pub active_samples: u64,
+    /// Latency samples.
+    pub latency_samples: u64,
+    /// Kernel stall histogram `(reason name, samples)`.
+    pub stall_histogram: Vec<(String, u64)>,
+    /// Advice items sorted by estimated speedup, best first.
+    pub items: Vec<AdviceItem>,
+}
+
+impl AdviceReport {
+    /// The best advice item, if any matched.
+    pub fn top(&self) -> Option<&AdviceItem> {
+        self.items.first()
+    }
+
+    /// The item for a given optimizer name.
+    pub fn item(&self, optimizer: &str) -> Option<&AdviceItem> {
+        self.items.iter().find(|i| i.optimizer == optimizer)
+    }
+
+    /// Rank (1-based) of an optimizer in the report.
+    pub fn rank_of(&self, optimizer: &str) -> Option<usize> {
+        self.items.iter().position(|i| i.optimizer == optimizer).map(|p| p + 1)
+    }
+}
+
+/// The GPA advisor: a configurable set of optimizers.
+pub struct Advisor {
+    optimizers: Vec<Box<dyn Optimizer>>,
+    hotspots_per_item: usize,
+}
+
+impl Default for Advisor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Advisor {
+    /// An advisor with the full Table 2 catalog.
+    pub fn new() -> Self {
+        Advisor { optimizers: all_optimizers(), hotspots_per_item: 5 }
+    }
+
+    /// An advisor with a custom optimizer set (the paper notes users can
+    /// add custom optimizers to match other inefficiency patterns).
+    pub fn with_optimizers(optimizers: Vec<Box<dyn Optimizer>>) -> Self {
+        Advisor { optimizers, hotspots_per_item: 5 }
+    }
+
+    /// Runs the full dynamic analysis and produces the advice report.
+    pub fn advise(
+        &self,
+        module: &Module,
+        profile: &KernelProfile,
+        arch: &ArchConfig,
+    ) -> AdviceReport {
+        let structure = ProgramStructure::build(module);
+        let latency = LatencyTable::for_arch(arch);
+        let blame = ModuleBlame::build(module, &structure, profile, &latency);
+        let ctx = AnalysisCtx {
+            module,
+            structure: &structure,
+            profile,
+            arch,
+            latency: &latency,
+            blame: &blame,
+        };
+        let total = ctx.total_samples();
+        let active = profile.active_samples as f64;
+        let mut items = Vec::new();
+        for opt in &self.optimizers {
+            let mut m = opt.match_stalls(&ctx);
+            if m.is_empty() || total == 0.0 {
+                continue;
+            }
+            m.keep_top_hotspots(self.hotspots_per_item);
+            let estimated_speedup = match opt.category() {
+                OptimizerCategory::StallElimination => {
+                    stall_elimination_speedup(total, m.matched)
+                }
+                OptimizerCategory::LatencyHiding => {
+                    let pairs: Vec<(f64, f64)> = m
+                        .scopes
+                        .iter()
+                        .map(|(s, ml)| (ctx.active_in_scope(*s), *ml))
+                        .collect();
+                    scoped_latency_hiding_speedup(total, active, &pairs)
+                }
+                OptimizerCategory::Parallel => match &m.parallel {
+                    Some(p) => parallel_speedup(profile.issue_ratio(), p),
+                    None => 1.0,
+                },
+            };
+            if estimated_speedup < 1.001 {
+                continue;
+            }
+            let hotspots = m
+                .hotspots
+                .iter()
+                .map(|h| self.hotspot_report(&ctx, h, total))
+                .collect();
+            items.push(AdviceItem {
+                optimizer: opt.name().to_string(),
+                category: opt.category(),
+                matched_ratio: if m.matched > 0.0 {
+                    m.matched / total
+                } else {
+                    m.matched_latency / total
+                },
+                estimated_speedup,
+                hints: opt.hints().iter().map(|s| s.to_string()).collect(),
+                notes: m.notes.clone(),
+                hotspots,
+            });
+        }
+        items.sort_by(|a, b| {
+            b.estimated_speedup
+                .partial_cmp(&a.estimated_speedup)
+                .expect("speedups are finite")
+        });
+        let hist = profile.stall_histogram();
+        AdviceReport {
+            kernel: profile.kernel.clone(),
+            total_samples: profile.total_samples,
+            active_samples: profile.active_samples,
+            latency_samples: profile.latency_samples,
+            stall_histogram: StallReason::ALL
+                .iter()
+                .map(|r| (r.name().to_string(), hist[r.code() as usize]))
+                .filter(|(_, c)| *c > 0)
+                .collect(),
+            items,
+        }
+    }
+
+    fn hotspot_report(&self, ctx: &AnalysisCtx<'_>, h: &Hotspot, total: f64) -> HotspotReport {
+        HotspotReport {
+            def: h.def_pc.map(|pc| self.location(ctx, pc)),
+            use_: self.location(ctx, h.use_pc),
+            ratio: h.samples / total,
+            speedup: stall_elimination_speedup(total, h.samples),
+            distance: h.distance,
+        }
+    }
+
+    fn location(&self, ctx: &AnalysisCtx<'_>, pc: u64) -> LocationReport {
+        let function = ctx
+            .structure
+            .locate(pc)
+            .map_or_else(|| "<unknown>".to_string(), |(f, _)| f.name.clone());
+        let (file, line) = match ctx.structure.source_of(ctx.module, pc) {
+            Some((f, l)) => (Some(f.to_string()), Some(l)),
+            None => (None, None),
+        };
+        let scope = ctx
+            .structure
+            .scope_of(pc)
+            .map_or_else(String::new, |s| ctx.structure.describe_scope(ctx.module, s));
+        LocationReport { pc, function, file, line, scope }
+    }
+}

@@ -1,0 +1,195 @@
+//! Latency-hiding optimizers (Table 2, middle).
+
+use super::{Hotspot, MatchResult, Optimizer, OptimizerCategory};
+use crate::advisor::AnalysisCtx;
+use crate::blamer::DetailedReason;
+use gpa_isa::{Opcode, Visibility};
+use gpa_structure::Scope;
+
+/// Details a latency-hiding optimizer can overlap: global-memory and
+/// execution dependencies (the paper's matching rule).
+fn hideable(detail: DetailedReason) -> bool {
+    matches!(
+        detail,
+        DetailedReason::GlobalMem
+            | DetailedReason::LocalMem
+            | DetailedReason::SharedMem
+            | DetailedReason::War
+            | DetailedReason::Arith
+    )
+}
+
+/// Matches hideable latency samples whose def and use sit in the same
+/// loop: unrolling interleaves iterations to fill the stall slots (bfs,
+/// heartwall, kmeans, lavaMD).
+pub struct LoopUnrolling;
+
+impl Optimizer for LoopUnrolling {
+    fn name(&self) -> &'static str {
+        "GPULoopUnrollOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::LatencyHiding
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Dependent instructions inside the loop leave issue slots empty.",
+            "Add `#pragma unroll` (or unroll by hand) so independent iterations overlap the latency.",
+            "If the compiler refuses (unknown trip count), hoist the bound into a constant.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for (func, e) in ctx.blamed_edges() {
+            if !hideable(e.detail) {
+                continue;
+            }
+            let use_pc = ctx.pc_of(func, e.use_);
+            let def_pc = ctx.pc_of(func, e.def);
+            let Some(scope) = ctx.structure.scope_of(use_pc) else { continue };
+            let Scope::Loop(..) = scope else { continue };
+            if !ctx.structure.scope_contains(scope, def_pc) {
+                continue;
+            }
+            m.matched += e.stalls;
+            m.matched_latency += e.latency;
+            m.add_scope(scope, e.latency);
+            m.hotspots.push(Hotspot {
+                def_pc: Some(def_pc),
+                use_pc,
+                samples: e.latency.max(e.stalls),
+                distance: Some(e.distance),
+            });
+        }
+        m
+    }
+}
+
+/// Matches hideable latency samples with a *short* def→use distance:
+/// reordering moves the producer earlier (b+tree, lud, pathfinder,
+/// Minimod).
+pub struct CodeReordering;
+
+/// Below this def→use distance, reordering can plausibly create slack.
+const REORDER_WINDOW: u32 = 48;
+
+impl Optimizer for CodeReordering {
+    fn name(&self) -> &'static str {
+        "GPUCodeReorderOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::LatencyHiding
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "The distance between the producing load/operation and its use is short.",
+            "Hoist subscripted loads well before their use (e.g. read the next iteration's address before the synchronization).",
+            "Separate address computation from dereference so the compiler can schedule them apart.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for (func, e) in ctx.blamed_edges() {
+            if !hideable(e.detail) || e.distance > REORDER_WINDOW {
+                continue;
+            }
+            let use_pc = ctx.pc_of(func, e.use_);
+            let def_pc = ctx.pc_of(func, e.def);
+            let scope = ctx.structure.scope_of(use_pc).unwrap_or(Scope::Kernel);
+            m.matched += e.stalls;
+            m.matched_latency += e.latency;
+            m.add_scope(scope, e.latency);
+            m.hotspots.push(Hotspot {
+                def_pc: Some(def_pc),
+                use_pc,
+                samples: e.latency.max(e.stalls),
+                distance: Some(e.distance),
+            });
+        }
+        m
+    }
+}
+
+/// Matches stalls in (non-math) device functions and at their call sites:
+/// inlining removes call overhead and lets the scheduler mix caller and
+/// callee instructions (the Quicksilver case).
+pub struct FunctionInlining;
+
+impl Optimizer for FunctionInlining {
+    fn name(&self) -> &'static str {
+        "GPUFunctionInliningOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::LatencyHiding
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Hot device functions are called out of line: calls serialize the pipeline and hide nothing.",
+            "Mark small hot callees __forceinline__, or inline their bodies by hand when the compiler refuses for size reasons.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for f in ctx.structure.functions() {
+            if f.visibility != Visibility::Device || f.is_math_function() {
+                continue;
+            }
+            let mut func_samples = 0.0;
+            for (&pc, st) in ctx.profile.pcs.range(f.base..f.end) {
+                let stalls = st.total_stalls() as f64;
+                if stalls > 0.0 {
+                    m.matched += stalls;
+                    m.matched_latency += st.latency_total() as f64;
+                    func_samples += stalls;
+                    m.hotspots.push(Hotspot {
+                        def_pc: None,
+                        use_pc: pc,
+                        samples: stalls,
+                        distance: None,
+                    });
+                }
+            }
+            if func_samples > 0.0 {
+                m.notes.push(format!(
+                    "device function `{}` accounts for {:.1} stall samples",
+                    f.name, func_samples
+                ));
+            }
+        }
+        // Call sites of device functions.
+        for (fi, f) in ctx.module.functions.iter().enumerate() {
+            for (idx, instr) in f.instrs.iter().enumerate() {
+                if instr.opcode != Opcode::Cal {
+                    continue;
+                }
+                let pc = ctx.pc_of(fi, idx);
+                if let Some(st) = ctx.profile.pc(pc) {
+                    let stalls = st.total_stalls() as f64;
+                    if stalls > 0.0 {
+                        m.matched += stalls;
+                        m.matched_latency += st.latency_total() as f64;
+                        m.hotspots.push(Hotspot {
+                            def_pc: None,
+                            use_pc: pc,
+                            samples: stalls,
+                            distance: None,
+                        });
+                    }
+                }
+            }
+        }
+        // Inlining rearranges code across the whole kernel.
+        let total_latency = m.matched_latency;
+        m.add_scope(Scope::Kernel, total_latency);
+        m
+    }
+}

@@ -1,0 +1,147 @@
+//! Performance optimizers — the paper's Table 2 catalog.
+//!
+//! Each optimizer encodes rules to compute *matching stalls* from the
+//! blamed dependency edges and the program structure, lifting the job of
+//! associating stalls with optimizations from the user to the advisor.
+//!
+//! | Category | Optimizer | Matches |
+//! |---|---|---|
+//! | Stall elimination | Register Reuse | local-memory dependency stalls |
+//! | | Strength Reduction | execution-dependency stalls of long-latency arithmetic |
+//! | | Function Split | instruction-fetch stalls in large functions |
+//! | | Fast Math | stalls inside CUDA math functions |
+//! | | Warp Balance | synchronization stalls |
+//! | | Memory Transaction Reduction | memory-throttle stalls |
+//! | Latency hiding | Loop Unrolling | global-memory/execution stalls with def and use in one loop |
+//! | | Code Reordering | short-distance global-memory/execution stalls |
+//! | | Function Inlining | stalls in device functions and call sites |
+//! | Parallel | Block Increase | fewer blocks than the device can host |
+//! | | Thread Increase | occupancy limited by threads per block |
+
+mod latency_hiding;
+mod parallel;
+mod stall_elim;
+
+pub use latency_hiding::{CodeReordering, FunctionInlining, LoopUnrolling};
+pub use parallel::{BlockIncrease, ThreadIncrease};
+pub use stall_elim::{
+    FastMath, FunctionSplit, MemoryTransactionReduction, RegisterReuse, StrengthReduction,
+    WarpBalance,
+};
+
+use crate::advisor::AnalysisCtx;
+use crate::estimators::ParallelParams;
+use gpa_structure::Scope;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three optimizer families of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimizerCategory {
+    /// Remove the stalls themselves (Eq. 2).
+    StallElimination,
+    /// Overlap the stalls with other work (Eqs. 4–5).
+    LatencyHiding,
+    /// Change the parallelism level (Eqs. 6–10).
+    Parallel,
+}
+
+impl fmt::Display for OptimizerCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptimizerCategory::StallElimination => "stall elimination",
+            OptimizerCategory::LatencyHiding => "latency hiding",
+            OptimizerCategory::Parallel => "parallel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A def→use pair worth the user's attention, with its sample weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Source (blamed) instruction PC, when the pattern has one.
+    pub def_pc: Option<u64>,
+    /// Stalled instruction PC.
+    pub use_pc: u64,
+    /// Matched samples on this pair.
+    pub samples: f64,
+    /// def→use distance in instructions (1 = adjacent).
+    pub distance: Option<u32>,
+}
+
+/// What an optimizer matched.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// Matched stall samples (`M` of Eq. 2).
+    pub matched: f64,
+    /// Matched latency samples (`M_L` of Eqs. 3–5).
+    pub matched_latency: f64,
+    /// Matched latency samples grouped by innermost scope (for Eq. 5).
+    pub scopes: Vec<(Scope, f64)>,
+    /// Ranked def/use hotspots.
+    pub hotspots: Vec<Hotspot>,
+    /// Optimizer-specific findings (e.g. the proposed launch config).
+    pub notes: Vec<String>,
+    /// Parallel-model inputs, for parallel optimizers only.
+    pub parallel: Option<ParallelParams>,
+}
+
+impl MatchResult {
+    /// Whether anything matched.
+    pub fn is_empty(&self) -> bool {
+        self.matched == 0.0 && self.matched_latency == 0.0 && self.parallel.is_none()
+    }
+
+    /// Sorts hotspots by sample weight and keeps the top `n`.
+    pub fn keep_top_hotspots(&mut self, n: usize) {
+        self.hotspots
+            .sort_by(|a, b| b.samples.partial_cmp(&a.samples).expect("finite weights"));
+        self.hotspots.truncate(n);
+    }
+
+    /// Adds matched latency to a scope bucket.
+    pub fn add_scope(&mut self, scope: Scope, latency: f64) {
+        if latency <= 0.0 {
+            return;
+        }
+        match self.scopes.iter_mut().find(|(s, _)| *s == scope) {
+            Some((_, v)) => *v += latency,
+            None => self.scopes.push((scope, latency)),
+        }
+    }
+}
+
+/// A performance optimizer: matches an inefficiency pattern and describes
+/// the fix.
+pub trait Optimizer {
+    /// Paper-style name (e.g. `GPUStrengthReductionOptimizer`).
+    fn name(&self) -> &'static str;
+
+    /// Which family it belongs to.
+    fn category(&self) -> OptimizerCategory;
+
+    /// Static optimization hints shown in the report (the numbered
+    /// suggestions of Figure 8).
+    fn hints(&self) -> Vec<&'static str>;
+
+    /// Computes matching stalls against an analysis context.
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult;
+}
+
+/// The full Table 2 catalog.
+pub fn all_optimizers() -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(RegisterReuse),
+        Box::new(StrengthReduction),
+        Box::new(FunctionSplit),
+        Box::new(FastMath),
+        Box::new(WarpBalance),
+        Box::new(MemoryTransactionReduction),
+        Box::new(LoopUnrolling),
+        Box::new(CodeReordering),
+        Box::new(FunctionInlining),
+        Box::new(BlockIncrease),
+        Box::new(ThreadIncrease),
+    ]
+}

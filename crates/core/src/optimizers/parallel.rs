@@ -1,0 +1,154 @@
+//! Parallel optimizers (Table 2, bottom) — Eqs. 6–10.
+
+use super::{MatchResult, Optimizer, OptimizerCategory};
+use crate::advisor::AnalysisCtx;
+use crate::estimators::ParallelParams;
+use gpa_arch::LaunchConfig;
+use gpa_sampling::StallReason;
+
+/// Eq. 10's optimizer-specific factor `f`: when work spreads over more
+/// SMs (or lanes fill up), per-SM queueing stalls relax — the paper's
+/// optimizers "assume there is no pipeline, memory throttle, and no
+/// select stall" after the change.
+fn relief_factor(ctx: &AnalysisCtx<'_>) -> f64 {
+    let t = ctx.profile.total_samples as f64;
+    if t == 0.0 {
+        return 1.0;
+    }
+    let hist = ctx.profile.stall_histogram();
+    let relieved = hist[StallReason::MemoryThrottle.code() as usize]
+        + hist[StallReason::PipeBusy.code() as usize];
+    let share = (relieved as f64 / t).min(0.5);
+    1.0 / (1.0 - share)
+}
+
+fn lane_efficiency(block_threads: u32, warp_size: u32) -> f64 {
+    let warps = block_threads.div_ceil(warp_size).max(1);
+    block_threads as f64 / (warps * warp_size) as f64
+}
+
+/// Matches kernels whose grid leaves SMs idle (fewer blocks than the
+/// device hosts): split blocks to raise the busy-SM count (particlefilter,
+/// streamcluster, PeleC).
+pub struct BlockIncrease;
+
+impl Optimizer for BlockIncrease {
+    fn name(&self) -> &'static str {
+        "GPUBlockIncreaseOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::Parallel
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "The grid has fewer blocks than the device has SMs: most SMs idle.",
+            "Halve the threads per block and double the block count (total threads unchanged) until every SM hosts work.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        let launch = &ctx.profile.launch;
+        let arch = ctx.arch;
+        if launch.grid_blocks >= arch.num_sms {
+            return m; // every SM already has a block
+        }
+        // Propose halving threads/block (keeping whole warps) until either
+        // the grid covers the SMs or blocks reach one warp.
+        let mut threads = launch.block_threads;
+        let mut blocks = launch.grid_blocks;
+        while blocks < arch.num_sms && threads >= 2 * arch.warp_size {
+            threads /= 2;
+            blocks *= 2;
+        }
+        if blocks == launch.grid_blocks {
+            return m; // cannot split further
+        }
+        let new_launch = LaunchConfig { grid_blocks: blocks, block_threads: threads, ..*launch };
+        let occ_old = ctx.profile.occupancy;
+        let occ_new = arch.occupancy(&new_launch);
+        m.parallel = Some(ParallelParams {
+            w_old: occ_old.warps_per_scheduler.max(0.25),
+            w_new: occ_new.warps_per_scheduler.max(0.25),
+            busy_sms_old: launch.grid_blocks.min(arch.num_sms) as f64,
+            busy_sms_new: blocks.min(arch.num_sms) as f64,
+            lane_eff_old: lane_efficiency(launch.block_threads, arch.warp_size),
+            lane_eff_new: lane_efficiency(threads, arch.warp_size),
+            factor: relief_factor(ctx),
+        });
+        m.notes.push(format!(
+            "launch uses {} blocks of {} threads on {} SMs; suggest {} blocks of {} threads",
+            launch.grid_blocks, launch.block_threads, arch.num_sms, blocks, threads
+        ));
+        m
+    }
+}
+
+/// Matches kernels whose tiny blocks cap occupancy through the block-slot
+/// limit (and waste lanes on partial warps): grow the blocks
+/// (the gaussian Fan2 case).
+pub struct ThreadIncrease;
+
+impl Optimizer for ThreadIncrease {
+    fn name(&self) -> &'static str {
+        "GPUThreadIncreaseOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::Parallel
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Blocks are too small: the per-SM block-slot limit caps resident warps, and sub-warp blocks waste lanes.",
+            "Increase threads per block (merging blocks) so each SM hosts more full warps.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        let launch = &ctx.profile.launch;
+        let arch = ctx.arch;
+        if launch.block_threads >= 4 * arch.warp_size {
+            return m; // blocks already reasonably sized
+        }
+        // Propose merging blocks up to 256 threads, preserving total
+        // threads.
+        let target_threads = (4 * arch.warp_size).min(arch.max_threads_per_block);
+        let merge = (target_threads / launch.block_threads.max(1)).max(1);
+        let new_blocks = (launch.grid_blocks / merge).max(1);
+        let new_threads = launch.block_threads * merge;
+        if new_blocks == launch.grid_blocks {
+            return m;
+        }
+        let new_launch =
+            LaunchConfig { grid_blocks: new_blocks, block_threads: new_threads, ..*launch };
+        let occ_old = ctx.profile.occupancy;
+        let occ_new = arch.occupancy(&new_launch);
+        if occ_new.warps_per_scheduler <= occ_old.warps_per_scheduler
+            && lane_efficiency(new_threads, arch.warp_size)
+                <= lane_efficiency(launch.block_threads, arch.warp_size)
+        {
+            return m; // no benefit
+        }
+        m.parallel = Some(ParallelParams {
+            w_old: occ_old.warps_per_scheduler.max(0.25),
+            w_new: occ_new.warps_per_scheduler.max(0.25),
+            busy_sms_old: launch.grid_blocks.min(arch.num_sms) as f64,
+            busy_sms_new: new_blocks.min(arch.num_sms) as f64,
+            lane_eff_old: lane_efficiency(launch.block_threads, arch.warp_size),
+            lane_eff_new: lane_efficiency(new_threads, arch.warp_size),
+            factor: 1.0,
+        });
+        m.notes.push(format!(
+            "blocks of {} threads occupy {:.1} warps/scheduler ({}); suggest {} threads per block",
+            launch.block_threads,
+            occ_old.warps_per_scheduler,
+            occ_old.limiter,
+            new_threads
+        ));
+        m
+    }
+}

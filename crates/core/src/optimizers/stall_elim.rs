@@ -1,0 +1,257 @@
+//! Stall-elimination optimizers (Table 2, upper half).
+
+use super::{Hotspot, MatchResult, Optimizer, OptimizerCategory};
+use crate::advisor::AnalysisCtx;
+use crate::blamer::DetailedReason;
+use gpa_sampling::StallReason;
+
+fn edge_hotspot(ctx: &AnalysisCtx<'_>, func: usize, e: &crate::blamer::BlamedEdge) -> Hotspot {
+    Hotspot {
+        def_pc: Some(ctx.pc_of(func, e.def)),
+        use_pc: ctx.pc_of(func, e.use_),
+        samples: e.stalls,
+        distance: Some(e.distance),
+    }
+}
+
+/// Matches memory-dependency stalls of local-memory instructions —
+/// register spills (the Quicksilver register-reuse case).
+pub struct RegisterReuse;
+
+impl Optimizer for RegisterReuse {
+    fn name(&self) -> &'static str {
+        "GPURegisterReuseOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::StallElimination
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Local memory loads indicate register spills. Reduce live values per thread.",
+            "Split hot loops or functions so fewer values are live across them.",
+            "Lower the launch bound or recompute cheap values instead of keeping them live.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for (func, e) in ctx.blamed_edges() {
+            if e.detail == DetailedReason::LocalMem {
+                m.matched += e.stalls;
+                m.matched_latency += e.latency;
+                m.hotspots.push(edge_hotspot(ctx, func, e));
+            }
+        }
+        m
+    }
+}
+
+/// Matches execution-dependency stalls whose source is long-latency
+/// arithmetic: FP64, conversions, transcendentals, wide multiplies — the
+/// hotspot (type conversion) and ExaTENSOR (integer division) cases.
+pub struct StrengthReduction;
+
+impl Optimizer for StrengthReduction {
+    fn name(&self) -> &'static str {
+        "GPUStrengthReductionOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::StallElimination
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Avoid integer division. It expands to a special-function sequence; multiply by a reciprocal instead.",
+            "Avoid conversion. A double constant multiplied with a 32-bit float promotes the whole expression to 64 bits; write the constant as `2.0f`.",
+            "Replace repeated expensive operations with mathematically equivalent cheaper forms.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for (func, e) in ctx.blamed_edges() {
+            if e.detail != DetailedReason::Arith {
+                continue;
+            }
+            if !ctx.latency.is_long_latency_arith(ctx.instr(func, e.def)) {
+                continue;
+            }
+            m.matched += e.stalls;
+            m.matched_latency += e.latency;
+            m.hotspots.push(edge_hotspot(ctx, func, e));
+        }
+        m
+    }
+}
+
+/// Matches instruction-fetch stalls in functions too large for the
+/// instruction cache (the myocyte function-split case).
+pub struct FunctionSplit;
+
+impl Optimizer for FunctionSplit {
+    fn name(&self) -> &'static str {
+        "GPUFunctionSplitOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::StallElimination
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "The function body exceeds the instruction cache; sequential fetches keep missing.",
+            "Split the function (or a huge loop body) into parts so each hot region fits the i-cache.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        let icache = ctx.arch.icache_size as u64;
+        for f in ctx.structure.functions() {
+            if f.end - f.base <= icache / 2 {
+                continue;
+            }
+            for (&pc, st) in ctx.profile.pcs.range(f.base..f.end) {
+                let fetch = st.stalls(StallReason::InstructionFetch) as f64;
+                if fetch > 0.0 {
+                    m.matched += fetch;
+                    m.matched_latency +=
+                        st.latency_stalls(StallReason::InstructionFetch) as f64;
+                    m.hotspots.push(Hotspot {
+                        def_pc: None,
+                        use_pc: pc,
+                        samples: fetch,
+                        distance: None,
+                    });
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Matches stalls inside CUDA math functions (by symbol or inline stack) —
+/// the cfd/myocyte/Minimod `--use_fast_math` cases.
+pub struct FastMath;
+
+impl Optimizer for FastMath {
+    fn name(&self) -> &'static str {
+        "GPUFastMathOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::StallElimination
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Stalls concentrate in precise CUDA math functions.",
+            "Compile with --use_fast_math, or call the __func intrinsics directly, if the accuracy loss is acceptable.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for (&pc, st) in &ctx.profile.pcs {
+            if !ctx.is_math_pc(pc) {
+                continue;
+            }
+            let stalls = st.total_stalls() as f64;
+            if stalls > 0.0 {
+                m.matched += stalls;
+                m.matched_latency += st.latency_total() as f64;
+                m.hotspots.push(Hotspot {
+                    def_pc: None,
+                    use_pc: pc,
+                    samples: stalls,
+                    distance: None,
+                });
+            }
+        }
+        m
+    }
+}
+
+/// Matches synchronization stalls blamed on `BAR.SYNC` — unbalanced work
+/// across the warps of a block (backprop, huffman, nw, sradv1).
+pub struct WarpBalance;
+
+impl Optimizer for WarpBalance {
+    fn name(&self) -> &'static str {
+        "GPUWarpBalanceOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::StallElimination
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Warps wait long at __syncthreads(): work is unbalanced across the block's warps.",
+            "Distribute iterations evenly over warps (e.g. tree-shaped reductions instead of a single working warp).",
+            "Remove barriers that protect nothing, or narrow their scope.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for (func, e) in ctx.blamed_edges() {
+            if e.detail == DetailedReason::Sync {
+                m.matched += e.stalls;
+                m.matched_latency += e.latency;
+                m.hotspots.push(edge_hotspot(ctx, func, e));
+            }
+        }
+        m
+    }
+}
+
+/// Matches memory-throttle stalls — too many transactions in flight
+/// (the ExaTENSOR constant-memory case).
+pub struct MemoryTransactionReduction;
+
+impl Optimizer for MemoryTransactionReduction {
+    fn name(&self) -> &'static str {
+        "GPUMemoryTransactionReductionOptimizer"
+    }
+
+    fn category(&self) -> OptimizerCategory {
+        OptimizerCategory::StallElimination
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "The LSU queue is saturated: reduce the number of memory transactions.",
+            "Coalesce warp accesses into contiguous 32-byte sectors.",
+            "Move values shared by all threads and constant during execution into constant memory.",
+            "Vectorize loads (e.g. 64/128-bit) where alignment allows.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = MatchResult::default();
+        for (&pc, st) in &ctx.profile.pcs {
+            let throttle = st.stalls(StallReason::MemoryThrottle) as f64;
+            if throttle > 0.0 {
+                m.matched += throttle;
+                m.matched_latency += st.latency_stalls(StallReason::MemoryThrottle) as f64;
+                m.hotspots.push(Hotspot {
+                    def_pc: None,
+                    use_pc: pc,
+                    samples: throttle,
+                    distance: None,
+                });
+            }
+        }
+        if m.matched > 0.0 {
+            m.notes.push(format!(
+                "{} global transactions observed ({} L2 hits, {} misses)",
+                ctx.profile.mem_transactions, ctx.profile.l2_hits, ctx.profile.l2_misses
+            ));
+        }
+        m
+    }
+}

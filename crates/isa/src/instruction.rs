@@ -1,0 +1,411 @@
+//! Instructions and their def/use model.
+
+use crate::control::ControlCode;
+use crate::opcode::Opcode;
+use crate::operand::Operand;
+use crate::register::{BarrierReg, PredReg, Predicate, Register};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opcode modifier (`LDG.E.32`, `ISETP.LT.AND`, `MUFU.RCP`, ...).
+///
+/// Modifiers are **ordered**: `F2F.F32.F64` (demote a 64-bit float to
+/// 32 bits) differs from `F2F.F64.F32` (promote). Up to four modifiers fit
+/// in the binary encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Modifier {
+    Sz32,
+    Sz64,
+    Sz128,
+    E,
+    Wide,
+    U32,
+    S32,
+    F32,
+    F64,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Xor,
+    Rcp,
+    Rsq,
+    Sqrt,
+    Sin,
+    Cos,
+    Ex2,
+    Lg2,
+    L,
+    R,
+    Sync,
+    Any,
+    All,
+}
+
+impl Modifier {
+    /// All modifiers; index + 1 is the 5-bit encoding code (0 = absent).
+    pub const ALL: [Modifier; 30] = [
+        Modifier::Sz32,
+        Modifier::Sz64,
+        Modifier::Sz128,
+        Modifier::E,
+        Modifier::Wide,
+        Modifier::U32,
+        Modifier::S32,
+        Modifier::F32,
+        Modifier::F64,
+        Modifier::Lt,
+        Modifier::Le,
+        Modifier::Gt,
+        Modifier::Ge,
+        Modifier::Eq,
+        Modifier::Ne,
+        Modifier::And,
+        Modifier::Or,
+        Modifier::Xor,
+        Modifier::Rcp,
+        Modifier::Rsq,
+        Modifier::Sqrt,
+        Modifier::Sin,
+        Modifier::Cos,
+        Modifier::Ex2,
+        Modifier::Lg2,
+        Modifier::L,
+        Modifier::R,
+        Modifier::Sync,
+        Modifier::Any,
+        Modifier::All,
+    ];
+
+    /// Stable non-zero code used by the binary encoding.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&m| m == self).unwrap() as u8 + 1
+    }
+
+    /// Inverse of [`Modifier::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        if code == 0 {
+            return None;
+        }
+        Self::ALL.get(code as usize - 1).copied()
+    }
+
+    /// The assembly spelling (without the leading dot).
+    pub fn name(self) -> &'static str {
+        match self {
+            Modifier::Sz32 => "32",
+            Modifier::Sz64 => "64",
+            Modifier::Sz128 => "128",
+            Modifier::E => "E",
+            Modifier::Wide => "WIDE",
+            Modifier::U32 => "U32",
+            Modifier::S32 => "S32",
+            Modifier::F32 => "F32",
+            Modifier::F64 => "F64",
+            Modifier::Lt => "LT",
+            Modifier::Le => "LE",
+            Modifier::Gt => "GT",
+            Modifier::Ge => "GE",
+            Modifier::Eq => "EQ",
+            Modifier::Ne => "NE",
+            Modifier::And => "AND",
+            Modifier::Or => "OR",
+            Modifier::Xor => "XOR",
+            Modifier::Rcp => "RCP",
+            Modifier::Rsq => "RSQ",
+            Modifier::Sqrt => "SQRT",
+            Modifier::Sin => "SIN",
+            Modifier::Cos => "COS",
+            Modifier::Ex2 => "EX2",
+            Modifier::Lg2 => "LG2",
+            Modifier::L => "L",
+            Modifier::R => "R",
+            Modifier::Sync => "SYNC",
+            Modifier::Any => "ANY",
+            Modifier::All => "ALL",
+        }
+    }
+
+    /// Parses the assembly spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
+impl fmt::Display for Modifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A storage location for def/use analysis: a general-purpose register, a
+/// predicate register, or a **virtual barrier register**.
+///
+/// GPA's instruction blamer treats the six scoreboard barriers as registers
+/// so that dependencies carried only by control codes (Figure 3 of the
+/// paper: an `LDG` writing `B0` and a `BRA` waiting on `B0`) fall out of the
+/// ordinary def–use machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Slot {
+    /// A general-purpose register.
+    Reg(Register),
+    /// A predicate register.
+    Pred(PredReg),
+    /// A virtual barrier register.
+    Bar(BarrierReg),
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slot::Reg(r) => write!(f, "{r}"),
+            Slot::Pred(p) => write!(f, "{p}"),
+            Slot::Bar(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// This is a passive data structure: all fields are public, in the spirit of
+/// a decoded instruction record. [`Instruction::defs`] and
+/// [`Instruction::uses`] expose the def/use sets (including virtual barrier
+/// registers) that the blamer's backward slicing consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Guard predicate (`None` behaves like the cover-all predicate `_`).
+    pub pred: Option<Predicate>,
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Ordered modifiers.
+    pub mods: Vec<Modifier>,
+    /// Destination operands (empty for stores and branches).
+    pub dsts: Vec<Operand>,
+    /// Source operands.
+    pub srcs: Vec<Operand>,
+    /// Scheduling control code.
+    pub ctrl: ControlCode,
+}
+
+impl Instruction {
+    /// Creates an unpredicated instruction with a default control code.
+    pub fn new(opcode: Opcode, dsts: Vec<Operand>, srcs: Vec<Operand>) -> Self {
+        Instruction { pred: None, opcode, mods: Vec::new(), dsts, srcs, ctrl: ControlCode::none() }
+    }
+
+    /// Builder-style: adds a modifier.
+    pub fn with_mod(mut self, m: Modifier) -> Self {
+        self.mods.push(m);
+        self
+    }
+
+    /// Builder-style: sets the guard predicate.
+    pub fn with_pred(mut self, p: Predicate) -> Self {
+        self.pred = Some(p);
+        self
+    }
+
+    /// Builder-style: sets the control code.
+    pub fn with_ctrl(mut self, ctrl: ControlCode) -> Self {
+        self.ctrl = ctrl;
+        self
+    }
+
+    /// Storage locations written by this instruction.
+    ///
+    /// Includes destination registers and predicates (except `RZ`/`PT`) and
+    /// the virtual barrier registers named by the write/read barrier fields
+    /// — *setting* a barrier is modeled as a def, waiting on it as a use.
+    pub fn defs(&self) -> Vec<Slot> {
+        let mut out = Vec::new();
+        for d in &self.dsts {
+            for r in d.dst_regs() {
+                if !r.is_zero() {
+                    out.push(Slot::Reg(r));
+                }
+            }
+            if let Some(p) = d.pred() {
+                if !p.is_true() {
+                    out.push(Slot::Pred(p));
+                }
+            }
+        }
+        if let Some(b) = self.ctrl.write_barrier {
+            out.push(Slot::Bar(b));
+        }
+        if let Some(b) = self.ctrl.read_barrier {
+            out.push(Slot::Bar(b));
+        }
+        out
+    }
+
+    /// Storage locations read by this instruction.
+    ///
+    /// Includes the guard predicate, source registers/predicates (except
+    /// `RZ`/`PT`), address registers of memory operands, and the virtual
+    /// barrier registers named by the wait mask.
+    pub fn uses(&self) -> Vec<Slot> {
+        let mut out = Vec::new();
+        if let Some(p) = self.pred {
+            if !p.reg.is_true() {
+                out.push(Slot::Pred(p.reg));
+            }
+        }
+        for s in &self.srcs {
+            for r in s.src_regs() {
+                if !r.is_zero() {
+                    out.push(Slot::Reg(r));
+                }
+            }
+            if let Some(p) = s.pred() {
+                if !p.is_true() {
+                    out.push(Slot::Pred(p));
+                }
+            }
+        }
+        for b in self.ctrl.waits() {
+            out.push(Slot::Bar(b));
+        }
+        out
+    }
+
+    /// Registers read to *produce a stored value* (store data operands),
+    /// used for WAR-dependency classification.
+    pub fn store_data_regs(&self) -> Vec<Register> {
+        if !self.opcode.is_store() {
+            return Vec::new();
+        }
+        self.srcs
+            .iter()
+            .filter(|s| !matches!(s, Operand::Mem(_)))
+            .flat_map(|s| s.src_regs())
+            .filter(|r| !r.is_zero())
+            .collect()
+    }
+
+    /// The branch/call target address, if this is a resolved direct branch.
+    pub fn branch_target(&self) -> Option<u64> {
+        if !matches!(self.opcode, Opcode::Bra | Opcode::Cal | Opcode::Bssy) {
+            return None;
+        }
+        self.srcs.iter().find_map(|s| match s {
+            Operand::Imm(v) => Some(*v as u64),
+            _ => None,
+        })
+    }
+
+    /// Full mnemonic with modifiers, e.g. `LDG.E.32`.
+    pub fn mnemonic(&self) -> String {
+        let mut s = self.opcode.name().to_string();
+        for m in &self.mods {
+            s.push('.');
+            s.push_str(m.name());
+        }
+        s
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.pred {
+            write!(f, "{p} ")?;
+        }
+        write!(f, "{}", self.mnemonic())?;
+        let ops: Vec<String> =
+            self.dsts.iter().chain(self.srcs.iter()).map(|o| o.to_string()).collect();
+        if !ops.is_empty() {
+            write!(f, " {}", ops.join(", "))?;
+        }
+        write!(f, " {}", self.ctrl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::MemRef;
+
+    fn r(n: u8) -> Register {
+        Register::from_u8(n)
+    }
+
+    /// The paper's Table 1 instruction: `@P0 LDG.32 R0, [R2]` with wait mask
+    /// B0|B1, write barrier B0, read barrier B1.
+    fn table1_instruction() -> Instruction {
+        Instruction::new(
+            Opcode::Ldg,
+            vec![Operand::Reg(r(0))],
+            vec![Operand::Mem(MemRef { base: r(2), offset: 0, wide: true })],
+        )
+        .with_mod(Modifier::Sz32)
+        .with_pred(Predicate::pos(PredReg::new(0).unwrap()))
+        .with_ctrl(
+            ControlCode::none()
+                .with_write_barrier(BarrierReg::new(0).unwrap())
+                .with_read_barrier(BarrierReg::new(1).unwrap())
+                .with_wait(BarrierReg::new(0).unwrap())
+                .with_wait(BarrierReg::new(1).unwrap()),
+        )
+    }
+
+    #[test]
+    fn table1_defs_and_uses() {
+        let i = table1_instruction();
+        let defs = i.defs();
+        // R0 plus virtual barriers B0 (write) and B1 (read).
+        assert!(defs.contains(&Slot::Reg(r(0))));
+        assert!(defs.contains(&Slot::Bar(BarrierReg::new(0).unwrap())));
+        assert!(defs.contains(&Slot::Bar(BarrierReg::new(1).unwrap())));
+        let uses = i.uses();
+        // Guard P0, the 64-bit address pair R2:R3, wait-mask barriers.
+        assert!(uses.contains(&Slot::Pred(PredReg::new(0).unwrap())));
+        assert!(uses.contains(&Slot::Reg(r(2))));
+        assert!(uses.contains(&Slot::Reg(r(3))));
+        assert!(uses.contains(&Slot::Bar(BarrierReg::new(0).unwrap())));
+        assert!(uses.contains(&Slot::Bar(BarrierReg::new(1).unwrap())));
+    }
+
+    #[test]
+    fn display_format() {
+        let i = table1_instruction();
+        assert_eq!(i.to_string(), "@P0 LDG.32 R0, [R2:R3] {WT:[B0,B1], W:B0, R:B1, S:1}");
+    }
+
+    #[test]
+    fn rz_and_pt_excluded() {
+        let i = Instruction::new(
+            Opcode::Iadd,
+            vec![Operand::Reg(Register::ZERO)],
+            vec![Operand::Reg(r(1)), Operand::Reg(Register::ZERO)],
+        );
+        assert!(i.defs().is_empty());
+        assert_eq!(i.uses(), vec![Slot::Reg(r(1))]);
+    }
+
+    #[test]
+    fn store_data_regs_excludes_address() {
+        let st = Instruction::new(
+            Opcode::Stg,
+            vec![],
+            vec![
+                Operand::Mem(MemRef { base: r(4), offset: 0, wide: true }),
+                Operand::Reg(r(8)),
+            ],
+        );
+        assert_eq!(st.store_data_regs(), vec![r(8)]);
+    }
+
+    #[test]
+    fn modifier_codes_roundtrip() {
+        for m in Modifier::ALL {
+            assert_eq!(Modifier::from_code(m.code()), Some(m));
+            assert_eq!(Modifier::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Modifier::from_code(0), None);
+    }
+}

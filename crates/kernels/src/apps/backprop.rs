@@ -1,0 +1,150 @@
+//! `rodinia/backprop` — `bpnn_layerforward_CUDA`.
+//!
+//! Two Table 3 rows share this kernel:
+//!
+//! 1. **Warp Balance** (1.18× / est 1.21×): after staging inputs to
+//!    shared memory, only warp 0 reduces them while the other seven warps
+//!    wait at the final `__syncthreads()`. The fix reduces within every
+//!    warp via shuffles first.
+//! 2. **Strength Reduction** (1.21× / est 1.13×): the weight-index
+//!    computation divides by a runtime parameter that is in fact a power
+//!    of two; replacing the software-division sequence with a shift
+//!    removes a long-latency SFU/conversion chain. (The divisor is 8 in
+//!    both variants, so results are identical.)
+
+use crate::data::ParamBlock;
+use crate::dsl::{emit_idiv, Asm};
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the backprop app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/backprop",
+        kernel: "bpnn_layerforward_CUDA",
+        stages: vec![
+            Stage { name: "Warp Balance", optimizer: "GPUWarpBalanceOptimizer" },
+            Stage { name: "Strength Reduction", optimizer: "GPUStrengthReductionOptimizer" },
+        ],
+        build,
+    }
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let balanced = variant >= 1;
+    let shifted = variant >= 2;
+    let mut a = Asm::module("backprop");
+    a.kernel("bpnn_layerforward_CUDA");
+    a.line("backprop_cuda_kernel.cu", 30);
+    a.global_tid();
+    a.i("LOP3.AND R1, R0, 255 {S:4}"); // tid within block
+    a.param_u64(4, 0); // inputs
+    a.param_u64(6, 8); // weights
+    // Weight index: (tid * 13) / divisor — the divisor is the parameter
+    // at @24 (it is 8, a power of two).
+    a.i("IMAD R9, R0, 13, 0 {S:5}");
+    if shifted {
+        a.i("SHR.U32 R12, R9, 3 {S:4}");
+    } else {
+        a.param_u32(11, 24);
+        emit_idiv(&mut a, 12, 9, 11, 44);
+    }
+    a.line("backprop_cuda_kernel.cu", 36);
+    // input[tid] * weight[idx] → shared[tid].
+    a.addr(14, 4, 0, 2);
+    a.i("LDG.E.32 R16, [R14:R15] {W:B0, S:1}");
+    a.addr(18, 6, 12, 2);
+    a.i("LDG.E.32 R20, [R18:R19] {W:B1, S:1}");
+    a.i("FMUL R22, R16, R20 {WT:[B0,B1], S:4}");
+    a.i("SHL R23, R1, 2 {S:4}");
+    a.i("STS.32 [R23], R22 {R:B2, S:2}");
+    a.i("BAR.SYNC {S:2}");
+    a.line("backprop_cuda_kernel.cu", 43);
+    if balanced {
+        // Every warp reduces its own 32 values with shuffles, leaders
+        // store partials, warp 0 folds them.
+        a.i("S2R R25, SR_LANEID {W:B3, S:1}");
+        a.i("NOP {WT:[B3], S:1}");
+        for d in [16u32, 8, 4, 2, 1] {
+            a.i(format!("IADD R26, R25, {d} {{S:4}}"));
+            a.i("SHFL R27, R22, R26 {W:B4, S:1}");
+            a.i("FADD R22, R22, R27 {WT:[B4], S:4}");
+        }
+        a.i("ISETP.EQ.AND P0, R25, 0 {S:2}");
+        a.i("SHR.U32 R29, R1, 5 {S:4}"); // warp id
+        a.i("SHL R30, R29, 2 {S:4}");
+        a.i("@P0 STS.32 [R30+0x400], R22 {R:B2, S:2}");
+        a.i("BAR.SYNC {S:2}");
+        // Warp 0 folds the partials (one per warp).
+        a.i("ISETP.GE.AND P1, R1, 8 {S:2}");
+        a.i("@P1 BRA fold_done {S:5}");
+        a.i("SHL R31, R1, 2 {S:4}");
+        a.i("LDS.32 R32, [R31+0x400] {W:B5, S:1}");
+        a.i("MOV R22, R32 {WT:[B5], S:2}");
+        for d in [4u32, 2, 1] {
+            a.i(format!("IADD R26, R1, {d} {{S:4}}"));
+            a.i("SHFL R27, R22, R26 {W:B4, S:1}");
+            a.i("FADD R22, R22, R27 {WT:[B4], S:4}");
+        }
+        a.label("fold_done");
+        a.i("BAR.SYNC {S:2}");
+    } else {
+        // Only warp 0 works: each of its lanes serially sums the strided
+        // entries; the other warps sit at the barrier.
+        a.i("ISETP.GE.AND P1, R1, 32 {S:2}");
+        a.i("@P1 BRA reduce_done {S:5}");
+        a.i("MOV32I R24, 0 {S:1}"); // k
+        a.i("MOV32I R22, 0 {S:1}");
+        a.label("serial_sum");
+        a.i("IMAD R26, R24, 32, R1 {S:5}");
+        a.i("SHL R27, R26, 2 {S:4}");
+        a.i("LDS.32 R28, [R27] {W:B3, S:1}");
+        a.i("FADD R22, R22, R28 {WT:[B3], S:4}");
+        a.i("IADD R24, R24, 1 {S:4}");
+        a.i("ISETP.LT.AND P2, R24, 8 {S:2}");
+        a.i("@P2 BRA serial_sum {S:5}");
+        a.label("reduce_done");
+        a.i("BAR.SYNC {S:2}");
+    }
+    // Lane 0 of warp 0 writes the block's partial sum.
+    a.i("ISETP.NE.AND P3, R1, 0 {S:2}");
+    a.param_u64(34, 16);
+    a.i("S2R R36, SR_CTAID.X {W:B3, S:1}");
+    a.i("NOP {WT:[B3], S:1}");
+    a.addr(38, 34, 36, 2);
+    a.i("@!P3 STG.E.32 [R38:R39], R22 {R:B2, S:2}");
+    a.i("EXIT {WT:[B2], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * 2;
+    let threads: u32 = 256;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "bpnn_layerforward_CUDA".into(),
+        launch: LaunchConfig {
+            smem_per_block: 4096 + 64,
+            ..LaunchConfig::new(blocks, threads)
+        },
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0009);
+            let inputs = gpu.global_mut().alloc(4 * n as u64);
+            gpu.global_mut()
+                .write_bytes(inputs, &crate::data::f32_bytes(&mut rng, n as usize, 0.0, 1.0));
+            let weights = gpu.global_mut().alloc(4 * (n as u64 * 2 + 16));
+            gpu.global_mut().write_bytes(
+                weights,
+                &crate::data::f32_bytes(&mut rng, (n * 2 + 16) as usize, -0.5, 0.5),
+            );
+            let out = gpu.global_mut().alloc(4 * blocks as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(inputs);
+            pb.push_u64(weights);
+            pb.push_u64(out);
+            pb.push_u32(8); // divisor @24 (a power of two)
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

@@ -1,0 +1,126 @@
+//! `rodinia/cfd` — `cuda_compute_flux`.
+//!
+//! The flux computation leans on precise CUDA math functions
+//! (`__nv_sqrtf`, `__nv_expf`): long dependent polynomial/Newton chains
+//! called per face. With `--use_fast_math` they collapse to single SFU
+//! instructions (Fast Math; paper: 1.46× achieved, 1.54× estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the cfd app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/cfd",
+        kernel: "cuda_compute_flux",
+        stages: vec![Stage { name: "Fast Math", optimizer: "GPUFastMathOptimizer" }],
+        build,
+    }
+}
+
+const FACES: u32 = 8;
+
+/// Precise sqrt: RSQ seed + three dependent Newton steps (argument and
+/// result in R40/R41).
+fn emit_nv_sqrtf(a: &mut Asm) {
+    a.func("__nv_sqrtf");
+    a.line("device_functions.h", 501);
+    a.i("MUFU.RSQ R42, R40 {W:B5, S:1}");
+    for _ in 0..3 {
+        a.i("FMUL R43, R42, R42 {WT:[B5], S:4}");
+        a.i("FFMA R44, R40, R43, -3.0 {S:4}");
+        a.i("FMUL R44, R44, -0.5 {S:4}");
+        a.i("FMUL R42, R42, R44 {S:4}");
+    }
+    a.i("FMUL R41, R40, R42 {S:4}");
+    a.i("RET {S:5}");
+    a.endfunc();
+}
+
+/// Precise exp: range reduction + 8-term Horner chain (R40 → R41).
+fn emit_nv_expf(a: &mut Asm) {
+    a.func("__nv_expf");
+    a.line("device_functions.h", 742);
+    a.i("FMUL R42, R40, 1.4427 {S:4}");
+    a.i("F2I.S32.F32 R43, R42 {S:2}");
+    a.i("I2F.F32 R44, R43 {S:2}");
+    a.i("FFMA R45, R44, -0.6931, R40 {S:4}");
+    a.i("MOV32I R41, 0x3f800000 {S:1}"); // 1.0
+    for k in 0..8 {
+        let c = 1.0 / (1.0 + k as f64 * 0.9);
+        a.i(format!("FFMA R41, R41, R45, {c:.4} {{S:4}}"));
+    }
+    a.i("FMUL R41, R41, R42 {S:4}");
+    a.i("RET {S:5}");
+    a.endfunc();
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let fast = variant >= 1;
+    let mut a = Asm::module("cfd");
+    a.kernel("cuda_compute_flux");
+    a.line("euler3d.cu", 155);
+    a.global_tid();
+    a.param_u64(4, 0); // variables
+    a.param_u32(9, 24); // n elements
+    a.i("MOV32I R22, 0 {S:1}"); // flux acc
+    a.i("MOV32I R17, 0 {S:1}"); // face
+    a.line("euler3d.cu", 160);
+    a.label("face_loop");
+    a.i("IMAD R10, R17, R9, R0 {S:5}");
+    a.addr(12, 4, 10, 2);
+    a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}");
+    a.i("FFMA R40, R14, R14, 0.5 {WT:[B0], S:4}"); // pressure-ish
+    if fast {
+        a.i("MUFU.SQRT R41, R40 {W:B1, S:1}");
+        a.i("NOP {WT:[B1], S:1}");
+    } else {
+        a.i("CAL __nv_sqrtf {S:5}");
+    }
+    a.i("FADD R22, R22, R41 {S:4}");
+    a.i("FMUL R40, R14, -0.25 {S:4}");
+    if fast {
+        a.i("FMUL R40, R40, 1.4427 {S:4}");
+        a.i("MUFU.EX2 R41, R40 {W:B1, S:1}");
+        a.i("NOP {WT:[B1], S:1}");
+    } else {
+        a.i("CAL __nv_expf {S:5}");
+    }
+    a.i("FFMA R22, R41, 0.125, R22 {S:4}");
+    a.i("IADD R17, R17, 1 {S:4}");
+    a.i(format!("ISETP.LT.AND P1, R17, {FACES} {{S:2}}"));
+    a.i("@P1 BRA face_loop {S:5}");
+    a.param_u64(28, 8);
+    a.addr(30, 28, 0, 2);
+    a.i("STG.E.32 [R30:R31], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    emit_nv_sqrtf(&mut a);
+    emit_nv_expf(&mut a);
+    let module = a.build();
+
+    let blocks = p.sms * 2;
+    let threads: u32 = 256;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "cuda_compute_flux".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0011);
+            let m = n as u64 * FACES as u64;
+            let vars = gpu.global_mut().alloc(4 * m);
+            gpu.global_mut()
+                .write_bytes(vars, &crate::data::f32_bytes(&mut rng, m as usize, 0.1, 2.0));
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(vars);
+            pb.push_u64(out);
+            pb.push_u32(n); // @24
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

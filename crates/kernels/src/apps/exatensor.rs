@@ -1,0 +1,128 @@
+//! `ExaTENSOR` — `tensor_transpose`.
+//!
+//! Two Table 3 rows (the paper's §7.1 and Figure 8):
+//!
+//! 1. **Strength Reduction** (1.07× / est 1.06×): the index permutation
+//!    divides by tensor dimensions with the slow software-division
+//!    sequence; multiplying by a reciprocal (here: the dimensions are
+//!    powers of two, so shifts/masks are exact) removes it.
+//! 2. **Memory Transaction Reduction** (1.03× / est 1.05×): the per-
+//!    iteration dimension/stride lookups go to global memory and the
+//!    scattered data loads keep the LSU saturated; moving the tables to
+//!    constant memory removes transactions (memory-throttle stalls).
+
+use crate::data::ParamBlock;
+use crate::dsl::{emit_idiv, Asm};
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the ExaTENSOR app entry.
+pub fn app() -> App {
+    App {
+        name: "ExaTENSOR",
+        kernel: "tensor_transpose",
+        stages: vec![
+            Stage { name: "Strength Reduction", optimizer: "GPUStrengthReductionOptimizer" },
+            Stage {
+                name: "Memory Transaction Reduction",
+                optimizer: "GPUMemoryTransactionReductionOptimizer",
+            },
+        ],
+        build,
+    }
+}
+
+const ELEMS: u32 = 8;
+const DIM: u32 = 16; // inner tensor dimension (a power of two)
+const LOG_BIG: u32 = 7; // scatter stride log2 (128 elements)
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let no_div = variant >= 1;
+    let const_dims = variant >= 2;
+    let mut a = Asm::module("exatensor");
+    a.kernel("tensor_transpose");
+    a.line("cuda2.cu", 16);
+    a.global_tid();
+    a.param_u64(4, 0); // src tensor
+    a.param_u64(6, 8); // dst tensor
+    a.param_u64(36, 24); // dims table (global)
+    a.i("MOV32I R22, 0 {S:1}");
+    a.i("MOV32I R17, 0 {S:1}");
+    a.line("cuda2.cu", 30);
+    a.label("elem_loop");
+    // Linear index of this element: k-th plane, thread-major.
+    a.param_u32(10, 16); // total threads
+    a.i("IMAD R9, R17, R10, R0 {S:5}");
+    a.i("MOV32I R11, 16 {S:1}"); // inner dimension
+    a.line("cuda2.cu", 34);
+    if no_div {
+        // dim is a power of two: quotient and remainder are shift/mask.
+        a.i(format!("SHR.U32 R12, R9, {} {{S:4}}", DIM.trailing_zeros()));
+        a.i("IADD R13, R11, -1 {S:4}");
+        a.i("LOP3.AND R14, R9, R13 {S:4}");
+    } else {
+        // q = idx / dim, r = idx − q*dim via the software-division chain.
+        emit_idiv(&mut a, 12, 9, 11, 44);
+        a.i("IMAD R15, R12, R11, 0 {S:5}");
+        a.i("FFMA R48, R48, 0.0, 0.0 {S:4}"); // pipeline drain filler
+        a.i("IADD R14, R9, 0 {S:4}");
+        a.i("IMAD R14, R15, -1, R14 {S:5}"); // remainder: idx - q*dim
+    }
+    // Permutation-table gather: every lane reads its own entry. The
+    // table is shared by all threads and never written — global memory
+    // in the baseline, constant memory in the optimized variant.
+    a.i("SHL R15, R14, 2 {S:4}");
+    if const_dims {
+        a.i("LDC.32 R21, [R15] {W:B2, S:1}");
+    } else {
+        a.i("LEA R24:R25, R14, R36:R37, 2 {S:2}");
+        a.i("LDG.E.32 R21, [R24:R25] {W:B2, S:1}");
+    }
+    // Permuted offset: scatter with a large stride.
+    a.i(format!("SHL R16, R21, {LOG_BIG} {{WT:[B2], S:4}}"));
+    a.i("IADD R16, R16, R12 {S:4}");
+    a.addr(18, 4, 16, 2);
+    a.i("LDG.E.32 R20, [R18:R19] {W:B0, S:1}");
+    a.i("FADD R22, R22, R20 {WT:[B0], S:4}");
+    a.i("IADD R17, R17, 1 {S:4}");
+    a.i(format!("ISETP.LT.AND P1, R17, {ELEMS} {{S:2}}"));
+    a.i("@P1 BRA elem_loop {S:5}");
+    // Linear (coalesced) store of the gathered value.
+    a.addr(30, 6, 0, 2);
+    a.i("STG.E.32 [R30:R31], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * p.scale;
+    let threads: u32 = 256;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "tensor_transpose".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0015);
+            let m = ((n as u64 * ELEMS as u64) << LOG_BIG as u64).min(1 << 24) + (1 << 16);
+            let src = gpu.global_mut().alloc(4 * m.min(1 << 22));
+            gpu.global_mut().write_bytes(
+                src,
+                &crate::data::f32_bytes(&mut rng, 1 << 16, -1.0, 1.0),
+            );
+            let dst = gpu.global_mut().alloc(4 * n as u64);
+            // The 16-entry permutation table (scattered so lanes gather).
+            let perm = gpu.global_mut().alloc(4 * DIM as u64 * 32);
+            for i in 0..DIM as u64 {
+                gpu.global_mut().write_u32(perm + 4 * (i * 29 % DIM as u64), ((i * 7) % DIM as u64) as u32);
+            }
+            let mut pb = ParamBlock::new();
+            pb.push_u64(src);
+            pb.push_u64(dst);
+            pb.push_u32(n); // total threads @16
+            pb.push_u32(0); // pad @20
+            pb.push_u64(perm); // @24
+            pb.finish()
+        }),
+        const_bank1: Some((0..DIM).flat_map(|i| ((i * 7) % DIM).to_le_bytes()).collect()),
+    }
+}

@@ -1,0 +1,87 @@
+//! `rodinia/gaussian` — `Fan2`.
+//!
+//! The paper's biggest win (3.86× achieved, 3.33× estimated): Fan2 is
+//! launched with tiny thread blocks, so the per-SM block-slot limit caps
+//! resident warps and every warp is half empty. GPA's Thread Increase
+//! optimizer suggests growing the blocks; the kernel code is unchanged —
+//! only the launch configuration differs between variants.
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the gaussian app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/gaussian",
+        kernel: "Fan2",
+        stages: vec![Stage { name: "Thread Increase", optimizer: "GPUThreadIncreaseOptimizer" }],
+        build,
+    }
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let mut a = Asm::module("gaussian");
+    a.kernel("Fan2");
+    a.line("gaussian.cu", 310);
+    a.global_tid();
+    // i = tid >> log2(width), j = tid & (width-1).
+    a.param_u32(2, 28); // log2 width
+    a.i("SHR.U32 R4, R0, R2 {S:4}");
+    a.param_u32(3, 24); // width
+    a.i("IADD R5, R3, -1 {S:4}");
+    a.i("LOP3.AND R6, R0, R5 {S:4}");
+    a.param_u64(8, 0); // m
+    a.addr(10, 8, 0, 2);
+    a.param_u64(12, 8); // multiplier column
+    a.addr(14, 12, 4, 2);
+    a.param_u64(16, 16); // pivot row
+    a.addr(18, 16, 6, 2);
+    a.line("gaussian.cu", 315);
+    a.i("LDG.E.32 R20, [R10:R11] {W:B0, S:1}");
+    a.i("LDG.E.32 R22, [R14:R15] {W:B1, S:1}");
+    a.i("LDG.E.32 R24, [R18:R19] {W:B2, S:1}");
+    a.i("FMUL R26, R22, R24 {WT:[B1,B2], S:4}");
+    a.i("FFMA R28, R26, -1.0, R20 {WT:[B0], S:4}");
+    a.i("STG.E.32 [R10:R11], R28 {R:B3, S:2}");
+    a.i("EXIT {WT:[B3], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let width: u32 = 512; // matrix row length (power of two)
+    let total: u32 = p.sms * 4096 * p.scale;
+    // Baseline: the Rodinia launch uses tiny blocks; optimized: 256.
+    let block_threads: u32 = if variant >= 1 { 256 } else { 16 };
+    let blocks = total / block_threads;
+    KernelSpec {
+        module,
+        entry: "Fan2".into(),
+        launch: LaunchConfig::new(blocks, block_threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0002);
+            let n = total as u64;
+            let m = gpu.global_mut().alloc(4 * n);
+            let col = gpu.global_mut().alloc(4 * (n / width as u64 + 1));
+            let row = gpu.global_mut().alloc(4 * width as u64);
+            gpu.global_mut()
+                .write_bytes(m, &crate::data::f32_bytes(&mut rng, n as usize, -1.0, 1.0));
+            gpu.global_mut().write_bytes(
+                col,
+                &crate::data::f32_bytes(&mut rng, (n / width as u64 + 1) as usize, -1.0, 1.0),
+            );
+            gpu.global_mut().write_bytes(
+                row,
+                &crate::data::f32_bytes(&mut rng, width as usize, -1.0, 1.0),
+            );
+            let mut pb = ParamBlock::new();
+            pb.push_u64(m);
+            pb.push_u64(col);
+            pb.push_u64(row);
+            pb.push_u32(width); // @24
+            pb.push_u32(width.trailing_zeros()); // @28
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

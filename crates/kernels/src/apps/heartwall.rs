@@ -1,0 +1,112 @@
+//! `rodinia/heartwall` — `kernel`.
+//!
+//! The tracking kernel's correlation loop folds every sample into one
+//! accumulator right after loading it; unrolling by two overlaps loads
+//! and splits the chain (Loop Unrolling; paper: 1.16× achieved, 1.15×
+//! estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the heartwall app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/heartwall",
+        kernel: "kernel",
+        stages: vec![Stage { name: "Loop Unrolling", optimizer: "GPULoopUnrollOptimizer" }],
+        build,
+    }
+}
+
+const WINDOW: u32 = 64;
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let unrolled = variant >= 1;
+    let mut a = Asm::module("heartwall");
+    a.kernel("kernel");
+    a.line("heartwall.cu", 205);
+    a.global_tid();
+    a.param_u64(4, 0); // frame
+    a.param_u64(6, 8); // template
+    a.i("MOV32I R22, 0 {S:1}"); // acc
+    a.i("MOV32I R17, 0 {S:1}"); // k
+    a.line("heartwall.cu", 210);
+    a.label("win_loop");
+    if unrolled {
+        for u in 0..2u8 {
+            a.i(format!("IADD R10, R17, {u} {{S:4}}"));
+            a.i(format!("IMAD R10, R10, {WINDOW}, R0 {{S:5}}"));
+            a.addr(12, 4, 10, 2);
+            a.i(format!("LDG.E.32 R{}, [R12:R13] {{W:B{u}, S:1}}", 40 + 2 * u));
+            a.i(format!("IADD R11, R17, {u} {{S:4}}"));
+            a.addr(14, 6, 11, 2);
+            a.i(format!("LDG.E.32 R{}, [R14:R15] {{W:B{}, S:1}}", 44 + 2 * u, 2 + u));
+        }
+        let accs = [22u8, 26];
+        for u in 0..2usize {
+            // |frame - template| accumulated (SAD).
+            a.i(format!(
+                "FFMA R30, R{}, -1.0, R{} {{WT:[B{},B{}], S:4}}",
+                44 + 2 * u,
+                40 + 2 * u,
+                u,
+                2 + u
+            ));
+            a.i("LOP3.AND R30, R30, 0x7fffffff {S:4}");
+            a.i(format!("FADD R{}, R{}, R30 {{S:4}}", accs[u], accs[u]));
+        }
+        a.i("IADD R17, R17, 2 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {WINDOW} {{S:2}}"));
+        a.i("@P1 BRA win_loop {S:5}");
+        a.i("FADD R22, R22, R26 {S:4}");
+    } else {
+        a.i(format!("IMAD R10, R17, {WINDOW}, R0 {{S:5}}"));
+        a.addr(12, 4, 10, 2);
+        a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}");
+        a.addr(18, 6, 17, 2);
+        a.i("LDG.E.32 R20, [R18:R19] {W:B1, S:1}");
+        a.i("FFMA R30, R20, -1.0, R14 {WT:[B0,B1], S:4}");
+        a.i("LOP3.AND R30, R30, 0x7fffffff {S:4}");
+        a.i("FADD R22, R22, R30 {S:4}"); // serial SAD accumulator
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {WINDOW} {{S:2}}"));
+        a.i("@P1 BRA win_loop {S:5}");
+    }
+    a.param_u64(26, 16);
+    a.addr(36, 26, 0, 2);
+    a.i("STG.E.32 [R36:R37], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * p.scale;
+    let threads: u32 = 256;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "kernel".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0007);
+            let frame = gpu.global_mut().alloc(4 * (n as u64 + (WINDOW * WINDOW) as u64));
+            gpu.global_mut().write_bytes(
+                frame,
+                &crate::data::f32_bytes(&mut rng, (n + WINDOW * WINDOW) as usize, 0.0, 255.0),
+            );
+            let tmpl = gpu.global_mut().alloc(4 * (n as u64 + WINDOW as u64));
+            gpu.global_mut().write_bytes(
+                tmpl,
+                &crate::data::f32_bytes(&mut rng, (n + WINDOW) as usize, 0.0, 255.0),
+            );
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(frame);
+            pb.push_u64(tmpl);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

@@ -1,0 +1,110 @@
+//! `rodinia/hotspot` — `calculate_temp`.
+//!
+//! The paper's finding: the raw report shows execution-latency stalls on
+//! the temperature update line; GPA attributes them to type-conversion
+//! instructions — a *double* constant (`2.0`) multiplied with a 32-bit
+//! float promotes the expression to 64 bits (`F2F.F64.F32` → `DMUL` →
+//! `F2F.F32.F64`). Typing the constant as `2.0f` removes the chain
+//! (Strength Reduction; paper: 1.15× achieved, 1.10× estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the hotspot app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/hotspot",
+        kernel: "calculate_temp",
+        stages: vec![Stage {
+            name: "Strength Reduction",
+            optimizer: "GPUStrengthReductionOptimizer",
+        }],
+        build,
+    }
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let optimized = variant >= 1;
+    let mut a = Asm::module("hotspot");
+    a.kernel("calculate_temp");
+    a.line("hotspot.cu", 180);
+    a.global_tid();
+    a.param_u64(4, 0); // temp_in
+    a.param_u64(6, 8); // temp_out
+    a.param_u64(8, 16); // power
+    a.addr(10, 4, 0, 2);
+    a.addr(12, 6, 0, 2);
+    a.addr(14, 8, 0, 2);
+    a.param_u32(16, 28); // iteration count
+    a.i("MOV32I R17, 0 {S:1}");
+    a.param_u32(18, 32); // row stride in elements
+    a.i("SHL R19, R18, 2 {S:4}");
+    a.line("hotspot.cu", 184);
+    a.label("row_loop");
+    a.i("LDG.E.32 R20, [R10:R11] {W:B0, S:1}"); // center
+    a.i("LDG.E.32 R22, [R10:R11+4] {W:B1, S:1}"); // east
+    a.i("LDG.E.32 R24, [R10:R11-4] {W:B2, S:1}"); // west
+    a.i("LDG.E.32 R26, [R14:R15] {W:B3, S:1}"); // power
+    a.line("hotspot.cu", 186);
+    a.i("FADD R28, R22, R24 {WT:[B1,B2], S:4}");
+    if optimized {
+        // temp_t = ... 2.0f * center and 0.5f * (east+west): FP32 only.
+        a.i("FMUL R34, R20, 2.0 {WT:[B0], S:4}");
+        a.i("FMUL R28, R28, 0.5 {S:4}");
+    } else {
+        // The double constants promote both expressions to f64 and back.
+        a.i("F2F.F64.F32 R30:R31, R20 {WT:[B0], S:2}");
+        a.i("DMUL R32:R33, R30:R31, 2.0 {S:2}");
+        a.i("F2F.F32.F64 R34, R32:R33 {S:2}");
+        a.i("F2F.F64.F32 R44:R45, R28 {S:2}");
+        a.i("DMUL R46:R47, R44:R45, 0.5 {S:2}");
+        a.i("F2F.F32.F64 R28, R46:R47 {S:2}");
+    }
+    a.i("FFMA R36, R34, -1.0, R28 {S:4}");
+    a.i("FADD R38, R36, R26 {WT:[B3], S:4}");
+    a.i("FMUL R40, R38, c[0][24] {S:4}"); // * step_div_Cap
+    a.i("FADD R42, R20, R40 {S:4}");
+    a.line("hotspot.cu", 190);
+    a.i("STG.E.32 [R12:R13], R42 {R:B4, S:2}");
+    a.i("IADD R10:R11, R10:R11, R19 {S:2}");
+    a.i("IADD R12:R13, R12:R13, R19 {S:2}");
+    a.i("IADD R14:R15, R14:R15, R19 {S:2}");
+    a.i("IADD R17, R17, 1 {S:4}");
+    a.i("ISETP.LT.AND P0, R17, R16 {S:2}");
+    a.i("@P0 BRA row_loop {S:5}");
+    a.i("EXIT {WT:[B4], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let width: u32 = 256;
+    let rows: u32 = 8 * p.scale;
+    let blocks = p.sms;
+    let threads: u32 = 256;
+    let n = (blocks * threads + width * rows + 8) as u64;
+    KernelSpec {
+        module,
+        entry: "calculate_temp".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0001);
+            let t_in = gpu.global_mut().alloc(4 * n + 8) + 4;
+            let t_out = gpu.global_mut().alloc(4 * n);
+            let power = gpu.global_mut().alloc(4 * n);
+            let temps = crate::data::f32_bytes(&mut rng, n as usize, 20.0, 90.0);
+            let pw = crate::data::f32_bytes(&mut rng, n as usize, 0.0, 1.0);
+            gpu.global_mut().write_bytes(t_in, &temps);
+            gpu.global_mut().write_bytes(power, &pw);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(t_in);
+            pb.push_u64(t_out);
+            pb.push_u64(power);
+            pb.push_f32(0.01); // step_div_Cap @24
+            pb.push_u32(rows); // @28
+            pb.push_u32(width); // @32
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

@@ -1,0 +1,113 @@
+//! `rodinia/huffman` — `vlc_encode_kernel_sm64huff`.
+//!
+//! After the per-thread codeword lookups, the baseline computes the bit
+//! offsets with a serial scan owned by warp 0; the other warps idle at
+//! the barrier. The balanced variant uses a Hillis–Steele scan in shared
+//! memory where every warp participates (Warp Balance; paper: 1.10×
+//! achieved, 1.17× estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the huffman app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/huffman",
+        kernel: "vlc_encode_kernel_sm64huff",
+        stages: vec![Stage { name: "Warp Balance", optimizer: "GPUWarpBalanceOptimizer" }],
+        build,
+    }
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let balanced = variant >= 1;
+    let mut a = Asm::module("huffman");
+    a.kernel("vlc_encode_kernel_sm64huff");
+    a.line("vlc_kernel_sm64huff.cu", 60);
+    a.global_tid();
+    a.i("LOP3.AND R1, R0, 255 {S:4}");
+    a.param_u64(4, 0); // symbols
+    a.param_u64(6, 8); // code lengths table (256 entries)
+    a.addr(10, 4, 0, 2);
+    a.i("LDG.E.32 R12, [R10:R11] {W:B0, S:1}"); // symbol
+    a.i("LOP3.AND R13, R12, 255 {WT:[B0], S:4}");
+    a.addr(14, 6, 13, 2);
+    a.i("LDG.E.32 R16, [R14:R15] {W:B1, S:1}"); // code length
+    a.i("SHL R17, R1, 2 {S:4}");
+    a.i("STS.32 [R17], R16 {WT:[B1], R:B2, S:2}");
+    a.i("BAR.SYNC {S:2}");
+    a.line("vlc_kernel_sm64huff.cu", 72);
+    if balanced {
+        // Every warp scans its own 32 lengths with shuffles (no barrier
+        // in the loop), then one barrier and a per-warp offset pass.
+        a.i("S2R R25, SR_LANEID {W:B3, S:1}");
+        a.i("MOV R22, R16 {WT:[B3], S:2}");
+        for d in [1u32, 2, 4, 8, 16] {
+            a.i(format!("IADD R26, R25, -{d} {{S:4}}"));
+            a.i("LOP3.AND R26, R26, 31 {S:4}");
+            a.i("SHFL R27, R22, R26 {W:B4, S:1}");
+            a.i(format!("ISETP.GE.AND P0, R25, {d} {{S:2}}"));
+            a.i("@P0 IADD R22, R22, R27 {WT:[B4], S:4}");
+        }
+        a.i("SHL R21, R1, 2 {S:4}");
+        a.i("STS.32 [R21], R22 {R:B2, S:2}");
+        a.i("BAR.SYNC {S:2}");
+    } else {
+        // Warp 0's lanes each serially scan an 8-entry chunk; everyone
+        // else waits at the barrier below.
+        a.i("ISETP.GE.AND P1, R1, 32 {S:2}");
+        a.i("@P1 BRA scan_done {S:5}");
+        a.i("MOV32I R24, 0 {S:1}"); // k
+        a.i("MOV32I R22, 0 {S:1}"); // running sum
+        a.label("serial_scan");
+        a.i("IMAD R26, R1, 8, R24 {S:5}");
+        a.i("SHL R27, R26, 2 {S:4}");
+        a.i("LDS.32 R28, [R27] {W:B3, S:1}");
+        a.i("IADD R22, R22, R28 {WT:[B3], S:4}");
+        a.i("STS.32 [R27], R22 {R:B2, S:2}");
+        a.i("IADD R24, R24, 1 {S:4}");
+        a.i("ISETP.LT.AND P2, R24, 8 {S:2}");
+        a.i("@P2 BRA serial_scan {S:5}");
+        a.label("scan_done");
+        a.i("BAR.SYNC {S:2}");
+    }
+    // Each thread reads its bit offset back and stores it.
+    a.i("SHL R29, R1, 2 {S:4}");
+    a.i("LDS.32 R30, [R29] {W:B5, S:1}");
+    a.param_u64(32, 16);
+    a.addr(34, 32, 0, 2);
+    a.i("STG.E.32 [R34:R35], R30 {WT:[B5], R:B2, S:2}");
+    a.i("EXIT {WT:[B2], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * 4 * p.scale;
+    let threads: u32 = 256;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "vlc_encode_kernel_sm64huff".into(),
+        launch: LaunchConfig {
+            smem_per_block: 2048,
+            ..LaunchConfig::new(blocks, threads)
+        },
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_000A);
+            let symbols = gpu.global_mut().alloc(4 * n as u64);
+            gpu.global_mut()
+                .write_bytes(symbols, &crate::data::u32_bytes(&mut rng, n as usize, 0, 256));
+            let lengths = gpu.global_mut().alloc(4 * 256);
+            gpu.global_mut()
+                .write_bytes(lengths, &crate::data::u32_bytes(&mut rng, 256, 1, 24));
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(symbols);
+            pb.push_u64(lengths);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

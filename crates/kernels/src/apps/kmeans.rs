@@ -1,0 +1,122 @@
+//! `rodinia/kmeans` — `kmeansPoint`.
+//!
+//! The distance loop accumulates `(x_f − c_f)²` serially: every iteration
+//! loads a feature and immediately folds it into one accumulator, so the
+//! loop is a single dependence chain interleaved with global loads.
+//! Unrolling with separate accumulators overlaps four loads and breaks
+//! the FMA chain (Loop Unrolling; paper: 1.12× achieved, 1.21×
+//! estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the kmeans app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/kmeans",
+        kernel: "kmeansPoint",
+        stages: vec![Stage { name: "Loop Unrolling", optimizer: "GPULoopUnrollOptimizer" }],
+        build,
+    }
+}
+
+const NFEAT: u32 = 32;
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let unrolled = variant >= 1;
+    let mut a = Asm::module("kmeans");
+    a.kernel("kmeansPoint");
+    a.line("kmeans.cu", 96);
+    a.global_tid();
+    a.param_u64(4, 0); // features (feature-major)
+    a.param_u64(6, 8); // cluster center
+    a.param_u32(9, 24); // n points
+    a.i("MOV32I R22, 0 {S:1}"); // acc
+    a.i("MOV32I R17, 0 {S:1}"); // f
+    a.line("kmeans.cu", 100);
+    if unrolled {
+        a.i("MOV32I R26, 0 {S:1}");
+        a.i("MOV32I R28, 0 {S:1}");
+        a.i("MOV32I R30, 0 {S:1}");
+        a.label("feat_loop");
+        // Four independent feature loads.
+        for u in 0..4u8 {
+            a.i(format!("IADD R10, R17, {u} {{S:4}}"));
+            a.i("IMAD R10, R10, R9, R0 {S:5}");
+            a.addr(12, 4, 10, 2);
+            a.i(format!("LDG.E.32 R{}, [R12:R13] {{W:B{u}, S:1}}", 40 + 2 * u));
+            a.i(format!("IADD R11, R17, {u} {{S:4}}"));
+            a.addr(14, 6, 11, 2);
+            a.i(format!("LDG.E.32 R{}, [R14:R15] {{W:B{}, S:1}}", 48 + 2 * u, 4 + (u & 1)));
+        }
+        // Four independent accumulators.
+        let accs = [22u8, 26, 28, 30];
+        for u in 0..4usize {
+            a.i(format!(
+                "FFMA R34, R{}, -1.0, R{} {{WT:[B{},B{}], S:4}}",
+                48 + 2 * u,
+                40 + 2 * u,
+                u,
+                4 + (u & 1)
+            ));
+            a.i(format!("FFMA R{}, R34, R34, R{} {{S:4}}", accs[u], accs[u]));
+        }
+        a.i("IADD R17, R17, 4 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {NFEAT} {{S:2}}"));
+        a.i("@P1 BRA feat_loop {S:5}");
+        a.i("FADD R22, R22, R26 {S:4}");
+        a.i("FADD R28, R28, R30 {S:4}");
+        a.i("FADD R22, R22, R28 {S:4}");
+    } else {
+        a.label("feat_loop");
+        a.i("IMAD R10, R17, R9, R0 {S:5}");
+        a.addr(12, 4, 10, 2);
+        a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}"); // x_f
+        a.addr(18, 6, 17, 2);
+        a.i("LDG.E.32 R20, [R18:R19] {W:B1, S:1}"); // c_f
+        a.line("kmeans.cu", 102);
+        a.i("FFMA R24, R20, -1.0, R14 {WT:[B0,B1], S:4}");
+        a.i("FFMA R22, R24, R24, R22 {S:4}"); // serial accumulator
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {NFEAT} {{S:2}}"));
+        a.i("@P1 BRA feat_loop {S:5}");
+    }
+    a.param_u64(26, 16); // out (reuse regs after loop)
+    a.addr(36, 26, 0, 2);
+    a.i("STG.E.32 [R36:R37], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * p.scale;
+    let threads: u32 = 256;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "kmeansPoint".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0006);
+            let features = gpu.global_mut().alloc(4 * (n as u64) * NFEAT as u64);
+            gpu.global_mut().write_bytes(
+                features,
+                &crate::data::f32_bytes(&mut rng, (n * NFEAT) as usize, 0.0, 10.0),
+            );
+            let center = gpu.global_mut().alloc(4 * NFEAT as u64);
+            gpu.global_mut().write_bytes(
+                center,
+                &crate::data::f32_bytes(&mut rng, NFEAT as usize, 0.0, 10.0),
+            );
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(features);
+            pb.push_u64(center);
+            pb.push_u64(out);
+            pb.push_u32(n); // @24
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

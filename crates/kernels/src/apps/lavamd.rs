@@ -1,0 +1,101 @@
+//! `rodinia/lavaMD` — `kernel_gpu_cuda`.
+//!
+//! The particle-interaction inner loop chains a distance computation
+//! (with an SFU reciprocal) into a single force accumulator per
+//! iteration. Unrolling by two overlaps the neighbor loads and the SFU
+//! latency (Loop Unrolling; paper: 1.11× achieved, 1.12× estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the lavaMD app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/lavaMD",
+        kernel: "kernel_gpu_cuda",
+        stages: vec![Stage { name: "Loop Unrolling", optimizer: "GPULoopUnrollOptimizer" }],
+        build,
+    }
+}
+
+const NEIGHBORS: u32 = 48;
+
+/// One interaction: load neighbor position/charge, accumulate force.
+fn interaction(a: &mut Asm, off: u8, pos_r: u8, q_r: u8, acc: u8, bars: (u8, u8)) {
+    a.i(format!("IADD R10, R17, {off} {{S:4}}"));
+    a.i(format!("IMAD R10, R10, {NEIGHBORS}, R0 {{S:5}}"));
+    a.addr(12, 4, 10, 2);
+    a.i(format!("LDG.E.32 R{pos_r}, [R12:R13] {{W:B{}, S:1}}", bars.0));
+    a.addr(14, 6, 10, 2);
+    a.i(format!("LDG.E.32 R{q_r}, [R14:R15] {{W:B{}, S:1}}", bars.1));
+    // dx = pos - mypos; r2 = dx*dx + softening; inv = 1/r2; f += q*inv.
+    a.i(format!("FFMA R30, R{pos_r}, -1.0, R8 {{WT:[B{}], S:4}}", bars.0));
+    a.i("FFMA R32, R30, R30, 0.01 {S:4}");
+    a.i(format!("MUFU.RCP R34, R32 {{W:B{}, S:1}}", bars.0));
+    a.i(format!("FFMA R{acc}, R{q_r}, R34, R{acc} {{WT:[B{},B{}], S:4}}", bars.0, bars.1));
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let unrolled = variant >= 1;
+    let mut a = Asm::module("lavamd");
+    a.kernel("kernel_gpu_cuda");
+    a.line("lavaMD.cu", 120);
+    a.global_tid();
+    a.param_u64(4, 0); // neighbor positions
+    a.param_u64(6, 8); // neighbor charges
+    // My position.
+    a.addr(12, 4, 0, 2);
+    a.i("LDG.E.32 R8, [R12:R13] {W:B5, S:1}");
+    a.i("MOV32I R22, 0 {S:1}"); // force acc
+    a.i("MOV32I R17, 0 {S:1}");
+    a.i("NOP {WT:[B5], S:1}");
+    a.line("lavaMD.cu", 126);
+    a.label("nei_loop");
+    if unrolled {
+        interaction(&mut a, 0, 40, 42, 22, (0, 1));
+        interaction(&mut a, 1, 44, 46, 26, (2, 3));
+        a.i("IADD R17, R17, 2 {S:4}");
+    } else {
+        interaction(&mut a, 0, 40, 42, 22, (0, 1));
+        a.i("IADD R17, R17, 1 {S:4}");
+    }
+    a.i(format!("ISETP.LT.AND P1, R17, {NEIGHBORS} {{S:2}}"));
+    a.i("@P1 BRA nei_loop {S:5}");
+    if unrolled {
+        a.i("FADD R22, R22, R26 {S:4}");
+    }
+    a.param_u64(28, 16);
+    a.addr(36, 28, 0, 2);
+    a.i("STG.E.32 [R36:R37], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * p.scale;
+    let threads: u32 = 128;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "kernel_gpu_cuda".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0008);
+            let m = (n as u64) * NEIGHBORS as u64 + n as u64;
+            let pos = gpu.global_mut().alloc(4 * m);
+            gpu.global_mut()
+                .write_bytes(pos, &crate::data::f32_bytes(&mut rng, m as usize, -2.0, 2.0));
+            let q = gpu.global_mut().alloc(4 * m);
+            gpu.global_mut()
+                .write_bytes(q, &crate::data::f32_bytes(&mut rng, m as usize, 0.0, 1.0));
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(pos);
+            pb.push_u64(q);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

@@ -1,0 +1,121 @@
+//! `Minimod` — `target_pml_3d`.
+//!
+//! Two sequential optimizations on the higher-order stencil (the paper's
+//! §7.4): first `--use_fast_math` replaces the precise exponential in the
+//! PML damping term (1.03×), then reordering reads the next z-plane's
+//! values well before their use (1.05× more).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the Minimod app entry.
+pub fn app() -> App {
+    App {
+        name: "Minimod",
+        kernel: "target_pml_3d",
+        stages: vec![
+            Stage { name: "Fast Math", optimizer: "GPUFastMathOptimizer" },
+            Stage { name: "Code Reorder", optimizer: "GPUCodeReorderOptimizer" },
+        ],
+        build,
+    }
+}
+
+const NZ: u32 = 12;
+
+fn emit_nv_expf(a: &mut Asm) {
+    a.func("__nv_expf");
+    a.line("device_functions.h", 742);
+    a.i("FMUL R42, R40, 1.4427 {S:4}");
+    a.i("MOV32I R41, 0x3f800000 {S:1}");
+    for _ in 0..6 {
+        a.i("FFMA R41, R41, R42, 0.51 {S:4}");
+    }
+    a.i("RET {S:5}");
+    a.endfunc();
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let fast = variant >= 1;
+    let pipelined = variant >= 2;
+    let mut a = Asm::module("minimod");
+    a.kernel("target_pml_3d");
+    a.line("minimod_pml.cu", 77);
+    a.global_tid();
+    a.param_u64(4, 0); // u field
+    a.param_u32(9, 24); // plane stride
+    a.i("SHL R3, R9, 2 {S:4}"); // plane stride bytes
+    a.addr(12, 4, 0, 2);
+    a.i("MOV32I R22, 0 {S:1}"); // acc
+    a.i("MOV32I R17, 0 {S:1}"); // z
+    if pipelined {
+        a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}"); // preload plane 0
+    }
+    a.line("minimod_pml.cu", 84);
+    a.label("z_loop");
+    if pipelined {
+        // Next plane's load first; compute on the previous one.
+        a.i("IADD R12:R13, R12:R13, R3 {S:2}");
+        a.i("LDG.E.32 R15, [R12:R13] {W:B1, S:1}");
+        a.i("LDG.E.32 R20, [R12:R13+4] {W:B2, S:1}");
+        a.i("FFMA R24, R14, 0.54, R22 {S:4}");
+        a.i("FFMA R22, R24, 0.99, 0.001 {S:4}");
+        a.i("FFMA R22, R22, 1.01, -0.001 {S:4}");
+        a.i("FADD R22, R22, R20 {WT:[B2], S:4}");
+        a.i("MOV R14, R15 {WT:[B1], S:2}");
+    } else {
+        a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}");
+        a.i("LDG.E.32 R20, [R12:R13+4] {W:B2, S:1}");
+        // Immediate uses of both loads.
+        a.i("FFMA R24, R14, 0.54, R22 {WT:[B0], S:4}");
+        a.i("FFMA R22, R24, 0.99, 0.001 {S:4}");
+        a.i("FFMA R22, R22, 1.01, -0.001 {S:4}");
+        a.i("FADD R22, R22, R20 {WT:[B2], S:4}");
+        a.i("IADD R12:R13, R12:R13, R3 {S:2}");
+    }
+    // PML damping: exp(-sigma) once per plane.
+    a.i("FMUL R40, R22, -0.01 {S:4}");
+    if fast {
+        a.i("FMUL R40, R40, 1.4427 {S:4}");
+        a.i("MUFU.EX2 R41, R40 {W:B3, S:1}");
+        a.i("NOP {WT:[B3], S:1}");
+    } else {
+        a.i("CAL __nv_expf {S:5}");
+    }
+    a.i("FMUL R22, R22, R41 {S:4}");
+    a.i("IADD R17, R17, 1 {S:4}");
+    a.i(format!("ISETP.LT.AND P1, R17, {NZ} {{S:2}}"));
+    a.i("@P1 BRA z_loop {S:5}");
+    a.param_u64(28, 8);
+    a.addr(30, 28, 0, 2);
+    a.i("STG.E.32 [R30:R31], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    emit_nv_expf(&mut a);
+    let module = a.build();
+
+    let blocks = p.sms * p.scale;
+    let threads: u32 = 128;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "target_pml_3d".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0012);
+            let m = n as u64 * (NZ as u64 + 2) + 8;
+            let u = gpu.global_mut().alloc(4 * m);
+            gpu.global_mut()
+                .write_bytes(u, &crate::data::f32_bytes(&mut rng, m as usize, -1.0, 1.0));
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(u);
+            pb.push_u64(out);
+            pb.push_u32(n); // @24 plane stride
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

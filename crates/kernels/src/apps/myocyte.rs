@@ -1,0 +1,143 @@
+//! `rodinia/myocyte` — `solver_2`.
+//!
+//! Two Table 3 rows:
+//!
+//! 1. **Fast Math** (1.19× / est 1.13×): the ODE right-hand side calls
+//!    the precise exponential repeatedly.
+//! 2. **Function Split** (1.02× / est 1.03×): the solver body is enormous
+//!    — it overflows the instruction cache, so every timestep re-misses
+//!    the same lines. Splitting the body into two halves, each iterated
+//!    separately, lets each half fit.
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the myocyte app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/myocyte",
+        kernel: "solver_2",
+        stages: vec![
+            Stage { name: "Fast Math", optimizer: "GPUFastMathOptimizer" },
+            Stage { name: "Function Spliting", optimizer: "GPUFunctionSplitOptimizer" },
+        ],
+        build,
+    }
+}
+
+
+/// Instructions of straight-line ODE arithmetic per half body.
+const HALF_BODY: usize = 420;
+/// Exponential evaluations per half body.
+const EXPS: usize = 4;
+
+fn emit_nv_expf(a: &mut Asm) {
+    a.func("__nv_expf");
+    a.line("device_functions.h", 742);
+    a.i("FMUL R42, R40, 1.4427 {S:4}");
+    a.i("MOV32I R41, 0x3f800000 {S:1}");
+    for _ in 0..7 {
+        a.i("FFMA R41, R41, R42, 0.43 {S:4}");
+    }
+    a.i("RET {S:5}");
+    a.endfunc();
+}
+
+/// A slab of rotating-accumulator FMA arithmetic (the flattened ODE
+/// right-hand side).
+fn emit_body_half(a: &mut Asm, count: usize, salt: u32) {
+    for i in 0..count {
+        let acc = 30 + ((i as u32 + salt) % 4);
+        let c = 1.0 + ((i as u32 + salt) % 7) as f64 * 1e-4;
+        a.i(format!("FFMA R{acc}, R{acc}, {c:.4}, 0.0001 {{S:4}}"));
+    }
+}
+
+fn body_with_exps(a: &mut Asm, fast: bool, salt: u32) {
+    let chunk = HALF_BODY / EXPS;
+    for e in 0..EXPS {
+        exp_call(a, fast);
+        emit_body_half(a, chunk, salt + e as u32);
+    }
+}
+
+fn exp_call(a: &mut Asm, fast: bool) {
+    a.i("FMUL R40, R30, -0.05 {S:4}");
+    if fast {
+        a.i("FMUL R40, R40, 1.4427 {S:4}");
+        a.i("MUFU.EX2 R41, R40 {W:B3, S:1}");
+        a.i("NOP {WT:[B3], S:1}");
+    } else {
+        a.i("CAL __nv_expf {S:5}");
+    }
+    a.i("FFMA R30, R41, 0.01, R30 {S:4}");
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let timesteps = 4 * p.scale;
+    let fast = variant >= 1;
+    let split = variant >= 2;
+    let mut a = Asm::module("myocyte");
+    a.kernel("solver_2");
+    a.line("myocyte_kernel.cu", 25);
+    a.global_tid();
+    a.param_u64(4, 0); // initial state
+    a.addr(6, 4, 0, 2);
+    a.i("LDG.E.32 R30, [R6:R7] {W:B0, S:1}");
+    a.i("NOP {WT:[B0], S:1}");
+    a.i("MOV32I R17, 0 {S:1}");
+    if split {
+        // Two half-sized loops: each body fits the instruction cache.
+        a.label("step_loop_a");
+        body_with_exps(&mut a, fast, 0);
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {timesteps} {{S:2}}"));
+        a.i("@P1 BRA step_loop_a {S:5}");
+        a.i("MOV32I R17, 0 {S:1}");
+        a.label("step_loop_b");
+        body_with_exps(&mut a, fast, 13);
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P2, R17, {timesteps} {{S:2}}"));
+        a.i("@P2 BRA step_loop_b {S:5}");
+    } else {
+        // One megaloop whose body overflows the i-cache.
+        a.label("step_loop");
+        body_with_exps(&mut a, fast, 0);
+        body_with_exps(&mut a, fast, 13);
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {timesteps} {{S:2}}"));
+        a.i("@P1 BRA step_loop {S:5}");
+    }
+    a.param_u64(28, 8);
+    a.addr(34, 28, 0, 2);
+    a.i("STG.E.32 [R34:R35], R30 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    if !fast {
+        emit_nv_expf(&mut a);
+    }
+    let module = a.build();
+
+    let blocks = p.sms;
+    let threads: u32 = 128;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "solver_2".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0013);
+            let state = gpu.global_mut().alloc(4 * n as u64);
+            gpu.global_mut()
+                .write_bytes(state, &crate::data::f32_bytes(&mut rng, n as usize, 0.1, 1.0));
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(state);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

@@ -1,0 +1,120 @@
+//! `rodinia/nw` — `needle_cuda_shared_1`.
+//!
+//! The anti-diagonal wavefront serializes on `__syncthreads()` between
+//! steps, and the baseline lets a single thread walk each diagonal's
+//! cells serially — every other warp piles up synchronization stalls.
+//! Distributing the diagonal's cells across threads balances the warps
+//! (Warp Balance; paper: 1.10× achieved, 1.09× estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the nw app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/nw",
+        kernel: "needle_cuda_shared_1",
+        stages: vec![Stage { name: "Warp Balance", optimizer: "GPUWarpBalanceOptimizer" }],
+        build,
+    }
+}
+
+const STEPS: u32 = 16;
+const CELLS: u32 = 4;
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let balanced = variant >= 1;
+    let mut a = Asm::module("nw");
+    a.kernel("needle_cuda_shared_1");
+    a.line("needle.cu", 120);
+    a.global_tid();
+    a.i("LOP3.AND R1, R0, 127 {S:4}");
+    // Stage the reference row into shared memory.
+    a.param_u64(4, 0);
+    a.addr(6, 4, 0, 2);
+    a.i("LDG.E.32 R8, [R6:R7] {W:B0, S:1}");
+    a.i("SHL R9, R1, 2 {S:4}");
+    a.i("STS.32 [R9], R8 {WT:[B0], R:B1, S:2}");
+    a.i("BAR.SYNC {S:2}");
+    a.i("MOV32I R16, 0 {S:1}"); // step
+    a.i("MOV32I R22, 0 {S:1}"); // score acc
+    a.line("needle.cu", 128);
+    a.label("diag_loop");
+    // Common per-step work for every thread.
+    for _ in 0..8 {
+        a.i("FFMA R22, R22, 0.5, 1.0 {S:4}");
+    }
+    if balanced {
+        // Cells spread across threads: thread c handles cell c.
+        a.i(format!("ISETP.GE.AND P0, R1, {CELLS} {{S:2}}"));
+        a.i("@P0 BRA cells_done {S:5}");
+        a.i("IMAD R24, R16, 4, R1 {S:5}");
+        a.i("LOP3.AND R24, R24, 127 {S:4}");
+        a.i("SHL R25, R24, 2 {S:4}");
+        a.i("LDS.32 R26, [R25] {W:B2, S:1}"); // up
+        a.i("LDS.32 R27, [R25+0x4] {W:B3, S:1}"); // left
+        a.i("IMNMX.GT R28, R26, R27 {WT:[B2,B3], S:4}");
+        a.i("IADD R28, R28, 1 {S:4}");
+        a.i("STS.32 [R25], R28 {R:B1, S:2}");
+        a.label("cells_done");
+    } else {
+        // Thread 0 walks all the diagonal's cells serially.
+        a.i("ISETP.NE.AND P0, R1, 0 {S:2}");
+        a.i("@P0 BRA cells_done {S:5}");
+        a.i("MOV32I R23, 0 {S:1}"); // cell
+        a.label("cell_loop");
+        a.i("IMAD R24, R16, 4, R23 {S:5}");
+        a.i("LOP3.AND R24, R24, 127 {S:4}");
+        a.i("SHL R25, R24, 2 {S:4}");
+        a.i("LDS.32 R26, [R25] {W:B2, S:1}");
+        a.i("LDS.32 R27, [R25+0x4] {W:B3, S:1}");
+        a.i("IMNMX.GT R28, R26, R27 {WT:[B2,B3], S:4}");
+        a.i("IADD R28, R28, 1 {S:4}");
+        a.i("STS.32 [R25], R28 {R:B1, S:2}");
+        a.i("IADD R23, R23, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P2, R23, {CELLS} {{S:2}}"));
+        a.i("@P2 BRA cell_loop {S:5}");
+        a.label("cells_done");
+    }
+    a.i("BAR.SYNC {S:2}");
+    a.i("IADD R16, R16, 1 {S:4}");
+    a.i(format!("ISETP.LT.AND P1, R16, {STEPS} {{S:2}}"));
+    a.i("@P1 BRA diag_loop {S:5}");
+    // Write back a per-thread value.
+    a.i("SHL R29, R1, 2 {S:4}");
+    a.i("LDS.32 R30, [R29] {W:B4, S:1}");
+    a.param_u64(32, 8);
+    a.addr(34, 32, 0, 2);
+    a.i("STG.E.32 [R34:R35], R30 {WT:[B4], R:B1, S:2}");
+    a.i("EXIT {WT:[B1], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * 4 * p.scale;
+    let threads: u32 = 128;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "needle_cuda_shared_1".into(),
+        launch: LaunchConfig {
+            smem_per_block: 1024,
+            ..LaunchConfig::new(blocks, threads)
+        },
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_000B);
+            let reference = gpu.global_mut().alloc(4 * n as u64);
+            gpu.global_mut().write_bytes(
+                reference,
+                &crate::data::u32_bytes(&mut rng, n as usize, 0, 100),
+            );
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(reference);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

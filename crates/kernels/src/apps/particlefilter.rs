@@ -1,0 +1,90 @@
+//! `rodinia/particlefilter` — `likelihood_kernel`.
+//!
+//! The likelihood kernel launches fewer blocks than the device has SMs:
+//! half the machine idles. Splitting each block in two (same total
+//! threads) fills every SM (Block Increase; paper: 1.92× achieved,
+//! 1.93× estimated). The kernel code is identical in both variants —
+//! only the launch configuration changes.
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the particlefilter app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/particlefilter",
+        kernel: "likelihood_kernel",
+        stages: vec![Stage { name: "Block Increase", optimizer: "GPUBlockIncreaseOptimizer" }],
+        build,
+    }
+}
+
+const CHUNK: u32 = 24;
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let mut a = Asm::module("particlefilter");
+    a.kernel("likelihood_kernel");
+    a.line("ex_particle_CUDA_float_seq.cu", 390);
+    a.global_tid();
+    a.param_u64(4, 0); // particle positions
+    a.param_u64(6, 8); // observations
+    a.i("MOV32I R22, 0 {S:1}"); // likelihood acc
+    a.i("MOV32I R17, 0 {S:1}");
+    a.line("ex_particle_CUDA_float_seq.cu", 395);
+    a.label("pf_loop");
+    a.i(format!("IMAD R10, R17, 1, R0 {{S:5}}"));
+    a.i(format!("IMAD R10, R10, {CHUNK}, 0 {{S:5}}"));
+    a.addr(12, 4, 10, 2);
+    a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}");
+    a.addr(18, 6, 10, 2);
+    a.i("LDG.E.32 R20, [R18:R19] {W:B1, S:1}");
+    // (x - obs)^2, exp through the SFU.
+    a.i("FFMA R24, R20, -1.0, R14 {WT:[B0,B1], S:4}");
+    a.i("FMUL R26, R24, R24 {S:4}");
+    a.i("FMUL R26, R26, -1.4427 {S:4}"); // -1/ln2
+    a.i("MUFU.EX2 R28, R26 {W:B2, S:1}");
+    a.i("FADD R22, R22, R28 {WT:[B2], S:4}");
+    a.i("IADD R17, R17, 1 {S:4}");
+    a.i(format!("ISETP.LT.AND P1, R17, {CHUNK} {{S:2}}"));
+    a.i("@P1 BRA pf_loop {S:5}");
+    a.param_u64(30, 16);
+    a.addr(32, 30, 0, 2);
+    a.i("STG.E.32 [R32:R33], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    // Baseline: half as many blocks as SMs, fat blocks. Optimized: one
+    // block per SM, half the threads each — the Block Increase advice.
+    let base_blocks = (p.sms / 2).max(1);
+    let (blocks, threads) = if variant >= 1 {
+        (base_blocks * 2, 256)
+    } else {
+        (base_blocks, 512)
+    };
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "likelihood_kernel".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_000E);
+            let m = n as u64 * CHUNK as u64;
+            let pos = gpu.global_mut().alloc(4 * m);
+            gpu.global_mut()
+                .write_bytes(pos, &crate::data::f32_bytes(&mut rng, m as usize, -4.0, 4.0));
+            let obs = gpu.global_mut().alloc(4 * m);
+            gpu.global_mut()
+                .write_bytes(obs, &crate::data::f32_bytes(&mut rng, m as usize, -4.0, 4.0));
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(pos);
+            pb.push_u64(obs);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

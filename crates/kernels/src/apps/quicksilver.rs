@@ -1,0 +1,166 @@
+//! `Quicksilver` — `CycleTrackingKernel`.
+//!
+//! Two Table 3 rows (the paper's §7.2):
+//!
+//! 1. **Function Inlining** (1.12× / est 1.18×): the tracking loop calls
+//!    small device functions (`cross_section`, `distance_to_facet`) on
+//!    every iteration; `always_inline` fails for size reasons, so the
+//!    paper inlines them by hand.
+//! 2. **Register Reuse** (1.03× / est 1.04×): local-memory stalls reveal
+//!    register spills in the loop; splitting the loop lets each half keep
+//!    its temporaries in registers.
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the Quicksilver app entry.
+pub fn app() -> App {
+    App {
+        name: "Quicksilver",
+        kernel: "CycleTrackingKernel",
+        stages: vec![
+            Stage { name: "Function Inlining", optimizer: "GPUFunctionInliningOptimizer" },
+            Stage { name: "Register Reuse", optimizer: "GPURegisterReuseOptimizer" },
+        ],
+        build,
+    }
+}
+
+const SEGMENTS: u32 = 12;
+
+/// cross_section body: R40 → R41.
+fn cross_section_body(a: &mut Asm) {
+    a.i("FMUL R42, R40, 0.33 {S:4}");
+    a.i("FFMA R43, R42, R42, 0.11 {S:4}");
+    a.i("MUFU.RCP R44, R43 {W:B4, S:1}");
+    a.i("FMUL R41, R44, 0.97 {WT:[B4], S:4}");
+}
+
+/// distance_to_facet body: R45 → R46.
+fn distance_to_facet_body(a: &mut Asm) {
+    a.i("FFMA R47, R45, 0.81, 0.02 {S:4}");
+    a.i("MUFU.RSQ R48, R47 {W:B4, S:1}");
+    a.i("FMUL R46, R48, R45 {WT:[B4], S:4}");
+    a.i("FADD R46, R46, 0.001 {S:4}");
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let inlined = variant >= 1;
+    let despilled = variant >= 2;
+    let mut a = Asm::module("quicksilver");
+    a.kernel("CycleTrackingKernel");
+    a.line("CycleTracking.cc", 88);
+    a.global_tid();
+    a.param_u64(4, 0); // particle energies
+    a.addr(6, 4, 0, 2);
+    a.i("LDG.E.32 R40, [R6:R7] {W:B0, S:1}");
+    a.i("MOV R45, R40 {WT:[B0], S:2}");
+    a.i("MOV32I R22, 0 {S:1}"); // tally
+    a.i("MOV32I R17, 0 {S:1}");
+
+    let seg_head = |a: &mut Asm, inlined: bool| {
+        a.line("CycleTracking.cc", 95);
+        if inlined {
+            a.inline_push("cross_section", "CycleTracking.cc", 95);
+            cross_section_body(a);
+            a.inline_pop();
+            a.inline_push("distance_to_facet", "CycleTracking.cc", 96);
+            distance_to_facet_body(a);
+            a.inline_pop();
+        } else {
+            // Calling convention: marshal arguments and results through
+            // the ABI registers — all of it melts away when inlined.
+            a.i("MOV R60, R40 {S:2}");
+            a.i("MOV R61, R45 {S:2}");
+            a.i("MOV R40, R60 {S:2}");
+            a.i("CAL cross_section {S:5}");
+            a.i("MOV R62, R41 {S:2}");
+            a.i("MOV R41, R62 {S:2}");
+            a.i("MOV R45, R61 {S:2}");
+            a.i("CAL distance_to_facet {S:5}");
+            a.i("MOV R63, R46 {S:2}");
+            a.i("MOV R46, R63 {S:2}");
+        }
+    };
+
+    if despilled {
+        // Split loop: each half's temporaries stay in registers.
+        a.label("seg_loop_a");
+        seg_head(&mut a, inlined);
+        a.i("FFMA R22, R41, R46, R22 {S:4}");
+        a.i("FFMA R40, R40, 0.93, 0.01 {S:4}");
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {SEGMENTS} {{S:2}}"));
+        a.i("@P1 BRA seg_loop_a {S:5}");
+        a.i("MOV32I R17, 0 {S:1}");
+        a.label("seg_loop_b");
+        a.i("FFMA R45, R45, 0.88, 0.02 {S:4}");
+        a.i("FFMA R50, R45, 1.07, R22 {S:4}");
+        a.i("FFMA R51, R50, 0.95, 0.03 {S:4}");
+        a.i("FFMA R22, R51, 0.5, R22 {S:4}");
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P2, R17, {SEGMENTS} {{S:2}}"));
+        a.i("@P2 BRA seg_loop_b {S:5}");
+    } else {
+        // One loop with too many live temporaries: three values spill to
+        // local memory at the top and reload near the bottom.
+        a.label("seg_loop");
+        seg_head(&mut a, inlined);
+        a.i("STL.32 [RZ+0x0], R41 {R:B2, S:2}");
+        a.i("STL.32 [RZ+0x4], R46 {R:B2, S:2}");
+        a.i("STL.32 [RZ+0x8], R40 {R:B2, S:2}");
+        a.i("FFMA R45, R45, 0.88, 0.02 {S:4}");
+        a.i("FFMA R50, R45, 1.07, 0.0 {S:4}");
+        a.i("FFMA R51, R50, 0.95, 0.03 {S:4}");
+        a.i("LDL.32 R52, [RZ+0x0] {W:B3, S:1}");
+        a.i("LDL.32 R53, [RZ+0x4] {W:B4, S:1}");
+        a.i("FFMA R22, R52, R53, R22 {WT:[B3,B4], S:4}");
+        a.i("LDL.32 R40, [RZ+0x8] {W:B3, S:1}");
+        a.i("FFMA R40, R40, 0.93, 0.01 {WT:[B3], S:4}");
+        a.i("FFMA R22, R51, 0.5, R22 {S:4}");
+        a.i("IADD R17, R17, 1 {S:4}");
+        a.i(format!("ISETP.LT.AND P1, R17, {SEGMENTS} {{S:2}}"));
+        a.i("@P1 BRA seg_loop {S:5}");
+    }
+    a.param_u64(28, 8);
+    a.addr(34, 28, 0, 2);
+    a.i("STG.E.32 [R34:R35], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    if !inlined {
+        a.func("cross_section");
+        a.line("MC_Cross_Section.hh", 12);
+        cross_section_body(&mut a);
+        a.i("RET {S:5}");
+        a.endfunc();
+        a.func("distance_to_facet");
+        a.line("MC_Facet_Geometry.hh", 33);
+        distance_to_facet_body(&mut a);
+        a.i("RET {S:5}");
+        a.endfunc();
+    }
+    let module = a.build();
+
+    let blocks = p.sms * p.scale;
+    let threads: u32 = 128;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "CycleTrackingKernel".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_0014);
+            let energies = gpu.global_mut().alloc(4 * n as u64);
+            gpu.global_mut()
+                .write_bytes(energies, &crate::data::f32_bytes(&mut rng, n as usize, 0.5, 5.0));
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(energies);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

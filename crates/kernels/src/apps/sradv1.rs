@@ -1,0 +1,110 @@
+//! `rodinia/sradv1` — `reduce`.
+//!
+//! The block-sum reduction barriers between every tree level; in the
+//! last levels only a few threads work while whole warps wait. Reducing
+//! within warps via shuffles first removes most of the barriers (Warp
+//! Balance; paper: a small 1.03× achieved, 1.16× estimated — the paper
+//! notes the estimator overshoots here).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the sradv1 app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/sradv1",
+        kernel: "reduce",
+        stages: vec![Stage { name: "Warp Balance", optimizer: "GPUWarpBalanceOptimizer" }],
+        build,
+    }
+}
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let balanced = variant >= 1;
+    let mut a = Asm::module("sradv1");
+    a.kernel("reduce");
+    a.line("srad.cu", 82);
+    a.global_tid();
+    a.i("LOP3.AND R1, R0, 255 {S:4}");
+    a.param_u64(4, 0);
+    a.addr(6, 4, 0, 2);
+    a.i("LDG.E.32 R22, [R6:R7] {W:B0, S:1}");
+    a.i("SHL R9, R1, 2 {S:4}");
+    a.i("STS.32 [R9], R22 {WT:[B0], R:B1, S:2}");
+    a.i("BAR.SYNC {S:2}");
+    a.line("srad.cu", 88);
+    if balanced {
+        // In-warp shuffle reduction, one barrier, warp-0 fold.
+        for d in [16u32, 8, 4, 2, 1] {
+            a.i("S2R R25, SR_LANEID {W:B3, S:1}");
+            a.i(format!("IADD R26, R25, {d} {{WT:[B3], S:4}}"));
+            a.i("SHFL R27, R22, R26 {W:B4, S:1}");
+            a.i("FADD R22, R22, R27 {WT:[B4], S:4}");
+        }
+        a.i("S2R R28, SR_LANEID {W:B3, S:1}");
+        a.i("ISETP.EQ.AND P0, R28, 0 {WT:[B3], S:2}");
+        a.i("SHR.U32 R29, R1, 5 {S:4}");
+        a.i("SHL R30, R29, 2 {S:4}");
+        a.i("@P0 STS.32 [R30+0x400], R22 {R:B1, S:2}");
+        a.i("BAR.SYNC {S:2}");
+        a.i("ISETP.GE.AND P1, R1, 8 {S:2}");
+        a.i("@P1 BRA done {S:5}");
+        a.i("SHL R31, R1, 2 {S:4}");
+        a.i("LDS.32 R22, [R31+0x400] {W:B5, S:1}");
+        for d in [4u32, 2, 1] {
+            a.i(format!("IADD R26, R1, {d} {{S:4}}"));
+            a.i("SHFL R27, R22, R26 {WT:[B5], W:B4, S:1}");
+            a.i("FADD R22, R22, R27 {WT:[B4], S:4}");
+        }
+        a.label("done");
+    } else {
+        // Shared-memory tree with a barrier per level: the active set
+        // halves each level while everyone synchronizes.
+        for d in [128u32, 64, 32, 16, 8, 4, 2, 1] {
+            a.i(format!("ISETP.GE.AND P0, R1, {d} {{S:2}}"));
+            a.i(format!("IADD R24, R1, {d} {{S:4}}"));
+            a.i("SHL R25, R24, 2 {S:4}");
+            a.i("@!P0 LDS.32 R26, [R25] {W:B2, S:1}");
+            a.i("@!P0 FADD R22, R22, R26 {WT:[B2], S:4}");
+            a.i("SHL R27, R1, 2 {S:4}");
+            a.i("@!P0 STS.32 [R27], R22 {R:B1, S:2}");
+            a.i("BAR.SYNC {S:2}");
+        }
+    }
+    // Lane 0 stores the block sum.
+    a.i("ISETP.NE.AND P3, R1, 0 {S:2}");
+    a.param_u64(34, 8);
+    a.i("S2R R36, SR_CTAID.X {W:B3, S:1}");
+    a.i("NOP {WT:[B3], S:1}");
+    a.addr(38, 34, 36, 2);
+    a.i("@!P3 STG.E.32 [R38:R39], R22 {R:B1, S:2}");
+    a.i("EXIT {WT:[B1], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    let blocks = p.sms * 4 * p.scale;
+    let threads: u32 = 256;
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "reduce".into(),
+        launch: LaunchConfig {
+            smem_per_block: 4096 + 64,
+            ..LaunchConfig::new(blocks, threads)
+        },
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_000C);
+            let img = gpu.global_mut().alloc(4 * n as u64);
+            gpu.global_mut()
+                .write_bytes(img, &crate::data::f32_bytes(&mut rng, n as usize, 0.0, 1.0));
+            let out = gpu.global_mut().alloc(4 * blocks as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(img);
+            pb.push_u64(out);
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

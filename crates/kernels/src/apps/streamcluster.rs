@@ -1,0 +1,92 @@
+//! `rodinia/streamcluster` — `kernel_compute_cost`.
+//!
+//! Like particlefilter, the cost kernel under-fills the device: the grid
+//! has fewer blocks than SMs. Splitting blocks doubles the busy SMs
+//! (Block Increase; paper: 1.52× achieved, 1.46× estimated).
+
+use crate::data::ParamBlock;
+use crate::dsl::Asm;
+use crate::{App, KernelSpec, Params, Stage};
+use gpa_arch::LaunchConfig;
+
+/// Builds the streamcluster app entry.
+pub fn app() -> App {
+    App {
+        name: "rodinia/streamcluster",
+        kernel: "kernel_compute_cost",
+        stages: vec![Stage { name: "Block Increase", optimizer: "GPUBlockIncreaseOptimizer" }],
+        build,
+    }
+}
+
+const DIMS: u32 = 24;
+
+fn build(variant: usize, p: &Params) -> KernelSpec {
+    let mut a = Asm::module("streamcluster");
+    a.kernel("kernel_compute_cost");
+    a.line("streamcluster_cuda.cu", 120);
+    a.global_tid();
+    a.param_u64(4, 0); // points (dim-major)
+    a.param_u64(6, 8); // center
+    a.param_u32(9, 24); // n points
+    a.i("MOV32I R22, 0 {S:1}"); // cost acc
+    a.i("MOV32I R17, 0 {S:1}"); // d
+    a.line("streamcluster_cuda.cu", 126);
+    a.label("dim_loop");
+    a.i("IMAD R10, R17, R9, R0 {S:5}");
+    a.addr(12, 4, 10, 2);
+    a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}");
+    a.addr(18, 6, 17, 2);
+    a.i("LDG.E.32 R20, [R18:R19] {W:B1, S:1}");
+    a.i("FFMA R24, R20, -1.0, R14 {WT:[B0,B1], S:4}");
+    a.i("FFMA R22, R24, R24, R22 {S:4}");
+    // Per-dimension weighting polynomial (independent work that keeps
+    // the SM's issue slots busy — the kernel is throughput-bound).
+    for u in 0..12 {
+        let r = 40 + (u % 4) * 2;
+        a.i(format!("FFMA R{r}, R{r}, 1.0001, 0.001 {{S:4}}", r = r));
+    }
+    a.i("IADD R17, R17, 1 {S:4}");
+    a.i(format!("ISETP.LT.AND P1, R17, {DIMS} {{S:2}}"));
+    a.i("@P1 BRA dim_loop {S:5}");
+    a.param_u64(26, 16);
+    a.addr(30, 26, 0, 2);
+    a.i("STG.E.32 [R30:R31], R22 {R:B5, S:2}");
+    a.i("EXIT {WT:[B5], S:1}");
+    a.endfunc();
+    let module = a.build();
+
+    // Baseline: ~5/8 of the SMs get a block; optimized: split in two.
+    let base_blocks = (p.sms * 3 / 8).max(1);
+    let (blocks, threads) = if variant >= 1 {
+        (base_blocks * 2, 256)
+    } else {
+        (base_blocks, 512)
+    };
+    let n = blocks * threads;
+    KernelSpec {
+        module,
+        entry: "kernel_compute_cost".into(),
+        launch: LaunchConfig::new(blocks, threads),
+        setup: Box::new(move |gpu| {
+            let mut rng = crate::data::rng(0x5057_000F);
+            let m = n as u64 * DIMS as u64;
+            let points = gpu.global_mut().alloc(4 * m);
+            gpu.global_mut()
+                .write_bytes(points, &crate::data::f32_bytes(&mut rng, m as usize, 0.0, 1.0));
+            let center = gpu.global_mut().alloc(4 * DIMS as u64);
+            gpu.global_mut().write_bytes(
+                center,
+                &crate::data::f32_bytes(&mut rng, DIMS as usize, 0.0, 1.0),
+            );
+            let out = gpu.global_mut().alloc(4 * n as u64);
+            let mut pb = ParamBlock::new();
+            pb.push_u64(points);
+            pb.push_u64(center);
+            pb.push_u64(out);
+            pb.push_u32(n); // @24
+            pb.finish()
+        }),
+        const_bank1: None,
+    }
+}

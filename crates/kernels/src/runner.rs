@@ -1,0 +1,55 @@
+//! Convenience runner: build device, set up inputs, profile.
+
+use crate::{KernelSpec, Params};
+use gpa_arch::ArchConfig;
+use gpa_sampling::{KernelProfile, Profiler};
+use gpa_sim::{GpuSim, Result, SimConfig};
+
+/// Everything one variant run produces.
+pub struct RunOutput {
+    /// The PC-sampling profile.
+    pub profile: KernelProfile,
+    /// Ground-truth kernel cycles.
+    pub cycles: u64,
+}
+
+/// The simulator configuration the experiment harnesses use.
+pub fn sim_config() -> SimConfig {
+    SimConfig { sampling_period: 127, ..SimConfig::default() }
+}
+
+/// The device configuration for a given parameter scale.
+pub fn arch_for(p: &Params) -> ArchConfig {
+    ArchConfig::small(p.sms)
+}
+
+/// Runs one kernel variant with sampling and returns profile + cycles.
+///
+/// # Errors
+///
+/// Propagates simulator errors (faults, cycle limit).
+pub fn run_spec(spec: &KernelSpec, arch: &ArchConfig) -> Result<RunOutput> {
+    let mut gpu = GpuSim::new(arch.clone(), sim_config());
+    if let Some(bank) = &spec.const_bank1 {
+        gpu.set_const_bank(1, bank.clone());
+    }
+    let params = (spec.setup)(&mut gpu);
+    let mut profiler = Profiler::new(gpu);
+    let (profile, result) = profiler.profile(&spec.module, &spec.entry, &spec.launch, &params)?;
+    Ok(RunOutput { profile, cycles: result.cycles })
+}
+
+/// Times a kernel variant without sampling.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn time_spec(spec: &KernelSpec, arch: &ArchConfig) -> Result<u64> {
+    let mut gpu = GpuSim::new(arch.clone(), sim_config());
+    if let Some(bank) = &spec.const_bank1 {
+        gpu.set_const_bank(1, bank.clone());
+    }
+    let params = (spec.setup)(&mut gpu);
+    let mut profiler = Profiler::new(gpu);
+    profiler.time_only(&spec.module, &spec.entry, &spec.launch, &params)
+}

@@ -1,0 +1,27 @@
+//! PC-sampling profiles — the measurement layer GPA's dynamic analyzer
+//! consumes.
+//!
+//! On real hardware this is CUPTI: samples stream out of each SM, get
+//! merged, and are attributed to PCs. Here, [`Profiler`] launches a kernel
+//! on the [`gpa_sim`] device and aggregates the raw samples into a
+//! [`KernelProfile`]:
+//!
+//! * per-PC sample counts split by [`StallReason`], separately for all
+//!   samples and for **latency samples** (scheduler issued nothing that
+//!   cycle — the `L`/`M_L` quantities of the paper's Eqs. 3–5),
+//! * kernel-level totals `T`, `A`, `L` and the issue ratio `R_I` used by
+//!   the parallel estimators (Eqs. 8–9),
+//! * launch statistics (grid, block, occupancy) for the Block/Thread
+//!   Increase optimizers,
+//! * ground-truth cycles for validating estimates against achieved
+//!   speedups.
+//!
+//! Profiles serialize to JSON for offline analysis, mirroring how GPA dumps
+//! profiles for its post-mortem dynamic analysis.
+
+pub mod profile;
+pub mod profiler;
+
+pub use profile::{KernelProfile, PcStats};
+pub use profiler::Profiler;
+pub use gpa_sim::{RawSample, StallReason};

@@ -1,0 +1,291 @@
+//! Aggregated kernel profiles.
+
+use gpa_arch::{LaunchConfig, Occupancy};
+use gpa_sim::{LaunchResult, RawSample, StallReason};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+const N_REASONS: usize = StallReason::ALL.len();
+
+/// Sample statistics for one program counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcStats {
+    /// Total samples observed at this PC.
+    pub total: u64,
+    /// All samples by stall reason (indexed by [`StallReason::code`]).
+    pub by_reason: [u64; N_REASONS],
+    /// Latency samples (scheduler issued nothing) by stall reason.
+    pub latency_by_reason: [u64; N_REASONS],
+}
+
+impl PcStats {
+    /// Samples where this PC's warp was issuing (`Selected`).
+    pub fn issued_samples(&self) -> u64 {
+        self.by_reason[StallReason::Selected.code() as usize]
+    }
+
+    /// Samples with the given stall reason.
+    pub fn stalls(&self, r: StallReason) -> u64 {
+        self.by_reason[r.code() as usize]
+    }
+
+    /// Latency samples with the given stall reason.
+    pub fn latency_stalls(&self, r: StallReason) -> u64 {
+        self.latency_by_reason[r.code() as usize]
+    }
+
+    /// Total stall samples (everything but `Selected`).
+    pub fn total_stalls(&self) -> u64 {
+        self.total - self.issued_samples()
+    }
+}
+
+/// A full PC-sampling profile of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel (entry function) name.
+    pub kernel: String,
+    /// Module the kernel came from.
+    pub module_name: String,
+    /// Architecture tag.
+    pub arch: String,
+    /// Sampling period in cycles.
+    pub period: u32,
+    /// Launch configuration.
+    pub launch: LaunchConfig,
+    /// Achieved occupancy.
+    pub occupancy: Occupancy,
+    /// Ground-truth kernel cycles (for validating estimates).
+    pub cycles: u64,
+    /// Ground-truth instructions issued.
+    pub issued: u64,
+    /// Per-PC statistics.
+    pub pcs: BTreeMap<u64, PcStats>,
+    /// Total samples (`T` in the paper's estimators).
+    pub total_samples: u64,
+    /// Active samples (`A`): the scheduler issued in the sampled cycle.
+    pub active_samples: u64,
+    /// Latency samples (`L = T − A`).
+    pub latency_samples: u64,
+    /// Global-memory transactions (32-byte sectors).
+    pub mem_transactions: u64,
+    /// L2 hits/misses.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+}
+
+impl KernelProfile {
+    /// Aggregates a launch's raw samples into a profile.
+    pub fn from_launch(
+        kernel: &str,
+        module_name: &str,
+        arch: &str,
+        period: u32,
+        result: &LaunchResult,
+    ) -> Self {
+        let mut pcs: BTreeMap<u64, PcStats> = BTreeMap::new();
+        let mut total = 0u64;
+        let mut active = 0u64;
+        for s in &result.samples {
+            let e = pcs.entry(s.pc).or_default();
+            e.total += 1;
+            e.by_reason[s.stall.code() as usize] += 1;
+            if !s.scheduler_active {
+                e.latency_by_reason[s.stall.code() as usize] += 1;
+            }
+            total += 1;
+            if s.scheduler_active {
+                active += 1;
+            }
+        }
+        KernelProfile {
+            kernel: kernel.to_string(),
+            module_name: module_name.to_string(),
+            arch: arch.to_string(),
+            period,
+            launch: result.launch,
+            occupancy: result.occupancy,
+            cycles: result.cycles,
+            issued: result.issued,
+            pcs,
+            total_samples: total,
+            active_samples: active,
+            latency_samples: total - active,
+            mem_transactions: result.mem_transactions,
+            l2_hits: result.l2_hits,
+            l2_misses: result.l2_misses,
+            icache_misses: result.icache_misses,
+        }
+    }
+
+    /// Kernel-level stall histogram over all samples.
+    pub fn stall_histogram(&self) -> [u64; N_REASONS] {
+        let mut h = [0u64; N_REASONS];
+        for st in self.pcs.values() {
+            for (i, c) in st.by_reason.iter().enumerate() {
+                h[i] += c;
+            }
+        }
+        h
+    }
+
+    /// Kernel-level latency-sample histogram.
+    pub fn latency_histogram(&self) -> [u64; N_REASONS] {
+        let mut h = [0u64; N_REASONS];
+        for st in self.pcs.values() {
+            for (i, c) in st.latency_by_reason.iter().enumerate() {
+                h[i] += c;
+            }
+        }
+        h
+    }
+
+    /// The issue ratio `R_I` — the fraction of samples in which the
+    /// sampled scheduler was issuing (Eq. 8's input).
+    pub fn issue_ratio(&self) -> f64 {
+        if self.total_samples == 0 {
+            return 0.0;
+        }
+        self.active_samples as f64 / self.total_samples as f64
+    }
+
+    /// Stats for one PC, if sampled.
+    pub fn pc(&self, pc: u64) -> Option<&PcStats> {
+        self.pcs.get(&pc)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serializes")
+    }
+
+    /// Parses a profile from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the profile to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a profile from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed JSON maps to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Builds the paper's Figure 1 style classification for a sample.
+///
+/// Returns `(is_active, is_latency, is_stall)`.
+pub fn classify_sample(s: &RawSample) -> (bool, bool, bool) {
+    (s.scheduler_active, !s.scheduler_active, s.stall.is_stall())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_arch::ArchConfig;
+
+    fn fake_result(samples: Vec<RawSample>) -> LaunchResult {
+        let arch = ArchConfig::small(1);
+        let launch = LaunchConfig::new(1, 32);
+        LaunchResult {
+            cycles: 1000,
+            issued: 100,
+            samples,
+            issue_counts: Default::default(),
+            mem_transactions: 5,
+            l2_hits: 3,
+            l2_misses: 2,
+            icache_misses: 1,
+            occupancy: arch.occupancy(&launch),
+            launch,
+            sm_stats: vec![],
+        }
+    }
+
+    fn sample(pc: u64, stall: StallReason, active: bool) -> RawSample {
+        RawSample { sm: 0, scheduler: 0, cycle: 0, pc, stall, scheduler_active: active }
+    }
+
+    #[test]
+    fn aggregation_matches_figure1_model() {
+        // Figure 1: six samples — three latency (all stalls), two active
+        // with stalls (other warp issued), one active issuing.
+        let samples = vec![
+            sample(0x10, StallReason::MemoryDependency, false),
+            sample(0x20, StallReason::Selected, true),
+            sample(0x10, StallReason::ExecutionDependency, true),
+            sample(0x30, StallReason::MemoryDependency, false),
+            sample(0x10, StallReason::NotSelected, true),
+            sample(0x30, StallReason::Synchronization, false),
+        ];
+        let p = KernelProfile::from_launch("k", "m", "volta", 509, &fake_result(samples));
+        assert_eq!(p.total_samples, 6);
+        assert_eq!(p.active_samples, 3);
+        assert_eq!(p.latency_samples, 3);
+        assert_eq!(p.issue_ratio(), 0.5);
+        let stalls: u64 = StallReason::ALL
+            .iter()
+            .filter(|r| r.is_stall())
+            .map(|r| p.stall_histogram()[r.code() as usize])
+            .sum();
+        assert_eq!(stalls, 5, "five stall samples");
+        let at10 = p.pc(0x10).unwrap();
+        assert_eq!(at10.total, 3);
+        assert_eq!(at10.stalls(StallReason::MemoryDependency), 1);
+        assert_eq!(at10.latency_stalls(StallReason::MemoryDependency), 1);
+        assert_eq!(at10.latency_stalls(StallReason::ExecutionDependency), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let samples = vec![
+            sample(0x10, StallReason::MemoryDependency, false),
+            sample(0x20, StallReason::Selected, true),
+        ];
+        let p = KernelProfile::from_launch("k", "m", "volta", 509, &fake_result(samples));
+        let p2 = KernelProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = KernelProfile::from_launch("k", "m", "volta", 509, &fake_result(vec![]));
+        assert_eq!(p.total_samples, 0);
+        assert_eq!(p.issue_ratio(), 0.0);
+        assert!(p.pc(0x10).is_none());
+    }
+}
+
+impl PcStats {
+    /// Total latency samples (scheduler idle) at this PC.
+    pub fn latency_total(&self) -> u64 {
+        self.latency_by_reason.iter().sum()
+    }
+
+    /// Total active samples (scheduler issuing) at this PC.
+    pub fn active_total(&self) -> u64 {
+        self.total - self.latency_total()
+    }
+}

@@ -1,0 +1,1097 @@
+//! The device: SMs, warp schedulers, and the main timing loop.
+
+use crate::exec::{execute, ExecCtx, Outcome};
+use crate::mem::{ConstMem, DirectCache, GlobalMem};
+use crate::reconv::build_reconvergence;
+use crate::stall::StallReason;
+use crate::warp::WarpState;
+use crate::{Result, SimError};
+use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig, Occupancy};
+use gpa_isa::{Instruction, MemSpace, Module, Opcode, Pipe, Slot, Visibility, INSTR_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunable simulator knobs (separate from the machine description).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Abort the launch after this many cycles.
+    pub max_cycles: u64,
+    /// PC-sampling period in cycles per SM (0 disables sampling).
+    pub sampling_period: u32,
+    /// Cycles to swap a finished block for a queued one.
+    pub block_launch_overhead: u32,
+    /// Cycles until a store's read barrier clears (WAR window).
+    pub war_read_cycles: u32,
+    /// MUFU result latency.
+    pub mufu_latency: u32,
+    /// S2R result latency.
+    pub s2r_latency: u32,
+    /// SHFL result latency.
+    pub shfl_latency: u32,
+    /// Extra latency per atomic operation.
+    pub atom_extra: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_cycles: 500_000_000,
+            sampling_period: 509,
+            block_launch_overhead: 25,
+            war_read_cycles: 15,
+            mufu_latency: 20,
+            s2r_latency: 20,
+            shfl_latency: 25,
+            atom_extra: 12,
+        }
+    }
+}
+
+/// One PC sample, the raw material of a profile (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawSample {
+    /// SM that took the sample.
+    pub sm: u32,
+    /// Warp scheduler sampled (round-robin).
+    pub scheduler: u32,
+    /// Cycle of the sample.
+    pub cycle: u64,
+    /// PC of the sampled warp's next instruction.
+    pub pc: u64,
+    /// The sampled warp's stall reason (`Selected` if it issued).
+    pub stall: StallReason,
+    /// Whether the scheduler issued *any* instruction this cycle — `true`
+    /// makes this an **active sample**, `false` a **latency sample**.
+    pub scheduler_active: bool,
+}
+
+/// Per-SM counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Instructions issued on this SM.
+    pub issued: u64,
+    /// Blocks the SM executed.
+    pub blocks: u32,
+}
+
+/// Everything a launch produced.
+#[derive(Debug, Clone)]
+pub struct LaunchResult {
+    /// Total kernel cycles (launch to last block completion).
+    pub cycles: u64,
+    /// Total instructions issued.
+    pub issued: u64,
+    /// PC samples (empty when sampling is disabled).
+    pub samples: Vec<RawSample>,
+    /// Exact per-PC issue counts (ground truth for validation).
+    pub issue_counts: HashMap<u64, u64>,
+    /// Global-memory transactions (32-byte sectors).
+    pub mem_transactions: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// The occupancy the launch achieved.
+    pub occupancy: Occupancy,
+    /// The launch configuration used.
+    pub launch: LaunchConfig,
+    /// Per-SM counters.
+    pub sm_stats: Vec<SmStats>,
+}
+
+/// Precomputed per-instruction metadata for the hot status checks.
+struct InstrMeta {
+    use_regs: Vec<u8>,
+    use_preds: u8,
+    wait_mask: u8,
+    def_regs: Vec<u8>,
+    def_preds: u8,
+    fixed_lat: Option<u32>,
+    pipe: Pipe,
+    throttled_mem: bool,
+    reconv: Option<u64>,
+}
+
+/// A module lowered to flat arrays for simulation.
+struct Program {
+    instrs: Vec<Instruction>,
+    meta: Vec<InstrMeta>,
+    pcs: Vec<u64>,
+    pc2idx: HashMap<u64, u32>,
+    entry_pc: u64,
+}
+
+impl Program {
+    fn build(module: &Module, entry: &str, arch: &ArchConfig) -> Result<Self> {
+        if !module.is_linked() {
+            return Err(SimError::UnlinkedModule);
+        }
+        let entry_fn = module
+            .function(entry)
+            .filter(|f| f.visibility == Visibility::Global)
+            .ok_or_else(|| SimError::UnknownKernel(entry.to_string()))?;
+        let entry_pc = entry_fn.base;
+        let lat = LatencyTable::for_arch(arch);
+        let reconv_map = build_reconvergence(module);
+        let mut instrs = Vec::new();
+        let mut meta = Vec::new();
+        let mut pcs = Vec::new();
+        let mut pc2idx = HashMap::new();
+        for f in &module.functions {
+            for (i, instr) in f.instrs.iter().enumerate() {
+                let pc = f.pc_of(i);
+                pc2idx.insert(pc, instrs.len() as u32);
+                pcs.push(pc);
+                let mut use_regs = Vec::new();
+                let mut use_preds = 0u8;
+                let mut def_regs = Vec::new();
+                let mut def_preds = 0u8;
+                for s in instr.uses() {
+                    match s {
+                        Slot::Reg(r) => use_regs.push(r.index()),
+                        Slot::Pred(p) => use_preds |= 1 << p.index(),
+                        Slot::Bar(_) => {}
+                    }
+                }
+                for s in instr.defs() {
+                    match s {
+                        Slot::Reg(r) => def_regs.push(r.index()),
+                        Slot::Pred(p) => def_preds |= 1 << p.index(),
+                        Slot::Bar(_) => {}
+                    }
+                }
+                let space = instr.opcode.mem_space();
+                meta.push(InstrMeta {
+                    use_regs,
+                    use_preds,
+                    wait_mask: instr.ctrl.wait_mask,
+                    def_regs,
+                    def_preds,
+                    fixed_lat: lat.fixed_latency(instr),
+                    pipe: instr.opcode.pipe(),
+                    throttled_mem: matches!(
+                        space,
+                        Some(MemSpace::Global) | Some(MemSpace::Local)
+                    ),
+                    reconv: reconv_map.get(&pc).copied(),
+                });
+                instrs.push(instr.clone());
+            }
+        }
+        Ok(Program { instrs, meta, pcs, pc2idx, entry_pc })
+    }
+}
+
+struct BlockCtx {
+    block_id: u32,
+    smem: Vec<u8>,
+    total_warps: u32,
+    done_warps: u32,
+    arrived: u32,
+}
+
+const N_PIPES: usize = 7;
+
+fn pipe_idx(p: Pipe) -> usize {
+    match p {
+        Pipe::Alu => 0,
+        Pipe::Fma => 1,
+        Pipe::Fp64 => 2,
+        Pipe::Sfu => 3,
+        Pipe::Lsu => 4,
+        Pipe::Branch => 5,
+        Pipe::Misc => 6,
+    }
+}
+
+struct Sm {
+    id: u32,
+    block_slots: Vec<Option<BlockCtx>>,
+    warps: Vec<WarpState>,
+    sched_warps: Vec<Vec<usize>>,
+    icache: DirectCache,
+    inflight: Vec<(u64, u32)>,
+    inflight_count: u32,
+    ifetch_fill_free: u64,
+    pipe_free: Vec<u64>,
+    rr_issue: Vec<usize>,
+    rr_sample: Vec<usize>,
+    stats: SmStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Stalled(StallReason),
+    NotResident,
+}
+
+/// The simulated device. Owns global memory and constant banks across
+/// launches so hosts can initialize inputs, launch, and read back results.
+#[derive(Debug)]
+pub struct GpuSim {
+    arch: ArchConfig,
+    cfg: SimConfig,
+    global: GlobalMem,
+    user_banks: Vec<(u8, Vec<u8>)>,
+}
+
+impl GpuSim {
+    /// Creates a device.
+    pub fn new(arch: ArchConfig, cfg: SimConfig) -> Self {
+        GpuSim { arch, cfg, global: GlobalMem::new(), user_banks: Vec::new() }
+    }
+
+    /// The machine description.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The simulator knobs.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Mutable simulator knobs (e.g. to change the sampling period).
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.cfg
+    }
+
+    /// Device global memory (read back results).
+    pub fn global(&self) -> &GlobalMem {
+        &self.global
+    }
+
+    /// Device global memory (host-side initialization).
+    pub fn global_mut(&mut self) -> &mut GlobalMem {
+        &mut self.global
+    }
+
+    /// Sets a user constant bank (bank 0 is reserved for kernel params).
+    pub fn set_const_bank(&mut self, bank: u8, data: Vec<u8>) {
+        self.user_banks.retain(|(b, _)| *b != bank);
+        self.user_banks.push((bank, data));
+    }
+
+    /// Launches `entry` from `module` and runs it to completion.
+    ///
+    /// `params` fills constant bank 0 (kernel parameters: buffer addresses
+    /// and scalars, little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown kernels, unlinked modules, zero-sized launches,
+    /// functional faults, or exceeding the cycle budget.
+    pub fn launch(
+        &mut self,
+        module: &Module,
+        entry: &str,
+        launch: &LaunchConfig,
+        params: &[u8],
+    ) -> Result<LaunchResult> {
+        if launch.grid_blocks == 0 || launch.block_threads == 0 {
+            return Err(SimError::BadLaunch("empty grid or block".into()));
+        }
+        if launch.block_threads > self.arch.max_threads_per_block {
+            return Err(SimError::BadLaunch(format!(
+                "{} threads per block exceeds the {} limit",
+                launch.block_threads, self.arch.max_threads_per_block
+            )));
+        }
+        let prog = Program::build(module, entry, &self.arch)?;
+        let occupancy = self.arch.occupancy(launch);
+        let wpb = launch.warps_per_block(self.arch.warp_size);
+        let mut consts = ConstMem::new();
+        consts.set_bank(0, params.to_vec());
+        for (b, data) in &self.user_banks {
+            consts.set_bank(*b, data.clone());
+        }
+
+        let slots = occupancy.blocks_per_sm.max(1) as usize;
+        let nsched = self.arch.schedulers_per_sm as usize;
+        let mut l2 = DirectCache::new(self.arch.l2_size, self.arch.l2_line);
+        let mut next_block: u32 = 0;
+        let mut blocks_done: u32 = 0;
+        let mut samples = Vec::new();
+        let mut issue_counts: Vec<u64> = vec![0; prog.instrs.len()];
+        let mut issued_total: u64 = 0;
+        let mut mem_transactions: u64 = 0;
+        let mut icache_misses: u64 = 0;
+
+        // Build SMs and distribute initial blocks breadth-first.
+        let mut sms: Vec<Sm> = (0..self.arch.num_sms)
+            .map(|id| {
+                let mut sched_warps = vec![Vec::new(); nsched];
+                let total_warps = slots * wpb as usize;
+                for wi in 0..total_warps {
+                    sched_warps[wi % nsched].push(wi);
+                }
+                Sm {
+                    id,
+                    block_slots: (0..slots).map(|_| None).collect(),
+                    warps: (0..total_warps)
+                        .map(|wi| {
+                            WarpState::new(
+                                wi as u32,
+                                (wi % nsched) as u32,
+                                wi / wpb as usize,
+                                (wi % wpb as usize) as u32,
+                                launch.block_threads,
+                            )
+                        })
+                        .collect(),
+                    sched_warps,
+                    icache: DirectCache::new(self.arch.icache_size, self.arch.icache_line),
+                    inflight: Vec::new(),
+                    inflight_count: 0,
+                    ifetch_fill_free: 0,
+                    pipe_free: vec![0; nsched * N_PIPES],
+                    rr_issue: vec![0; nsched],
+                    rr_sample: vec![0; nsched],
+                    stats: SmStats::default(),
+                }
+            })
+            .collect();
+        for slot in 0..slots {
+            for sm in &mut sms {
+                if next_block < launch.grid_blocks {
+                    start_block(sm, slot, next_block, wpb, launch, &prog, 0);
+                    next_block += 1;
+                }
+            }
+        }
+
+        let period = self.cfg.sampling_period as u64;
+        let mut cycle: u64 = 0;
+        while blocks_done < launch.grid_blocks {
+            if cycle > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit(self.cfg.max_cycles));
+            }
+            let sample_due = period > 0 && cycle % period == 0;
+            let sample_sched = if period > 0 { ((cycle / period) as usize) % nsched } else { 0 };
+            for sm in &mut sms {
+                // Retire completed memory requests.
+                sm.inflight.retain(|&(done, n)| {
+                    if done <= cycle {
+                        sm.inflight_count -= n;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for sched in 0..nsched {
+                    // Pre-issue snapshot of the warp this scheduler would
+                    // sample, so samples see the cycle's initial state.
+                    let sampled = if sample_due && sched == sample_sched {
+                        pick_sample_warp(sm, sched)
+                    } else {
+                        None
+                    };
+                    let sampled_status = sampled.map(|wi| {
+                        (wi, warp_status(sm, wi, &prog, cycle, &self.arch))
+                    });
+                    // Issue: scan warps round-robin, first ready wins.
+                    let list_len = sm.sched_warps[sched].len();
+                    let mut issued_warp: Option<usize> = None;
+                    for k in 0..list_len {
+                        let pos = (sm.rr_issue[sched] + k) % list_len;
+                        let wi = sm.sched_warps[sched][pos];
+                        if warp_status(sm, wi, &prog, cycle, &self.arch) == Status::Ready {
+                            issued_warp = Some(wi);
+                            sm.rr_issue[sched] = (pos + 1) % list_len;
+                            break;
+                        }
+                    }
+                    if let Some(wi) = issued_warp {
+                        issue_one(
+                            sm,
+                            wi,
+                            &prog,
+                            cycle,
+                            &self.arch,
+                            &self.cfg,
+                            &mut self.global,
+                            &consts,
+                            launch,
+                            &mut l2,
+                            &mut issue_counts,
+                            &mut issued_total,
+                            &mut mem_transactions,
+                            &mut icache_misses,
+                            &mut blocks_done,
+                            &mut next_block,
+                            wpb,
+                        )?;
+                    }
+                    if let Some((wi, status)) = sampled_status {
+                        let w = &sm.warps[wi];
+                        let stall = if issued_warp == Some(wi) {
+                            StallReason::Selected
+                        } else {
+                            match status {
+                                Status::Ready => StallReason::NotSelected,
+                                Status::Stalled(r) => r,
+                                Status::NotResident => StallReason::Other,
+                            }
+                        };
+                        samples.push(RawSample {
+                            sm: sm.id,
+                            scheduler: sched as u32,
+                            cycle,
+                            pc: w.pc,
+                            stall,
+                            scheduler_active: issued_warp.is_some(),
+                        });
+                    }
+                }
+            }
+            cycle += 1;
+        }
+
+        let (l2_hits, l2_misses) = l2.stats();
+        Ok(LaunchResult {
+            cycles: cycle,
+            issued: issued_total,
+            samples,
+            issue_counts: prog
+                .pcs
+                .iter()
+                .zip(issue_counts.iter())
+                .filter(|(_, &c)| c > 0)
+                .map(|(&pc, &c)| (pc, c))
+                .collect(),
+            mem_transactions,
+            l2_hits,
+            l2_misses,
+            icache_misses,
+            occupancy,
+            launch: *launch,
+            sm_stats: sms.iter().map(|s| s.stats).collect(),
+        })
+    }
+}
+
+fn start_block(
+    sm: &mut Sm,
+    slot: usize,
+    block_id: u32,
+    wpb: u32,
+    launch: &LaunchConfig,
+    prog: &Program,
+    start_cycle: u64,
+) {
+    sm.block_slots[slot] = Some(BlockCtx {
+        block_id,
+        smem: vec![0u8; launch.smem_per_block as usize],
+        total_warps: wpb,
+        done_warps: 0,
+        arrived: 0,
+    });
+    sm.stats.blocks += 1;
+    let entry_idx = prog.pc2idx[&prog.entry_pc];
+    for w in 0..wpb as usize {
+        let wi = slot * wpb as usize + w;
+        let warp = &mut sm.warps[wi];
+        let scheduler = warp.scheduler;
+        *warp = WarpState::new(wi as u32, scheduler, slot, w as u32, launch.block_threads);
+        warp.pc = prog.entry_pc;
+        warp.cur_idx = entry_idx;
+        warp.next_issue = start_cycle;
+    }
+}
+
+/// Picks the warp a scheduler samples this period (round-robin over
+/// resident warps). Returns `None` when the scheduler has no resident warp.
+fn pick_sample_warp(sm: &mut Sm, sched: usize) -> Option<usize> {
+    let list = &sm.sched_warps[sched];
+    if list.is_empty() {
+        return None;
+    }
+    for k in 0..list.len() {
+        let pos = (sm.rr_sample[sched] + k) % list.len();
+        let wi = list[pos];
+        let resident = !sm.warps[wi].done && sm.block_slots[sm.warps[wi].block_slot].is_some();
+        if resident {
+            sm.rr_sample[sched] = (pos + 1) % list.len();
+            return Some(wi);
+        }
+    }
+    None
+}
+
+fn warp_status(sm: &Sm, wi: usize, prog: &Program, now: u64, arch: &ArchConfig) -> Status {
+    let w = &sm.warps[wi];
+    if w.done || sm.block_slots[w.block_slot].is_none() {
+        return Status::NotResident;
+    }
+    if w.at_barrier {
+        return Status::Stalled(StallReason::Synchronization);
+    }
+    if w.fetch_ready > now {
+        return Status::Stalled(StallReason::InstructionFetch);
+    }
+    if w.next_issue > now {
+        return Status::Stalled(if w.prev_was_ctrl {
+            StallReason::InstructionFetch
+        } else {
+            StallReason::ExecutionDependency
+        });
+    }
+    let meta = &prog.meta[w.cur_idx as usize];
+    // Scoreboard barriers named in the wait mask.
+    if meta.wait_mask != 0 {
+        for b in 0..6 {
+            if meta.wait_mask & (1 << b) != 0 && w.bar_clear[b] > now {
+                let r = StallReason::from_code(w.bar_reason[b])
+                    .unwrap_or(StallReason::ExecutionDependency);
+                return Status::Stalled(r);
+            }
+        }
+    }
+    // Register/predicate interlock.
+    for &r in &meta.use_regs {
+        if w.reg_ready[r as usize] > now {
+            let reason = StallReason::from_code(w.reg_reason[r as usize])
+                .unwrap_or(StallReason::ExecutionDependency);
+            return Status::Stalled(reason);
+        }
+    }
+    if meta.use_preds != 0 {
+        for p in 0..7 {
+            if meta.use_preds & (1 << p) != 0 && w.pred_ready[p] > now {
+                return Status::Stalled(StallReason::ExecutionDependency);
+            }
+        }
+    }
+    // LSU back-pressure.
+    if meta.throttled_mem && sm.inflight_count >= arch.max_mem_inflight_per_sm {
+        return Status::Stalled(StallReason::MemoryThrottle);
+    }
+    // Pipe throughput.
+    let sched = w.scheduler as usize;
+    if sm.pipe_free[sched * N_PIPES + pipe_idx(meta.pipe)] > now {
+        return Status::Stalled(StallReason::PipeBusy);
+    }
+    Status::Ready
+}
+
+#[allow(clippy::too_many_arguments)]
+fn issue_one(
+    sm: &mut Sm,
+    wi: usize,
+    prog: &Program,
+    now: u64,
+    arch: &ArchConfig,
+    cfg: &SimConfig,
+    global: &mut GlobalMem,
+    consts: &ConstMem,
+    launch: &LaunchConfig,
+    l2: &mut DirectCache,
+    issue_counts: &mut [u64],
+    issued_total: &mut u64,
+    mem_transactions: &mut u64,
+    icache_misses: &mut u64,
+    blocks_done: &mut u32,
+    next_block: &mut u32,
+    wpb: u32,
+) -> Result<()> {
+    let idx = sm.warps[wi].cur_idx as usize;
+    let instr = &prog.instrs[idx];
+    let meta = &prog.meta[idx];
+
+    // Functional execution.
+    let res = {
+        let warps = &mut sm.warps;
+        let blocks = &mut sm.block_slots;
+        let warp = &mut warps[wi];
+        let block = blocks[warp.block_slot].as_mut().expect("resident warp has a block");
+        let mut ctx = ExecCtx {
+            global,
+            smem: &mut block.smem,
+            consts,
+            block_id: block.block_id,
+            grid_blocks: launch.grid_blocks,
+            block_threads: launch.block_threads,
+        };
+        execute(warp, instr, meta.reconv, &mut ctx)?
+    };
+
+    issue_counts[idx] += 1;
+    *issued_total += 1;
+    sm.stats.issued += 1;
+
+    // Result latency and blame classification.
+    let (lat, reason) = if let Some(l) = meta.fixed_lat {
+        (l, StallReason::ExecutionDependency)
+    } else if let Some(mem) = &res.mem {
+        let (lat, txns, reason) = mem_latency(l2, arch, cfg, mem, instr);
+        if txns > 0 {
+            sm.inflight.push((now + lat as u64, txns));
+            sm.inflight_count += txns;
+            *mem_transactions += txns as u64;
+        }
+        (lat, reason)
+    } else {
+        // Non-memory variable latency.
+        let lat = match instr.opcode {
+            Opcode::Mufu => cfg.mufu_latency,
+            Opcode::S2r => cfg.s2r_latency,
+            Opcode::Shfl => cfg.shfl_latency,
+            _ => 8,
+        };
+        (lat, StallReason::ExecutionDependency)
+    };
+
+    let w = &mut sm.warps[wi];
+    let done_at = now + lat as u64;
+    for &r in &meta.def_regs {
+        w.reg_ready[r as usize] = done_at;
+        w.reg_reason[r as usize] = reason.code();
+    }
+    if meta.def_preds != 0 {
+        for p in 0..7 {
+            if meta.def_preds & (1 << p) != 0 {
+                w.pred_ready[p] = done_at;
+            }
+        }
+    }
+    if let Some(b) = instr.ctrl.write_barrier {
+        w.bar_clear[b.index() as usize] = done_at;
+        w.bar_reason[b.index() as usize] = reason.code();
+    }
+    if let Some(b) = instr.ctrl.read_barrier {
+        w.bar_clear[b.index() as usize] = now + cfg.war_read_cycles as u64;
+        w.bar_reason[b.index() as usize] = StallReason::ExecutionDependency.code();
+    }
+    w.next_issue = now + instr.ctrl.stall.max(1) as u64;
+    let sched = w.scheduler as usize;
+    sm.pipe_free[sched * N_PIPES + pipe_idx(meta.pipe)] =
+        now + arch.pipe_interval(meta.pipe) as u64;
+
+    // Control flow.
+    let mut redirected = false;
+    match res.outcome {
+        Outcome::Next => w.pc += INSTR_BYTES,
+        Outcome::Jump(t) => {
+            w.pc = t;
+            redirected = true;
+        }
+        Outcome::Call(t) => {
+            w.call_stack.push(w.pc + INSTR_BYTES);
+            w.pc = t;
+            redirected = true;
+        }
+        Outcome::Ret => {
+            let ret = w
+                .call_stack
+                .pop()
+                .ok_or_else(|| SimError::Fault { pc: w.pc, message: "RET on empty stack".into() })?;
+            w.pc = ret;
+            redirected = true;
+        }
+        Outcome::Sync => {
+            w.pc += INSTR_BYTES;
+            w.at_barrier = true;
+        }
+        Outcome::Exit => {
+            w.done = true;
+        }
+    }
+    w.prev_was_ctrl = redirected;
+    if redirected {
+        w.next_issue = w.next_issue.max(now + arch.lat_branch_redirect as u64);
+    }
+    if !w.done {
+        w.reconverge_if_needed();
+        let pc = w.pc;
+        let new_idx = *prog.pc2idx.get(&pc).ok_or(SimError::Fault {
+            pc,
+            message: "control flow left the program".into(),
+        })?;
+        w.cur_idx = new_idx;
+        if !sm.icache.access(pc) {
+            // One fill port per SM: concurrent misses queue behind each
+            // other, so i-cache thrash throttles the whole SM.
+            let start = sm.ifetch_fill_free.max(now);
+            let ready = start + arch.lat_ifetch_miss as u64;
+            sm.ifetch_fill_free = ready;
+            sm.warps[wi].fetch_ready = ready;
+            *icache_misses += 1;
+        }
+    }
+
+    // Block barrier / completion bookkeeping.
+    let slot = sm.warps[wi].block_slot;
+    match res.outcome {
+        Outcome::Sync => {
+            let block = sm.block_slots[slot].as_mut().expect("resident block");
+            block.arrived += 1;
+            try_release_barrier(sm, slot, now);
+        }
+        Outcome::Exit => {
+            let block = sm.block_slots[slot].as_mut().expect("resident block");
+            block.done_warps += 1;
+            if block.done_warps >= block.total_warps {
+                sm.block_slots[slot] = None;
+                *blocks_done += 1;
+                if *next_block < launch.grid_blocks {
+                    let b = *next_block;
+                    *next_block += 1;
+                    start_block(
+                        sm,
+                        slot,
+                        b,
+                        wpb,
+                        launch,
+                        prog,
+                        now + cfg.block_launch_overhead as u64,
+                    );
+                }
+            } else {
+                try_release_barrier(sm, slot, now);
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Releases a block barrier once every live warp has arrived.
+fn try_release_barrier(sm: &mut Sm, slot: usize, now: u64) {
+    let Some(block) = sm.block_slots[slot].as_ref() else { return };
+    let live = block.total_warps - block.done_warps;
+    if live == 0 || block.arrived < live {
+        return;
+    }
+    sm.block_slots[slot].as_mut().expect("checked above").arrived = 0;
+    for w in sm.warps.iter_mut() {
+        if w.block_slot == slot && w.at_barrier && !w.done {
+            w.at_barrier = false;
+            w.next_issue = w.next_issue.max(now + 1);
+        }
+    }
+}
+
+/// Latency, transaction count, and blame class of one memory access.
+fn mem_latency(
+    l2: &mut DirectCache,
+    arch: &ArchConfig,
+    cfg: &SimConfig,
+    mem: &crate::exec::MemAccess,
+    instr: &Instruction,
+) -> (u32, u32, StallReason) {
+    match mem.space {
+        MemSpace::Global => {
+            let mut sectors: Vec<u64> = mem.addrs.iter().map(|a| a >> 5).collect();
+            sectors.sort_unstable();
+            sectors.dedup();
+            let mut worst = 0u32;
+            for &s in &sectors {
+                let hit = l2.access(s << 5);
+                let lat = if hit { arch.lat_global_l2 } else { arch.lat_global_dram };
+                worst = worst.max(lat);
+            }
+            let n = sectors.len() as u32;
+            let mut lat = worst + n.saturating_sub(1) * arch.lat_per_extra_transaction;
+            if matches!(instr.opcode, Opcode::AtomG) {
+                lat += cfg.atom_extra;
+            }
+            (lat, n, StallReason::MemoryDependency)
+        }
+        MemSpace::Local => {
+            // Thread-private accesses are interleaved by hardware and
+            // mostly L1-resident: cheap, well-coalesced traffic.
+            let n = (mem.addrs.len() as u32).div_ceil(8).max(1);
+            let lat = arch.lat_local + (n - 1) * arch.lat_per_extra_transaction;
+            (lat, n, StallReason::MemoryDependency)
+        }
+        MemSpace::Shared => {
+            // Bank conflicts serialize.
+            let mut banks = [0u8; 32];
+            for a in &mem.addrs {
+                banks[((a / 4) % 32) as usize] += 1;
+            }
+            let conflict = banks.iter().copied().max().unwrap_or(1).max(1) as u32;
+            let mut lat = arch.lat_shared + (conflict - 1) * 2;
+            if matches!(instr.opcode, Opcode::AtomS) {
+                lat += cfg.atom_extra;
+            }
+            (lat, 0, StallReason::ExecutionDependency)
+        }
+        MemSpace::Constant => (arch.lat_constant, 0, StallReason::MemoryDependency),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_isa::parse_module;
+
+    fn sim(sms: u32) -> GpuSim {
+        GpuSim::new(ArchConfig::small(sms), SimConfig::default())
+    }
+
+    fn params_u64(vals: &[u64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// out[i] = a[i] + b[i], global index = ctaid*ntid + tid.
+    /// Params: a, b, out (u64 each).
+    const VEC_ADD: &str = r#"
+.module vecadd
+.kernel vecadd
+  S2R R0, SR_TID.X {W:B0, S:1}
+  S2R R12, SR_CTAID.X {W:B1, S:1}
+  S2R R14, SR_NTID.X {W:B2, S:1}
+  IMAD R0, R12, R14, R0 {WT:[B0,B1,B2], S:5}
+  MOV R2, c[0][0] {S:1}
+  MOV R3, c[0][4] {S:1}
+  MOV R4, c[0][8] {S:1}
+  MOV R5, c[0][12] {S:1}
+  MOV R6, c[0][16] {S:1}
+  MOV R7, c[0][20] {S:1}
+  SHL R1, R0, 2 {S:2}
+  IADD R2:R3, R2:R3, R1 {S:2}
+  IADD R4:R5, R4:R5, R1 {S:2}
+  IADD R6:R7, R6:R7, R1 {S:2}
+  LDG.E.32 R8, [R2:R3] {W:B1, S:1}
+  LDG.E.32 R9, [R4:R5] {W:B2, S:1}
+  IADD R10, R8, R9 {WT:[B1,B2], S:4}
+  STG.E.32 [R6:R7], R10 {R:B3, S:1}
+  EXIT {WT:[B3], S:1}
+.endfunc
+"#;
+
+    #[test]
+    fn vector_add_correct() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut gpu = sim(1);
+        let a = gpu.global_mut().alloc(4 * 32);
+        let b = gpu.global_mut().alloc(4 * 32);
+        let out = gpu.global_mut().alloc(4 * 32);
+        for i in 0..32u64 {
+            gpu.global_mut().write_u32(a + 4 * i, i as u32);
+            gpu.global_mut().write_u32(b + 4 * i, 100 + i as u32);
+        }
+        let r = gpu
+            .launch(&m, "vecadd", &LaunchConfig::new(1, 32), &params_u64(&[a, b, out]))
+            .unwrap();
+        for i in 0..32u64 {
+            assert_eq!(gpu.global().read_u32(out + 4 * i), 100 + 2 * i as u32);
+        }
+        assert!(r.cycles > 200, "two dependent global loads cost at least L2 latency");
+        assert_eq!(r.issued, 19);
+        assert!(r.mem_transactions >= 3, "three warp-wide coalesced accesses");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let run = || {
+            let mut gpu = sim(2);
+            let a = gpu.global_mut().alloc(4 * 64);
+            let b = gpu.global_mut().alloc(4 * 64);
+            let out = gpu.global_mut().alloc(4 * 64);
+            let r = gpu
+                .launch(&m, "vecadd", &LaunchConfig::new(2, 32), &params_u64(&[a, b, out]))
+                .unwrap();
+            (r.cycles, r.issued, r.samples.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unknown_kernel_and_bad_launch() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut gpu = sim(1);
+        assert!(matches!(
+            gpu.launch(&m, "nope", &LaunchConfig::new(1, 32), &[]),
+            Err(SimError::UnknownKernel(_))
+        ));
+        assert!(matches!(
+            gpu.launch(&m, "vecadd", &LaunchConfig::new(0, 32), &[]),
+            Err(SimError::BadLaunch(_))
+        ));
+        assert!(matches!(
+            gpu.launch(&m, "vecadd", &LaunchConfig::new(1, 4096), &[]),
+            Err(SimError::BadLaunch(_))
+        ));
+    }
+
+    /// Two warps; warp 0 spins longer before the barrier, so warp 1
+    /// accumulates synchronization stalls.
+    const BARRIER: &str = r#"
+.module barrier
+.kernel barrier
+  S2R R0, SR_TID.X {W:B0, S:1}
+  SHR R1, R0, 5 {WT:[B0], S:2}       # warp id
+  ISETP.EQ.AND P0, R1, 0 {S:2}
+  MOV32I R2, 0 {S:1}
+  @!P0 BRA join {S:5}
+loop:
+  IADD R2, R2, 1 {S:4}
+  ISETP.LT.AND P1, R2, 200 {S:2}
+  @P1 BRA loop {S:5}
+join:
+  BAR.SYNC {S:2}
+  EXIT
+.endfunc
+"#;
+
+    #[test]
+    fn barrier_synchronizes_and_stalls() {
+        let m = parse_module(BARRIER).unwrap();
+        let mut gpu = sim(1);
+        gpu.config_mut().sampling_period = 31;
+        let r = gpu.launch(&m, "barrier", &LaunchConfig::new(1, 64), &[]).unwrap();
+        let syncs = r
+            .samples
+            .iter()
+            .filter(|s| s.stall == StallReason::Synchronization)
+            .count();
+        assert!(syncs > 0, "warp 1 waits at BAR.SYNC while warp 0 loops");
+        assert!(r.cycles > 1000, "200-iteration loop dominates");
+    }
+
+    /// Divergent kernel: odd lanes take one path, even lanes the other;
+    /// both sides write a distinct constant to out[tid].
+    const DIVERGE: &str = r#"
+.module diverge
+.kernel diverge
+  S2R R0, SR_TID.X {W:B0, S:1}
+  MOV R2, c[0][0] {S:1}
+  MOV R3, c[0][4] {S:1}
+  SHL R1, R0, 2 {WT:[B0], S:2}
+  IADD R2:R3, R2:R3, R1 {S:2}
+  LOP3.AND R4, R0, 1 {S:4}
+  ISETP.EQ.AND P0, R4, 1 {S:2}
+  @P0 BRA odd {S:5}
+  MOV32I R5, 1000 {S:1}
+  BRA join {S:5}
+odd:
+  MOV32I R5, 2000 {S:1}
+join:
+  STG.E.32 [R2:R3], R5 {R:B1, S:1}
+  EXIT {WT:[B1], S:1}
+.endfunc
+"#;
+
+    #[test]
+    fn divergence_reconverges_with_correct_values() {
+        let m = parse_module(DIVERGE).unwrap();
+        let mut gpu = sim(1);
+        let out = gpu.global_mut().alloc(4 * 32);
+        gpu.launch(&m, "diverge", &LaunchConfig::new(1, 32), &params_u64(&[out])).unwrap();
+        for i in 0..32u64 {
+            let expect = if i % 2 == 1 { 2000 } else { 1000 };
+            assert_eq!(gpu.global().read_u32(out + 4 * i), expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn sampling_emits_active_and_latency_samples() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut gpu = sim(1);
+        gpu.config_mut().sampling_period = 7;
+        let a = gpu.global_mut().alloc(256);
+        let b = gpu.global_mut().alloc(256);
+        let out = gpu.global_mut().alloc(256);
+        let r = gpu
+            .launch(&m, "vecadd", &LaunchConfig::new(4, 64), &params_u64(&[a, b, out]))
+            .unwrap();
+        assert!(!r.samples.is_empty());
+        let latency = r.samples.iter().filter(|s| !s.scheduler_active).count();
+        let stalls = r.samples.iter().filter(|s| s.stall.is_stall()).count();
+        assert!(latency > 0, "dependent loads leave empty issue slots");
+        assert!(stalls > 0);
+        let memdep = r
+            .samples
+            .iter()
+            .filter(|s| s.stall == StallReason::MemoryDependency)
+            .count();
+        assert!(memdep > 0, "IADD waits on LDG barriers");
+    }
+
+    #[test]
+    fn more_parallelism_hides_latency() {
+        // The same total work split across more warps should need fewer
+        // cycles per element thanks to latency hiding.
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut run = |blocks: u32, threads: u32| {
+            let mut gpu = sim(1);
+            let n = (blocks * threads) as u64;
+            let a = gpu.global_mut().alloc(4 * n);
+            let b = gpu.global_mut().alloc(4 * n);
+            let out = gpu.global_mut().alloc(4 * n);
+            gpu.launch(&m, "vecadd", &LaunchConfig::new(blocks, threads), &params_u64(&[a, b, out]))
+                .unwrap()
+                .cycles
+        };
+        // Per-element cost must drop when more warps are resident.
+        let narrow = run(2, 32); // 2 warps, 64 elements
+        let wide = run(2, 128); // 8 warps, 256 elements
+        let narrow_per = narrow as f64 / 64.0;
+        let wide_per = wide as f64 / 256.0;
+        assert!(
+            wide_per < narrow_per,
+            "more warps hide latency: {wide_per:.2} !< {narrow_per:.2} cycles/element"
+        );
+    }
+
+    #[test]
+    fn grid_larger_than_resident_blocks_completes() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut gpu = sim(1);
+        let n = 64 * 32u64;
+        let a = gpu.global_mut().alloc(4 * n);
+        let b = gpu.global_mut().alloc(4 * n);
+        let out = gpu.global_mut().alloc(4 * n);
+        for i in 0..n {
+            gpu.global_mut().write_u32(a + 4 * i, 1);
+            gpu.global_mut().write_u32(b + 4 * i, 2);
+        }
+        let r = gpu
+            .launch(&m, "vecadd", &LaunchConfig::new(64, 32), &params_u64(&[a, b, out]))
+            .unwrap();
+        assert_eq!(r.issued, 64 * 19);
+        // Every element computed, including the last wave of blocks.
+        assert_eq!(gpu.global().read_u32(out + 4 * (n - 1)), 3);
+        let total_blocks: u32 = r.sm_stats.iter().map(|s| s.blocks).sum();
+        assert_eq!(total_blocks, 64);
+    }
+
+    /// Block-local thread index must come from TID, not warp id: exercises
+    /// a device-function call too.
+    const CALL: &str = r#"
+.module call
+.kernel main
+  S2R R0, SR_TID.X {W:B0, S:1}
+  MOV R2, c[0][0] {S:1}
+  MOV R3, c[0][4] {S:1}
+  SHL R1, R0, 2 {WT:[B0], S:2}
+  IADD R2:R3, R2:R3, R1 {S:2}
+  MOV R4, R0 {S:2}
+  CAL triple {S:5}
+  STG.E.32 [R2:R3], R5 {R:B1, S:1}
+  EXIT {WT:[B1], S:1}
+.endfunc
+.func triple
+  IADD R5, R4, R4 {S:4}
+  IADD R5, R5, R4 {S:4}
+  RET {S:5}
+.endfunc
+"#;
+
+    #[test]
+    fn device_function_call_and_return() {
+        let m = parse_module(CALL).unwrap();
+        let mut gpu = sim(1);
+        let out = gpu.global_mut().alloc(4 * 32);
+        gpu.launch(&m, "main", &LaunchConfig::new(1, 32), &params_u64(&[out])).unwrap();
+        for i in 0..32u64 {
+            assert_eq!(gpu.global().read_u32(out + 4 * i), 3 * i as u32);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Memory spaces and cache models.
+
+use std::collections::HashMap;
+
+const PAGE_SIZE: u64 = 4096;
+
+/// Paged device (global) memory.
+///
+/// Reads of unwritten memory return zero, like freshly `cudaMalloc`ed and
+/// zeroed buffers; kernels allocate regions through [`GlobalMem::alloc`].
+#[derive(Debug, Default, Clone)]
+pub struct GlobalMem {
+    pages: HashMap<u64, Box<[u8]>>,
+    brk: u64,
+}
+
+impl GlobalMem {
+    /// Creates an empty memory with the allocator starting at a non-zero
+    /// base (so that address 0 stays an obvious "null").
+    pub fn new() -> Self {
+        GlobalMem { pages: HashMap::new(), brk: 0x10_0000 }
+    }
+
+    /// Bump-allocates `size` bytes, 256-byte aligned (like `cudaMalloc`).
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        let addr = self.brk;
+        self.brk = (self.brk + size + 255) & !255;
+        addr
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8] {
+        self.pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr / PAGE_SIZE))
+            .map_or(0, |p| p[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let off = (addr % PAGE_SIZE) as usize;
+        self.page_mut(addr)[off] = v;
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr + 1),
+            self.read_u8(addr + 2),
+            self.read_u8(addr + 3),
+        ])
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr + 4) as u64) << 32)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_u32(addr, v as u32);
+        self.write_u32(addr + 4, (v >> 32) as u32);
+    }
+
+    /// Reads an `f32`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Reads an `f64`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    /// Copies a byte slice into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+/// A direct-mapped cache model keyed by line address; deterministic and
+/// cheap, used for both the device L2 and the per-SM instruction cache.
+#[derive(Debug, Clone)]
+pub struct DirectCache {
+    tags: Vec<u64>,
+    line: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DirectCache {
+    /// A cache of `size` bytes with `line`-byte lines.
+    pub fn new(size: u32, line: u32) -> Self {
+        let sets = (size / line).max(1) as usize;
+        DirectCache { tags: vec![u64::MAX; sets], line: line as u64, hits: 0, misses: 0 }
+    }
+
+    /// Accesses `addr`; returns whether it hit, filling the line on a miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line_addr = addr / self.line;
+        let set = (line_addr % self.tags.len() as u64) as usize;
+        if self.tags[set] == line_addr {
+            self.hits += 1;
+            true
+        } else {
+            self.tags[set] = line_addr;
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Constant banks (bank 0 holds kernel parameters, bank 1 user data).
+#[derive(Debug, Clone, Default)]
+pub struct ConstMem {
+    banks: Vec<Vec<u8>>,
+}
+
+impl ConstMem {
+    /// Creates empty banks.
+    pub fn new() -> Self {
+        ConstMem { banks: vec![Vec::new(); 4] }
+    }
+
+    /// Replaces the contents of a bank.
+    pub fn set_bank(&mut self, bank: u8, data: Vec<u8>) {
+        let b = bank as usize;
+        if self.banks.len() <= b {
+            self.banks.resize(b + 1, Vec::new());
+        }
+        self.banks[b] = data;
+    }
+
+    /// Reads a `u32` from a bank (zero beyond the end).
+    pub fn read_u32(&self, bank: u8, offset: u32) -> u32 {
+        let Some(b) = self.banks.get(bank as usize) else { return 0 };
+        let o = offset as usize;
+        let mut bytes = [0u8; 4];
+        for i in 0..4 {
+            bytes[i] = b.get(o + i).copied().unwrap_or(0);
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Reads a `u64` from a bank.
+    pub fn read_u64(&self, bank: u8, offset: u32) -> u64 {
+        (self.read_u32(bank, offset) as u64) | ((self.read_u32(bank, offset + 4) as u64) << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_rw_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(1024);
+        assert_eq!(a % 256, 0);
+        m.write_u32(a, 0xdeadbeef);
+        assert_eq!(m.read_u32(a), 0xdeadbeef);
+        m.write_f64(a + 8, 2.5);
+        assert_eq!(m.read_f64(a + 8), 2.5);
+        // Cross-page access.
+        let edge = a + PAGE_SIZE - 2;
+        m.write_u32(edge, 0x11223344);
+        assert_eq!(m.read_u32(edge), 0x11223344);
+        // Unwritten memory reads zero.
+        assert_eq!(m.read_u32(0x9999_0000), 0);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn direct_cache_hits_and_misses() {
+        let mut c = DirectCache::new(1024, 64);
+        assert!(!c.access(0));
+        assert!(c.access(4), "same line");
+        assert!(!c.access(1024), "conflict: same set, different tag");
+        assert!(!c.access(0), "evicted");
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (1, 3));
+    }
+
+    #[test]
+    fn const_banks() {
+        let mut c = ConstMem::new();
+        c.set_bank(0, vec![1, 0, 0, 0, 2, 0, 0, 0]);
+        assert_eq!(c.read_u32(0, 0), 1);
+        assert_eq!(c.read_u32(0, 4), 2);
+        assert_eq!(c.read_u32(0, 100), 0, "out of range reads zero");
+        assert_eq!(c.read_u64(0, 0), 1 | (2u64 << 32));
+    }
+}

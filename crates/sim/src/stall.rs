@@ -1,0 +1,120 @@
+//! The CUPTI-compatible stall taxonomy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a sampled warp could not issue (or that it did).
+///
+/// This mirrors the stall reasons CUPTI's PC sampling attaches to samples.
+/// `Selected` marks the issuing warp (an active sample with no stall);
+/// every other variant is a *stall sample* in the paper's terminology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StallReason {
+    /// The warp issued an instruction this cycle.
+    Selected,
+    /// The warp was ready but the scheduler picked another warp.
+    NotSelected,
+    /// Waiting on a fixed-latency arithmetic result, a shared-memory
+    /// load, a WAR read barrier, or a transcendental.
+    ExecutionDependency,
+    /// Waiting on a global/local/constant memory value.
+    MemoryDependency,
+    /// Parked at `BAR.SYNC` until the whole block arrives.
+    Synchronization,
+    /// The LSU queue is full; memory instructions cannot issue.
+    MemoryThrottle,
+    /// The next instruction has not been fetched (i-cache miss or branch
+    /// redirect).
+    InstructionFetch,
+    /// The functional pipe for this instruction is busy.
+    PipeBusy,
+    /// Anything else (drain after exit, launch overhead).
+    Other,
+}
+
+impl StallReason {
+    /// All reasons, for histograms and encoding.
+    pub const ALL: [StallReason; 9] = [
+        StallReason::Selected,
+        StallReason::NotSelected,
+        StallReason::ExecutionDependency,
+        StallReason::MemoryDependency,
+        StallReason::Synchronization,
+        StallReason::MemoryThrottle,
+        StallReason::InstructionFetch,
+        StallReason::PipeBusy,
+        StallReason::Other,
+    ];
+
+    /// Dense code for array-indexed histograms.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&r| r == self).unwrap() as u8
+    }
+
+    /// Inverse of [`StallReason::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// Whether this sample counts as a stall sample (anything but
+    /// `Selected`).
+    pub fn is_stall(self) -> bool {
+        self != StallReason::Selected
+    }
+
+    /// Whether the stall is caused by a *source* instruction rather than
+    /// the stalled instruction itself — these are the reasons the paper's
+    /// instruction blamer attributes backwards (memory dependency,
+    /// execution dependency, synchronization).
+    pub fn is_attributable(self) -> bool {
+        matches!(
+            self,
+            StallReason::MemoryDependency
+                | StallReason::ExecutionDependency
+                | StallReason::Synchronization
+        )
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Selected => "selected",
+            StallReason::NotSelected => "not_selected",
+            StallReason::ExecutionDependency => "exec_dependency",
+            StallReason::MemoryDependency => "memory_dependency",
+            StallReason::Synchronization => "synchronization",
+            StallReason::MemoryThrottle => "memory_throttle",
+            StallReason::InstructionFetch => "inst_fetch",
+            StallReason::PipeBusy => "pipe_busy",
+            StallReason::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for r in StallReason::ALL {
+            assert_eq!(StallReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(StallReason::from_code(200), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!StallReason::Selected.is_stall());
+        assert!(StallReason::NotSelected.is_stall());
+        assert!(StallReason::MemoryDependency.is_attributable());
+        assert!(StallReason::Synchronization.is_attributable());
+        assert!(!StallReason::MemoryThrottle.is_attributable());
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: write a kernel, profile it, and print GPA's advice.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use gpa::arch::{ArchConfig, LaunchConfig};
+use gpa::core::{report, Advisor};
+use gpa::sampling::Profiler;
+use gpa::sim::{GpuSim, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A pointer-chasing kernel: each loop iteration loads a value and
+    // consumes it immediately — the classic code-reordering target.
+    let module = gpa::isa::parse_module(
+        r#"
+.module quickstart
+.kernel chase
+.line chase.cu 10
+  S2R R0, SR_TID.X {W:B0, S:1}
+  MOV R2, c[0][0] {S:1}
+  MOV R3, c[0][4] {S:1}
+  SHL R1, R0, 2 {WT:[B0], S:2}
+  IADD R2:R3, R2:R3, R1 {S:2}
+  MOV32I R6, 0 {S:1}
+  MOV32I R7, 0 {S:1}
+.line chase.cu 14
+loop:
+  LDG.E.32 R4, [R2:R3] {W:B1, S:1}
+  IADD R7, R7, R4 {WT:[B1], S:4}
+  IADD R2:R3, R2:R3, 512 {S:2}
+  IADD R6, R6, 1 {S:4}
+  ISETP.LT.AND P0, R6, 64 {S:2}
+  @P0 BRA loop {S:5}
+.line chase.cu 18
+  STG.E.32 [R2:R3], R7 {R:B2, S:1}
+  EXIT {WT:[B2], S:1}
+.endfunc
+"#,
+    )?;
+
+    // A small Volta-like device; sampling period 127 cycles.
+    let arch = ArchConfig::small(2);
+    let mut cfg = SimConfig::default();
+    cfg.sampling_period = 127;
+    let mut profiler = Profiler::new(GpuSim::new(arch.clone(), cfg));
+
+    // Host-side setup: one buffer, its address as the kernel parameter.
+    let buf = profiler.gpu_mut().global_mut().alloc(4 * 64 * 512);
+    let params: Vec<u8> = buf.to_le_bytes().to_vec();
+
+    let (profile, result) =
+        profiler.profile(&module, "chase", &LaunchConfig::new(4, 64), &params)?;
+    println!(
+        "kernel ran {} cycles, {} instructions, {} samples\n",
+        result.cycles,
+        result.issued,
+        profile.total_samples
+    );
+
+    let advice = Advisor::new().advise(&module, &profile, &arch);
+    print!("{}", report::render(&advice, 3));
+    Ok(())
+}
