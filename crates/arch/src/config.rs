@@ -1,7 +1,6 @@
 //! Machine descriptions.
 
 use gpa_isa::Pipe;
-use serde::{Deserialize, Serialize};
 
 /// A GPU machine description.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// scaled-down part with the same per-SM shape (4 schedulers, same
 /// latencies) so unit tests and experiments can run quickly while
 /// preserving blocks-vs-SMs ratios.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchConfig {
     /// Human-readable name.
     pub name: String,

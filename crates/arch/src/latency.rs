@@ -13,10 +13,9 @@
 
 use crate::config::ArchConfig;
 use gpa_isa::{Instruction, Modifier, Opcode};
-use serde::{Deserialize, Serialize};
 
 /// Fixed latencies and variable-latency upper bounds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyTable {
     /// Upper bound for global/local memory (TLB-miss path), cycles.
     pub global_upper: u32,

@@ -1,11 +1,10 @@
 //! Occupancy calculation for parallel optimizers.
 
 use crate::config::ArchConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A kernel launch configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchConfig {
     /// Number of thread blocks in the grid.
     pub grid_blocks: u32,
@@ -36,7 +35,7 @@ impl LaunchConfig {
 }
 
 /// What bounds the number of resident blocks per SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OccLimiter {
     /// The warp limit per SM.
     Warps,
@@ -64,7 +63,7 @@ impl fmt::Display for OccLimiter {
 }
 
 /// Achievable occupancy of a launch on a machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Occupancy {
     /// Resident blocks per SM.
     pub blocks_per_sm: u32,
@@ -84,13 +83,8 @@ impl ArchConfig {
         let wpb = lc.warps_per_block(self.warp_size).max(1);
         let by_warps = self.max_warps_per_sm() / wpb;
         let regs_per_block = lc.regs_per_thread * wpb * self.warp_size;
-        let by_regs =
-            if regs_per_block == 0 { u32::MAX } else { self.registers_per_sm / regs_per_block };
-        let by_smem = if lc.smem_per_block == 0 {
-            u32::MAX
-        } else {
-            self.shared_mem_per_sm / lc.smem_per_block
-        };
+        let by_regs = self.registers_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+        let by_smem = self.shared_mem_per_sm.checked_div(lc.smem_per_block).unwrap_or(u32::MAX);
         let by_slots = self.max_blocks_per_sm;
         let hw_limit = by_warps.min(by_regs).min(by_smem).min(by_slots);
         // Blocks the grid can actually spread over every SM.

@@ -48,13 +48,13 @@ pub fn assign_stall_counts(f: &mut Function, lat: &LatencyTable) -> usize {
     }
     let mut raised = 0;
     let mut block_start = 0;
-    for i in 0..=n {
-        if i == n || (i > block_start && leader[i]) {
+    for (i, &lead) in leader.iter().enumerate() {
+        if i > block_start && lead {
             raised += schedule_block(f, lat, block_start, i);
             block_start = i;
         }
     }
-    raised
+    raised + schedule_block(f, lat, block_start, n)
 }
 
 fn schedule_block(f: &mut Function, lat: &LatencyTable, start: usize, end: usize) -> usize {

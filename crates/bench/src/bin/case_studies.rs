@@ -2,30 +2,37 @@
 //! optimization sequences on ExaTENSOR, Quicksilver, PeleC, and Minimod,
 //! printing the top advice at each stage and the speedup of applying it.
 
-use gpa_bench::{advise_variant, print_table3_header, print_table3_row, run_app};
-use gpa_kernels::{apps, Params};
+use gpa_bench::{print_table3_header, print_table3_row, run_apps_parallel};
+use gpa_kernels::apps;
+use gpa_pipeline::Session;
 
 fn main() {
-    let p = Params::full();
-    let studies =
-        [apps::exatensor::app(), apps::quicksilver::app(), apps::pelec::app(), apps::minimod::app()];
+    let session = Session::full();
+    let studies = [
+        apps::exatensor::app(),
+        apps::quicksilver::app(),
+        apps::pelec::app(),
+        apps::minimod::app(),
+    ];
     print_table3_header();
-    for app in &studies {
-        match run_app(app, &p) {
-            Ok(rows) => rows.iter().for_each(print_table3_row),
+    let runs = run_apps_parallel(&session, &studies);
+    for res in &runs {
+        match res {
+            Ok(run) => run.rows.iter().for_each(print_table3_row),
             Err(e) => println!("ERROR: {e}"),
         }
     }
+    // The Table 3 pass already advised every stage variant; reuse those
+    // reports instead of re-simulating.
     println!("\nTop advice per stage:");
-    for app in &studies {
-        for v in 0..app.stages.len() {
-            if let Ok(report) = advise_variant(app, v, &p) {
-                if let Some(top) = report.top() {
-                    println!(
-                        "  {} (variant {v}): {} — estimated {:.2}x",
-                        app.name, top.optimizer, top.estimated_speedup
-                    );
-                }
+    for (app, res) in studies.iter().zip(&runs) {
+        let Ok(run) = res else { continue };
+        for (v, report) in run.reports.iter().enumerate() {
+            if let Some(top) = report.top() {
+                println!(
+                    "  {} (variant {v}): {} — estimated {:.2}x",
+                    app.name, top.optimizer, top.estimated_speedup
+                );
             }
         }
     }

@@ -40,7 +40,11 @@ loop:
         let class = if s.scheduler_active { "active" } else { "latency" };
         println!(
             "{:<8} {:<10} {:<10} {:<18} {:#x}",
-            s.cycle, s.scheduler, class, s.stall.name(), s.pc
+            s.cycle,
+            s.scheduler,
+            class,
+            s.stall.name(),
+            s.pc
         );
     }
     let active = r.samples.iter().filter(|s| s.scheduler_active).count();
@@ -53,6 +57,9 @@ loop:
         latency,
         stalls
     );
-    println!("stall ratio {:.2}, active ratio {:.2}", latency as f64 / r.samples.len() as f64,
-        active as f64 / r.samples.len() as f64);
+    println!(
+        "stall ratio {:.2}, active ratio {:.2}",
+        latency as f64 / r.samples.len() as f64,
+        active as f64 / r.samples.len() as f64
+    );
 }

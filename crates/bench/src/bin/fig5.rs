@@ -1,13 +1,10 @@
 //! Reproduces **Figure 5**: the detailed dependency-stall classification,
 //! plus the measured per-class blame shares on a real kernel profile.
 
-use gpa_arch::LatencyTable;
 use gpa_core::blamer::coverage::detail_shares;
 use gpa_core::blamer::DetailedReason;
-use gpa_core::ModuleBlame;
-use gpa_kernels::runner::{arch_for, run_spec};
-use gpa_kernels::{apps, Params};
-use gpa_structure::ProgramStructure;
+use gpa_kernels::apps;
+use gpa_pipeline::{AnalysisJob, Session};
 
 fn main() {
     println!("Figure 5 — detailed stall classification\n");
@@ -16,18 +13,9 @@ fn main() {
     }
     // Measure the shares on the Quicksilver baseline (local-memory spills
     // plus arithmetic and global dependencies).
-    let p = Params::test();
-    let arch = arch_for(&p);
+    let session = Session::test();
     let app = apps::quicksilver::app();
-    let spec = (app.build)(0, &p);
-    let run = run_spec(&spec, &arch).expect("runs");
-    let structure = ProgramStructure::build(&spec.module);
-    let blame = ModuleBlame::build(
-        &spec.module,
-        &structure,
-        &run.profile,
-        &LatencyTable::for_arch(&arch),
-    );
+    let blame = session.blame_one(&AnalysisJob::new(app.name, 0)).expect("runs");
     println!("\nblamed-stall shares on Quicksilver (baseline):");
     for (d, share) in detail_shares(&blame) {
         println!("  {:<32} {:>5.1}%", d.to_string(), 100.0 * share);

@@ -1,37 +1,29 @@
 //! Reproduces **Figure 7**: single-dependency coverage before and after
 //! pruning cold edges, per Rodinia benchmark.
 
-use gpa_arch::LatencyTable;
 use gpa_core::blamer::single_dependency_coverage;
-use gpa_core::ModuleBlame;
-use gpa_kernels::runner::{arch_for, run_spec};
-use gpa_kernels::{apps, Params};
-use gpa_structure::ProgramStructure;
+use gpa_kernels::apps;
+use gpa_pipeline::{AnalysisJob, Session};
+use rayon::prelude::*;
 
 fn main() {
-    let p = Params::full();
-    let arch = arch_for(&p);
+    let session = Session::full();
     println!("Figure 7 — single dependency coverage before/after pruning\n");
     println!("{:<26} {:>8} {:>8} {:>7}", "benchmark", "before", "after", "nodes");
     println!("{}", "-".repeat(55));
+    let apps = apps::rodinia_apps();
+    let blames: Vec<_> =
+        apps.par_iter().map(|app| session.blame_one(&AnalysisJob::new(app.name, 0))).collect();
     let mut sum_after = 0.0;
     let mut n = 0;
-    for app in apps::rodinia_apps() {
-        let spec = (app.build)(0, &p);
-        let run = match run_spec(&spec, &arch) {
-            Ok(r) => r,
+    for (app, blame) in apps.iter().zip(blames) {
+        let blame = match blame {
+            Ok(b) => b,
             Err(e) => {
                 println!("{:<26} error: {e}", app.name);
                 continue;
             }
         };
-        let structure = ProgramStructure::build(&spec.module);
-        let blame = ModuleBlame::build(
-            &spec.module,
-            &structure,
-            &run.profile,
-            &LatencyTable::for_arch(&arch),
-        );
         let cov = single_dependency_coverage(&blame);
         println!(
             "{:<26} {:>8.2} {:>8.2} {:>7}",
@@ -44,5 +36,8 @@ fn main() {
         n += 1;
     }
     println!("{}", "-".repeat(55));
-    println!("mean after-pruning coverage: {:.2} (paper: most benchmarks > 0.8)", sum_after / n as f64);
+    println!(
+        "mean after-pruning coverage: {:.2} (paper: most benchmarks > 0.8)",
+        sum_after / n as f64
+    );
 }

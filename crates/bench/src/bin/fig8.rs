@@ -3,9 +3,11 @@
 //! def/use source locations and distances.
 
 use gpa_bench::{advise_variant, render_report};
-use gpa_kernels::{apps, Params};
+use gpa_kernels::apps;
+use gpa_pipeline::Session;
 
 fn main() {
-    let report = advise_variant(&apps::exatensor::app(), 0, &Params::full()).expect("advises");
+    let session = Session::full();
+    let report = advise_variant(&session, &apps::exatensor::app(), 0).expect("advises");
     print!("{}", render_report(&report, 3));
 }

@@ -4,33 +4,33 @@
 //! Run with `cargo run --release -p gpa-bench --bin table3`. Pass an app
 //! name (e.g. `rodinia/hotspot`) to run a single application.
 
-use gpa_bench::{geomean, print_table3_header, print_table3_row, run_app};
-use gpa_kernels::{all_apps, Params};
+use gpa_bench::{geomean, print_table3_header, print_table3_row, run_apps_parallel};
+use gpa_kernels::all_apps;
+use gpa_pipeline::Session;
 
 fn main() {
     let filter = std::env::args().nth(1);
-    let p = Params::full();
+    let session = Session::full();
     let apps: Vec<_> = all_apps()
         .into_iter()
         .filter(|a| filter.as_deref().is_none_or(|f| a.name.contains(f)))
         .collect();
-    println!("GPA Table 3 reproduction — {} applications, {} SM device\n", apps.len(), p.sms);
+    println!(
+        "GPA Table 3 reproduction — {} applications, {} SM device, {} workers\n",
+        apps.len(),
+        session.params().sms,
+        session.workers()
+    );
     print_table3_header();
     let mut rows = Vec::new();
     // Stages of one app must run in order, but apps are independent.
-    let results: Vec<_> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> =
-            apps.iter().map(|app| s.spawn(move |_| run_app(app, &p))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
-    for res in results {
+    for res in run_apps_parallel(&session, &apps) {
         match res {
-            Ok(app_rows) => {
-                for r in &app_rows {
+            Ok(run) => {
+                for r in &run.rows {
                     print_table3_row(r);
                 }
-                rows.extend(app_rows);
+                rows.extend(run.rows);
             }
             Err(e) => println!("ERROR: {e}"),
         }

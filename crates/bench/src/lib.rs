@@ -1,12 +1,14 @@
 //! Shared harness code for the table/figure reproduction binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md's per-experiment index); this library holds the
-//! common measure-and-advise plumbing.
+//! paper; this library holds the Table 3 row assembly on top of the
+//! pipeline's [`Session`] (which caches module artifacts and owns the
+//! measure-and-advise flow the harnesses used to duplicate).
 
-use gpa_core::{report, AdviceReport, Advisor};
-use gpa_kernels::runner::{arch_for, run_spec, time_spec};
-use gpa_kernels::{App, Params};
+use gpa_core::{report, AdviceReport};
+use gpa_kernels::App;
+use gpa_pipeline::{AnalysisJob, Session};
+use rayon::prelude::*;
 
 /// One reproduced Table 3 row.
 #[derive(Debug, Clone)]
@@ -31,26 +33,35 @@ pub struct Table3Row {
     pub rank: Option<usize>,
 }
 
+/// One application's full Table 3 pass: the assembled rows plus the
+/// per-stage advice reports they came from (so consumers can show top
+/// advice without re-simulating).
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Table 3 rows, one per stage.
+    pub rows: Vec<Table3Row>,
+    /// The advice report for each stage's baseline variant.
+    pub reports: Vec<AdviceReport>,
+}
+
 /// Runs all stages of one application, producing its Table 3 rows.
+/// Stage `k` profiles variant `k` (sampled) and times variant `k + 1`
+/// (unsampled), exactly as the paper measures achieved speedup.
 ///
 /// # Errors
 ///
 /// Returns a message when the simulator faults on a variant.
-pub fn run_app(app: &App, p: &Params) -> Result<Vec<Table3Row>, String> {
-    let arch = arch_for(p);
-    let advisor = Advisor::new();
+pub fn run_app(session: &Session, app: &App) -> Result<AppRun, String> {
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for (k, stage) in app.stages.iter().enumerate() {
-        let base = (app.build)(k, p);
-        let opt = (app.build)(k + 1, p);
-        let run = run_spec(&base, &arch).map_err(|e| format!("{} v{k}: {e}", app.name))?;
-        let report = advisor.advise(&base.module, &run.profile, &arch);
+        let run = session.run_one(&AnalysisJob::new(app.name, k)).map_err(|e| e.to_string())?;
         let opt_cycles =
-            time_spec(&opt, &arch).map_err(|e| format!("{} v{}: {e}", app.name, k + 1))?;
+            session.time_one(&AnalysisJob::new(app.name, k + 1)).map_err(|e| e.to_string())?;
         let achieved = run.cycles as f64 / opt_cycles as f64;
-        let item = report.item(stage.optimizer);
+        let item = run.report.item(stage.optimizer);
         let estimated = item.map_or(1.0, |i| i.estimated_speedup);
-        let rank = report.rank_of(stage.optimizer);
+        let rank = run.report.rank_of(stage.optimizer);
         rows.push(Table3Row {
             app: app.name.to_string(),
             kernel: app.kernel.to_string(),
@@ -62,8 +73,16 @@ pub fn run_app(app: &App, p: &Params) -> Result<Vec<Table3Row>, String> {
             error: (estimated - achieved).abs() / achieved,
             rank,
         });
+        reports.push(run.report);
     }
-    Ok(rows)
+    Ok(AppRun { rows, reports })
+}
+
+/// Runs [`run_app`] for many applications across the worker pool.
+/// Results keep `apps` order (stages within an app stay sequential; apps
+/// are independent).
+pub fn run_apps_parallel(session: &Session, apps: &[App]) -> Vec<Result<AppRun, String>> {
+    apps.par_iter().map(|app| run_app(session, app)).collect()
 }
 
 /// Advises on one variant of an app (for the report binaries).
@@ -71,18 +90,28 @@ pub fn run_app(app: &App, p: &Params) -> Result<Vec<Table3Row>, String> {
 /// # Errors
 ///
 /// Returns a message when the simulator faults.
-pub fn advise_variant(app: &App, variant: usize, p: &Params) -> Result<AdviceReport, String> {
-    let arch = arch_for(p);
-    let spec = (app.build)(variant, p);
-    let run = run_spec(&spec, &arch).map_err(|e| format!("{}: {e}", app.name))?;
-    Ok(Advisor::new().advise(&spec.module, &run.profile, &arch))
+pub fn advise_variant(
+    session: &Session,
+    app: &App,
+    variant: usize,
+) -> Result<AdviceReport, String> {
+    session
+        .run_one(&AnalysisJob::new(app.name, variant))
+        .map(|out| out.report)
+        .map_err(|e| e.to_string())
 }
 
 /// Prints the Table 3 header.
 pub fn print_table3_header() {
     println!(
         "{:<22} {:<28} {:<28} {:>12} {:>9} {:>10} {:>7} {:>5}",
-        "Application", "Kernel", "Optimization", "Original", "Achieved", "Estimated", "Error",
+        "Application",
+        "Kernel",
+        "Optimization",
+        "Original",
+        "Achieved",
+        "Estimated",
+        "Error",
         "Rank"
     );
     println!("{}", "-".repeat(128));

@@ -1,14 +1,13 @@
 //! Basic-block construction.
 
 use gpa_isa::{Function, Opcode};
-use serde::{Deserialize, Serialize};
 
 /// Index of a basic block inside a [`Cfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub usize);
 
 /// A maximal straight-line run of instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BasicBlock {
     /// This block's id.
     pub id: BlockId,
@@ -41,7 +40,7 @@ impl BasicBlock {
 /// `BRA` (conditional if predicated), `EXIT` and `RET`; `CAL` does not end a
 /// block (the CFG is intra-procedural, matching the paper's intra-function
 /// backward slicing).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cfg {
     blocks: Vec<BasicBlock>,
     succs: Vec<Vec<BlockId>>,
@@ -75,10 +74,8 @@ impl Cfg {
                         leader[i + 1] = true;
                     }
                 }
-                Opcode::Exit | Opcode::Ret => {
-                    if i + 1 < n {
-                        leader[i + 1] = true;
-                    }
+                Opcode::Exit | Opcode::Ret if i + 1 < n => {
+                    leader[i + 1] = true;
                 }
                 _ => {}
             }
@@ -86,8 +83,8 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![BlockId(0); n];
         let mut start = 0;
-        for i in 0..n {
-            if i > start && leader[i] {
+        for (i, &lead) in leader.iter().enumerate() {
+            if i > start && lead {
                 let id = BlockId(blocks.len());
                 blocks.push(BasicBlock { id, start, end: i });
                 start = i;
@@ -98,9 +95,7 @@ impl Cfg {
             blocks.push(BasicBlock { id, start, end: n });
         }
         for b in &blocks {
-            for i in b.start..b.end {
-                block_of[i] = b.id;
-            }
+            block_of[b.start..b.end].fill(b.id);
         }
         let mut succs = vec![Vec::new(); blocks.len()];
         let mut preds = vec![Vec::new(); blocks.len()];
@@ -177,11 +172,7 @@ impl Cfg {
 
     /// Blocks with no successors (function exits).
     pub fn exits(&self) -> Vec<BlockId> {
-        self.blocks
-            .iter()
-            .filter(|b| self.succs[b.id.0].is_empty())
-            .map(|b| b.id)
-            .collect()
+        self.blocks.iter().filter(|b| self.succs[b.id.0].is_empty()).map(|b| b.id).collect()
     }
 
     /// Reverse postorder over blocks reachable from the entry.

@@ -1,10 +1,9 @@
 //! Dominator and postdominator trees (Cooper–Harvey–Kennedy).
 
 use crate::block::{BlockId, Cfg};
-use serde::{Deserialize, Serialize};
 
 /// The dominator tree of a [`Cfg`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dominators {
     idom: Vec<Option<BlockId>>,
     rpo_index: Vec<usize>,
@@ -95,7 +94,7 @@ fn intersect(
 ///
 /// Postdominators give the simulator its branch-reconvergence points (the
 /// immediate postdominator of a divergent branch block).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PostDominators {
     /// Immediate postdominator per block; `None` means the virtual exit.
     ipdom: Vec<Option<BlockId>>,

@@ -2,15 +2,14 @@
 
 use crate::block::{BlockId, Cfg};
 use crate::dom::Dominators;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Index of a loop inside a [`LoopForest`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LoopId(pub usize);
 
 /// One natural loop.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Loop {
     /// This loop's id.
     pub id: LoopId,
@@ -37,7 +36,7 @@ impl Loop {
 /// two consumers: the Loop Unrolling optimizer (def and use inside the same
 /// loop) and Eq. 5's scope analysis (active samples of a scope and all
 /// scopes nested inside it).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoopForest {
     loops: Vec<Loop>,
     /// Innermost loop per block.
@@ -85,13 +84,7 @@ impl LoopForest {
                     }
                 }
             }
-            loops.push(Loop {
-                id: LoopId(loops.len()),
-                header,
-                blocks,
-                parent: None,
-                depth: 1,
-            });
+            loops.push(Loop { id: LoopId(loops.len()), header, blocks, parent: None, depth: 1 });
         }
         // Nesting: loop A is nested in B iff A's blocks ⊂ B's blocks.
         // Sort by size so parents come after children among candidates.

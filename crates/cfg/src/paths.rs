@@ -66,7 +66,7 @@ impl Cfg {
                     }
                 }
             }
-            let Some((b, d)) = best else { return None };
+            let (b, d) = best?;
             if b == to.0 {
                 return Some(d);
             }

@@ -4,36 +4,67 @@
 //! automates profiling and analysis stages". Subcommands:
 //!
 //! ```text
-//! gpa list                      enumerate built-in benchmark kernels
-//! gpa analyze <app> [variant]   profile a kernel and print the advice report
-//! gpa profile <app> [variant]   dump the PC-sampling profile as JSON
-//! gpa asm <app> [variant]       print the kernel's assembly
+//! gpa list                              enumerate built-in benchmark kernels
+//! gpa analyze <app> [variant] [--json]  profile a kernel and print the advice report
+//! gpa analyze --all [--json]            analyze all 21 apps in parallel, with a summary
+//! gpa profile <app> [variant]           dump the PC-sampling profile as JSON
+//! gpa asm <app> [variant]               print the kernel's assembly
 //! ```
+//!
+//! `analyze --all` fans out over the worker pool via the pipeline's
+//! [`Session::run_batch`] and ends with a per-app wall-clock summary;
+//! the exit code is nonzero when any app faults.
 
-use gpa_core::{report, Advisor};
-use gpa_kernels::runner::{arch_for, run_spec};
-use gpa_kernels::{all_apps, apps::app_by_name, Params};
+use gpa_core::report;
+use gpa_json::Json;
+use gpa_kernels::all_apps;
+use gpa_kernels::apps::app_by_name;
+use gpa_pipeline::{AnalysisJob, Session};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gpa <command> [args]\n\n  list                    list built-in kernels\n  analyze <app> [variant] profile + advise (default variant 0)\n  profile <app> [variant] dump the profile JSON\n  asm <app> [variant]     print kernel assembly"
+        "usage: gpa <command> [args]\n\n  \
+         list                              list built-in kernels\n  \
+         analyze <app> [variant] [--json]  profile + advise (default variant 0)\n  \
+         analyze --all [--json]            analyze every app in parallel, with summary\n  \
+         profile <app> [variant]           dump the profile JSON\n  \
+         asm <app> [variant]               print kernel assembly"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = {
+        let before = args.len();
+        args.retain(|a| a != "--json");
+        args.len() != before
+    };
+    let all = {
+        let before = args.len();
+        args.retain(|a| a != "--all");
+        args.len() != before
+    };
     let Some(cmd) = args.first() else { return usage() };
-    let p = Params::full();
+    if (json || all) && cmd != "analyze" {
+        eprintln!("--json and --all are only supported with `analyze`");
+        return ExitCode::from(2);
+    }
     match cmd.as_str() {
         "list" => {
             for app in all_apps() {
                 let stages: Vec<&str> = app.stages.iter().map(|s| s.name).collect();
-                println!("{:<24} kernel {:<28} stages: {}", app.name, app.kernel, stages.join(", "));
+                println!(
+                    "{:<24} kernel {:<28} stages: {}",
+                    app.name,
+                    app.kernel,
+                    stages.join(", ")
+                );
             }
             ExitCode::SUCCESS
         }
+        "analyze" if all => analyze_all(json),
         "analyze" | "profile" | "asm" => {
             let Some(name) = args.get(1) else { return usage() };
             let Some(app) = app_by_name(name) else {
@@ -45,28 +76,114 @@ fn main() -> ExitCode {
                 eprintln!("{name} has variants 0..{}", app.variants() - 1);
                 return ExitCode::FAILURE;
             }
-            let spec = (app.build)(variant, &p);
+            let session = Session::full();
+            let job = AnalysisJob::new(app.name, variant);
             if cmd == "asm" {
-                print!("{}", spec.module.write_asm());
-                return ExitCode::SUCCESS;
-            }
-            let arch = arch_for(&p);
-            let run = match run_spec(&spec, &arch) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("simulation failed: {e}");
-                    return ExitCode::FAILURE;
+                match session.artifacts(&job) {
+                    Ok(art) => {
+                        print!("{}", art.spec.module.write_asm());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
                 }
-            };
-            if cmd == "profile" {
-                println!("{}", run.profile.to_json());
-                return ExitCode::SUCCESS;
+            } else {
+                let outcome = match session.run_one(&job) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("simulation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match cmd.as_str() {
+                    "profile" => println!("{}", outcome.profile.to_json()),
+                    _ if json => println!("{}", outcome.to_json()),
+                    _ => {
+                        print!("{}", report::render(&outcome.report, 5));
+                        println!("kernel cycles: {}", outcome.cycles);
+                    }
+                }
+                ExitCode::SUCCESS
             }
-            let advice = Advisor::new().advise(&spec.module, &run.profile, &arch);
-            print!("{}", report::render(&advice, 5));
-            println!("kernel cycles: {}", run.cycles);
-            ExitCode::SUCCESS
         }
         _ => usage(),
+    }
+}
+
+/// `gpa analyze --all [--json]`: every registry app (baseline variant)
+/// through the parallel batch pipeline, then an end-of-run summary.
+fn analyze_all(json: bool) -> ExitCode {
+    let session = Session::full();
+    let jobs = session.jobs_for_all_apps();
+    let t0 = std::time::Instant::now();
+    let results = session.run_batch(&jobs);
+    let total_wall = t0.elapsed();
+    let faults = results.iter().filter(|r| r.is_err()).count();
+
+    if json {
+        let apps: Vec<Json> = results
+            .iter()
+            .map(|r| match r {
+                Ok(out) => out.to_json(),
+                Err(e) => e.to_json(),
+            })
+            .collect();
+        let doc = Json::object().with("apps", Json::Arr(apps)).with(
+            "summary",
+            Json::object()
+                .with("analyzed", results.len())
+                .with("faulted", faults)
+                .with("wall_ms", total_wall.as_secs_f64() * 1e3)
+                .with("workers", session.workers()),
+        );
+        println!("{doc}");
+    } else {
+        println!(
+            "{:<24} {:<28} {:>12} {:>9} {:>10}  {}",
+            "application", "kernel", "cycles", "samples", "wall", "top advice"
+        );
+        println!("{}", "-".repeat(118));
+        for result in &results {
+            match result {
+                Ok(out) => {
+                    let top = out.report.top().map_or("(no advice matched)".to_string(), |i| {
+                        format!("{} {:.2}x", i.optimizer, i.estimated_speedup)
+                    });
+                    println!(
+                        "{:<24} {:<28} {:>10}cy {:>9} {:>8.1}ms  {}",
+                        out.job.app,
+                        out.kernel,
+                        out.cycles,
+                        out.profile.total_samples,
+                        out.wall.as_secs_f64() * 1e3,
+                        top
+                    );
+                }
+                Err(e) => println!("{:<24} FAULT: {}", e.job.app, e.message),
+            }
+        }
+        println!("{}", "-".repeat(118));
+        let slowest = results.iter().flatten().max_by_key(|o| o.wall);
+        println!(
+            "{} apps analyzed in {:.1}ms wall ({} workers{})",
+            results.len(),
+            total_wall.as_secs_f64() * 1e3,
+            session.workers(),
+            slowest.map_or(String::new(), |o| format!(
+                ", slowest: {} at {:.1}ms",
+                o.job.app,
+                o.wall.as_secs_f64() * 1e3
+            )),
+        );
+        if faults > 0 {
+            println!("{faults} app(s) FAULTED");
+        }
+    }
+    if faults > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

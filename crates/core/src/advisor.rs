@@ -6,10 +6,9 @@ use crate::estimators::{
 };
 use crate::optimizers::{all_optimizers, Hotspot, Optimizer, OptimizerCategory};
 use gpa_arch::{ArchConfig, LatencyTable};
+use gpa_isa::Module;
 use gpa_sampling::{KernelProfile, StallReason};
 use gpa_structure::{ProgramStructure, Scope};
-use gpa_isa::Module;
-use serde::{Deserialize, Serialize};
 
 /// Everything an optimizer may inspect.
 pub struct AnalysisCtx<'a> {
@@ -80,7 +79,7 @@ impl<'a> AnalysisCtx<'a> {
 }
 
 /// A source-annotated def/use location in the report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocationReport {
     /// Absolute PC.
     pub pc: u64,
@@ -95,7 +94,7 @@ pub struct LocationReport {
 }
 
 /// One ranked hotspot in an advice item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HotspotReport {
     /// Blamed (source) location.
     pub def: Option<LocationReport>,
@@ -110,7 +109,7 @@ pub struct HotspotReport {
 }
 
 /// One optimizer's advice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdviceItem {
     /// Optimizer name.
     pub optimizer: String,
@@ -129,7 +128,7 @@ pub struct AdviceItem {
 }
 
 /// The full advice report for one kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdviceReport {
     /// Kernel name.
     pub kernel: String,
@@ -187,6 +186,13 @@ impl Advisor {
     }
 
     /// Runs the full dynamic analysis and produces the advice report.
+    ///
+    /// Builds the static analyses from scratch; callers that analyze
+    /// many profiles of the same module (the pipeline's [`Session`]
+    /// cache) should pre-build them once and use
+    /// [`Advisor::advise_with`].
+    ///
+    /// [`Session`]: https://docs.rs/gpa-pipeline
     pub fn advise(
         &self,
         module: &Module,
@@ -195,15 +201,22 @@ impl Advisor {
     ) -> AdviceReport {
         let structure = ProgramStructure::build(module);
         let latency = LatencyTable::for_arch(arch);
-        let blame = ModuleBlame::build(module, &structure, profile, &latency);
-        let ctx = AnalysisCtx {
-            module,
-            structure: &structure,
-            profile,
-            arch,
-            latency: &latency,
-            blame: &blame,
-        };
+        self.advise_with(module, &structure, &latency, profile, arch)
+    }
+
+    /// [`Advisor::advise`] with caller-provided static analyses, so a
+    /// cached `ProgramStructure`/`LatencyTable` is reused across repeated
+    /// runs instead of being rebuilt per profile.
+    pub fn advise_with(
+        &self,
+        module: &Module,
+        structure: &ProgramStructure,
+        latency: &LatencyTable,
+        profile: &KernelProfile,
+        arch: &ArchConfig,
+    ) -> AdviceReport {
+        let blame = ModuleBlame::build(module, structure, profile, latency);
+        let ctx = AnalysisCtx { module, structure, profile, arch, latency, blame: &blame };
         let total = ctx.total_samples();
         let active = profile.active_samples as f64;
         let mut items = Vec::new();
@@ -214,15 +227,10 @@ impl Advisor {
             }
             m.keep_top_hotspots(self.hotspots_per_item);
             let estimated_speedup = match opt.category() {
-                OptimizerCategory::StallElimination => {
-                    stall_elimination_speedup(total, m.matched)
-                }
+                OptimizerCategory::StallElimination => stall_elimination_speedup(total, m.matched),
                 OptimizerCategory::LatencyHiding => {
-                    let pairs: Vec<(f64, f64)> = m
-                        .scopes
-                        .iter()
-                        .map(|(s, ml)| (ctx.active_in_scope(*s), *ml))
-                        .collect();
+                    let pairs: Vec<(f64, f64)> =
+                        m.scopes.iter().map(|(s, ml)| (ctx.active_in_scope(*s), *ml)).collect();
                     scoped_latency_hiding_speedup(total, active, &pairs)
                 }
                 OptimizerCategory::Parallel => match &m.parallel {
@@ -233,11 +241,7 @@ impl Advisor {
             if estimated_speedup < 1.001 {
                 continue;
             }
-            let hotspots = m
-                .hotspots
-                .iter()
-                .map(|h| self.hotspot_report(&ctx, h, total))
-                .collect();
+            let hotspots = m.hotspots.iter().map(|h| self.hotspot_report(&ctx, h, total)).collect();
             items.push(AdviceItem {
                 optimizer: opt.name().to_string(),
                 category: opt.category(),
@@ -253,9 +257,7 @@ impl Advisor {
             });
         }
         items.sort_by(|a, b| {
-            b.estimated_speedup
-                .partial_cmp(&a.estimated_speedup)
-                .expect("speedups are finite")
+            b.estimated_speedup.partial_cmp(&a.estimated_speedup).expect("speedups are finite")
         });
         let hist = profile.stall_histogram();
         AdviceReport {

@@ -9,10 +9,9 @@
 
 use super::{DetailedReason, ModuleBlame};
 use gpa_sampling::StallReason;
-use serde::{Deserialize, Serialize};
 
 /// Coverage before and after pruning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoverageReport {
     /// Fraction of single-dependency nodes with all edges considered.
     pub before: f64,
@@ -98,12 +97,8 @@ mod tests {
 "#;
         let m = gpa_isa::parse_module(src).unwrap();
         let f = m.function("k").unwrap();
-        let profile = fake_profile(&[(
-            f.pc_of(2),
-            gpa_sampling::StallReason::MemoryDependency,
-            false,
-            4,
-        )]);
+        let profile =
+            fake_profile(&[(f.pc_of(2), gpa_sampling::StallReason::MemoryDependency, false, 4)]);
         let structure = ProgramStructure::build(&m);
         let blame = ModuleBlame::build(&m, &structure, &profile, &LatencyTable::default());
         let cov = single_dependency_coverage(&blame);

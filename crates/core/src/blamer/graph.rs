@@ -8,11 +8,10 @@ use gpa_cfg::{Cfg, Dominators};
 use gpa_isa::{Function, Module, Slot};
 use gpa_sampling::{KernelProfile, PcStats, StallReason};
 use gpa_structure::FunctionInfo;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which rule removed a cold edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PruneRule {
     /// Stall reason and source opcode are incompatible (rule 1).
     Opcode,
@@ -23,7 +22,7 @@ pub enum PruneRule {
 }
 
 /// One def→use edge of the dependency graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DepEdge {
     /// Definition instruction index.
     pub def: usize,
@@ -38,7 +37,7 @@ pub struct DepEdge {
 }
 
 /// The instruction dependency graph of one function.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DepGraph {
     /// Instructions with attributable stalls (graph nodes).
     pub nodes: Vec<usize>,
@@ -57,7 +56,7 @@ impl DepGraph {
 }
 
 /// Blame apportioned to one surviving edge (Eq. 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlamedEdge {
     /// Definition (blamed) instruction index.
     pub def: usize,
@@ -74,11 +73,8 @@ pub struct BlamedEdge {
 }
 
 /// The attributable stall reasons.
-const REASONS: [StallReason; 3] = [
-    StallReason::MemoryDependency,
-    StallReason::ExecutionDependency,
-    StallReason::Synchronization,
-];
+const REASONS: [StallReason; 3] =
+    [StallReason::MemoryDependency, StallReason::ExecutionDependency, StallReason::Synchronization];
 
 /// Runs the blame pipeline for one function.
 pub fn blame_function(
@@ -90,9 +86,7 @@ pub fn blame_function(
     let f = &module.functions[finfo.index];
     let cfg = &finfo.cfg;
     let empty = PcStats::default();
-    let stats_of = |idx: usize| -> &PcStats {
-        profile.pc(f.pc_of(idx)).unwrap_or(&empty)
-    };
+    let stats_of = |idx: usize| -> &PcStats { profile.pc(f.pc_of(idx)).unwrap_or(&empty) };
 
     // Nodes: instructions with attributable stalls.
     let nodes: Vec<usize> = (0..f.instrs.len())
@@ -165,9 +159,8 @@ pub fn blame_function(
                 .iter()
                 .map(|e| {
                     let issued = stats_of(e.def).issued_samples().max(1) as f64;
-                    let path = cfg
-                        .max_instrs_between_with(&dom, e.def, j)
-                        .map_or(1.0, |p| (p + 1) as f64);
+                    let path =
+                        cfg.max_instrs_between_with(&dom, e.def, j).map_or(1.0, |p| (p + 1) as f64);
                     issued / path
                 })
                 .collect();
@@ -375,7 +368,8 @@ pub(crate) mod tests {
         let m = gpa_isa::parse_module(&src).unwrap();
         let f = m.function("k").unwrap();
         let use_idx = 21;
-        let profile = fake_profile(&[(f.pc_of(use_idx), StallReason::ExecutionDependency, false, 3)]);
+        let profile =
+            fake_profile(&[(f.pc_of(use_idx), StallReason::ExecutionDependency, false, 3)]);
         let structure = ProgramStructure::build(&m);
         let fb = blame_function(&m, &structure.functions()[0], &profile, &LatencyTable::default());
         let edge = fb
@@ -437,8 +431,7 @@ pub(crate) mod tests {
     fn blame_conserves_totals() {
         let (m, profile) = figure4_module();
         let structure = ProgramStructure::build(&m);
-        let fb =
-            blame_function(&m, &structure.functions()[0], &profile, &LatencyTable::default());
+        let fb = blame_function(&m, &structure.functions()[0], &profile, &LatencyTable::default());
         let blamed: f64 = fb.edges.iter().map(|e| e.stalls).sum();
         let unattributed: f64 = fb.unattributed.iter().map(|&(_, _, s, _)| s).sum();
         assert!((blamed + unattributed - 4.0).abs() < 1e-9);

@@ -21,13 +21,12 @@ use gpa_arch::LatencyTable;
 use gpa_isa::{Module, Opcode};
 use gpa_sampling::{KernelProfile, StallReason};
 use gpa_structure::ProgramStructure;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Figure 5's detailed stall classification, keyed by the *source*
 /// instruction's opcode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DetailedReason {
     /// Memory dependency on a global load (`LDG`, global atomics).
     GlobalMem,

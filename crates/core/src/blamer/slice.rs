@@ -24,7 +24,7 @@ impl Cover {
     }
 
     /// Adds a guard literal (`None` is the catch-all `_`).
-    pub fn add(self, guard: Option<Predicate>) -> Self {
+    pub fn with_guard(self, guard: Option<Predicate>) -> Self {
         match guard {
             None => Cover(self.0 | FULL_BIT),
             Some(p) if p.reg.is_true() => {
@@ -147,7 +147,7 @@ fn search(
             if cover.def_is_live(g, use_guard) && !results.contains(&idx) {
                 results.push(idx);
             }
-            cover = cover.add(g);
+            cover = cover.with_guard(g);
             if cover.contains(use_guard) {
                 continue; // this path is fully explained
             }

@@ -9,8 +9,6 @@
 //!   scheduler `CW = W_new / W` and of issue rate via
 //!   `I = 1 − (1 − R_I)^W`, combined with an optimizer-specific factor.
 
-use serde::{Deserialize, Serialize};
-
 /// Eq. 2 — the speedup of removing `matched` of `total` samples.
 ///
 /// Saturates just below `total` so a pathological full match yields a
@@ -37,11 +35,7 @@ pub fn latency_hiding_speedup(total: f64, active: f64, matched_latency: f64) -> 
 /// `scopes` holds `(active samples within the scope, matched latency
 /// samples of the scope)` pairs for disjoint innermost scopes;
 /// `global_active` caps the total (a sample cannot fill two slots).
-pub fn scoped_latency_hiding_speedup(
-    total: f64,
-    global_active: f64,
-    scopes: &[(f64, f64)],
-) -> f64 {
+pub fn scoped_latency_hiding_speedup(total: f64, global_active: f64, scopes: &[(f64, f64)]) -> f64 {
     if total <= 0.0 {
         return 1.0;
     }
@@ -55,7 +49,7 @@ pub fn scoped_latency_hiding_speedup(
 }
 
 /// Inputs to the parallel-optimization estimator (Eqs. 6–10).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelParams {
     /// Active warps per scheduler before (`W`).
     pub w_old: f64,

@@ -32,11 +32,10 @@ pub use stall_elim::{
 use crate::advisor::AnalysisCtx;
 use crate::estimators::ParallelParams;
 use gpa_structure::Scope;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three optimizer families of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptimizerCategory {
     /// Remove the stalls themselves (Eq. 2).
     StallElimination,
@@ -58,7 +57,7 @@ impl fmt::Display for OptimizerCategory {
 }
 
 /// A def→use pair worth the user's attention, with its sample weight.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hotspot {
     /// Source (blamed) instruction PC, when the pattern has one.
     pub def_pc: Option<u64>,
@@ -71,7 +70,7 @@ pub struct Hotspot {
 }
 
 /// What an optimizer matched.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MatchResult {
     /// Matched stall samples (`M` of Eq. 2).
     pub matched: f64,
@@ -95,8 +94,7 @@ impl MatchResult {
 
     /// Sorts hotspots by sample weight and keeps the top `n`.
     pub fn keep_top_hotspots(&mut self, n: usize) {
-        self.hotspots
-            .sort_by(|a, b| b.samples.partial_cmp(&a.samples).expect("finite weights"));
+        self.hotspots.sort_by(|a, b| b.samples.partial_cmp(&a.samples).expect("finite weights"));
         self.hotspots.truncate(n);
     }
 
@@ -114,7 +112,10 @@ impl MatchResult {
 
 /// A performance optimizer: matches an inefficiency pattern and describes
 /// the fix.
-pub trait Optimizer {
+///
+/// `Send + Sync` so one [`Advisor`](crate::Advisor) can be shared across
+/// the pipeline's worker threads; optimizers are stateless matchers.
+pub trait Optimizer: Send + Sync {
     /// Paper-style name (e.g. `GPUStrengthReductionOptimizer`).
     fn name(&self) -> &'static str;
 

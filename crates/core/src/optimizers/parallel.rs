@@ -144,10 +144,7 @@ impl Optimizer for ThreadIncrease {
         });
         m.notes.push(format!(
             "blocks of {} threads occupy {:.1} warps/scheduler ({}); suggest {} threads per block",
-            launch.block_threads,
-            occ_old.warps_per_scheduler,
-            occ_old.limiter,
-            new_threads
+            launch.block_threads, occ_old.warps_per_scheduler, occ_old.limiter, new_threads
         ));
         m
     }

@@ -118,8 +118,7 @@ impl Optimizer for FunctionSplit {
                 let fetch = st.stalls(StallReason::InstructionFetch) as f64;
                 if fetch > 0.0 {
                     m.matched += fetch;
-                    m.matched_latency +=
-                        st.latency_stalls(StallReason::InstructionFetch) as f64;
+                    m.matched_latency += st.latency_stalls(StallReason::InstructionFetch) as f64;
                     m.hotspots.push(Hotspot {
                         def_pc: None,
                         use_pc: pc,

@@ -11,11 +11,10 @@
 
 use crate::register::BarrierReg;
 use crate::{IsaError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The control-code fields of one instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ControlCode {
     /// Cycles the warp stalls after issuing this instruction (0–15).
     pub stall: u8,
@@ -79,9 +78,9 @@ impl ControlCode {
 
     /// Barriers named in the wait mask.
     pub fn waits(&self) -> impl Iterator<Item = BarrierReg> + '_ {
-        (0u32..6).filter(move |i| self.wait_mask & (1 << i) != 0).map(|i| {
-            BarrierReg::new(i).expect("wait mask spans six barriers")
-        })
+        (0u32..6)
+            .filter(move |i| self.wait_mask & (1 << i) != 0)
+            .map(|i| BarrierReg::new(i).expect("wait mask spans six barriers"))
     }
 
     /// Whether any scheduling constraint beyond default issue is present.

@@ -279,9 +279,7 @@ pub fn decode(word: &EncodedInstruction) -> Result<Instruction> {
 /// wait mask, write barrier, read barrier, predicate, opcode, modifiers,
 /// destination operands and source operands.
 pub fn dissect(instr: &Instruction) -> Vec<(&'static str, String)> {
-    let join = |ops: &[Operand]| {
-        ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
-    };
+    let join = |ops: &[Operand]| ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ");
     // Source operands are shown at the register level (the paper lists the
     // 64-bit address of `[R2]` as the two registers R2, R3).
     let src_regs: Vec<String> = instr
@@ -297,18 +295,12 @@ pub fn dissect(instr: &Instruction) -> Vec<(&'static str, String)> {
         })
         .collect();
     vec![
-        (
-            "Wait Mask",
-            instr.ctrl.waits().map(|b| b.to_string()).collect::<Vec<_>>().join(", "),
-        ),
+        ("Wait Mask", instr.ctrl.waits().map(|b| b.to_string()).collect::<Vec<_>>().join(", ")),
         ("Write Barrier", instr.ctrl.write_barrier.map_or(String::new(), |b| b.to_string())),
         ("Read Barrier", instr.ctrl.read_barrier.map_or(String::new(), |b| b.to_string())),
         ("Predicate", instr.pred.map_or(String::new(), |p| p.to_string().replace('@', ""))),
         ("Opcode", instr.opcode.to_string()),
-        (
-            "Modifiers",
-            instr.mods.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", "),
-        ),
+        ("Modifiers", instr.mods.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", ")),
         ("Destination Operands", join(&instr.dsts)),
         ("Source Operands", src_regs.join(", ")),
     ]
@@ -368,13 +360,16 @@ mod tests {
             )
             .with_mod(Modifier::Lt)
             .with_mod(Modifier::And),
-            Instruction::new(Opcode::S2r, vec![Operand::Reg(r(5))], vec![
-                Operand::SReg(SpecialReg::CtaIdX),
-            ]),
-            Instruction::new(Opcode::Mov, vec![Operand::Reg(r(7))], vec![Operand::CMem {
-                bank: 0,
-                offset: 0x160,
-            }]),
+            Instruction::new(
+                Opcode::S2r,
+                vec![Operand::Reg(r(5))],
+                vec![Operand::SReg(SpecialReg::CtaIdX)],
+            ),
+            Instruction::new(
+                Opcode::Mov,
+                vec![Operand::Reg(r(7))],
+                vec![Operand::CMem { bank: 0, offset: 0x160 }],
+            ),
             Instruction::new(Opcode::Bra, vec![], vec![Operand::Imm(0x12340)]),
         ];
         for i in cases {
@@ -392,11 +387,8 @@ mod tests {
         );
         assert!(matches!(encode(&too_many_srcs), Err(IsaError::EncodingOverflow(_))));
 
-        let huge_imm = Instruction::new(
-            Opcode::Mov32i,
-            vec![Operand::Reg(r(0))],
-            vec![Operand::Imm(1 << 40)],
-        );
+        let huge_imm =
+            Instruction::new(Opcode::Mov32i, vec![Operand::Reg(r(0))], vec![Operand::Imm(1 << 40)]);
         assert!(matches!(encode(&huge_imm), Err(IsaError::EncodingOverflow(_))));
     }
 

@@ -4,7 +4,6 @@ use crate::control::ControlCode;
 use crate::opcode::Opcode;
 use crate::operand::Operand;
 use crate::register::{BarrierReg, PredReg, Predicate, Register};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An opcode modifier (`LDG.E.32`, `ISETP.LT.AND`, `MUFU.RCP`, ...).
@@ -12,7 +11,7 @@ use std::fmt;
 /// Modifiers are **ordered**: `F2F.F32.F64` (demote a 64-bit float to
 /// 32 bits) differs from `F2F.F64.F32` (promote). Up to four modifiers fit
 /// in the binary encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Modifier {
     Sz32,
@@ -150,7 +149,7 @@ impl fmt::Display for Modifier {
 /// so that dependencies carried only by control codes (Figure 3 of the
 /// paper: an `LDG` writing `B0` and a `BRA` waiting on `B0`) fall out of the
 /// ordinary def–use machinery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Slot {
     /// A general-purpose register.
     Reg(Register),
@@ -176,7 +175,7 @@ impl fmt::Display for Slot {
 /// a decoded instruction record. [`Instruction::defs`] and
 /// [`Instruction::uses`] expose the def/use sets (including virtual barrier
 /// registers) that the blamer's backward slicing consumes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instruction {
     /// Guard predicate (`None` behaves like the cover-all predicate `_`).
     pub pred: Option<Predicate>,
@@ -392,10 +391,7 @@ mod tests {
         let st = Instruction::new(
             Opcode::Stg,
             vec![],
-            vec![
-                Operand::Mem(MemRef { base: r(4), offset: 0, wide: true }),
-                Operand::Reg(r(8)),
-            ],
+            vec![Operand::Mem(MemRef { base: r(4), offset: 0, wide: true }), Operand::Reg(r(8))],
         );
         assert_eq!(st.store_data_regs(), vec![r(8)]);
     }

@@ -11,7 +11,6 @@ use crate::instruction::Instruction;
 use crate::opcode::Opcode;
 use crate::operand::Operand;
 use crate::{IsaError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -19,7 +18,7 @@ use std::fmt;
 pub const INSTR_BYTES: u64 = 16;
 
 /// Function symbol visibility.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Visibility {
     /// A `__global__` kernel entry point.
     Global,
@@ -28,7 +27,7 @@ pub enum Visibility {
 }
 
 /// A source location: an index into the module's file table plus a line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SourceLoc {
     /// Index into [`Module::files`].
     pub file: u16,
@@ -37,7 +36,7 @@ pub struct SourceLoc {
 }
 
 /// One frame of an inline stack: `callee` was inlined at `call_loc`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InlineFrame {
     /// Name of the inlined function.
     pub callee: String,
@@ -46,7 +45,7 @@ pub struct InlineFrame {
 }
 
 /// Pending symbolic target recorded by the assembler, resolved at link time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FixupTarget {
     /// A function-local label.
     Label(String),
@@ -54,7 +53,7 @@ pub enum FixupTarget {
     Function(String),
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Fixup {
     func: usize,
     instr: usize,
@@ -69,7 +68,7 @@ struct Fixup {
 /// absolute PCs and labels are purely cosmetic, so a printed-and-reparsed
 /// function compares equal to the original even though the assembler
 /// generated fresh label names.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Function {
     /// Symbol name.
     pub name: String,
@@ -123,7 +122,7 @@ impl Function {
             return None;
         }
         let off = pc - self.base;
-        if off % INSTR_BYTES != 0 {
+        if !off.is_multiple_of(INSTR_BYTES) {
             return None;
         }
         let idx = (off / INSTR_BYTES) as usize;
@@ -148,7 +147,7 @@ impl PartialEq for Function {
 }
 
 /// A reference to one instruction inside a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstrRef {
     /// Function index in [`Module::functions`].
     pub func: usize,
@@ -157,7 +156,7 @@ pub struct InstrRef {
 }
 
 /// A linked or un-linked collection of functions — the unit GPA analyzes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Module {
     /// Module name (usually the kernel or benchmark name).
     pub name: String,
@@ -284,9 +283,10 @@ impl Module {
 
     /// Locates the instruction at an absolute PC.
     pub fn locate(&self, pc: u64) -> Option<InstrRef> {
-        self.functions.iter().enumerate().find_map(|(fi, f)| {
-            f.index_of_pc(pc).map(|idx| InstrRef { func: fi, idx })
-        })
+        self.functions
+            .iter()
+            .enumerate()
+            .find_map(|(fi, f)| f.index_of_pc(pc).map(|idx| InstrRef { func: fi, idx }))
     }
 
     /// The instruction at an absolute PC.

@@ -1,10 +1,9 @@
 //! Opcodes and their static classification.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// GPU memory spaces addressable by load/store opcodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
     /// Device (global) memory — 64-bit address space.
     Global,
@@ -20,7 +19,7 @@ pub enum MemSpace {
 ///
 /// Pipes bound issue throughput in the simulator; an instruction that cannot
 /// issue because its pipe is busy reports a *pipe busy* stall.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pipe {
     /// Integer / logic ALU.
     Alu,
@@ -39,7 +38,7 @@ pub enum Pipe {
 }
 
 /// Coarse classification used by the optimizers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Integer arithmetic/logic.
     IntAlu,
@@ -68,7 +67,7 @@ pub enum OpClass {
 /// FP32 arithmetic, long-latency FP64 and conversion instructions,
 /// transcendentals (`MUFU`), predicate-setting compares, control flow and
 /// barriers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Opcode {
     // Memory.
@@ -286,10 +285,7 @@ impl Opcode {
 
     /// Whether this opcode writes memory.
     pub fn is_store(self) -> bool {
-        matches!(
-            self,
-            Opcode::Stg | Opcode::Sts | Opcode::Stl | Opcode::AtomG | Opcode::AtomS
-        )
+        matches!(self, Opcode::Stg | Opcode::Sts | Opcode::Stl | Opcode::AtomG | Opcode::AtomS)
     }
 
     /// Whether this is any memory instruction.
@@ -299,10 +295,7 @@ impl Opcode {
 
     /// Whether this opcode can change control flow.
     pub fn is_control(self) -> bool {
-        matches!(
-            self,
-            Opcode::Bra | Opcode::Exit | Opcode::Cal | Opcode::Ret | Opcode::Bsync
-        )
+        matches!(self, Opcode::Bra | Opcode::Exit | Opcode::Cal | Opcode::Ret | Opcode::Bsync)
     }
 
     /// Whether this is the block-wide execution barrier (`BAR.SYNC`).
@@ -343,9 +336,7 @@ impl Opcode {
             | Opcode::AtomG
             | Opcode::AtomS
             | Opcode::Membar => Pipe::Lsu,
-            Opcode::Fadd | Opcode::Fmul | Opcode::Ffma | Opcode::Fsetp | Opcode::Fmnmx => {
-                Pipe::Fma
-            }
+            Opcode::Fadd | Opcode::Fmul | Opcode::Ffma | Opcode::Fsetp | Opcode::Fmnmx => Pipe::Fma,
             Opcode::Dadd | Opcode::Dmul | Opcode::Dfma | Opcode::Dsetp => Pipe::Fp64,
             Opcode::Mufu => Pipe::Sfu,
             Opcode::Bra
@@ -371,11 +362,22 @@ impl Opcode {
             Opcode::Dadd | Opcode::Dmul | Opcode::Dfma | Opcode::Dsetp => OpClass::Fp64,
             Opcode::Mufu => OpClass::Mufu,
             Opcode::F2f | Opcode::F2i | Opcode::I2f | Opcode::I2i => OpClass::Conversion,
-            Opcode::Bra | Opcode::Exit | Opcode::Cal | Opcode::Ret | Opcode::Bssy
+            Opcode::Bra
+            | Opcode::Exit
+            | Opcode::Cal
+            | Opcode::Ret
+            | Opcode::Bssy
             | Opcode::Bsync => OpClass::Control,
             Opcode::Bar => OpClass::Sync,
-            Opcode::Mov | Opcode::Mov32i | Opcode::Sel | Opcode::S2r | Opcode::Cs2r
-            | Opcode::Shfl | Opcode::Vote | Opcode::Prmt | Opcode::Nop => OpClass::Other,
+            Opcode::Mov
+            | Opcode::Mov32i
+            | Opcode::Sel
+            | Opcode::S2r
+            | Opcode::Cs2r
+            | Opcode::Shfl
+            | Opcode::Vote
+            | Opcode::Prmt
+            | Opcode::Nop => OpClass::Other,
             _ => OpClass::IntAlu,
         }
     }

@@ -1,7 +1,6 @@
 //! Instruction operands.
 
 use crate::register::{PredReg, Register, SpecialReg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A memory reference `[Rbase(+hi) + offset]`.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `wide` references address a 64-bit space: the effective address is the
 /// 64-bit value held in the pair `(base, base+1)` plus `offset`. Narrow
 /// references (shared/local) use the single 32-bit `base` register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRef {
     /// Base address register (low half of the pair when `wide`).
     pub base: Register,
@@ -47,7 +46,7 @@ impl fmt::Display for MemRef {
 }
 
 /// An instruction operand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
     /// A 32-bit register.
     Reg(Register),

@@ -115,8 +115,7 @@ impl Parser {
                     return Err(err(ln, "nested function (missing .endfunc?)"));
                 }
                 let fname = it.next().ok_or_else(|| err(ln, "function needs a name"))?;
-                let vis =
-                    if name == "kernel" { Visibility::Global } else { Visibility::Device };
+                let vis = if name == "kernel" { Visibility::Global } else { Visibility::Device };
                 self.cur = Some(Function::new(fname, vis));
                 self.cur_loc = None;
                 self.cur_stack.clear();
@@ -140,8 +139,7 @@ impl Parser {
             }
             "inline" => match it.next() {
                 Some("push") => {
-                    let callee =
-                        it.next().ok_or_else(|| err(ln, ".inline push needs a callee"))?;
+                    let callee = it.next().ok_or_else(|| err(ln, ".inline push needs a callee"))?;
                     let file = it.next().ok_or_else(|| err(ln, ".inline push needs a file"))?;
                     let line: u32 = it
                         .next()
@@ -185,7 +183,8 @@ impl Parser {
                 after.split_once(char::is_whitespace).ok_or_else(|| err(ln, "lone predicate"))?;
             let negated = ptok.starts_with('!');
             let pname = ptok.trim_start_matches('!');
-            let reg = parse_pred(pname).ok_or_else(|| err(ln, format!("bad predicate `{ptok}`")))?;
+            let reg =
+                parse_pred(pname).ok_or_else(|| err(ln, format!("bad predicate `{ptok}`")))?;
             pred = Some(Predicate { reg, negated });
             rest = tail.trim();
         }
@@ -200,7 +199,8 @@ impl Parser {
         let mut mods = Vec::new();
         for m in parts {
             mods.push(
-                Modifier::from_name(m).ok_or_else(|| err(ln, format!("unknown modifier `.{m}`")))?,
+                Modifier::from_name(m)
+                    .ok_or_else(|| err(ln, format!("unknown modifier `.{m}`")))?,
             );
         }
         let mut operands: Vec<ParsedOperand> = Vec::new();
@@ -351,9 +351,8 @@ fn parse_operand(ln: usize, tok: &str) -> Result<ParsedOperand> {
         let bank: u8 = parse_int(&rest[..close])
             .and_then(|v| u8::try_from(v).ok())
             .ok_or_else(|| err(ln, "bad constant bank"))?;
-        let rest2 = rest[close + 1..]
-            .strip_prefix('[')
-            .ok_or_else(|| err(ln, "bad constant operand"))?;
+        let rest2 =
+            rest[close + 1..].strip_prefix('[').ok_or_else(|| err(ln, "bad constant operand"))?;
         let close2 = rest2.find(']').ok_or_else(|| err(ln, "bad constant operand"))?;
         let offset: u16 = parse_int(&rest2[..close2])
             .and_then(|v| u16::try_from(v).ok())
@@ -424,8 +423,7 @@ fn parse_ctrl(ln: usize, text: &str) -> Result<ControlCode> {
     // Wait lists contain commas; extract them before splitting.
     let mut rest = text.to_string();
     if let Some(i) = rest.find("WT:[") {
-        let close =
-            rest[i..].find(']').ok_or_else(|| err(ln, "unterminated wait list"))? + i;
+        let close = rest[i..].find(']').ok_or_else(|| err(ln, "unterminated wait list"))? + i;
         let list = rest[i + 4..close].to_string();
         for b in list.split(',') {
             let b = b.trim();
@@ -443,8 +441,7 @@ fn parse_ctrl(ln: usize, text: &str) -> Result<ControlCode> {
         if item == "Y" {
             c.yield_flag = true;
         } else if let Some(v) = item.strip_prefix("S:") {
-            let n: u8 =
-                v.trim().parse().map_err(|_| err(ln, format!("bad stall count `{v}`")))?;
+            let n: u8 = v.trim().parse().map_err(|_| err(ln, format!("bad stall count `{v}`")))?;
             if n > 15 {
                 return Err(err(ln, "stall count must be 0..=15"));
             }

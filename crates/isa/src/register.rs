@@ -1,14 +1,13 @@
 //! Register, predicate, barrier and special-register names.
 
 use crate::{IsaError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-bit general-purpose register `R0`–`R254`, or the zero register `RZ`.
 ///
 /// Each thread can address up to 255 regular registers; `R255` is the
 /// hard-wired zero register `RZ` (reads as 0, writes are dropped).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Register(u8);
 
 impl Register {
@@ -65,7 +64,7 @@ impl fmt::Display for Register {
 }
 
 /// A predicate register `P0`–`P6`, or the always-true `PT`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PredReg(u8);
 
 impl PredReg {
@@ -109,7 +108,7 @@ impl fmt::Display for PredReg {
 ///
 /// The GPA paper writes these as `Pi` and `!Pi`; an instruction with no
 /// guard behaves like the special predicate `_` that covers both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Predicate {
     /// The predicate register tested.
     pub reg: PredReg,
@@ -154,7 +153,7 @@ impl fmt::Display for Predicate {
 /// Volta instructions synchronize variable-latency results through six
 /// scoreboard barriers. GPA treats them as *virtual barrier registers* so
 /// that barrier-mediated dependencies appear in ordinary def–use chains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierReg(u8);
 
 impl BarrierReg {
@@ -186,7 +185,7 @@ impl fmt::Display for BarrierReg {
 }
 
 /// Read-only special registers exposed through `S2R`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum SpecialReg {
     TidX,

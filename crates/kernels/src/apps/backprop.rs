@@ -40,8 +40,8 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     a.i("LOP3.AND R1, R0, 255 {S:4}"); // tid within block
     a.param_u64(4, 0); // inputs
     a.param_u64(6, 8); // weights
-    // Weight index: (tid * 13) / divisor — the divisor is the parameter
-    // at @24 (it is 8, a power of two).
+                       // Weight index: (tid * 13) / divisor — the divisor is the parameter
+                       // at @24 (it is 8, a power of two).
     a.i("IMAD R9, R0, 13, 0 {S:5}");
     if shifted {
         a.i("SHR.U32 R12, R9, 3 {S:4}");
@@ -123,10 +123,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     KernelSpec {
         module,
         entry: "bpnn_layerforward_CUDA".into(),
-        launch: LaunchConfig {
-            smem_per_block: 4096 + 64,
-            ..LaunchConfig::new(blocks, threads)
-        },
+        launch: LaunchConfig { smem_per_block: 4096 + 64, ..LaunchConfig::new(blocks, threads) },
         setup: Box::new(move |gpu| {
             let mut rng = crate::data::rng(0x5057_0009);
             let inputs = gpu.global_mut().alloc(4 * n as u64);

@@ -115,8 +115,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
             let deg_buf = gpu.global_mut().alloc(4 * n as u64);
             gpu.global_mut().write_bytes(deg_buf, &pack_u32(&degrees));
             let edges = gpu.global_mut().alloc(4 * (n as u64) * MAX_DEG as u64);
-            let edge_ids: Vec<u32> =
-                (0..n * MAX_DEG).map(|_| rng.gen_range(0..n)).collect();
+            let edge_ids: Vec<u32> = (0..n * MAX_DEG).map(|_| rng.gen_range(0..n)).collect();
             gpu.global_mut().write_bytes(edges, &pack_u32(&edge_ids));
             let levels = gpu.global_mut().alloc(4 * n as u64);
             let lv: Vec<u32> = (0..n).map(|_| u32::from(rng.gen_bool(0.5))).collect();

@@ -105,15 +105,14 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
             let mut rng = crate::data::rng(0x5057_0015);
             let m = ((n as u64 * ELEMS as u64) << LOG_BIG as u64).min(1 << 24) + (1 << 16);
             let src = gpu.global_mut().alloc(4 * m.min(1 << 22));
-            gpu.global_mut().write_bytes(
-                src,
-                &crate::data::f32_bytes(&mut rng, 1 << 16, -1.0, 1.0),
-            );
+            gpu.global_mut()
+                .write_bytes(src, &crate::data::f32_bytes(&mut rng, 1 << 16, -1.0, 1.0));
             let dst = gpu.global_mut().alloc(4 * n as u64);
             // The 16-entry permutation table (scattered so lanes gather).
             let perm = gpu.global_mut().alloc(4 * DIM as u64 * 32);
             for i in 0..DIM as u64 {
-                gpu.global_mut().write_u32(perm + 4 * (i * 29 % DIM as u64), ((i * 7) % DIM as u64) as u32);
+                gpu.global_mut()
+                    .write_u32(perm + 4 * (i * 29 % DIM as u64), ((i * 7) % DIM as u64) as u32);
             }
             let mut pb = ParamBlock::new();
             pb.push_u64(src);

@@ -70,10 +70,8 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
                 col,
                 &crate::data::f32_bytes(&mut rng, (n / width as u64 + 1) as usize, -1.0, 1.0),
             );
-            gpu.global_mut().write_bytes(
-                row,
-                &crate::data::f32_bytes(&mut rng, width as usize, -1.0, 1.0),
-            );
+            gpu.global_mut()
+                .write_bytes(row, &crate::data::f32_bytes(&mut rng, width as usize, -1.0, 1.0));
             let mut pb = ParamBlock::new();
             pb.push_u64(m);
             pb.push_u64(col);

@@ -45,7 +45,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
             a.i(format!("LDG.E.32 R{}, [R14:R15] {{W:B{}, S:1}}", 44 + 2 * u, 2 + u));
         }
         let accs = [22u8, 26];
-        for u in 0..2usize {
+        for (u, &acc) in accs.iter().enumerate() {
             // |frame - template| accumulated (SAD).
             a.i(format!(
                 "FFMA R30, R{}, -1.0, R{} {{WT:[B{},B{}], S:4}}",
@@ -55,7 +55,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
                 2 + u
             ));
             a.i("LOP3.AND R30, R30, 0x7fffffff {S:4}");
-            a.i(format!("FADD R{}, R{}, R30 {{S:4}}", accs[u], accs[u]));
+            a.i(format!("FADD R{acc}, R{acc}, R30 {{S:4}}"));
         }
         a.i("IADD R17, R17, 2 {S:4}");
         a.i(format!("ISETP.LT.AND P1, R17, {WINDOW} {{S:2}}"));

@@ -89,18 +89,14 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     KernelSpec {
         module,
         entry: "vlc_encode_kernel_sm64huff".into(),
-        launch: LaunchConfig {
-            smem_per_block: 2048,
-            ..LaunchConfig::new(blocks, threads)
-        },
+        launch: LaunchConfig { smem_per_block: 2048, ..LaunchConfig::new(blocks, threads) },
         setup: Box::new(move |gpu| {
             let mut rng = crate::data::rng(0x5057_000A);
             let symbols = gpu.global_mut().alloc(4 * n as u64);
             gpu.global_mut()
                 .write_bytes(symbols, &crate::data::u32_bytes(&mut rng, n as usize, 0, 256));
             let lengths = gpu.global_mut().alloc(4 * 256);
-            gpu.global_mut()
-                .write_bytes(lengths, &crate::data::u32_bytes(&mut rng, 256, 1, 24));
+            gpu.global_mut().write_bytes(lengths, &crate::data::u32_bytes(&mut rng, 256, 1, 24));
             let out = gpu.global_mut().alloc(4 * n as u64);
             let mut pb = ParamBlock::new();
             pb.push_u64(symbols);

@@ -53,7 +53,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
         }
         // Four independent accumulators.
         let accs = [22u8, 26, 28, 30];
-        for u in 0..4usize {
+        for (u, &acc) in accs.iter().enumerate() {
             a.i(format!(
                 "FFMA R34, R{}, -1.0, R{} {{WT:[B{},B{}], S:4}}",
                 48 + 2 * u,
@@ -61,7 +61,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
                 u,
                 4 + (u & 1)
             ));
-            a.i(format!("FFMA R{}, R34, R34, R{} {{S:4}}", accs[u], accs[u]));
+            a.i(format!("FFMA R{acc}, R34, R34, R{acc} {{S:4}}"));
         }
         a.i("IADD R17, R17, 4 {S:4}");
         a.i(format!("ISETP.LT.AND P1, R17, {NFEAT} {{S:2}}"));
@@ -105,10 +105,8 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
                 &crate::data::f32_bytes(&mut rng, (n * NFEAT) as usize, 0.0, 10.0),
             );
             let center = gpu.global_mut().alloc(4 * NFEAT as u64);
-            gpu.global_mut().write_bytes(
-                center,
-                &crate::data::f32_bytes(&mut rng, NFEAT as usize, 0.0, 10.0),
-            );
+            gpu.global_mut()
+                .write_bytes(center, &crate::data::f32_bytes(&mut rng, NFEAT as usize, 0.0, 10.0));
             let out = gpu.global_mut().alloc(4 * n as u64);
             let mut pb = ParamBlock::new();
             pb.push_u64(features);

@@ -45,7 +45,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     a.global_tid();
     a.param_u64(4, 0); // neighbor positions
     a.param_u64(6, 8); // neighbor charges
-    // My position.
+                       // My position.
     a.addr(12, 4, 0, 2);
     a.i("LDG.E.32 R8, [R12:R13] {W:B5, S:1}");
     a.i("MOV32I R22, 0 {S:1}"); // force acc

@@ -28,7 +28,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     a.line("lud.cu", 40);
     a.global_tid();
     a.i("LOP3.AND R1, R0, 255 {S:4}"); // thread within block
-    // Stage the tile into shared memory.
+                                       // Stage the tile into shared memory.
     a.param_u64(4, 0); // matrix tile
     a.addr(6, 4, 0, 2);
     a.i("LDG.E.32 R8, [R6:R7] {W:B0, S:1}");
@@ -87,10 +87,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     KernelSpec {
         module,
         entry: "lud_diagonal".into(),
-        launch: LaunchConfig {
-            smem_per_block: 2048,
-            ..LaunchConfig::new(blocks, threads)
-        },
+        launch: LaunchConfig { smem_per_block: 2048, ..LaunchConfig::new(blocks, threads) },
         setup: Box::new(move |gpu| {
             let mut rng = crate::data::rng(0x5057_0004);
             let n = (blocks * threads) as u64;

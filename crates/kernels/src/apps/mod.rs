@@ -87,9 +87,8 @@ mod tests {
         for app in all_apps() {
             for v in 0..app.variants() {
                 let spec = (app.build)(v, &p);
-                let cycles = time_spec(&spec, &arch).unwrap_or_else(|e| {
-                    panic!("{} variant {v} failed: {e}", app.name)
-                });
+                let cycles = time_spec(&spec, &arch)
+                    .unwrap_or_else(|e| panic!("{} variant {v} failed: {e}", app.name));
                 assert!(cycles > 0, "{} variant {v}", app.name);
             }
         }

@@ -27,7 +27,6 @@ pub fn app() -> App {
     }
 }
 
-
 /// Instructions of straight-line ODE arithmetic per half body.
 const HALF_BODY: usize = 420;
 /// Exponential evaluations per half body.

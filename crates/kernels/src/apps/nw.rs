@@ -98,17 +98,12 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     KernelSpec {
         module,
         entry: "needle_cuda_shared_1".into(),
-        launch: LaunchConfig {
-            smem_per_block: 1024,
-            ..LaunchConfig::new(blocks, threads)
-        },
+        launch: LaunchConfig { smem_per_block: 1024, ..LaunchConfig::new(blocks, threads) },
         setup: Box::new(move |gpu| {
             let mut rng = crate::data::rng(0x5057_000B);
             let reference = gpu.global_mut().alloc(4 * n as u64);
-            gpu.global_mut().write_bytes(
-                reference,
-                &crate::data::u32_bytes(&mut rng, n as usize, 0, 100),
-            );
+            gpu.global_mut()
+                .write_bytes(reference, &crate::data::u32_bytes(&mut rng, n as usize, 0, 100));
             let out = gpu.global_mut().alloc(4 * n as u64);
             let mut pb = ParamBlock::new();
             pb.push_u64(reference);

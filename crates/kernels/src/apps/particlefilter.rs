@@ -34,7 +34,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     a.i("MOV32I R17, 0 {S:1}");
     a.line("ex_particle_CUDA_float_seq.cu", 395);
     a.label("pf_loop");
-    a.i(format!("IMAD R10, R17, 1, R0 {{S:5}}"));
+    a.i("IMAD R10, R17, 1, R0 {S:5}");
     a.i(format!("IMAD R10, R10, {CHUNK}, 0 {{S:5}}"));
     a.addr(12, 4, 10, 2);
     a.i("LDG.E.32 R14, [R12:R13] {W:B0, S:1}");
@@ -59,11 +59,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     // Baseline: half as many blocks as SMs, fat blocks. Optimized: one
     // block per SM, half the threads each — the Block Increase advice.
     let base_blocks = (p.sms / 2).max(1);
-    let (blocks, threads) = if variant >= 1 {
-        (base_blocks * 2, 256)
-    } else {
-        (base_blocks, 512)
-    };
+    let (blocks, threads) = if variant >= 1 { (base_blocks * 2, 256) } else { (base_blocks, 512) };
     let n = blocks * threads;
     KernelSpec {
         module,

@@ -89,10 +89,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     KernelSpec {
         module,
         entry: "dynproc_kernel".into(),
-        launch: LaunchConfig {
-            smem_per_block: 2048 + 16,
-            ..LaunchConfig::new(blocks, threads)
-        },
+        launch: LaunchConfig { smem_per_block: 2048 + 16, ..LaunchConfig::new(blocks, threads) },
         setup: Box::new(move |gpu| {
             let mut rng = crate::data::rng(0x5057_000D);
             let m = n as u64 * (ROWS as u64 + 2);

@@ -54,11 +54,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
 
     // Baseline: half the SMs busy; optimized: all of them.
     let base_blocks = (p.sms / 2).max(1);
-    let (blocks, threads) = if variant >= 1 {
-        (base_blocks * 2, 256)
-    } else {
-        (base_blocks, 512)
-    };
+    let (blocks, threads) = if variant >= 1 { (base_blocks * 2, 256) } else { (base_blocks, 512) };
     let n = blocks * threads;
     KernelSpec {
         module,

@@ -90,10 +90,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
     KernelSpec {
         module,
         entry: "reduce".into(),
-        launch: LaunchConfig {
-            smem_per_block: 4096 + 64,
-            ..LaunchConfig::new(blocks, threads)
-        },
+        launch: LaunchConfig { smem_per_block: 4096 + 64, ..LaunchConfig::new(blocks, threads) },
         setup: Box::new(move |gpu| {
             let mut rng = crate::data::rng(0x5057_000C);
             let img = gpu.global_mut().alloc(4 * n as u64);

@@ -58,11 +58,7 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
 
     // Baseline: ~5/8 of the SMs get a block; optimized: split in two.
     let base_blocks = (p.sms * 3 / 8).max(1);
-    let (blocks, threads) = if variant >= 1 {
-        (base_blocks * 2, 256)
-    } else {
-        (base_blocks, 512)
-    };
+    let (blocks, threads) = if variant >= 1 { (base_blocks * 2, 256) } else { (base_blocks, 512) };
     let n = blocks * threads;
     KernelSpec {
         module,
@@ -75,10 +71,8 @@ fn build(variant: usize, p: &Params) -> KernelSpec {
             gpu.global_mut()
                 .write_bytes(points, &crate::data::f32_bytes(&mut rng, m as usize, 0.0, 1.0));
             let center = gpu.global_mut().alloc(4 * DIMS as u64);
-            gpu.global_mut().write_bytes(
-                center,
-                &crate::data::f32_bytes(&mut rng, DIMS as usize, 0.0, 1.0),
-            );
+            gpu.global_mut()
+                .write_bytes(center, &crate::data::f32_bytes(&mut rng, DIMS as usize, 0.0, 1.0));
             let out = gpu.global_mut().alloc(4 * n as u64);
             let mut pb = ParamBlock::new();
             pb.push_u64(points);

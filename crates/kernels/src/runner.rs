@@ -1,4 +1,9 @@
-//! Convenience runner: build device, set up inputs, profile.
+//! Single-shot runner: build device, set up inputs, profile.
+//!
+//! These are the low-level, one-kernel primitives. Anything running more
+//! than one variant — the CLI's `analyze --all`, the Table 3 harness,
+//! batch experiments — should go through `gpa-pipeline`'s `Session`,
+//! which caches module artifacts and fans out across the worker pool.
 
 use crate::{KernelSpec, Params};
 use gpa_arch::ArchConfig;
@@ -23,18 +28,25 @@ pub fn arch_for(p: &Params) -> ArchConfig {
     ArchConfig::small(p.sms)
 }
 
+/// Builds the simulator for a spec (constant bank wired), runs its
+/// setup, and returns the armed profiler plus kernel parameters — the
+/// glue `run_spec` and `time_spec` share.
+pub fn profiler_for(spec: &KernelSpec, arch: &ArchConfig) -> (Profiler, Vec<u8>) {
+    let mut gpu = GpuSim::new(arch.clone(), sim_config());
+    if let Some(bank) = &spec.const_bank1 {
+        gpu.set_const_bank(1, bank.clone());
+    }
+    let params = (spec.setup)(&mut gpu);
+    (Profiler::new(gpu), params)
+}
+
 /// Runs one kernel variant with sampling and returns profile + cycles.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors (faults, cycle limit).
 pub fn run_spec(spec: &KernelSpec, arch: &ArchConfig) -> Result<RunOutput> {
-    let mut gpu = GpuSim::new(arch.clone(), sim_config());
-    if let Some(bank) = &spec.const_bank1 {
-        gpu.set_const_bank(1, bank.clone());
-    }
-    let params = (spec.setup)(&mut gpu);
-    let mut profiler = Profiler::new(gpu);
+    let (mut profiler, params) = profiler_for(spec, arch);
     let (profile, result) = profiler.profile(&spec.module, &spec.entry, &spec.launch, &params)?;
     Ok(RunOutput { profile, cycles: result.cycles })
 }
@@ -45,11 +57,6 @@ pub fn run_spec(spec: &KernelSpec, arch: &ArchConfig) -> Result<RunOutput> {
 ///
 /// Propagates simulator errors.
 pub fn time_spec(spec: &KernelSpec, arch: &ArchConfig) -> Result<u64> {
-    let mut gpu = GpuSim::new(arch.clone(), sim_config());
-    if let Some(bank) = &spec.const_bank1 {
-        gpu.set_const_bank(1, bank.clone());
-    }
-    let params = (spec.setup)(&mut gpu);
-    let mut profiler = Profiler::new(gpu);
+    let (mut profiler, params) = profiler_for(spec, arch);
     profiler.time_only(&spec.module, &spec.entry, &spec.launch, &params)
 }

@@ -1,0 +1,127 @@
+//! Analysis jobs, their outcomes, and machine-readable rendering.
+
+use crate::session::ModuleArtifacts;
+use gpa_core::AdviceReport;
+use gpa_json::Json;
+use gpa_sampling::KernelProfile;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One analysis request: an application (by registry name) and a variant
+/// index (0 = baseline, `k` = first `k` Table 3 optimizations applied).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AnalysisJob {
+    /// Registry name, e.g. `"rodinia/hotspot"`.
+    pub app: String,
+    /// Variant index.
+    pub variant: usize,
+}
+
+impl AnalysisJob {
+    /// A job for `app`'s `variant`.
+    pub fn new(app: impl Into<String>, variant: usize) -> Self {
+        AnalysisJob { app: app.into(), variant }
+    }
+}
+
+impl fmt::Display for AnalysisJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} v{}", self.app, self.variant)
+    }
+}
+
+/// Everything one app-variant analysis produces.
+#[derive(Clone)]
+pub struct AnalysisOutcome {
+    /// The job this outcome answers.
+    pub job: AnalysisJob,
+    /// Kernel symbol analyzed.
+    pub kernel: String,
+    /// The PC-sampling profile.
+    pub profile: KernelProfile,
+    /// Ground-truth kernel cycles.
+    pub cycles: u64,
+    /// The ranked advice report.
+    pub report: AdviceReport,
+    /// Wall-clock time of this run (simulate + profile + advise).
+    pub wall: Duration,
+    /// The cached module artifacts the run used (shared across variants
+    /// of repeated jobs — see [`crate::Session`]).
+    pub artifacts: Arc<ModuleArtifacts>,
+}
+
+impl fmt::Debug for AnalysisOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // KernelSpec's setup closure has no Debug; summarize instead.
+        f.debug_struct("AnalysisOutcome")
+            .field("job", &self.job)
+            .field("kernel", &self.kernel)
+            .field("cycles", &self.cycles)
+            .field("total_samples", &self.profile.total_samples)
+            .field("advice_items", &self.report.items.len())
+            .field("wall", &self.wall)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AnalysisOutcome {
+    /// A machine-readable summary: identity, counters, and the ranked
+    /// advice (optimizer, estimated speedup, matched ratio).
+    pub fn to_json(&self) -> Json {
+        let advice: Vec<Json> = self
+            .report
+            .items
+            .iter()
+            .enumerate()
+            .map(|(rank, item)| {
+                Json::object()
+                    .with("rank", rank + 1)
+                    .with("optimizer", item.optimizer.clone())
+                    .with("estimated_speedup", item.estimated_speedup)
+                    .with("matched_ratio", item.matched_ratio)
+            })
+            .collect();
+        Json::object()
+            .with("app", self.job.app.clone())
+            .with("variant", self.job.variant)
+            .with("kernel", self.kernel.clone())
+            .with("cycles", self.cycles)
+            .with("total_samples", self.profile.total_samples)
+            .with("issue_ratio", self.profile.issue_ratio())
+            .with("wall_ms", self.wall.as_secs_f64() * 1e3)
+            .with("advice", Json::Arr(advice))
+    }
+}
+
+/// A failed analysis: which job, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisError {
+    /// The failing job.
+    pub job: AnalysisJob,
+    /// Human-readable cause (unknown app, bad variant, simulator fault).
+    pub message: String,
+}
+
+impl AnalysisError {
+    pub(crate) fn new(job: &AnalysisJob, message: impl Into<String>) -> Self {
+        AnalysisError { job: job.clone(), message: message.into() }
+    }
+
+    /// A machine-readable rendering, shaped like a failed
+    /// [`AnalysisOutcome::to_json`].
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("app", self.job.app.clone())
+            .with("variant", self.job.variant)
+            .with("error", self.message.clone())
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} v{}: {}", self.job.app, self.job.variant, self.message)
+    }
+}
+
+impl std::error::Error for AnalysisError {}

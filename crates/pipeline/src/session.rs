@@ -1,0 +1,357 @@
+//! The [`Session`]: shared configuration, the module-artifact cache, and
+//! single/batch execution.
+
+use crate::{AnalysisError, AnalysisJob, AnalysisOutcome};
+use gpa_arch::{ArchConfig, LatencyTable};
+use gpa_core::{Advisor, ModuleBlame};
+use gpa_kernels::apps::app_by_name;
+use gpa_kernels::{KernelSpec, Params};
+use gpa_sampling::{KernelProfile, Profiler};
+use gpa_sim::{GpuSim, SimConfig};
+use gpa_structure::ProgramStructure;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Everything derivable from one built kernel variant, constructed once
+/// per `(app, variant)` and shared via [`Arc`] across runs: the linked
+/// module with its setup closure ([`KernelSpec`]), and the static
+/// analysis ([`ProgramStructure`], which embeds each function's CFG and
+/// loop forest).
+pub struct ModuleArtifacts {
+    /// The built kernel variant (module, entry, launch, setup).
+    pub spec: KernelSpec,
+    /// Static analysis of `spec.module`.
+    pub structure: ProgramStructure,
+}
+
+/// A long-lived analysis context: owns the experiment configuration and
+/// the artifact cache, and executes [`AnalysisJob`]s one at a time or as
+/// a parallel batch.
+///
+/// Cloning is deliberately not offered: share one session (`&Session` is
+/// enough — every method takes `&self`) so all consumers hit the same
+/// cache.
+pub struct Session {
+    arch: ArchConfig,
+    sim: SimConfig,
+    latency: LatencyTable,
+    params: Params,
+    advisor: Advisor,
+    cache: Mutex<HashMap<(String, usize), Arc<ModuleArtifacts>>>,
+}
+
+impl Session {
+    /// A session with explicit configuration.
+    pub fn new(arch: ArchConfig, sim: SimConfig, params: Params) -> Self {
+        let latency = LatencyTable::for_arch(&arch);
+        Session {
+            arch,
+            sim,
+            latency,
+            params,
+            advisor: Advisor::new(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration the experiment harnesses use: the scaled-down
+    /// paper device and sampling period (previously duplicated as
+    /// `runner::sim_config`/`runner::arch_for` call sites everywhere).
+    pub fn for_params(params: Params) -> Self {
+        let arch = ArchConfig::small(params.sms);
+        let sim = SimConfig { sampling_period: 127, ..SimConfig::default() };
+        Session::new(arch, sim, params)
+    }
+
+    /// The full-scale suite session (Table 3 harness, CLI).
+    pub fn full() -> Self {
+        Session::for_params(Params::full())
+    }
+
+    /// A tiny session for unit/integration tests.
+    pub fn test() -> Self {
+        Session::for_params(Params::test())
+    }
+
+    /// Replaces the advisor (e.g. a custom optimizer catalog).
+    #[must_use]
+    pub fn with_advisor(mut self, advisor: Advisor) -> Self {
+        self.advisor = advisor;
+        self
+    }
+
+    /// The device configuration.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The simulator configuration.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The pre-built latency table.
+    pub fn latency(&self) -> &LatencyTable {
+        &self.latency
+    }
+
+    /// The suite scaling parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Width of the worker pool [`Session::run_batch`] fans out over.
+    pub fn workers(&self) -> usize {
+        rayon::current_num_threads()
+    }
+
+    /// Cached artifacts for `(app, variant)`, building them on first use.
+    /// Repeated calls return the same [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// When the app is unknown or the variant out of range.
+    pub fn artifacts(&self, job: &AnalysisJob) -> Result<Arc<ModuleArtifacts>, AnalysisError> {
+        let key = (job.app.clone(), job.variant);
+        // Fast path under the lock; build outside it so a slow module
+        // build does not serialize unrelated cache hits.
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let app = app_by_name(&job.app)
+            .ok_or_else(|| AnalysisError::new(job, "unknown app (try `gpa list`)"))?;
+        if job.variant >= app.variants() {
+            return Err(AnalysisError::new(
+                job,
+                format!("variant out of range (app has 0..{})", app.variants() - 1),
+            ));
+        }
+        let spec = (app.build)(job.variant, &self.params);
+        let structure = ProgramStructure::build(&spec.module);
+        let built = Arc::new(ModuleArtifacts { spec, structure });
+        let mut cache = self.cache.lock().expect("cache lock");
+        // Two workers may race to build the same key; keep the first.
+        Ok(Arc::clone(cache.entry(key).or_insert(built)))
+    }
+
+    /// Number of artifact-cache entries (for tests and diagnostics).
+    pub fn cached_modules(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// A fresh simulator wired with a spec's constant bank.
+    fn gpu_for(&self, spec: &KernelSpec) -> GpuSim {
+        let mut gpu = GpuSim::new(self.arch.clone(), self.sim.clone());
+        if let Some(bank) = &spec.const_bank1 {
+            gpu.set_const_bank(1, bank.clone());
+        }
+        gpu
+    }
+
+    /// Runs a spec's kernel with the profiler attached: the sampling
+    /// primitive every analysis path shares.
+    fn sample_spec(
+        &self,
+        job: &AnalysisJob,
+        spec: &KernelSpec,
+    ) -> Result<(KernelProfile, u64), AnalysisError> {
+        let mut gpu = self.gpu_for(spec);
+        let host_params = (spec.setup)(&mut gpu);
+        let mut profiler = Profiler::new(gpu);
+        let (profile, result) = profiler
+            .profile(&spec.module, &spec.entry, &spec.launch, &host_params)
+            .map_err(|e| AnalysisError::new(job, e.to_string()))?;
+        Ok((profile, result.cycles))
+    }
+
+    /// Advises on a sampled profile using an artifact's cached static
+    /// analysis and the session's latency table.
+    fn advise_artifacts(
+        &self,
+        artifacts: &ModuleArtifacts,
+        profile: &KernelProfile,
+    ) -> gpa_core::AdviceReport {
+        self.advisor.advise_with(
+            &artifacts.spec.module,
+            &artifacts.structure,
+            &self.latency,
+            profile,
+            &self.arch,
+        )
+    }
+
+    /// The sampling primitive: runs a job's kernel with the profiler
+    /// attached and returns the cached artifacts, the aggregated profile,
+    /// and ground-truth cycles. [`Session::run_one`] and
+    /// [`Session::blame_one`] layer on top.
+    ///
+    /// # Errors
+    ///
+    /// Unknown app/variant, or a simulator fault.
+    pub fn profile_one(
+        &self,
+        job: &AnalysisJob,
+    ) -> Result<(Arc<ModuleArtifacts>, KernelProfile, u64), AnalysisError> {
+        let artifacts = self.artifacts(job)?;
+        let (profile, cycles) = self.sample_spec(job, &artifacts.spec)?;
+        Ok((artifacts, profile, cycles))
+    }
+
+    /// Runs one job: simulate with sampling, aggregate the profile, and
+    /// produce the ranked advice report.
+    ///
+    /// # Errors
+    ///
+    /// Unknown app/variant, or a simulator fault.
+    pub fn run_one(&self, job: &AnalysisJob) -> Result<AnalysisOutcome, AnalysisError> {
+        let t0 = Instant::now();
+        let (artifacts, profile, cycles) = self.profile_one(job)?;
+        let report = self.advise_artifacts(&artifacts, &profile);
+        Ok(AnalysisOutcome {
+            job: job.clone(),
+            kernel: artifacts.spec.entry.clone(),
+            profile,
+            cycles,
+            report,
+            wall: t0.elapsed(),
+            artifacts,
+        })
+    }
+
+    /// Profiles one job and attributes its stalls, returning the blame
+    /// graph (the figure harnesses' flow, without advice ranking).
+    ///
+    /// # Errors
+    ///
+    /// Unknown app/variant, or a simulator fault.
+    pub fn blame_one(&self, job: &AnalysisJob) -> Result<ModuleBlame, AnalysisError> {
+        let (artifacts, profile, _) = self.profile_one(job)?;
+        Ok(ModuleBlame::build(
+            &artifacts.spec.module,
+            &artifacts.structure,
+            &profile,
+            &self.latency,
+        ))
+    }
+
+    /// Analyzes a caller-built [`KernelSpec`] (a kernel outside the
+    /// registry, e.g. hand-written assembly). The spec is moved into the
+    /// returned outcome's artifacts; nothing is cached.
+    ///
+    /// # Errors
+    ///
+    /// A simulator fault.
+    pub fn analyze_spec(&self, spec: KernelSpec) -> Result<AnalysisOutcome, AnalysisError> {
+        let t0 = Instant::now();
+        let job = AnalysisJob::new(spec.module.name.clone(), 0);
+        let structure = ProgramStructure::build(&spec.module);
+        let artifacts = Arc::new(ModuleArtifacts { spec, structure });
+        let (profile, cycles) = self.sample_spec(&job, &artifacts.spec)?;
+        let report = self.advise_artifacts(&artifacts, &profile);
+        Ok(AnalysisOutcome {
+            job,
+            kernel: artifacts.spec.entry.clone(),
+            profile,
+            cycles,
+            report,
+            wall: t0.elapsed(),
+            artifacts,
+        })
+    }
+
+    /// Times one job without sampling (ground truth for achieved
+    /// speedups).
+    ///
+    /// # Errors
+    ///
+    /// Unknown app/variant, or a simulator fault.
+    pub fn time_one(&self, job: &AnalysisJob) -> Result<u64, AnalysisError> {
+        let artifacts = self.artifacts(job)?;
+        let spec = &artifacts.spec;
+        let mut gpu = self.gpu_for(spec);
+        let host_params = (spec.setup)(&mut gpu);
+        let mut profiler = Profiler::new(gpu);
+        profiler
+            .time_only(&spec.module, &spec.entry, &spec.launch, &host_params)
+            .map_err(|e| AnalysisError::new(job, e.to_string()))
+    }
+
+    /// Times a caller-built [`KernelSpec`] without sampling (e.g. a
+    /// launch-configuration sweep over modified specs).
+    ///
+    /// # Errors
+    ///
+    /// A simulator fault.
+    pub fn time_spec(&self, spec: &KernelSpec) -> Result<u64, AnalysisError> {
+        let mut gpu = self.gpu_for(spec);
+        let host_params = (spec.setup)(&mut gpu);
+        let mut profiler = Profiler::new(gpu);
+        profiler.time_only(&spec.module, &spec.entry, &spec.launch, &host_params).map_err(|e| {
+            AnalysisError::new(&AnalysisJob::new(spec.module.name.clone(), 0), e.to_string())
+        })
+    }
+
+    /// Runs many jobs across the worker pool. Results are returned in
+    /// job order — index `i` of the output always answers `jobs[i]`,
+    /// independent of scheduling — so batch output is deterministic.
+    pub fn run_batch(&self, jobs: &[AnalysisJob]) -> Vec<Result<AnalysisOutcome, AnalysisError>> {
+        jobs.par_iter().map(|job| self.run_one(job)).collect()
+    }
+
+    /// The serial reference for [`Session::run_batch`] (used by the
+    /// `batch` bench to measure the parallel speedup).
+    pub fn run_batch_serial(
+        &self,
+        jobs: &[AnalysisJob],
+    ) -> Vec<Result<AnalysisOutcome, AnalysisError>> {
+        jobs.iter().map(|job| self.run_one(job)).collect()
+    }
+
+    /// One baseline job per registry app, in Table 3 order (the CLI's
+    /// `analyze --all`).
+    pub fn jobs_for_all_apps(&self) -> Vec<AnalysisJob> {
+        gpa_kernels::all_apps().iter().map(|app| AnalysisJob::new(app.name, 0)).collect()
+    }
+
+    /// Every variant of every registry app, in Table 3 order.
+    pub fn jobs_for_all_variants(&self) -> Vec<AnalysisJob> {
+        gpa_kernels::all_apps()
+            .iter()
+            .flat_map(|app| (0..app.variants()).map(|v| AnalysisJob::new(app.name, v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_app_and_bad_variant_are_reported() {
+        let s = Session::test();
+        let err = s.run_one(&AnalysisJob::new("nope", 0)).unwrap_err();
+        assert!(err.message.contains("unknown app"), "{err}");
+        let err = s.run_one(&AnalysisJob::new("rodinia/hotspot", 99)).unwrap_err();
+        assert!(err.message.contains("variant out of range"), "{err}");
+    }
+
+    #[test]
+    fn artifacts_are_cached_per_variant() {
+        let s = Session::test();
+        let a = s.artifacts(&AnalysisJob::new("rodinia/hotspot", 0)).unwrap();
+        let b = s.artifacts(&AnalysisJob::new("rodinia/hotspot", 0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same variant shares one build");
+        let c = s.artifacts(&AnalysisJob::new("rodinia/hotspot", 1)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different variants differ");
+        assert_eq!(s.cached_modules(), 2);
+    }
+
+    #[test]
+    fn job_lists_cover_the_registry() {
+        let s = Session::test();
+        assert_eq!(s.jobs_for_all_apps().len(), 21);
+        assert_eq!(s.jobs_for_all_variants().len(), 21 + 26, "apps + Table 3 rows");
+    }
+}

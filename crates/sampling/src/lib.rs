@@ -22,6 +22,6 @@
 pub mod profile;
 pub mod profiler;
 
+pub use gpa_sim::{RawSample, StallReason};
 pub use profile::{KernelProfile, PcStats};
 pub use profiler::Profiler;
-pub use gpa_sim::{RawSample, StallReason};

@@ -1,8 +1,8 @@
 //! Aggregated kernel profiles.
 
-use gpa_arch::{LaunchConfig, Occupancy};
+use gpa_arch::{LaunchConfig, OccLimiter, Occupancy};
+use gpa_json::Json;
 use gpa_sim::{LaunchResult, RawSample, StallReason};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
@@ -10,7 +10,7 @@ use std::path::Path;
 const N_REASONS: usize = StallReason::ALL.len();
 
 /// Sample statistics for one program counter.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PcStats {
     /// Total samples observed at this PC.
     pub total: u64,
@@ -43,7 +43,7 @@ impl PcStats {
 }
 
 /// A full PC-sampling profile of one kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelProfile {
     /// Kernel (entry function) name.
     pub kernel: String,
@@ -161,16 +161,105 @@ impl KernelProfile {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("profile serializes")
+        let pcs = Json::Obj(
+            self.pcs
+                .iter()
+                .map(|(pc, st)| {
+                    let stats = Json::object()
+                        .with("total", st.total)
+                        .with("by_reason", st.by_reason.to_vec())
+                        .with("latency_by_reason", st.latency_by_reason.to_vec());
+                    (pc.to_string(), stats)
+                })
+                .collect(),
+        );
+        Json::object()
+            .with("kernel", self.kernel.clone())
+            .with("module_name", self.module_name.clone())
+            .with("arch", self.arch.clone())
+            .with("period", self.period)
+            .with(
+                "launch",
+                Json::object()
+                    .with("grid_blocks", self.launch.grid_blocks)
+                    .with("block_threads", self.launch.block_threads)
+                    .with("regs_per_thread", self.launch.regs_per_thread)
+                    .with("smem_per_block", self.launch.smem_per_block),
+            )
+            .with(
+                "occupancy",
+                Json::object()
+                    .with("blocks_per_sm", self.occupancy.blocks_per_sm)
+                    .with("warps_per_sm", self.occupancy.warps_per_sm)
+                    .with("warps_per_scheduler", self.occupancy.warps_per_scheduler)
+                    .with("limiter", limiter_str(self.occupancy.limiter))
+                    .with("ratio", self.occupancy.ratio),
+            )
+            .with("cycles", self.cycles)
+            .with("issued", self.issued)
+            .with("pcs", pcs)
+            .with("total_samples", self.total_samples)
+            .with("active_samples", self.active_samples)
+            .with("latency_samples", self.latency_samples)
+            .with("mem_transactions", self.mem_transactions)
+            .with("l2_hits", self.l2_hits)
+            .with("l2_misses", self.l2_misses)
+            .with("icache_misses", self.icache_misses)
+            .pretty()
     }
 
     /// Parses a profile from JSON.
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] on malformed input.
-    pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
+    /// Returns a [`gpa_json::JsonError`] on malformed input.
+    pub fn from_json(s: &str) -> gpa_json::Result<Self> {
+        let doc = Json::parse(s)?;
+        let launch = doc.field("launch")?;
+        let occ = doc.field("occupancy")?;
+        let mut pcs = BTreeMap::new();
+        for (key, stats) in doc.field("pcs")?.entries()? {
+            let pc: u64 = key
+                .parse()
+                .map_err(|_| gpa_json::JsonError::from_msg(format!("bad pc key `{key}`")))?;
+            pcs.insert(
+                pc,
+                PcStats {
+                    total: stats.field("total")?.as_u64()?,
+                    by_reason: reason_array(stats.field("by_reason")?)?,
+                    latency_by_reason: reason_array(stats.field("latency_by_reason")?)?,
+                },
+            );
+        }
+        Ok(KernelProfile {
+            kernel: doc.field("kernel")?.as_str()?.to_string(),
+            module_name: doc.field("module_name")?.as_str()?.to_string(),
+            arch: doc.field("arch")?.as_str()?.to_string(),
+            period: doc.field("period")?.as_u32()?,
+            launch: LaunchConfig {
+                grid_blocks: launch.field("grid_blocks")?.as_u32()?,
+                block_threads: launch.field("block_threads")?.as_u32()?,
+                regs_per_thread: launch.field("regs_per_thread")?.as_u32()?,
+                smem_per_block: launch.field("smem_per_block")?.as_u32()?,
+            },
+            occupancy: Occupancy {
+                blocks_per_sm: occ.field("blocks_per_sm")?.as_u32()?,
+                warps_per_sm: occ.field("warps_per_sm")?.as_u32()?,
+                warps_per_scheduler: occ.field("warps_per_scheduler")?.as_f64()?,
+                limiter: limiter_from_str(occ.field("limiter")?.as_str()?)?,
+                ratio: occ.field("ratio")?.as_f64()?,
+            },
+            cycles: doc.field("cycles")?.as_u64()?,
+            issued: doc.field("issued")?.as_u64()?,
+            pcs,
+            total_samples: doc.field("total_samples")?.as_u64()?,
+            active_samples: doc.field("active_samples")?.as_u64()?,
+            latency_samples: doc.field("latency_samples")?.as_u64()?,
+            mem_transactions: doc.field("mem_transactions")?.as_u64()?,
+            l2_hits: doc.field("l2_hits")?.as_u64()?,
+            l2_misses: doc.field("l2_misses")?.as_u64()?,
+            icache_misses: doc.field("icache_misses")?.as_u64()?,
+        })
     }
 
     /// Writes the profile to a file.
@@ -192,6 +281,42 @@ impl KernelProfile {
         let text = std::fs::read_to_string(path)?;
         Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+}
+
+fn limiter_str(l: OccLimiter) -> &'static str {
+    match l {
+        OccLimiter::Warps => "Warps",
+        OccLimiter::Registers => "Registers",
+        OccLimiter::SharedMem => "SharedMem",
+        OccLimiter::Blocks => "Blocks",
+        OccLimiter::GridSize => "GridSize",
+    }
+}
+
+fn limiter_from_str(s: &str) -> gpa_json::Result<OccLimiter> {
+    Ok(match s {
+        "Warps" => OccLimiter::Warps,
+        "Registers" => OccLimiter::Registers,
+        "SharedMem" => OccLimiter::SharedMem,
+        "Blocks" => OccLimiter::Blocks,
+        "GridSize" => OccLimiter::GridSize,
+        _ => return Err(gpa_json::JsonError::from_msg(format!("unknown limiter `{s}`"))),
+    })
+}
+
+fn reason_array(v: &Json) -> gpa_json::Result<[u64; N_REASONS]> {
+    let items = v.as_array()?;
+    if items.len() != N_REASONS {
+        return Err(gpa_json::JsonError::from_msg(format!(
+            "expected {N_REASONS} stall-reason counters, got {}",
+            items.len()
+        )));
+    }
+    let mut out = [0u64; N_REASONS];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = item.as_u64()?;
+    }
+    Ok(out)
 }
 
 /// Builds the paper's Figure 1 style classification for a sample.

@@ -112,8 +112,7 @@ mod tests {
         let mut prof = Profiler::new(GpuSim::new(ArchConfig::small(1), cfg));
         let buf = prof.gpu_mut().global_mut().alloc(4 * 64);
         let params: Vec<u8> = buf.to_le_bytes().to_vec();
-        let (profile, result) =
-            prof.profile(&m, "k", &LaunchConfig::new(2, 32), &params).unwrap();
+        let (profile, result) = prof.profile(&m, "k", &LaunchConfig::new(2, 32), &params).unwrap();
         assert_eq!(profile.cycles, result.cycles);
         assert!(profile.total_samples > 0);
         let hist = profile.stall_histogram();

@@ -162,9 +162,8 @@ pub fn execute(
     // Control flow first: BRA handles divergence on its own.
     match instr.opcode {
         Opcode::Bra => {
-            let target = instr
-                .branch_target()
-                .ok_or_else(|| fault(pc, "BRA without resolved target"))?;
+            let target =
+                instr.branch_target().ok_or_else(|| fault(pc, "BRA without resolved target"))?;
             let taken = exec_mask;
             let outcome = if taken == 0 {
                 Outcome::Next
@@ -192,9 +191,8 @@ pub fn execute(
             return Ok(ExecResult { outcome: Outcome::Exit, mem: None });
         }
         Opcode::Cal => {
-            let target = instr
-                .branch_target()
-                .ok_or_else(|| fault(pc, "CAL without resolved target"))?;
+            let target =
+                instr.branch_target().ok_or_else(|| fault(pc, "CAL without resolved target"))?;
             return Ok(ExecResult { outcome: Outcome::Call(target), mem: None });
         }
         Opcode::Ret => {
@@ -342,8 +340,8 @@ pub fn execute(
         }
         Shl | Shr | Shf => {
             let d = dst_reg(instr, pc)?;
-            let right = instr.opcode == Shr
-                || (instr.opcode == Shf && instr.mods.contains(&Modifier::R));
+            let right =
+                instr.opcode == Shr || (instr.opcode == Shf && instr.mods.contains(&Modifier::R));
             let arith = instr.mods.contains(&Modifier::S32);
             for &l in &lanes {
                 let a = val32(w, l, &instr.srcs[0], ctx)?;
@@ -390,9 +388,8 @@ pub fn execute(
         }
         Sel => {
             let d = dst_reg(instr, pc)?;
-            let p = instr.srcs[2]
-                .pred()
-                .ok_or_else(|| fault(pc, "SEL needs a predicate source"))?;
+            let p =
+                instr.srcs[2].pred().ok_or_else(|| fault(pc, "SEL needs a predicate source"))?;
             for &l in &lanes {
                 let a = val32(w, l, &instr.srcs[0], ctx)?;
                 let b = val32(w, l, &instr.srcs[1], ctx)?;
@@ -542,11 +539,8 @@ pub fn execute(
                 _ => return Err(fault(pc, "SHFL needs a register source")),
             };
             // Snapshot before writing (source and destination may alias).
-            let snapshot = if src_r.is_zero() {
-                [0u32; WARP_LANES]
-            } else {
-                w.regs[src_r.index() as usize]
-            };
+            let snapshot =
+                if src_r.is_zero() { [0u32; WARP_LANES] } else { w.regs[src_r.index() as usize] };
             for &l in &lanes {
                 let idx = (val32(w, l, &instr.srcs[1], ctx)? as usize) % WARP_LANES;
                 w.write_reg(l, d, snapshot[idx]);
@@ -554,9 +548,8 @@ pub fn execute(
         }
         Vote => {
             let d = dst_reg(instr, pc)?;
-            let p = instr.srcs[0]
-                .pred()
-                .ok_or_else(|| fault(pc, "VOTE needs a predicate source"))?;
+            let p =
+                instr.srcs[0].pred().ok_or_else(|| fault(pc, "VOTE needs a predicate source"))?;
             let all_mode = instr.mods.contains(&Modifier::All);
             let votes: Vec<bool> = lanes.iter().map(|&l| w.read_pred(l, p)).collect();
             let agg = if all_mode { votes.iter().all(|&v| v) } else { votes.iter().any(|&v| v) };
@@ -603,14 +596,10 @@ fn memory_op(
     let mut addrs = Vec::with_capacity(lanes.len());
 
     // Locate the memory operand and the data operand.
-    let mem_op = instr
-        .dsts
-        .iter()
-        .chain(instr.srcs.iter())
-        .find_map(|o| match o {
-            Operand::Mem(m) => Some(*m),
-            _ => None,
-        });
+    let mem_op = instr.dsts.iter().chain(instr.srcs.iter()).find_map(|o| match o {
+        Operand::Mem(m) => Some(*m),
+        _ => None,
+    });
     let cmem_op = instr.srcs.iter().find_map(|o| match o {
         Operand::CMem { bank, offset } => Some((*bank, *offset)),
         _ => None,
@@ -717,8 +706,7 @@ fn memory_op(
             } else if let Some(m) = mem_op {
                 // Register-indexed constant load from bank 1.
                 for &l in lanes {
-                    let addr =
-                        (w.read_reg(l, m.base) as u64).wrapping_add(m.offset as i64 as u64);
+                    let addr = (w.read_reg(l, m.base) as u64).wrapping_add(m.offset as i64 as u64);
                     addrs.push(addr);
                     if width == 8 {
                         w.write_pair(l, d, ctx.consts.read_u64(1, addr as u32));
@@ -851,11 +839,7 @@ mod tests {
         (WarpState::new(0, 0, 0, 0, 32), GlobalMem::new(), Vec::new(), ConstMem::new())
     }
 
-    fn ctx<'a>(
-        g: &'a mut GlobalMem,
-        s: &'a mut Vec<u8>,
-        c: &'a ConstMem,
-    ) -> ExecCtx<'a> {
+    fn ctx<'a>(g: &'a mut GlobalMem, s: &'a mut Vec<u8>, c: &'a ConstMem) -> ExecCtx<'a> {
         ExecCtx { global: g, smem: s, consts: c, block_id: 3, grid_blocks: 8, block_threads: 64 }
     }
 
@@ -892,22 +876,16 @@ mod tests {
         for l in 0..32 {
             w.write_reg(l, r(1), 2.5f32.to_bits());
         }
-        let promote = Instruction::new(
-            Opcode::F2f,
-            vec![Operand::RegPair(r(4))],
-            vec![Operand::Reg(r(1))],
-        )
-        .with_mod(Modifier::F64)
-        .with_mod(Modifier::F32);
+        let promote =
+            Instruction::new(Opcode::F2f, vec![Operand::RegPair(r(4))], vec![Operand::Reg(r(1))])
+                .with_mod(Modifier::F64)
+                .with_mod(Modifier::F32);
         execute(&mut w, &promote, None, &mut cx).unwrap();
         assert_eq!(f64::from_bits(w.read_pair(7, r(4))), 2.5);
-        let demote = Instruction::new(
-            Opcode::F2f,
-            vec![Operand::Reg(r(6))],
-            vec![Operand::RegPair(r(4))],
-        )
-        .with_mod(Modifier::F32)
-        .with_mod(Modifier::F64);
+        let demote =
+            Instruction::new(Opcode::F2f, vec![Operand::Reg(r(6))], vec![Operand::RegPair(r(4))])
+                .with_mod(Modifier::F32)
+                .with_mod(Modifier::F64);
         execute(&mut w, &demote, None, &mut cx).unwrap();
         assert_eq!(f32::from_bits(w.read_reg(7, r(6))), 2.5);
     }
@@ -939,10 +917,7 @@ mod tests {
         let stg = Instruction::new(
             Opcode::Stg,
             vec![],
-            vec![
-                Operand::Mem(MemRef { base: r(2), offset: 0, wide: true }),
-                Operand::Reg(r(0)),
-            ],
+            vec![Operand::Mem(MemRef { base: r(2), offset: 0, wide: true }), Operand::Reg(r(0))],
         )
         .with_mod(Modifier::E)
         .with_mod(Modifier::Sz32);
@@ -990,8 +965,10 @@ mod tests {
         let stl = Instruction::new(
             Opcode::Stl,
             vec![],
-            vec![Operand::Mem(MemRef { base: Register::ZERO, offset: 16, wide: false }),
-                 Operand::Reg(r(0))],
+            vec![
+                Operand::Mem(MemRef { base: Register::ZERO, offset: 16, wide: false }),
+                Operand::Reg(r(0)),
+            ],
         );
         execute(&mut w, &stl, None, &mut cx).unwrap();
         let mut cx = ctx(&mut g, &mut s, &c);

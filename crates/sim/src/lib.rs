@@ -81,7 +81,8 @@ pub enum SimError {
         /// Program counter of the faulting instruction.
         pc: u64,
         /// Explanation of the fault.
-        message: String },
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {

@@ -8,11 +8,10 @@ use crate::warp::WarpState;
 use crate::{Result, SimError};
 use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig, Occupancy};
 use gpa_isa::{Instruction, MemSpace, Module, Opcode, Pipe, Slot, Visibility, INSTR_BYTES};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Tunable simulator knobs (separate from the machine description).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Abort the launch after this many cycles.
     pub max_cycles: u64,
@@ -48,7 +47,7 @@ impl Default for SimConfig {
 }
 
 /// One PC sample, the raw material of a profile (paper Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RawSample {
     /// SM that took the sample.
     pub sm: u32,
@@ -66,7 +65,7 @@ pub struct RawSample {
 }
 
 /// Per-SM counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SmStats {
     /// Instructions issued on this SM.
     pub issued: u64,
@@ -171,10 +170,7 @@ impl Program {
                     def_preds,
                     fixed_lat: lat.fixed_latency(instr),
                     pipe: instr.opcode.pipe(),
-                    throttled_mem: matches!(
-                        space,
-                        Some(MemSpace::Global) | Some(MemSpace::Local)
-                    ),
+                    throttled_mem: matches!(space, Some(MemSpace::Global) | Some(MemSpace::Local)),
                     reconv: reconv_map.get(&pc).copied(),
                 });
                 instrs.push(instr.clone());
@@ -369,8 +365,8 @@ impl GpuSim {
             if cycle > self.cfg.max_cycles {
                 return Err(SimError::CycleLimit(self.cfg.max_cycles));
             }
-            let sample_due = period > 0 && cycle % period == 0;
-            let sample_sched = if period > 0 { ((cycle / period) as usize) % nsched } else { 0 };
+            let sample_due = period > 0 && cycle.is_multiple_of(period);
+            let sample_sched = cycle.checked_div(period).map_or(0, |q| (q as usize) % nsched);
             for sm in &mut sms {
                 // Retire completed memory requests.
                 sm.inflight.retain(|&(done, n)| {
@@ -389,9 +385,8 @@ impl GpuSim {
                     } else {
                         None
                     };
-                    let sampled_status = sampled.map(|wi| {
-                        (wi, warp_status(sm, wi, &prog, cycle, &self.arch))
-                    });
+                    let sampled_status =
+                        sampled.map(|wi| (wi, warp_status(sm, wi, &prog, cycle, &self.arch)));
                     // Issue: scan warps round-robin, first ready wins.
                     let list_len = sm.sched_warps[sched].len();
                     let mut issued_warp: Option<usize> = None;
@@ -684,10 +679,10 @@ fn issue_one(
             redirected = true;
         }
         Outcome::Ret => {
-            let ret = w
-                .call_stack
-                .pop()
-                .ok_or_else(|| SimError::Fault { pc: w.pc, message: "RET on empty stack".into() })?;
+            let ret = w.call_stack.pop().ok_or_else(|| SimError::Fault {
+                pc: w.pc,
+                message: "RET on empty stack".into(),
+            })?;
             w.pc = ret;
             redirected = true;
         }
@@ -706,10 +701,10 @@ fn issue_one(
     if !w.done {
         w.reconverge_if_needed();
         let pc = w.pc;
-        let new_idx = *prog.pc2idx.get(&pc).ok_or(SimError::Fault {
-            pc,
-            message: "control flow left the program".into(),
-        })?;
+        let new_idx = *prog
+            .pc2idx
+            .get(&pc)
+            .ok_or(SimError::Fault { pc, message: "control flow left the program".into() })?;
         w.cur_idx = new_idx;
         if !sm.icache.access(pc) {
             // One fill port per SM: concurrent misses queue behind each
@@ -875,9 +870,8 @@ mod tests {
             gpu.global_mut().write_u32(a + 4 * i, i as u32);
             gpu.global_mut().write_u32(b + 4 * i, 100 + i as u32);
         }
-        let r = gpu
-            .launch(&m, "vecadd", &LaunchConfig::new(1, 32), &params_u64(&[a, b, out]))
-            .unwrap();
+        let r =
+            gpu.launch(&m, "vecadd", &LaunchConfig::new(1, 32), &params_u64(&[a, b, out])).unwrap();
         for i in 0..32u64 {
             assert_eq!(gpu.global().read_u32(out + 4 * i), 100 + 2 * i as u32);
         }
@@ -946,11 +940,7 @@ join:
         let mut gpu = sim(1);
         gpu.config_mut().sampling_period = 31;
         let r = gpu.launch(&m, "barrier", &LaunchConfig::new(1, 64), &[]).unwrap();
-        let syncs = r
-            .samples
-            .iter()
-            .filter(|s| s.stall == StallReason::Synchronization)
-            .count();
+        let syncs = r.samples.iter().filter(|s| s.stall == StallReason::Synchronization).count();
         assert!(syncs > 0, "warp 1 waits at BAR.SYNC while warp 0 loops");
         assert!(r.cycles > 1000, "200-iteration loop dominates");
     }
@@ -998,19 +988,14 @@ join:
         let a = gpu.global_mut().alloc(256);
         let b = gpu.global_mut().alloc(256);
         let out = gpu.global_mut().alloc(256);
-        let r = gpu
-            .launch(&m, "vecadd", &LaunchConfig::new(4, 64), &params_u64(&[a, b, out]))
-            .unwrap();
+        let r =
+            gpu.launch(&m, "vecadd", &LaunchConfig::new(4, 64), &params_u64(&[a, b, out])).unwrap();
         assert!(!r.samples.is_empty());
         let latency = r.samples.iter().filter(|s| !s.scheduler_active).count();
         let stalls = r.samples.iter().filter(|s| s.stall.is_stall()).count();
         assert!(latency > 0, "dependent loads leave empty issue slots");
         assert!(stalls > 0);
-        let memdep = r
-            .samples
-            .iter()
-            .filter(|s| s.stall == StallReason::MemoryDependency)
-            .count();
+        let memdep = r.samples.iter().filter(|s| s.stall == StallReason::MemoryDependency).count();
         assert!(memdep > 0, "IADD waits on LDG barriers");
     }
 
@@ -1019,7 +1004,7 @@ join:
         // The same total work split across more warps should need fewer
         // cycles per element thanks to latency hiding.
         let m = parse_module(VEC_ADD).unwrap();
-        let mut run = |blocks: u32, threads: u32| {
+        let run = |blocks: u32, threads: u32| {
             let mut gpu = sim(1);
             let n = (blocks * threads) as u64;
             let a = gpu.global_mut().alloc(4 * n);

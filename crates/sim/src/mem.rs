@@ -36,9 +36,7 @@ impl GlobalMem {
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        self.pages
-            .get(&(addr / PAGE_SIZE))
-            .map_or(0, |p| p[(addr % PAGE_SIZE) as usize])
+        self.pages.get(&(addr / PAGE_SIZE)).map_or(0, |p| p[(addr % PAGE_SIZE) as usize])
     }
 
     /// Writes one byte.
@@ -171,8 +169,8 @@ impl ConstMem {
         let Some(b) = self.banks.get(bank as usize) else { return 0 };
         let o = offset as usize;
         let mut bytes = [0u8; 4];
-        for i in 0..4 {
-            bytes[i] = b.get(o + i).copied().unwrap_or(0);
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            *byte = b.get(o + i).copied().unwrap_or(0);
         }
         u32::from_le_bytes(bytes)
     }

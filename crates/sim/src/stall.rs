@@ -1,6 +1,5 @@
 //! The CUPTI-compatible stall taxonomy.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a sampled warp could not issue (or that it did).
@@ -8,7 +7,7 @@ use std::fmt;
 /// This mirrors the stall reasons CUPTI's PC sampling attaches to samples.
 /// `Selected` marks the issuing warp (an active sample with no stall);
 /// every other variant is a *stall sample* in the paper's terminology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StallReason {
     /// The warp issued an instruction this cycle.
     Selected,

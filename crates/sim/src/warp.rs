@@ -171,7 +171,8 @@ impl WarpState {
         match pred {
             None => u32::MAX,
             Some(p) => {
-                let raw = if p.reg.is_true() { u32::MAX } else { self.preds[p.reg.index() as usize] };
+                let raw =
+                    if p.reg.is_true() { u32::MAX } else { self.preds[p.reg.index() as usize] };
                 if p.negated {
                     !raw
                 } else {

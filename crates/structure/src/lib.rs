@@ -13,7 +13,6 @@
 
 use gpa_cfg::{Cfg, LoopForest, LoopId};
 use gpa_isa::{InlineFrame, Module, SourceLoc, Visibility};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Analyzed structure of one function.
@@ -52,7 +51,7 @@ impl FunctionInfo {
 /// Scopes order Eq. 5's analysis: "optimizations such as loop unrolling
 /// only arrange code for a specific scope so that only the active samples
 /// within the scope can be used to reduce latency samples".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scope {
     /// The whole kernel (all functions).
     Kernel,
@@ -100,7 +99,7 @@ impl ProgramStructure {
     /// The function containing `pc`, with the instruction index inside it.
     pub fn locate(&self, pc: u64) -> Option<(&FunctionInfo, usize)> {
         self.functions.iter().find_map(|f| {
-            if pc >= f.base && pc < f.end && (pc - f.base) % gpa_isa::INSTR_BYTES == 0 {
+            if pc >= f.base && pc < f.end && (pc - f.base).is_multiple_of(gpa_isa::INSTR_BYTES) {
                 Some((f, ((pc - f.base) / gpa_isa::INSTR_BYTES) as usize))
             } else {
                 None
@@ -137,9 +136,7 @@ impl ProgramStructure {
     pub fn scope_contains(&self, scope: Scope, pc: u64) -> bool {
         match scope {
             Scope::Kernel => true,
-            Scope::Function(fi) => self
-                .locate(pc)
-                .is_some_and(|(f, _)| f.index == fi),
+            Scope::Function(fi) => self.locate(pc).is_some_and(|(f, _)| f.index == fi),
             Scope::Loop(fi, l) => self.locate(pc).is_some_and(|(f, idx)| {
                 f.index == fi && f.loops.loop_contains_instr(&f.cfg, l, idx)
             }),
@@ -165,12 +162,9 @@ impl ProgramStructure {
                 }
                 out
             }
-            Scope::Loop(fi, l) => self.functions[fi]
-                .loops
-                .nested(l)
-                .into_iter()
-                .map(|n| Scope::Loop(fi, n))
-                .collect(),
+            Scope::Loop(fi, l) => {
+                self.functions[fi].loops.nested(l).into_iter().map(|n| Scope::Loop(fi, n)).collect()
+            }
         }
     }
 
@@ -184,10 +178,9 @@ impl ProgramStructure {
     /// Inline stack of `pc` (innermost frame last; empty when not inlined).
     pub fn inline_stack_of<'m>(&self, module: &'m Module, pc: u64) -> &'m [InlineFrame] {
         match self.locate(pc) {
-            Some((f, idx)) => module.functions[f.index]
-                .inline_stacks
-                .get(idx)
-                .map_or(&[], |s| s.as_slice()),
+            Some((f, idx)) => {
+                module.functions[f.index].inline_stacks.get(idx).map_or(&[], |s| s.as_slice())
+            }
             None => &[],
         }
     }

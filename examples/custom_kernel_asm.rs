@@ -73,7 +73,9 @@ top:
     let s = ProgramStructure::build(&module);
     let pc = f.pc_of(8);
     let (file, line) = s.source_of(&module, pc).unwrap();
-    println!("\ninstruction 8 maps to {file}:{line}, scope: {}",
-        s.describe_scope(&module, s.scope_of(pc).unwrap()));
+    println!(
+        "\ninstruction 8 maps to {file}:{line}, scope: {}",
+        s.describe_scope(&module, s.scope_of(pc).unwrap())
+    );
     Ok(())
 }

@@ -6,30 +6,22 @@
 //! cargo run --release --example hotspot_advisor
 //! ```
 
-use gpa::core::{report, Advisor};
-use gpa::kernels::runner::{arch_for, run_spec, time_spec};
-use gpa::kernels::{apps, Params};
+use gpa::core::report;
+use gpa::pipeline::{AnalysisJob, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let p = Params::full();
-    let arch = arch_for(&p);
-    let app = apps::hotspot::app();
+    let session = Session::full();
 
     // Profile the baseline (variant 0: the `2.0` double constant).
-    let baseline = (app.build)(0, &p);
-    let run = run_spec(&baseline, &arch)?;
+    let run = session.run_one(&AnalysisJob::new("rodinia/hotspot", 0))?;
     println!("baseline: {} cycles\n", run.cycles);
-
-    let advice = Advisor::new().advise(&baseline.module, &run.profile, &arch);
-    print!("{}", report::render(&advice, 2));
+    print!("{}", report::render(&run.report, 2));
 
     // Apply the suggestion (variant 1: the constant typed `2.0f`).
-    let optimized = (app.build)(1, &p);
-    let opt_cycles = time_spec(&optimized, &arch)?;
+    let opt_cycles = session.time_one(&AnalysisJob::new("rodinia/hotspot", 1))?;
     let achieved = run.cycles as f64 / opt_cycles as f64;
-    let estimated = advice
-        .item("GPUStrengthReductionOptimizer")
-        .map_or(1.0, |i| i.estimated_speedup);
+    let estimated =
+        run.report.item("GPUStrengthReductionOptimizer").map_or(1.0, |i| i.estimated_speedup);
     println!("optimized: {opt_cycles} cycles");
     println!("achieved speedup {achieved:.2}x, GPA estimated {estimated:.2}x");
     println!("(paper: 1.15x achieved, 1.10x estimated)");

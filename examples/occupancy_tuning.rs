@@ -8,13 +8,12 @@
 //! ```
 
 use gpa::arch::LaunchConfig;
-use gpa::core::Advisor;
-use gpa::kernels::runner::{arch_for, run_spec, time_spec};
 use gpa::kernels::{apps, Params};
+use gpa::pipeline::{AnalysisJob, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = Session::full();
     let p = Params::full();
-    let arch = arch_for(&p);
     let app = apps::gaussian::app();
 
     // Sweep block sizes to see the occupancy cliff the paper describes.
@@ -23,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut spec = (app.build)(0, &p);
         let total = spec.launch.total_threads() as u32;
         spec.launch = LaunchConfig::new(total / threads, threads);
-        let occ = arch.occupancy(&spec.launch);
-        let cycles = time_spec(&spec, &arch)?;
+        let occ = session.arch().occupancy(&spec.launch);
+        let cycles = session.time_spec(&spec)?;
         println!(
             "  {threads:>4} threads/block: {cycles:>8} cycles, {:>2} warps/SM (limited by {})",
             occ.warps_per_sm, occ.limiter
@@ -32,20 +31,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // What does GPA say about the worst configuration?
-    let baseline = (app.build)(0, &p);
-    let run = run_spec(&baseline, &arch)?;
-    let advice = Advisor::new().advise(&baseline.module, &run.profile, &arch);
-    let item = advice.item("GPUThreadIncreaseOptimizer").expect("matches");
-    println!("\nGPA suggests {} (rank {}), estimated {:.2}x:",
+    let run = session.run_one(&AnalysisJob::new(app.name, 0))?;
+    let item = run.report.item("GPUThreadIncreaseOptimizer").expect("matches");
+    println!(
+        "\nGPA suggests {} (rank {}), estimated {:.2}x:",
         item.optimizer,
-        advice.rank_of("GPUThreadIncreaseOptimizer").unwrap(),
-        item.estimated_speedup);
+        run.report.rank_of("GPUThreadIncreaseOptimizer").unwrap(),
+        item.estimated_speedup
+    );
     for note in &item.notes {
         println!("  - {note}");
     }
 
-    let optimized = (app.build)(1, &p);
-    let opt_cycles = time_spec(&optimized, &arch)?;
+    let opt_cycles = session.time_one(&AnalysisJob::new(app.name, 1))?;
     println!(
         "\nachieved {:.2}x (paper: 3.86x achieved, 3.33x estimated)",
         run.cycles as f64 / opt_cycles as f64

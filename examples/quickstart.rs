@@ -1,13 +1,15 @@
-//! Quickstart: write a kernel, profile it, and print GPA's advice.
+//! Quickstart: write a kernel, hand it to the analysis pipeline, and
+//! print GPA's advice.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use gpa::arch::{ArchConfig, LaunchConfig};
-use gpa::core::{report, Advisor};
-use gpa::sampling::Profiler;
-use gpa::sim::{GpuSim, SimConfig};
+use gpa::core::report;
+use gpa::kernels::{KernelSpec, Params};
+use gpa::pipeline::Session;
+use gpa::sim::SimConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A pointer-chasing kernel: each loop iteration loads a value and
@@ -25,13 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
   MOV32I R6, 0 {S:1}
   MOV32I R7, 0 {S:1}
 .line chase.cu 14
-loop:
+top:
   LDG.E.32 R4, [R2:R3] {W:B1, S:1}
   IADD R7, R7, R4 {WT:[B1], S:4}
   IADD R2:R3, R2:R3, 512 {S:2}
   IADD R6, R6, 1 {S:4}
   ISETP.LT.AND P0, R6, 64 {S:2}
-  @P0 BRA loop {S:5}
+  @P0 BRA top {S:5}
 .line chase.cu 18
   STG.E.32 [R2:R3], R7 {R:B2, S:1}
   EXIT {WT:[B2], S:1}
@@ -39,26 +41,33 @@ loop:
 "#,
     )?;
 
-    // A small Volta-like device; sampling period 127 cycles.
-    let arch = ArchConfig::small(2);
-    let mut cfg = SimConfig::default();
-    cfg.sampling_period = 127;
-    let mut profiler = Profiler::new(GpuSim::new(arch.clone(), cfg));
-
-    // Host-side setup: one buffer, its address as the kernel parameter.
-    let buf = profiler.gpu_mut().global_mut().alloc(4 * 64 * 512);
-    let params: Vec<u8> = buf.to_le_bytes().to_vec();
-
-    let (profile, result) =
-        profiler.profile(&module, "chase", &LaunchConfig::new(4, 64), &params)?;
-    println!(
-        "kernel ran {} cycles, {} instructions, {} samples\n",
-        result.cycles,
-        result.issued,
-        profile.total_samples
+    // A small Volta-like device; sampling period 127 cycles. The session
+    // owns the whole profile → blame → advise flow.
+    let session = Session::new(
+        ArchConfig::small(2),
+        SimConfig { sampling_period: 127, ..SimConfig::default() },
+        Params::test(),
     );
 
-    let advice = Advisor::new().advise(&module, &profile, &arch);
-    print!("{}", report::render(&advice, 3));
+    // Host-side setup: one buffer, its address as the kernel parameter.
+    let spec = KernelSpec {
+        module,
+        entry: "chase".to_string(),
+        launch: LaunchConfig::new(4, 64),
+        setup: Box::new(|gpu| {
+            let buf = gpu.global_mut().alloc(4 * 64 * 512);
+            buf.to_le_bytes().to_vec()
+        }),
+        const_bank1: None,
+    };
+
+    let out = session.analyze_spec(spec)?;
+    println!(
+        "kernel ran {} cycles, {} samples, analyzed in {:.1}ms\n",
+        out.cycles,
+        out.profile.total_samples,
+        out.wall.as_secs_f64() * 1e3
+    );
+    print!("{}", report::render(&out.report, 3));
     Ok(())
 }

@@ -1,0 +1,167 @@
+//! A std-only stand-in for `rayon`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the rayon API the analysis pipeline uses: `par_iter()`
+//! on slices, `map`, and `collect::<Vec<_>>()` with **index-stable
+//! output ordering** (result `i` always corresponds to input `i`, exactly
+//! like real rayon's indexed collect).
+//!
+//! Scheduling is a shared atomic work counter over scoped threads — not
+//! work stealing, but with one queue pop per item it load-balances
+//! uneven items (simulator runs vary by orders of magnitude) just as
+//! well for this workload shape.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count: `RAYON_NUM_THREADS` if set (0 = default), else the
+/// host's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over every item on the worker pool, returning results in
+/// input order. The core primitive behind the iterator adapters.
+pub fn parallel_map<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: impl Fn(usize, &'a T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in parts.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap { items: self.items, f }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Runs the map on the pool and collects in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered(parallel_map(self.items, |_, t| (self.f)(t)))
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from index-ordered results.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Slice-side entry points, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type.
+    type Item: 'a;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let xs: Vec<u64> = (0..257).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let xs: Vec<usize> = (0..64).collect();
+        let ys: Vec<usize> = xs
+            .par_iter()
+            .map(|&x| {
+                // Skew the work so late indices finish first.
+                let mut acc = 0usize;
+                for i in 0..(64 - x) * 10_000 {
+                    acc = acc.wrapping_add(i);
+                }
+                x + (acc & 1) * 0
+            })
+            .collect();
+        assert_eq!(ys, xs);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
+        assert!(ys.is_empty());
+    }
+}

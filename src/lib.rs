@@ -20,6 +20,9 @@
 //!   and the advice report.
 //! * [`kernels`] — the 21-application benchmark suite with
 //!   baseline/optimized variants.
+//! * [`pipeline`] — the reusable analysis flow: cached [`pipeline::Session`]s,
+//!   [`pipeline::AnalysisJob`]s, and the parallel `run_batch` the CLI and
+//!   harnesses are built on.
 //!
 //! # Quickstart
 //!
@@ -62,7 +65,9 @@ pub use gpa_arch as arch;
 pub use gpa_cfg as cfg;
 pub use gpa_core as core;
 pub use gpa_isa as isa;
+pub use gpa_json as json;
 pub use gpa_kernels as kernels;
+pub use gpa_pipeline as pipeline;
 pub use gpa_sampling as sampling;
 pub use gpa_sim as sim;
 pub use gpa_structure as structure;

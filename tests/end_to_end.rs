@@ -11,8 +11,7 @@ use gpa::sim::{GpuSim, SimConfig};
 use gpa::structure::ProgramStructure;
 
 fn small_profiler(sms: u32) -> Profiler {
-    let mut cfg = SimConfig::default();
-    cfg.sampling_period = 61;
+    let cfg = SimConfig { sampling_period: 61, ..SimConfig::default() };
     Profiler::new(GpuSim::new(ArchConfig::small(sms), cfg))
 }
 
@@ -46,22 +45,18 @@ loop:
     let mut prof = small_profiler(1);
     let buf = prof.gpu_mut().global_mut().alloc(4 * 64 * 256);
     let params: Vec<u8> = buf.to_le_bytes().to_vec();
-    let (profile, _) =
-        prof.profile(&module, "k", &LaunchConfig::new(1, 64), &params).unwrap();
+    let (profile, _) = prof.profile(&module, "k", &LaunchConfig::new(1, 64), &params).unwrap();
     assert!(profile.stall_histogram()[StallReason::MemoryDependency.code() as usize] > 0);
 
     let arch = ArchConfig::small(1);
     let structure = ProgramStructure::build(&module);
-    let blame =
-        ModuleBlame::build(&module, &structure, &profile, &LatencyTable::for_arch(&arch));
+    let blame = ModuleBlame::build(&module, &structure, &profile, &LatencyTable::for_arch(&arch));
     let totals = blame.totals_by_detail();
     let global = totals.get(&DetailedReason::GlobalMem).map_or(0.0, |t| t.0);
     assert!(global > 0.0, "global-memory blame found: {totals:?}");
     // The LDG (index 6) must be the blamed def for the IADD (index 7).
-    let edge = blame
-        .edges()
-        .find(|(_, e)| e.detail == DetailedReason::GlobalMem)
-        .expect("a global edge");
+    let edge =
+        blame.edges().find(|(_, e)| e.detail == DetailedReason::GlobalMem).expect("a global edge");
     assert_eq!(edge.1.def, 6);
     assert_eq!(edge.1.use_, 7);
     assert_eq!(edge.1.distance, 1, "adjacent def and use");
@@ -151,11 +146,7 @@ fn table3_smoke_subset() {
             let run = run_spec(&base, &arch).unwrap();
             let opt_cycles = time_spec(&opt, &arch).unwrap();
             let achieved = run.cycles as f64 / opt_cycles as f64;
-            assert!(
-                achieved > 0.9,
-                "{} stage {k} must not regress badly: {achieved:.2}",
-                app.name
-            );
+            assert!(achieved > 0.9, "{} stage {k} must not regress badly: {achieved:.2}", app.name);
             let advice = Advisor::new().advise(&base.module, &run.profile, &arch);
             assert!(
                 advice.rank_of(stage.optimizer).is_some(),
