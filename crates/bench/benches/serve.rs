@@ -1,0 +1,68 @@
+//! Benches the daemon's multi-client throughput: 8 concurrent clients
+//! sweeping the 21-app registry against a live `gpa-serve` on an
+//! ephemeral port, versus the serial in-process baseline.
+//!
+//! Two daemon variants are measured: cold-ish (first pass computes,
+//! later passes hit the report store — the steady state of an iterative
+//! profile/advise workflow) and an explicit all-hits pass, which
+//! isolates wire + store overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpa_pipeline::{AnalysisJob, Session};
+use gpa_serve::{serve, ServeClient, ServerConfig};
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+
+fn sweep(addr: std::net::SocketAddr, jobs: &[AnalysisJob]) {
+    std::thread::scope(|scope| {
+        for client_idx in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for (i, job) in jobs.iter().enumerate() {
+                    if i % CLIENTS != client_idx {
+                        continue;
+                    }
+                    let response = client.analyze(&job.app, job.variant).expect("analyze");
+                    assert!(response.ok, "{}: {:?}", job, response.error);
+                }
+            });
+        }
+    });
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let session = Arc::new(Session::test());
+    let jobs = session.jobs_for_all_apps();
+
+    // Serial in-process baseline (no daemon, no cache reuse between
+    // iterations beyond the session's artifact cache).
+    let baseline = Arc::clone(&session);
+    c.bench_function("serve/serial_in_process_21_apps", |b| {
+        b.iter(|| baseline.run_batch_serial(&jobs))
+    });
+
+    let config = ServerConfig { workers: CLIENTS, queue: 64, ..ServerConfig::ephemeral() };
+    let handle = serve(session, config).expect("daemon starts");
+    let addr = handle.local_addr();
+    println!("serve bench: daemon on {addr}, {CLIENTS} clients over {} jobs", jobs.len());
+
+    // First iteration computes every report; the rest are store hits —
+    // i.e. the daemon's steady-state throughput for repeat traffic.
+    c.bench_function("serve/8_clients_21_apps", |b| b.iter(|| sweep(addr, &jobs)));
+
+    // All-hits: everything is warm by now, so this isolates protocol
+    // and store overhead per request.
+    sweep(addr, &jobs);
+    c.bench_function("serve/8_clients_21_apps_warm", |b| b.iter(|| sweep(addr, &jobs)));
+
+    handle.shutdown();
+    handle.join();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve_throughput
+}
+criterion_main!(benches);

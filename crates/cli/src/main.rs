@@ -9,49 +9,162 @@
 //! gpa analyze --all [--json]            analyze all 21 apps in parallel, with a summary
 //! gpa profile <app> [variant]           dump the PC-sampling profile as JSON
 //! gpa asm <app> [variant]               print the kernel's assembly
+//! gpa serve [flags]                     run the advisor daemon (see docs/protocol.md)
+//! gpa request <op> [app] [variant]      issue one request to a running daemon
 //! ```
 //!
-//! `analyze --all` fans out over the worker pool via the pipeline's
-//! [`Session::run_batch`] and ends with a per-app wall-clock summary;
-//! the exit code is nonzero when any app faults.
+//! Flags are parsed strictly: an unknown `--flag` is a usage error, not
+//! a positional argument. Under `analyze --json`, failures are reported
+//! as machine-readable JSON on stdout (still with a nonzero exit code).
 
 use gpa_core::report;
 use gpa_json::Json;
 use gpa_kernels::all_apps;
-use gpa_kernels::apps::app_by_name;
-use gpa_pipeline::{AnalysisJob, Session};
+use gpa_pipeline::{AnalysisError, AnalysisJob, Session};
+use gpa_serve::{serve, ServeClient, ServerConfig, DEFAULT_ADDR};
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: gpa <command> [args]\n\n  \
-         list                              list built-in kernels\n  \
-         analyze <app> [variant] [--json]  profile + advise (default variant 0)\n  \
-         analyze --all [--json]            analyze every app in parallel, with summary\n  \
-         profile <app> [variant]           dump the profile JSON\n  \
-         asm <app> [variant]               print kernel assembly"
-    );
+const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
+     list                                       list built-in kernels\n  \
+     analyze <app> [variant] [--json]           profile + advise (default variant 0)\n  \
+     analyze --all [--json]                     analyze every app in parallel, with summary\n  \
+     profile <app> [variant]                    dump the profile JSON\n  \
+     asm <app> [variant]                        print kernel assembly\n  \
+     serve [--addr A] [--workers N] [--queue N] run the advisor daemon\n           \
+     [--store N] [--persist DIR]\n  \
+     request analyze <app> [variant] [--addr A]          analyze on the daemon\n  \
+     request analyze_profile <app> [variant] --profile F advise on a saved profile\n  \
+     request status|shutdown [--addr A]                  daemon control";
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("gpa: {msg}\n");
+    }
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json = {
-        let before = args.len();
-        args.retain(|a| a != "--json");
-        args.len() != before
-    };
-    let all = {
-        let before = args.len();
-        args.retain(|a| a != "--all");
-        args.len() != before
-    };
-    let Some(cmd) = args.first() else { return usage() };
-    if (json || all) && cmd != "analyze" {
-        eprintln!("--json and --all are only supported with `analyze`");
-        return ExitCode::from(2);
+/// Every flag the tool understands, across all subcommands.
+#[derive(Debug, Default)]
+struct Flags {
+    json: bool,
+    all: bool,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    store: Option<usize>,
+    persist: Option<PathBuf>,
+    profile: Option<PathBuf>,
+}
+
+fn take_value(
+    name: &str,
+    inline: Option<String>,
+    rest: &mut std::slice::Iter<'_, String>,
+) -> Result<String, String> {
+    if let Some(v) = inline {
+        return Ok(v);
     }
-    match cmd.as_str() {
+    rest.next().cloned().ok_or_else(|| format!("flag --{name} requires a value"))
+}
+
+fn take_usize(
+    name: &str,
+    inline: Option<String>,
+    rest: &mut std::slice::Iter<'_, String>,
+) -> Result<usize, String> {
+    let v = take_value(name, inline, rest)?;
+    v.parse().map_err(|_| format!("flag --{name} expects a number, got `{v}`"))
+}
+
+/// Splits the command line into positionals and known flags, rejecting
+/// anything that looks like a flag but isn't one.
+fn parse_cmdline(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut flags = Flags::default();
+    let mut positionals = Vec::new();
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        if let Some(body) = arg.strip_prefix("--") {
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            match name {
+                "json" | "all" => {
+                    if inline.is_some() {
+                        return Err(format!("flag --{name} takes no value"));
+                    }
+                    if name == "json" {
+                        flags.json = true;
+                    } else {
+                        flags.all = true;
+                    }
+                }
+                "addr" => flags.addr = Some(take_value(name, inline, &mut rest)?),
+                "workers" => flags.workers = Some(take_usize(name, inline, &mut rest)?),
+                "queue" => flags.queue = Some(take_usize(name, inline, &mut rest)?),
+                "store" => flags.store = Some(take_usize(name, inline, &mut rest)?),
+                "persist" => {
+                    flags.persist = Some(PathBuf::from(take_value(name, inline, &mut rest)?));
+                }
+                "profile" => {
+                    flags.profile = Some(PathBuf::from(take_value(name, inline, &mut rest)?));
+                }
+                _ => return Err(format!("unknown flag `{arg}` (see usage)")),
+            }
+        } else if arg.starts_with('-') && arg.len() > 1 {
+            return Err(format!("unknown flag `{arg}` (see usage)"));
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    Ok((positionals, flags))
+}
+
+/// The first flag set but not in `allowed`, as a usage message.
+fn stray_flag(flags: &Flags, allowed: &[&str]) -> Option<String> {
+    let set = [
+        ("json", flags.json),
+        ("all", flags.all),
+        ("addr", flags.addr.is_some()),
+        ("workers", flags.workers.is_some()),
+        ("queue", flags.queue.is_some()),
+        ("store", flags.store.is_some()),
+        ("persist", flags.persist.is_some()),
+        ("profile", flags.profile.is_some()),
+    ];
+    set.iter()
+        .find(|(name, on)| *on && !allowed.contains(name))
+        .map(|(name, _)| format!("flag --{name} is not supported by this command"))
+}
+
+fn parse_variant(arg: Option<&String>) -> Result<usize, String> {
+    match arg {
+        None => Ok(0),
+        Some(s) => s.parse().map_err(|_| format!("variant `{s}` is not a number")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (pos, flags) = match parse_cmdline(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => return usage(&msg),
+    };
+    let Some(cmd) = pos.first().map(String::as_str) else { return usage("") };
+    let allowed: &[&str] = match cmd {
+        "analyze" => &["json", "all"],
+        "serve" => &["addr", "workers", "queue", "store", "persist"],
+        "request" => &["addr", "profile"],
+        _ => &[],
+    };
+    if let Some(msg) = stray_flag(&flags, allowed) {
+        return usage(&msg);
+    }
+    match cmd {
         "list" => {
             for app in all_apps() {
                 let stages: Vec<&str> = app.stages.iter().map(|s| s.name).collect();
@@ -64,52 +177,64 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "analyze" if all => analyze_all(json),
+        "analyze" if flags.all => analyze_all(flags.json),
         "analyze" | "profile" | "asm" => {
-            let Some(name) = args.get(1) else { return usage() };
-            let Some(app) = app_by_name(name) else {
-                eprintln!("unknown app `{name}` (try `gpa list`)");
-                return ExitCode::FAILURE;
+            let Some(name) = pos.get(1) else {
+                return usage(&format!("`{cmd}` needs an app name (try `gpa list`)"));
             };
-            let variant: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(0);
-            if variant >= app.variants() {
-                eprintln!("{name} has variants 0..{}", app.variants() - 1);
-                return ExitCode::FAILURE;
-            }
-            let session = Session::full();
-            let job = AnalysisJob::new(app.name, variant);
-            if cmd == "asm" {
-                match session.artifacts(&job) {
-                    Ok(art) => {
-                        print!("{}", art.spec.module.write_asm());
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => {
-                        eprintln!("{e}");
-                        ExitCode::FAILURE
-                    }
-                }
-            } else {
-                let outcome = match session.run_one(&job) {
-                    Ok(o) => o,
-                    Err(e) => {
-                        eprintln!("simulation failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                match cmd.as_str() {
-                    "profile" => println!("{}", outcome.profile.to_json()),
-                    _ if json => println!("{}", outcome.to_json()),
-                    _ => {
-                        print!("{}", report::render(&outcome.report, 5));
-                        println!("kernel cycles: {}", outcome.cycles);
-                    }
-                }
+            let variant = match parse_variant(pos.get(2)) {
+                Ok(v) => v,
+                Err(msg) => return usage(&msg),
+            };
+            run_local(cmd, name, variant, flags.json)
+        }
+        "serve" => run_serve(&flags),
+        "request" => run_request(&pos, &flags),
+        _ => usage(&format!("unknown command `{cmd}`")),
+    }
+}
+
+/// `analyze`/`profile`/`asm` against an in-process session.
+fn run_local(cmd: &str, name: &str, variant: usize, json: bool) -> ExitCode {
+    let session = Session::full();
+    let job = AnalysisJob::new(name, variant);
+    if cmd == "asm" {
+        return match session.artifacts(&job) {
+            Ok(art) => {
+                print!("{}", art.spec.module.write_asm());
                 ExitCode::SUCCESS
             }
-        }
-        _ => usage(),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
     }
+    match session.run_one(&job) {
+        Ok(outcome) => {
+            match cmd {
+                "profile" => println!("{}", outcome.profile.to_json()),
+                _ if json => println!("{}", outcome.to_json()),
+                _ => {
+                    print!("{}", report::render(&outcome.report, 5));
+                    println!("kernel cycles: {}", outcome.cycles);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => analysis_failure(json && cmd == "analyze", &e),
+    }
+}
+
+/// Reports a failed analysis: JSON on stdout under `--json`, a plain
+/// message on stderr otherwise. Either way the exit code is nonzero.
+fn analysis_failure(json: bool, e: &AnalysisError) -> ExitCode {
+    if json {
+        println!("{}", e.to_json());
+    } else {
+        eprintln!("analysis failed: {e}");
+    }
+    ExitCode::FAILURE
 }
 
 /// `gpa analyze --all [--json]`: every registry app (baseline variant)
@@ -141,8 +266,8 @@ fn analyze_all(json: bool) -> ExitCode {
         println!("{doc}");
     } else {
         println!(
-            "{:<24} {:<28} {:>12} {:>9} {:>10}  {}",
-            "application", "kernel", "cycles", "samples", "wall", "top advice"
+            "{:<24} {:<28} {:>12} {:>9} {:>10}  top advice",
+            "application", "kernel", "cycles", "samples", "wall"
         );
         println!("{}", "-".repeat(118));
         for result in &results {
@@ -185,5 +310,133 @@ fn analyze_all(json: bool) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `gpa serve`: run the daemon until a client sends `shutdown`.
+fn run_serve(flags: &Flags) -> ExitCode {
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: flags.addr.clone().unwrap_or(defaults.addr),
+        workers: flags.workers.unwrap_or(defaults.workers),
+        queue: flags.queue.unwrap_or(defaults.queue),
+        store_capacity: flags.store.unwrap_or(defaults.store_capacity),
+        persist_dir: flags.persist.clone(),
+    };
+    let (workers, queue) = (config.workers, config.queue);
+    let handle = match serve(Arc::new(Session::full()), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("gpa serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The exact line scripts (and CI) parse to discover an ephemeral
+    // port; keep the `listening on <addr>` phrasing stable.
+    println!("gpa-serve listening on {} ({workers} workers, queue {queue})", handle.local_addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("gpa-serve stopped");
+    ExitCode::SUCCESS
+}
+
+/// `gpa request <op> ...`: one request against a running daemon.
+fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
+    let Some(op) = pos.get(1).map(String::as_str) else {
+        return usage("`request` needs an op: analyze, analyze_profile, status, shutdown");
+    };
+    // Validate the whole command line (including the profile file)
+    // BEFORE connecting, so usage errors and exit codes do not depend
+    // on whether a daemon happens to be running.
+    enum Prepared {
+        Status,
+        Shutdown,
+        Analyze { app: String, variant: usize },
+        AnalyzeProfile { app: String, variant: usize, profile: Json },
+    }
+    let prepared = match op {
+        "status" => Prepared::Status,
+        "shutdown" => Prepared::Shutdown,
+        "analyze" | "analyze_profile" => {
+            let Some(app) = pos.get(2) else {
+                return usage(&format!("`request {op}` needs an app name"));
+            };
+            let variant = match parse_variant(pos.get(3)) {
+                Ok(v) => v,
+                Err(msg) => return usage(&msg),
+            };
+            if op == "analyze" {
+                Prepared::Analyze { app: app.clone(), variant }
+            } else {
+                let Some(path) = &flags.profile else {
+                    return usage("`request analyze_profile` needs --profile <file>");
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("gpa request: cannot read {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match Json::parse(&text) {
+                    Ok(profile) => Prepared::AnalyzeProfile { app: app.clone(), variant, profile },
+                    Err(e) => {
+                        eprintln!("gpa request: {} is not valid JSON: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        other => return usage(&format!("unknown request op `{other}`")),
+    };
+    let addr = flags.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let mut client = match ServeClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gpa request: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sent = match prepared {
+        Prepared::Status => client.status(),
+        Prepared::Shutdown => client.shutdown(),
+        Prepared::Analyze { app, variant } => client.analyze(&app, variant),
+        Prepared::AnalyzeProfile { app, variant, profile } => {
+            client.analyze_profile(&app, variant, &profile)
+        }
+    };
+    match sent {
+        Ok(response) => {
+            let ok = response.ok;
+            let doc = Json::object()
+                .with("ok", ok)
+                .with("cached", response.cached)
+                .with(
+                    "result",
+                    match response.result {
+                        Some(r) => r,
+                        None => Json::Null,
+                    },
+                )
+                .with(
+                    "error",
+                    match response.error {
+                        Some(e) => Json::from(e),
+                        None => Json::Null,
+                    },
+                );
+            // Tolerate a consumer that stops reading early (`| grep -q`,
+            // `| head`): a broken pipe is not a request failure.
+            let _ = writeln!(std::io::stdout(), "{doc}");
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gpa request: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

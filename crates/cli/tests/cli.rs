@@ -1,0 +1,109 @@
+//! End-to-end tests of the `gpa` binary's argument handling: strict
+//! flag rejection, machine-readable error output under `--json`, and
+//! the `request` op surface. These spawn the real binary (Cargo builds
+//! it for integration tests and exposes its path via `CARGO_BIN_EXE_*`).
+
+use std::process::{Command, Output};
+
+fn gpa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gpa")).args(args).output().expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unknown_flags_are_usage_errors_not_app_names() {
+    let out = gpa(&["analyze", "--jsno"]);
+    assert_eq!(out.status.code(), Some(2), "usage error exit code");
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag `--jsno`"), "names the bad flag: {err}");
+    assert!(err.contains("usage:"), "shows usage: {err}");
+    // Short-dash junk is rejected too, not treated as an app.
+    let out = gpa(&["analyze", "-q"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag `-q`"));
+}
+
+#[test]
+fn flags_are_scoped_to_their_command() {
+    let out = gpa(&["list", "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--json is not supported"), "{}", stderr(&out));
+    let out = gpa(&["analyze", "rodinia/hotspot", "--workers", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--workers is not supported"), "{}", stderr(&out));
+}
+
+#[test]
+fn value_flags_require_values() {
+    let out = gpa(&["serve", "--addr"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--addr requires a value"), "{}", stderr(&out));
+    let out = gpa(&["serve", "--workers", "two"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--workers expects a number"), "{}", stderr(&out));
+}
+
+#[test]
+fn analyze_json_reports_errors_as_json() {
+    let out = gpa(&["analyze", "no/such-app", "--json"]);
+    assert_eq!(out.status.code(), Some(1), "failure exit code");
+    let doc = gpa_json::Json::parse(&stdout(&out)).expect("stdout is JSON even on error");
+    assert_eq!(doc.field("app").unwrap().as_str().unwrap(), "no/such-app");
+    let msg = doc.field("error").unwrap().as_str().unwrap();
+    assert!(msg.contains("unknown app"), "{msg}");
+}
+
+#[test]
+fn analyze_without_json_keeps_errors_on_stderr() {
+    let out = gpa(&["analyze", "no/such-app"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).is_empty(), "no stdout noise");
+    assert!(stderr(&out).contains("unknown app"), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_variant_argument_is_a_usage_error() {
+    let out = gpa(&["analyze", "rodinia/hotspot", "seven"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("variant `seven` is not a number"), "{}", stderr(&out));
+}
+
+#[test]
+fn request_needs_an_op_and_valid_op_names() {
+    let out = gpa(&["request"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("needs an op"), "{}", stderr(&out));
+    let out = gpa(&["request", "explode"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown request op"), "{}", stderr(&out));
+}
+
+#[test]
+fn request_usage_errors_do_not_depend_on_a_daemon() {
+    // No daemon is listening, but these are command-line mistakes: they
+    // must exit 2 with a usage message, not 1 with a connection error.
+    let out = gpa(&["request", "analyze"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("needs an app name"), "{}", stderr(&out));
+    let out = gpa(&["request", "analyze_profile", "rodinia/hotspot"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--profile"), "{}", stderr(&out));
+    let out = gpa(&["request", "analyze_profile", "rodinia/hotspot", "--profile", "/no/file"]);
+    assert_eq!(out.status.code(), Some(1), "unreadable file is a runtime error");
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn request_against_no_daemon_fails_cleanly() {
+    // Port 9 (discard) on loopback is essentially never listening.
+    let out = gpa(&["request", "status", "--addr", "127.0.0.1:9"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot connect"), "{}", stderr(&out));
+}

@@ -265,6 +265,47 @@ impl Json {
         out
     }
 
+    /// Renders on one line with no interior whitespace (like
+    /// `serde_json::to_string`). Because strings escape every control
+    /// character, the output never contains a raw newline — which is what
+    /// makes it usable as one frame of a newline-delimited wire protocol.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -640,6 +681,18 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated", "{} junk"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let doc = Json::object()
+            .with("text", "line\nbreak")
+            .with("xs", vec![1u64, 2])
+            .with("nested", Json::object().with("f", 0.5));
+        let line = doc.compact();
+        assert!(!line.contains('\n'), "compact output must be newline-free: {line:?}");
+        assert_eq!(line, r#"{"text":"line\nbreak","xs":[1,2],"nested":{"f":0.5}}"#);
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 
     #[test]

@@ -220,6 +220,25 @@ impl Session {
         })
     }
 
+    /// Advises on a caller-supplied profile — sampling data that was
+    /// gathered elsewhere (a saved `gpa profile` dump, a remote client's
+    /// submission) — using the cached static artifacts for `job`. This is
+    /// the profiling/advising decoupling point: the kernel is *not*
+    /// re-simulated, only matched against `(app, variant)`'s module and
+    /// program structure.
+    ///
+    /// # Errors
+    ///
+    /// Unknown app or variant out of range.
+    pub fn advise_profile(
+        &self,
+        job: &AnalysisJob,
+        profile: &KernelProfile,
+    ) -> Result<gpa_core::AdviceReport, AnalysisError> {
+        let artifacts = self.artifacts(job)?;
+        Ok(self.advise_artifacts(&artifacts, profile))
+    }
+
     /// Profiles one job and attributes its stalls, returning the blame
     /// graph (the figure harnesses' flow, without advice ranking).
     ///

@@ -208,13 +208,23 @@ impl KernelProfile {
             .pretty()
     }
 
-    /// Parses a profile from JSON.
+    /// Parses a profile from JSON text.
     ///
     /// # Errors
     ///
     /// Returns a [`gpa_json::JsonError`] on malformed input.
     pub fn from_json(s: &str) -> gpa_json::Result<Self> {
-        let doc = Json::parse(s)?;
+        Self::from_doc(&Json::parse(s)?)
+    }
+
+    /// Builds a profile from an already-parsed JSON document (e.g. a
+    /// subtree of a larger request object).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`gpa_json::JsonError`] when fields are missing or of
+    /// the wrong type.
+    pub fn from_doc(doc: &Json) -> gpa_json::Result<Self> {
         let launch = doc.field("launch")?;
         let occ = doc.field("occupancy")?;
         let mut pcs = BTreeMap::new();
@@ -392,6 +402,94 @@ mod tests {
         let p = KernelProfile::from_launch("k", "m", "volta", 509, &fake_result(samples));
         let p2 = KernelProfile::from_json(&p.to_json()).unwrap();
         assert_eq!(p, p2);
+    }
+
+    /// A small valid profile's JSON text, as surgery material for the
+    /// error-path tests below.
+    fn valid_profile_text() -> String {
+        let samples = vec![
+            sample(0x10, StallReason::MemoryDependency, false),
+            sample(0x20, StallReason::Selected, true),
+        ];
+        KernelProfile::from_launch("k", "m", "volta", 509, &fake_result(samples)).to_json()
+    }
+
+    #[test]
+    fn missing_fields_are_named_in_the_error() {
+        let text = valid_profile_text();
+        for field in ["kernel", "arch", "period", "launch", "occupancy", "pcs", "cycles"] {
+            let broken = text.replacen(&format!("\"{field}\""), "\"_gone\"", 1);
+            let err = KernelProfile::from_json(&broken).unwrap_err();
+            assert!(
+                err.to_string().contains(&format!("missing field `{field}`")),
+                "dropping {field}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_types_are_type_errors_not_panics() {
+        let text = valid_profile_text();
+        for (needle, replacement, expect) in [
+            ("\"period\": 509", "\"period\": \"509\"", "expected unsigned integer"),
+            ("\"kernel\": \"k\"", "\"kernel\": 7", "expected string"),
+            ("\"cycles\": 1000", "\"cycles\": -5", "expected unsigned integer"),
+            ("\"period\": 509", "\"period\": 99999999999", "exceeds u32"),
+        ] {
+            assert!(text.contains(needle), "surgery target {needle:?} present");
+            let broken = text.replacen(needle, replacement, 1);
+            let err = KernelProfile::from_json(&broken).unwrap_err();
+            assert!(err.to_string().contains(expect), "{replacement}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_pc_keys_and_reason_arrays_are_rejected() {
+        let text = valid_profile_text();
+        let broken = text.replacen("\"16\"", "\"sixteen\"", 1);
+        let err = KernelProfile::from_json(&broken).unwrap_err();
+        assert!(err.to_string().contains("bad pc key `sixteen`"), "{err}");
+
+        // One counter short in a by_reason array: mutate the parsed
+        // document so the test is independent of pretty-print layout.
+        let mut doc = Json::parse(&text).unwrap();
+        let Json::Obj(fields) = &mut doc else { panic!("profile is an object") };
+        let pcs = fields.iter_mut().find(|(k, _)| k == "pcs").map(|(_, v)| v).unwrap();
+        let Json::Obj(pc_entries) = pcs else { panic!("pcs is an object") };
+        let Json::Obj(stats) = &mut pc_entries[0].1 else { panic!("stats is an object") };
+        let reasons = stats.iter_mut().find(|(k, _)| k == "by_reason").map(|(_, v)| v).unwrap();
+        let Json::Arr(counters) = reasons else { panic!("by_reason is an array") };
+        counters.pop();
+        let err = KernelProfile::from_doc(&doc).unwrap_err();
+        assert!(err.to_string().contains("stall-reason counters"), "{err}");
+    }
+
+    #[test]
+    fn unknown_limiter_is_rejected() {
+        let text = valid_profile_text();
+        let limiter = format!("\"limiter\": \"{:?}\"", OccLimiter::GridSize);
+        assert!(text.contains(&limiter), "surgery target present in {text}");
+        let broken = text.replacen(&limiter, "\"limiter\": \"Vibes\"", 1);
+        let err = KernelProfile::from_json(&broken).unwrap_err();
+        assert!(err.to_string().contains("unknown limiter `Vibes`"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_a_parse_error_at_every_cut() {
+        let text = valid_profile_text();
+        // Cut at several byte offsets, including mid-string and
+        // mid-number; every prefix must fail cleanly.
+        for cut in [1, text.len() / 4, text.len() / 2, text.len() - 2] {
+            let truncated = &text[..cut];
+            assert!(KernelProfile::from_json(truncated).is_err(), "accepted a {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn non_object_documents_are_rejected() {
+        for doc in ["[]", "42", "\"profile\"", "null", "true"] {
+            assert!(KernelProfile::from_json(doc).is_err(), "accepted {doc}");
+        }
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! A blocking client for the daemon's JSON-lines protocol.
+//!
+//! One [`ServeClient`] owns one TCP connection and issues requests
+//! serially (the protocol is strictly request/response per connection);
+//! open several clients for concurrency — the throughput bench and the
+//! integration tests do.
+
+use crate::protocol::Request;
+use gpa_json::Json;
+use gpa_pipeline::AnalysisJob;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected daemon client.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A parsed daemon response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Whether the body came from the report store.
+    pub cached: bool,
+    /// The `result` body (success) — compact-rendered this is
+    /// byte-identical across cached and computed responses.
+    pub result: Option<Json>,
+    /// The error message (failure).
+    pub error: Option<String>,
+}
+
+impl Response {
+    fn from_frame(frame: &str) -> io::Result<Response> {
+        let doc = Json::parse(frame).map_err(invalid)?;
+        let ok = doc.field("ok").and_then(Json::as_bool).map_err(invalid)?;
+        let cached = doc.get("cached").map_or(Ok(false), Json::as_bool).map_err(invalid)?;
+        Ok(Response {
+            ok,
+            cached,
+            result: doc.get("result").cloned(),
+            error: doc.get("error").and_then(|e| e.as_str().ok()).map(str::to_string),
+        })
+    }
+
+    /// Unwraps the success body.
+    ///
+    /// # Errors
+    ///
+    /// Maps a daemon-side error message into [`io::ErrorKind::Other`].
+    pub fn into_result(self) -> io::Result<Json> {
+        if self.ok {
+            self.result.ok_or_else(|| invalid("response missing `result`"))
+        } else {
+            Err(io::Error::other(self.error.unwrap_or_else(|| "unspecified error".to_string())))
+        }
+    }
+}
+
+fn invalid(e: impl ToString) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl ServeClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        // Frames are small and strictly request/response; Nagle +
+        // delayed ACK would add ~40ms per round trip.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServeClient { reader, writer })
+    }
+
+    /// Sends one raw frame and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a response that is not valid frame JSON.
+    pub fn request_line(&mut self, frame: &str) -> io::Result<String> {
+        debug_assert!(!frame.contains('\n'), "frames are single lines");
+        writeln!(self.writer, "{frame}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed connection"));
+        }
+        Ok(line)
+    }
+
+    /// Sends a typed request and parses the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed response frame.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let line = self.request_line(&request.to_wire())?;
+        Response::from_frame(&line)
+    }
+
+    /// `analyze`: profile-and-advise `(app, variant)` on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed response frame.
+    pub fn analyze(&mut self, app: &str, variant: usize) -> io::Result<Response> {
+        self.request(&Request::Analyze { job: AnalysisJob::new(app, variant) })
+    }
+
+    /// `analyze_profile`: advise on a locally gathered profile document.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed response frame.
+    pub fn analyze_profile(
+        &mut self,
+        app: &str,
+        variant: usize,
+        profile: &Json,
+    ) -> io::Result<Response> {
+        let frame = crate::protocol::analyze_profile_frame(app, variant, &profile.compact());
+        let line = self.request_line(&frame)?;
+        Response::from_frame(&line)
+    }
+
+    /// `status`: the daemon's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed response frame.
+    pub fn status(&mut self) -> io::Result<Response> {
+        self.request(&Request::Status)
+    }
+
+    /// `shutdown`: asks the daemon to stop.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed response frame.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,39 @@
+//! `gpa-serve` — the advisor as a long-lived service.
+//!
+//! The paper's workflow is iterative: profile → blame → advise → edit →
+//! re-profile. Run through a CLI, every iteration rebuilds the same
+//! modules, CFGs and program structures from scratch. This crate keeps
+//! one [`Session`] alive behind a TCP daemon speaking a newline-delimited
+//! JSON protocol, so those artifacts are computed once and every repeat
+//! request is answered from a content-addressed report store.
+//!
+//! ```no_run
+//! use gpa_pipeline::Session;
+//! use gpa_serve::{serve, ServeClient, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let handle = serve(Arc::new(Session::full()), ServerConfig::ephemeral())?;
+//! let mut client = ServeClient::connect(handle.local_addr())?;
+//! let response = client.analyze("rodinia/hotspot", 0)?;
+//! assert!(response.ok);
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! The wire protocol (ops, schemas, error shapes) is documented in
+//! `docs/protocol.md`.
+//!
+//! [`Session`]: gpa_pipeline::Session
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::{Response, ServeClient};
+pub use metrics::Metrics;
+pub use protocol::{Request, DEFAULT_ADDR};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use store::{ReportStore, StoreStats};

@@ -1,0 +1,127 @@
+//! Daemon counters: per-op totals, queue depth, rejections, errors.
+//!
+//! Everything is a relaxed atomic — the counters feed the `status` op
+//! and tests, not synchronization.
+
+use crate::Request;
+use gpa_json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The daemon's live counters.
+pub struct Metrics {
+    started: Instant,
+    /// `analyze` requests received.
+    pub analyze: AtomicU64,
+    /// `analyze_profile` requests received.
+    pub analyze_profile: AtomicU64,
+    /// `status` requests received.
+    pub status: AtomicU64,
+    /// `shutdown` requests received.
+    pub shutdown: AtomicU64,
+    /// `sleep` requests received.
+    pub sleep: AtomicU64,
+    /// Lines that failed to parse as a request.
+    pub protocol_errors: AtomicU64,
+    /// Accepted requests whose analysis failed.
+    pub analysis_errors: AtomicU64,
+    /// Requests rejected because the queue was full (backpressure).
+    pub rejected: AtomicU64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of [`Metrics::queue_depth`].
+    pub queue_peak: AtomicU64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            analyze: AtomicU64::new(0),
+            analyze_profile: AtomicU64::new(0),
+            status: AtomicU64::new(0),
+            shutdown: AtomicU64::new(0),
+            sleep: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            analysis_errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh counters with the uptime clock starting now.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one received request by op.
+    pub fn count_op(&self, request: &Request) {
+        let counter = match request {
+            Request::Analyze { .. } => &self.analyze,
+            Request::AnalyzeProfile { .. } => &self.analyze_profile,
+            Request::Status => &self.status,
+            Request::Shutdown => &self.shutdown,
+            Request::Sleep { .. } => &self.sleep,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queue push and keeps the high-water mark current.
+    pub fn note_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a queue pop.
+    pub fn note_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The per-op counter object used inside `status` responses.
+    pub fn ops_json(&self) -> Json {
+        Json::object()
+            .with("analyze", self.analyze.load(Ordering::Relaxed))
+            .with("analyze_profile", self.analyze_profile.load(Ordering::Relaxed))
+            .with("status", self.status.load(Ordering::Relaxed))
+            .with("shutdown", self.shutdown.load(Ordering::Relaxed))
+            .with("sleep", self.sleep.load(Ordering::Relaxed))
+    }
+
+    /// Milliseconds since the daemon started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_counted_by_kind() {
+        let m = Metrics::new();
+        m.count_op(&Request::Status);
+        m.count_op(&Request::Status);
+        m.count_op(&Request::Sleep { ms: 1 });
+        assert_eq!(m.status.load(Ordering::Relaxed), 2);
+        assert_eq!(m.sleep.load(Ordering::Relaxed), 1);
+        assert_eq!(m.analyze.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn queue_peak_tracks_the_high_water_mark() {
+        let m = Metrics::new();
+        m.note_enqueued();
+        m.note_enqueued();
+        m.note_dequeued();
+        m.note_enqueued();
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 2);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every frame is one line of compact JSON (strings escape control
+//! characters, so a frame never contains a raw newline). Requests carry
+//! an `"op"` discriminator; responses carry `"ok"` plus either a
+//! `"result"` payload or an `"error"` message. The full schema lives in
+//! `docs/protocol.md`.
+
+use gpa_core::{report, AdviceReport};
+use gpa_json::Json;
+use gpa_pipeline::{AnalysisError, AnalysisJob, AnalysisOutcome};
+use gpa_sampling::KernelProfile;
+
+/// The default daemon address (`gpa serve` / `gpa request` without
+/// `--addr`).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7070";
+
+/// Hard cap on one request line. Anything longer is rejected and the
+/// connection closed: past this point the stream cannot be resynced.
+pub const MAX_REQUEST_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Upper bound on the diagnostic `sleep` op, so a stray request cannot
+/// park a worker indefinitely.
+pub const MAX_SLEEP_MS: u64 = 5_000;
+
+/// How many advice items the rendered report text includes (the CLI's
+/// `analyze` default).
+pub const REPORT_TOP: usize = 5;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Profile `(app, variant)` in the simulator and advise on it.
+    Analyze {
+        /// The app/variant to analyze.
+        job: AnalysisJob,
+    },
+    /// Advise on a client-submitted profile (no simulation): the
+    /// decoupled path a real CUPTI dump would take.
+    AnalyzeProfile {
+        /// The app/variant whose module artifacts to match against.
+        job: AnalysisJob,
+        /// The submitted sampling profile.
+        profile: Box<KernelProfile>,
+        /// Canonical (compact) rendering of the submitted profile,
+        /// kept for content-addressing.
+        canon: String,
+    },
+    /// Daemon metrics snapshot.
+    Status,
+    /// Stop accepting work and exit cleanly.
+    Shutdown,
+    /// Diagnostic: occupy a worker for `ms` milliseconds (used by the
+    /// backpressure tests and the throughput bench).
+    Sleep {
+        /// Sleep duration in milliseconds (capped at [`MAX_SLEEP_MS`]).
+        ms: u64,
+    },
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON, a missing/unknown
+    /// `op`, or invalid op arguments.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let op = doc
+            .get("op")
+            .ok_or("missing `op` field")?
+            .as_str()
+            .map_err(|_| "`op` must be a string")?;
+        match op {
+            "analyze" => Ok(Request::Analyze { job: job_from(&doc)? }),
+            "analyze_profile" => {
+                let profile_doc = doc.get("profile").ok_or("missing `profile` field")?;
+                let profile = KernelProfile::from_doc(profile_doc)
+                    .map_err(|e| format!("bad `profile`: {e}"))?;
+                Ok(Request::AnalyzeProfile {
+                    job: job_from(&doc)?,
+                    profile: Box::new(profile),
+                    canon: profile_doc.compact(),
+                })
+            }
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            "sleep" => {
+                let ms = match doc.get("ms") {
+                    Some(v) => v.as_u64().map_err(|_| "`ms` must be an unsigned integer")?,
+                    None => 0,
+                };
+                Ok(Request::Sleep { ms: ms.min(MAX_SLEEP_MS) })
+            }
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// The op name (for metrics and logs).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Analyze { .. } => "analyze",
+            Request::AnalyzeProfile { .. } => "analyze_profile",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+            Request::Sleep { .. } => "sleep",
+        }
+    }
+
+    /// The content-address of a cacheable request: a canonical string
+    /// covering everything that determines the response body. `None`
+    /// for ops whose responses must not be cached.
+    pub fn cache_key(&self) -> Option<String> {
+        match self {
+            Request::Analyze { job } => Some(format!("analyze\0{}\0{}", job.app, job.variant)),
+            Request::AnalyzeProfile { job, canon, .. } => {
+                Some(format!("analyze_profile\0{}\0{}\0{canon}", job.app, job.variant))
+            }
+            Request::Status | Request::Shutdown | Request::Sleep { .. } => None,
+        }
+    }
+
+    /// Renders the request as its wire frame (without the trailing
+    /// newline). Used by clients; servers only parse.
+    pub fn to_wire(&self) -> String {
+        match self {
+            Request::Analyze { job } => Json::object()
+                .with("op", "analyze")
+                .with("app", job.app.clone())
+                .with("variant", job.variant)
+                .compact(),
+            Request::AnalyzeProfile { job, canon, .. } => {
+                analyze_profile_frame(&job.app, job.variant, canon)
+            }
+            Request::Status => "{\"op\":\"status\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+            Request::Sleep { ms } => format!("{{\"op\":\"sleep\",\"ms\":{ms}}}"),
+        }
+    }
+}
+
+/// The `analyze_profile` request frame for a canonically (compact)
+/// rendered profile document — the one place its wire layout lives.
+pub fn analyze_profile_frame(app: &str, variant: usize, profile_canon: &str) -> String {
+    format!(
+        "{{\"op\":\"analyze_profile\",\"app\":{},\"variant\":{variant},\"profile\":{profile_canon}}}",
+        Json::from(app).compact()
+    )
+}
+
+fn job_from(doc: &Json) -> Result<AnalysisJob, String> {
+    let app = doc
+        .get("app")
+        .ok_or("missing `app` field")?
+        .as_str()
+        .map_err(|_| "`app` must be a string")?;
+    let variant = match doc.get("variant") {
+        Some(v) => {
+            usize::try_from(v.as_u64().map_err(|_| "`variant` must be an unsigned integer")?)
+                .map_err(|_| "`variant` out of range")?
+        }
+        None => 0,
+    };
+    Ok(AnalysisJob::new(app, variant))
+}
+
+/// Wraps a stored/computed body into a success frame. `body` must be
+/// compact JSON; it is spliced verbatim so cached responses stay
+/// byte-identical to freshly computed ones.
+pub fn ok_frame(cached: bool, body: &str) -> String {
+    format!("{{\"ok\":true,\"cached\":{cached},\"result\":{body}}}")
+}
+
+/// An error frame.
+pub fn error_frame(message: &str) -> String {
+    Json::object().with("ok", false).with("error", message).compact()
+}
+
+/// An error frame for a failed analysis, carrying the job identity like
+/// [`AnalysisError::to_json`] does.
+pub fn job_error_frame(err: &AnalysisError) -> String {
+    Json::object()
+        .with("ok", false)
+        .with("app", err.job.app.clone())
+        .with("variant", err.job.variant)
+        .with("error", err.message.clone())
+        .compact()
+}
+
+/// The deterministic `analyze` result body: identity, counters, ranked
+/// advice, and the rendered report text. Deliberately excludes
+/// wall-clock time so the body is byte-identical run to run (and hence
+/// cacheable by content address).
+pub fn analyze_body(outcome: &AnalysisOutcome) -> Json {
+    result_body(&outcome.job, &outcome.kernel, &outcome.profile, &outcome.report)
+}
+
+/// The `analyze_profile` result body (same shape as [`analyze_body`]).
+pub fn profile_body(job: &AnalysisJob, profile: &KernelProfile, report: &AdviceReport) -> Json {
+    result_body(job, &profile.kernel, profile, report)
+}
+
+fn result_body(
+    job: &AnalysisJob,
+    kernel: &str,
+    profile: &KernelProfile,
+    advice: &AdviceReport,
+) -> Json {
+    let items: Vec<Json> = advice
+        .items
+        .iter()
+        .enumerate()
+        .map(|(rank, item)| {
+            Json::object()
+                .with("rank", rank + 1)
+                .with("optimizer", item.optimizer.clone())
+                .with("estimated_speedup", item.estimated_speedup)
+                .with("matched_ratio", item.matched_ratio)
+        })
+        .collect();
+    Json::object()
+        .with("app", job.app.clone())
+        .with("variant", job.variant)
+        .with("kernel", kernel.to_string())
+        .with("cycles", profile.cycles)
+        .with("total_samples", profile.total_samples)
+        .with("issue_ratio", profile.issue_ratio())
+        .with("advice", Json::Arr(items))
+        .with("text", report::render(advice, REPORT_TOP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_ops() {
+        let r = Request::parse(r#"{"op":"analyze","app":"rodinia/nw","variant":1}"#).unwrap();
+        match r {
+            Request::Analyze { job } => assert_eq!(job, AnalysisJob::new("rodinia/nw", 1)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(matches!(Request::parse(r#"{"op":"status"}"#), Ok(Request::Status)));
+        assert!(matches!(Request::parse(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown)));
+        assert!(matches!(
+            Request::parse(r#"{"op":"sleep","ms":99999}"#),
+            Ok(Request::Sleep { ms: MAX_SLEEP_MS })
+        ));
+    }
+
+    #[test]
+    fn variant_defaults_to_baseline() {
+        let r = Request::parse(r#"{"op":"analyze","app":"rodinia/nw"}"#).unwrap();
+        match r {
+            Request::Analyze { job } => assert_eq!(job.variant, 0),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_context() {
+        for (line, needle) in [
+            ("not json", "malformed request"),
+            ("{}", "missing `op`"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"analyze"}"#, "missing `app`"),
+            (r#"{"op":"analyze","app":7}"#, "`app` must be a string"),
+            (r#"{"op":"analyze_profile","app":"x"}"#, "missing `profile`"),
+            (r#"{"op":"analyze_profile","app":"x","profile":{}}"#, "bad `profile`"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn cache_keys_separate_ops_and_variants() {
+        let a = Request::parse(r#"{"op":"analyze","app":"a","variant":0}"#).unwrap();
+        let b = Request::parse(r#"{"op":"analyze","app":"a","variant":1}"#).unwrap();
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert!(Request::Status.cache_key().is_none());
+        assert!(Request::Sleep { ms: 1 }.cache_key().is_none());
+    }
+
+    #[test]
+    fn frames_are_single_line_json() {
+        let ok = ok_frame(true, "{\"x\":1}");
+        let doc = Json::parse(&ok).unwrap();
+        assert!(doc.field("ok").unwrap().as_bool().unwrap());
+        assert!(doc.field("cached").unwrap().as_bool().unwrap());
+        assert_eq!(doc.field("result").unwrap().field("x").unwrap().as_u64().unwrap(), 1);
+        let err = error_frame("bad\nthing");
+        assert!(!err.contains('\n'), "frames must be newline-free");
+        assert!(Json::parse(&err).is_ok());
+    }
+}

@@ -1,0 +1,452 @@
+//! The daemon: a `TcpListener` accept loop, per-connection reader
+//! threads, and a bounded worker pool over one shared [`Session`].
+//!
+//! Threading model:
+//!
+//! * one **accept** thread hands each connection to its own reader
+//!   thread (connections are few; requests are the unit of work);
+//! * each **connection** thread parses frames, answers `status` /
+//!   cache hits inline, and pushes analysis work onto a bounded queue —
+//!   when the queue is full the request is *rejected with an error*
+//!   (explicit backpressure, never unbounded growth);
+//! * `workers` **worker** threads pop the queue and run the analysis on
+//!   the shared [`Session`], so module/CFG/structure artifacts are
+//!   built once and reused across every request; computed bodies go
+//!   into the content-addressed [`ReportStore`].
+//!
+//! Shutdown (the `shutdown` op, or [`ServerHandle::shutdown`]) is
+//! cooperative: the flag flips, idle workers wake and drain the queue,
+//! open sockets are shut down so reader threads fall out of `read_line`,
+//! and a dummy connect unblocks `accept`.
+
+use crate::metrics::Metrics;
+use crate::protocol::{self, Request, DEFAULT_ADDR, MAX_REQUEST_BYTES};
+use crate::store::ReportStore;
+use gpa_json::Json;
+use gpa_pipeline::Session;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration (CLI flags map onto this 1:1).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool width.
+    pub workers: usize,
+    /// Bounded request-queue capacity (backpressure threshold).
+    pub queue: usize,
+    /// In-memory report-store capacity (entries, LRU-evicted).
+    pub store_capacity: usize,
+    /// Optional on-disk report persistence directory.
+    pub persist_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue: 64,
+            store_capacity: 128,
+            persist_dir: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A loopback config on an ephemeral port (tests, benches).
+    pub fn ephemeral() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() }
+    }
+}
+
+/// One queued analysis request and the channel its frame goes back on.
+struct Work {
+    request: Request,
+    reply: mpsc::Sender<String>,
+}
+
+/// Whether the connection keeps reading after a response.
+enum Control {
+    Continue,
+    Shutdown,
+}
+
+struct Shared {
+    session: Arc<Session>,
+    store: ReportStore,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<Work>>,
+    available: Condvar,
+    queue_capacity: usize,
+    workers: usize,
+    persisted: bool,
+    shutting_down: AtomicBool,
+    next_conn_id: AtomicU64,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    local_addr: SocketAddr,
+}
+
+/// A running daemon: its address and the threads behind it.
+///
+/// Dropping the handle shuts the daemon down and joins every thread;
+/// [`ServerHandle::join`] blocks until something else (normally a
+/// client's `shutdown` op) stops it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds and starts the daemon.
+///
+/// # Errors
+///
+/// When the address cannot be bound or the persist directory cannot be
+/// created.
+pub fn serve(session: Arc<Session>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let store = ReportStore::new(config.store_capacity, config.persist_dir.clone())?;
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        session,
+        store,
+        metrics: Metrics::new(),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        queue_capacity: config.queue.max(1),
+        workers,
+        persisted: config.persist_dir.is_some(),
+        shutting_down: AtomicBool::new(false),
+        next_conn_id: AtomicU64::new(0),
+        conns: Mutex::new(Vec::new()),
+        conn_threads: Mutex::new(Vec::new()),
+        local_addr,
+    });
+    let worker_handles = (0..workers)
+        .map(|i| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("gpa-serve-worker-{i}"))
+                .spawn(move || worker_loop(&sh))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    let accept = {
+        let sh = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("gpa-serve-accept".to_string())
+            .spawn(move || accept_loop(&sh, &listener))?
+    };
+    Ok(ServerHandle { shared, accept: Some(accept), workers: worker_handles })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Initiates shutdown programmatically (idempotent; equivalent to a
+    /// client's `shutdown` op).
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Blocks until the daemon has fully stopped: the accept loop has
+    /// exited, the queue is drained, and every thread is joined.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conn_threads.lock().expect("conn threads"));
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        trigger_shutdown(&self.shared);
+        self.join_inner();
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutting_down.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    // Wake idle workers so they observe the flag (under the lock, so a
+    // worker between its empty-check and its wait cannot miss it).
+    {
+        let _guard = shared.queue.lock().expect("queue lock");
+        shared.available.notify_all();
+    }
+    // Unblock the accept loop.
+    let _ = TcpStream::connect(shared.local_addr);
+    // Kick live connections out of their blocking reads. Responses
+    // already written are still delivered (FIN follows queued data).
+    for (_, conn) in shared.conns.lock().expect("conns lock").drain(..) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Joins connection threads that have already finished, so a long-lived
+/// daemon serving many short connections does not accumulate handles.
+fn reap_finished_connections(shared: &Shared) {
+    let mut threads = shared.conn_threads.lock().expect("conn threads");
+    let mut i = 0;
+    while i < threads.len() {
+        if threads[i].is_finished() {
+            let _ = threads.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break;
+                }
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                // See ServeClient::connect: small frames, no Nagle.
+                let _ = stream.set_nodelay(true);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().expect("conns lock").push((conn_id, clone));
+                }
+                reap_finished_connections(shared);
+                let sh = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("gpa-serve-conn".to_string())
+                    .spawn(move || connection_loop(&sh, conn_id, stream))
+                {
+                    shared.conn_threads.lock().expect("conn threads").push(handle);
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break;
+                }
+                // Transient accept errors (e.g. EMFILE): back off briefly
+                // instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        shared.conns.lock().expect("conns lock").retain(|(id, _)| *id != conn_id);
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half).take(MAX_REQUEST_BYTES);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.set_limit(MAX_REQUEST_BYTES);
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if !line.ends_with('\n') && reader.limit() == 0 {
+            // The frame hit the size cap without a newline; the stream
+            // cannot be resynced, so answer and hang up.
+            let frame = protocol::error_frame(&format!(
+                "request exceeds {MAX_REQUEST_BYTES} bytes; closing connection"
+            ));
+            let _ = writeln!(writer, "{frame}");
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = handle_line(shared, &line);
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if matches!(control, Control::Shutdown) {
+            trigger_shutdown(shared);
+            break;
+        }
+    }
+    // Deregister this connection's dup'd socket so a long-lived daemon
+    // does not hold one CLOSE_WAIT fd per past client.
+    shared.conns.lock().expect("conns lock").retain(|(id, _)| *id != conn_id);
+}
+
+fn handle_line(shared: &Shared, line: &str) -> (String, Control) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return (protocol::error_frame(&msg), Control::Continue);
+        }
+    };
+    shared.metrics.count_op(&request);
+    match &request {
+        Request::Status => {
+            (protocol::ok_frame(false, &status_body(shared).compact()), Control::Continue)
+        }
+        Request::Shutdown => {
+            (protocol::ok_frame(false, "{\"shutting_down\":true}"), Control::Shutdown)
+        }
+        _ => {
+            if let Some(key) = request.cache_key() {
+                if let Some(body) = shared.store.get(&key) {
+                    return (protocol::ok_frame(true, &body), Control::Continue);
+                }
+            }
+            (dispatch(shared, request), Control::Continue)
+        }
+    }
+}
+
+/// Pushes a request onto the bounded queue and waits for its frame;
+/// rejects immediately when the queue is at capacity.
+fn dispatch(shared: &Shared, request: Request) -> String {
+    let (reply, result) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return protocol::error_frame("server is shutting down");
+        }
+        if queue.len() >= shared.queue_capacity {
+            drop(queue);
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return protocol::error_frame(&format!(
+                "request queue full ({} pending, capacity {}); retry later",
+                shared.queue_capacity, shared.queue_capacity
+            ));
+        }
+        queue.push_back(Work { request, reply });
+        shared.metrics.note_enqueued();
+        shared.available.notify_one();
+    }
+    match result.recv() {
+        Ok(frame) => frame,
+        Err(_) => protocol::error_frame("internal error: worker abandoned the request"),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let work = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(work) = queue.pop_front() {
+                    shared.metrics.note_dequeued();
+                    break Some(work);
+                }
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(work) = work else { break };
+        let frame = execute(shared, work.request);
+        // The connection may already be gone; that only means nobody is
+        // waiting for this frame.
+        let _ = work.reply.send(frame);
+    }
+}
+
+/// Runs one dequeued request on the shared session. Successful bodies
+/// go into the report store under the request's content address.
+fn execute(shared: &Shared, request: Request) -> String {
+    let key = request.cache_key();
+    match request {
+        Request::Analyze { job } => match shared.session.run_one(&job) {
+            Ok(outcome) => {
+                let body = protocol::analyze_body(&outcome).compact();
+                let stored = shared.store.insert(&key.expect("analyze is cacheable"), &body);
+                protocol::ok_frame(false, &stored)
+            }
+            Err(e) => {
+                shared.metrics.analysis_errors.fetch_add(1, Ordering::Relaxed);
+                protocol::job_error_frame(&e)
+            }
+        },
+        Request::AnalyzeProfile { job, profile, .. } => {
+            match shared.session.advise_profile(&job, &profile) {
+                Ok(report) => {
+                    let body = protocol::profile_body(&job, &profile, &report).compact();
+                    let stored =
+                        shared.store.insert(&key.expect("analyze_profile is cacheable"), &body);
+                    protocol::ok_frame(false, &stored)
+                }
+                Err(e) => {
+                    shared.metrics.analysis_errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::job_error_frame(&e)
+                }
+            }
+        }
+        Request::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis(ms));
+            protocol::ok_frame(false, &format!("{{\"slept_ms\":{ms}}}"))
+        }
+        // Handled inline by the connection thread; never queued.
+        Request::Status | Request::Shutdown => {
+            protocol::error_frame("internal error: control op reached the worker pool")
+        }
+    }
+}
+
+fn status_body(shared: &Shared) -> Json {
+    let m = &shared.metrics;
+    let st = shared.store.stats();
+    Json::object()
+        .with("uptime_ms", m.uptime_ms())
+        .with("workers", shared.workers)
+        .with("connections", m.connections.load(Ordering::Relaxed))
+        .with("ops", m.ops_json())
+        .with(
+            "queue",
+            Json::object()
+                .with("depth", m.queue_depth.load(Ordering::Relaxed))
+                .with("peak", m.queue_peak.load(Ordering::Relaxed))
+                .with("capacity", shared.queue_capacity)
+                .with("rejected", m.rejected.load(Ordering::Relaxed)),
+        )
+        .with(
+            "store",
+            Json::object()
+                .with("entries", st.entries)
+                .with("capacity", st.capacity)
+                .with("hits", st.hits)
+                .with("disk_hits", st.disk_hits)
+                .with("misses", st.misses)
+                .with("evictions", st.evictions)
+                .with("persist_errors", st.persist_errors)
+                .with("persisted", shared.persisted),
+        )
+        .with(
+            "errors",
+            Json::object()
+                .with("protocol", m.protocol_errors.load(Ordering::Relaxed))
+                .with("analysis", m.analysis_errors.load(Ordering::Relaxed)),
+        )
+}

@@ -23,6 +23,9 @@
 //! * [`pipeline`] — the reusable analysis flow: cached [`pipeline::Session`]s,
 //!   [`pipeline::AnalysisJob`]s, and the parallel `run_batch` the CLI and
 //!   harnesses are built on.
+//! * [`serve`] — the advisor as a daemon: a concurrent TCP service with
+//!   a JSON-lines protocol, bounded worker pool, and a content-addressed
+//!   report store over one shared session.
 //!
 //! # Quickstart
 //!
@@ -69,5 +72,6 @@ pub use gpa_json as json;
 pub use gpa_kernels as kernels;
 pub use gpa_pipeline as pipeline;
 pub use gpa_sampling as sampling;
+pub use gpa_serve as serve;
 pub use gpa_sim as sim;
 pub use gpa_structure as structure;

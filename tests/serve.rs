@@ -1,0 +1,259 @@
+//! Integration tests for the advisor daemon: concurrent clients against
+//! a live `gpa-serve` on an ephemeral port.
+//!
+//! The acceptance bar for the subsystem: 8 concurrent clients over the
+//! 21-app registry get responses byte-identical to `Session::run_one`,
+//! a second wave of identical requests is answered from the report
+//! store (cache hits observable via `status`), a full queue rejects
+//! instead of growing, and shutdown is clean.
+
+use gpa::json::Json;
+use gpa::pipeline::{AnalysisJob, Session};
+use gpa::serve::{protocol, serve, Request, ServeClient, ServerConfig};
+use std::sync::Arc;
+
+fn test_server(config: ServerConfig) -> gpa::serve::ServerHandle {
+    serve(Arc::new(Session::test()), config).expect("daemon binds an ephemeral port")
+}
+
+fn ephemeral() -> ServerConfig {
+    ServerConfig { workers: 4, ..ServerConfig::ephemeral() }
+}
+
+/// The reference body: what `Session::run_one` yields, rendered exactly
+/// as the daemon renders it.
+fn reference_body(session: &Session, job: &AnalysisJob) -> String {
+    protocol::analyze_body(&session.run_one(job).expect("reference run")).compact()
+}
+
+#[test]
+fn concurrent_clients_get_bytes_identical_to_run_one() {
+    let handle = test_server(ephemeral());
+    let addr = handle.local_addr();
+    let reference = Session::test();
+    let jobs: Vec<AnalysisJob> = reference.jobs_for_all_apps();
+    assert_eq!(jobs.len(), 21);
+
+    // 8 clients, each analyzing every app (first-come computes, the
+    // rest hit the store — either way the bytes must match run_one).
+    let bodies: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|client_idx| {
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let mut out = Vec::new();
+                    // Stagger the walk so clients collide on different apps.
+                    for i in 0..jobs.len() {
+                        let job = &jobs[(i + 3 * client_idx) % jobs.len()];
+                        let response =
+                            client.analyze(&job.app, job.variant).expect("analyze round-trip");
+                        assert!(response.ok, "{}: {:?}", job, response.error);
+                        out.push((job.clone(), response.result.expect("body").compact()));
+                    }
+                    out.sort_by(|(a, _), (b, _)| (&a.app, a.variant).cmp(&(&b.app, b.variant)));
+                    out.into_iter().map(|(_, body)| body).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let mut sorted_jobs = jobs.clone();
+    sorted_jobs.sort_by(|a, b| (&a.app, a.variant).cmp(&(&b.app, b.variant)));
+    let expected: Vec<String> = sorted_jobs.iter().map(|j| reference_body(&reference, j)).collect();
+    for (idx, client_bodies) in bodies.iter().enumerate() {
+        assert_eq!(client_bodies, &expected, "client {idx} saw different bytes");
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn second_wave_is_served_from_the_report_store() {
+    let handle = test_server(ephemeral());
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let apps = ["rodinia/hotspot", "rodinia/gaussian", "rodinia/nw"];
+    let first: Vec<String> = apps
+        .iter()
+        .map(|app| {
+            let r = client.analyze(app, 0).expect("first wave");
+            assert!(r.ok);
+            r.result.unwrap().compact()
+        })
+        .collect();
+    let mut cached_seen = 0;
+    for (app, expected) in apps.iter().zip(&first) {
+        let r = client.analyze(app, 0).expect("second wave");
+        assert!(r.ok);
+        cached_seen += usize::from(r.cached);
+        assert_eq!(&r.result.unwrap().compact(), expected, "cached bytes identical");
+    }
+    assert_eq!(cached_seen, apps.len(), "entire second wave is cache hits");
+
+    let status = client.status().expect("status").into_result().expect("ok");
+    let store = status.field("store").unwrap();
+    assert!(store.field("hits").unwrap().as_u64().unwrap() >= 3, "hits visible in metrics");
+    assert_eq!(store.field("entries").unwrap().as_u64().unwrap(), 3);
+    let ops = status.field("ops").unwrap();
+    assert_eq!(ops.field("analyze").unwrap().as_u64().unwrap(), 6);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn analyze_profile_decouples_profiling_from_advising() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    // "Client side": gather the profile locally (standing in for a real
+    // CUPTI dump) and submit only the profile — the daemon must not
+    // re-simulate.
+    let (_, profile, _) = reference.profile_one(&job).expect("local profiling");
+    let profile_doc = Json::parse(&profile.to_json()).expect("profile serializes");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let response = client.analyze_profile(&job.app, job.variant, &profile_doc).expect("request");
+    assert!(response.ok, "{:?}", response.error);
+    let body = response.result.unwrap();
+
+    let report = reference.advise_profile(&job, &profile).expect("local advising");
+    let expected = protocol::profile_body(&job, &profile, &report).compact();
+    assert_eq!(body.compact(), expected, "daemon advice matches local advise_profile");
+
+    // Same submission again: a content-addressed cache hit.
+    let again = client.analyze_profile(&job.app, job.variant, &profile_doc).expect("repeat");
+    assert!(again.cached, "identical profile submission hits the store");
+    assert_eq!(again.result.unwrap().compact(), expected);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn full_queue_rejects_with_backpressure_error() {
+    // One worker, queue capacity 1: a long sleep occupies the worker,
+    // a second fills the queue, the third must be rejected.
+    let config = ServerConfig { workers: 1, queue: 1, ..ServerConfig::ephemeral() };
+    let handle = test_server(config);
+    let addr = handle.local_addr();
+
+    let occupier = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(addr).expect("connect");
+        c.request(&Request::Sleep { ms: 1500 }).expect("sleep completes")
+    });
+    let queued = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(addr).expect("connect");
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        c.request(&Request::Sleep { ms: 10 }).expect("queued sleep completes")
+    });
+    // Give the first request time to reach the worker and the second to
+    // park in the queue.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let rejected = c.request(&Request::Sleep { ms: 10 }).expect("round-trip");
+    assert!(!rejected.ok, "third request must be rejected");
+    let msg = rejected.error.expect("error message");
+    assert!(msg.contains("queue full"), "explicit backpressure: {msg}");
+
+    let status = c.status().expect("status").into_result().expect("ok");
+    let queue = status.field("queue").unwrap();
+    assert!(queue.field("rejected").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(queue.field("capacity").unwrap().as_u64().unwrap(), 1);
+
+    assert!(occupier.join().unwrap().ok);
+    assert!(queued.join().unwrap().ok);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let handle = test_server(ephemeral());
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    for (line, needle) in [
+        ("this is not json", "malformed request"),
+        ("{\"op\":\"warp-speed\"}", "unknown op"),
+        ("{\"no_op\":true}", "missing `op`"),
+    ] {
+        let frame = client.request_line(line).expect("server answers bad input");
+        let doc = Json::parse(&frame).expect("error frame is JSON");
+        assert!(!doc.field("ok").unwrap().as_bool().unwrap());
+        let msg = doc.field("error").unwrap().as_str().unwrap();
+        assert!(msg.contains(needle), "{line}: {msg}");
+    }
+    // The connection survives protocol errors; real work still flows.
+    let ok = client.analyze("rodinia/hotspot", 0).expect("connection still usable");
+    assert!(ok.ok);
+
+    // Analysis errors carry the job identity.
+    let bad = client.analyze("no/such-app", 0).expect("round-trip");
+    assert!(!bad.ok);
+    assert!(bad.error.unwrap().contains("unknown app"));
+
+    let status = client.status().expect("status").into_result().expect("ok");
+    let errors = status.field("errors").unwrap();
+    assert_eq!(errors.field("protocol").unwrap().as_u64().unwrap(), 3);
+    assert_eq!(errors.field("analysis").unwrap().as_u64().unwrap(), 1);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_op_stops_the_daemon_cleanly() {
+    let handle = test_server(ephemeral());
+    let addr = handle.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let response = client.shutdown().expect("shutdown acknowledged");
+    assert!(response.ok);
+    // join() returning proves the accept loop, workers, and connection
+    // threads all exited.
+    handle.join();
+    // And the port is actually closed.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(ServeClient::connect(addr).is_err(), "daemon no longer listening after clean shutdown");
+}
+
+#[test]
+fn lru_eviction_bounds_the_store() {
+    let config = ServerConfig { workers: 2, store_capacity: 2, ..ServerConfig::ephemeral() };
+    let handle = test_server(config);
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    for app in ["rodinia/hotspot", "rodinia/gaussian", "rodinia/nw", "rodinia/bfs"] {
+        assert!(client.analyze(app, 0).expect("analyze").ok);
+    }
+    let status = client.status().expect("status").into_result().expect("ok");
+    let store = status.field("store").unwrap();
+    assert_eq!(store.field("entries").unwrap().as_u64().unwrap(), 2, "memory stays bounded");
+    assert!(store.field("evictions").unwrap().as_u64().unwrap() >= 2);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn persisted_store_warms_a_restarted_daemon() {
+    let dir = std::env::temp_dir().join(format!("gpa-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config =
+        || ServerConfig { workers: 2, persist_dir: Some(dir.clone()), ..ServerConfig::ephemeral() };
+
+    let first = test_server(config());
+    let mut client = ServeClient::connect(first.local_addr()).expect("connect");
+    let original = client.analyze("rodinia/hotspot", 0).expect("analyze");
+    assert!(original.ok && !original.cached);
+    let original_body = original.result.unwrap().compact();
+    first.shutdown();
+    first.join();
+
+    // A fresh daemon over the same directory answers from disk without
+    // re-simulating.
+    let second = test_server(config());
+    let mut client = ServeClient::connect(second.local_addr()).expect("connect");
+    let warmed = client.analyze("rodinia/hotspot", 0).expect("analyze");
+    assert!(warmed.ok && warmed.cached, "restart served from the disk tier");
+    assert_eq!(warmed.result.unwrap().compact(), original_body);
+    let status = client.status().expect("status").into_result().expect("ok");
+    assert!(status.field("store").unwrap().field("disk_hits").unwrap().as_u64().unwrap() >= 1);
+    second.shutdown();
+    second.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
