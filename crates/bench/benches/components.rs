@@ -1,14 +1,27 @@
 //! Criterion benches for the tool's own components: simulator throughput,
 //! blamer, and end-to-end advise latency. (The paper argues PC sampling's
 //! post-mortem analysis is cheap — these benches quantify our analogue.)
+//!
+//! The `sim/*` group compares the event-driven scheduler core against the
+//! dense per-cycle reference loop (`SimConfig::dense_reference`) on both
+//! a real app and a long-latency-dominated kernel, plus the compiled
+//! program reuse path. Quick mode for CI: set `GPA_BENCH_SAMPLES=3`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpa_arch::LatencyTable;
+use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig};
 use gpa_core::{Advisor, ModuleBlame};
+use gpa_isa::parse_module;
 use gpa_kernels::apps;
-use gpa_kernels::runner::{arch_for, run_spec};
-use gpa_kernels::Params;
+use gpa_kernels::runner::{arch_for, launch_spec_with, run_spec, sim_config};
+use gpa_kernels::{KernelSpec, Params};
+use gpa_sim::{GpuSim, LaunchResult, SimConfig};
 use gpa_structure::ProgramStructure;
+
+/// Launches a spec under the chosen scheduler core.
+fn launch_with_core(spec: &KernelSpec, arch: &ArchConfig, dense: bool) -> LaunchResult {
+    let cfg = SimConfig { dense_reference: dense, ..sim_config() };
+    launch_spec_with(spec, arch, cfg).expect("launch")
+}
 
 fn bench_simulator(c: &mut Criterion) {
     let p = Params::test();
@@ -16,6 +29,83 @@ fn bench_simulator(c: &mut Criterion) {
     let spec = (apps::hotspot::app().build)(0, &p);
     c.bench_function("sim/hotspot_baseline_launch", |b| {
         b.iter(|| run_spec(&spec, &arch).expect("launch"))
+    });
+}
+
+/// Dense-vs-event comparison on a real app: the two cores produce
+/// byte-identical results (asserted once up front), so the timing delta
+/// is pure scheduler overhead.
+fn bench_dense_vs_event(c: &mut Criterion) {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    let spec = (apps::hotspot::app().build)(0, &p);
+    let dense = launch_with_core(&spec, &arch, true);
+    let event = launch_with_core(&spec, &arch, false);
+    assert_eq!(dense, event, "cores must agree before timing them");
+    c.bench_function("sim/dense_vs_event/hotspot_dense", |b| {
+        b.iter(|| launch_with_core(&spec, &arch, true))
+    });
+    c.bench_function("sim/dense_vs_event/hotspot_event", |b| {
+        b.iter(|| launch_with_core(&spec, &arch, false))
+    });
+}
+
+/// A serial pointer-chase: one warp, 96 dependent global loads. Nearly
+/// every cycle is an idle wait on DRAM latency — the event core's best
+/// case, and the dense loop's worst.
+const CHASE: &str = r#"
+.module chase
+.kernel chase
+  S2R R0, SR_TID.X {W:B0, S:1}
+  MOV R2, c[0][0] {S:1}
+  MOV R3, c[0][4] {S:1}
+  SHL R1, R0, 2 {WT:[B0], S:2}
+  IADD R2:R3, R2:R3, R1 {S:2}
+  MOV32I R6, 0 {S:1}
+  MOV32I R8, 0 {S:1}
+loop:
+  LDG.E.32 R4, [R2:R3] {W:B1, S:1}
+  IADD R6, R6, R4 {WT:[B1], S:4}
+  IADD R8, R8, 1 {S:4}
+  ISETP.LT.AND P1, R8, 96 {S:2}
+  @P1 BRA loop {S:5}
+  STG.E.32 [R2:R3], R6 {R:B2, S:1}
+  EXIT {WT:[B2], S:1}
+.endfunc
+"#;
+
+fn bench_long_latency(c: &mut Criterion) {
+    let arch = ArchConfig::small(1);
+    let module = parse_module(CHASE).expect("chase kernel parses");
+    let run = |dense: bool| {
+        let cfg = SimConfig { dense_reference: dense, ..sim_config() };
+        let mut gpu = GpuSim::new(arch.clone(), cfg);
+        let buf = gpu.global_mut().alloc(4 * 32);
+        let params: Vec<u8> = buf.to_le_bytes().to_vec();
+        gpu.launch(&module, "chase", &LaunchConfig::new(1, 32), &params).expect("launch")
+    };
+    assert_eq!(run(true), run(false), "cores must agree before timing them");
+    c.bench_function("sim/dense_vs_event/long_latency_dense", |b| b.iter(|| run(true)));
+    c.bench_function("sim/dense_vs_event/long_latency_event", |b| b.iter(|| run(false)));
+}
+
+/// Per-launch lowering vs a compiled program reused across launches —
+/// the daemon's repeat-traffic path.
+fn bench_compiled_reuse(c: &mut Criterion) {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    let spec = (apps::hotspot::app().build)(0, &p);
+    let mut gpu = GpuSim::new(arch.clone(), sim_config());
+    if let Some(bank) = &spec.const_bank1 {
+        gpu.set_const_bank(1, bank.clone());
+    }
+    let params = (spec.setup)(&mut gpu);
+    let prog = gpu.compile(&spec.module, &spec.entry).expect("compiles");
+    c.bench_function("sim/launch_relowered_each_time", |b| {
+        b.iter(|| gpu.launch(&spec.module, &spec.entry, &spec.launch, &params).expect("launch"))
+    });
+    c.bench_function("sim/launch_compiled_reuse", |b| {
+        b.iter(|| gpu.launch_compiled(&prog, &spec.launch, &params).expect("launch"))
     });
 }
 
@@ -55,6 +145,7 @@ fn bench_static_analysis(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_simulator, bench_blamer, bench_advisor, bench_static_analysis
+    targets = bench_simulator, bench_dense_vs_event, bench_long_latency, bench_compiled_reuse,
+        bench_blamer, bench_advisor, bench_static_analysis
 }
 criterion_main!(benches);

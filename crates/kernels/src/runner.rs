@@ -40,6 +40,27 @@ pub fn profiler_for(spec: &KernelSpec, arch: &ArchConfig) -> (Profiler, Vec<u8>)
     (Profiler::new(gpu), params)
 }
 
+/// Arms a device for a spec under an explicit simulator configuration
+/// and launches it — the shared glue for harnesses that need a raw
+/// [`gpa_sim::LaunchResult`] (e.g. the dense-vs-event differential
+/// tests and benches).
+///
+/// # Errors
+///
+/// Propagates simulator errors (faults, cycle limit).
+pub fn launch_spec_with(
+    spec: &KernelSpec,
+    arch: &ArchConfig,
+    cfg: SimConfig,
+) -> Result<gpa_sim::LaunchResult> {
+    let mut gpu = GpuSim::new(arch.clone(), cfg);
+    if let Some(bank) = &spec.const_bank1 {
+        gpu.set_const_bank(1, bank.clone());
+    }
+    let params = (spec.setup)(&mut gpu);
+    gpu.launch(&spec.module, &spec.entry, &spec.launch, &params)
+}
+
 /// Runs one kernel variant with sampling and returns profile + cycles.
 ///
 /// # Errors

@@ -7,23 +7,39 @@ use gpa_core::{Advisor, ModuleBlame};
 use gpa_kernels::apps::app_by_name;
 use gpa_kernels::{KernelSpec, Params};
 use gpa_sampling::{KernelProfile, Profiler};
-use gpa_sim::{GpuSim, SimConfig};
+use gpa_sim::{CompiledProgram, GpuSim, SimConfig};
 use gpa_structure::ProgramStructure;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Everything derivable from one built kernel variant, constructed once
 /// per `(app, variant)` and shared via [`Arc`] across runs: the linked
-/// module with its setup closure ([`KernelSpec`]), and the static
-/// analysis ([`ProgramStructure`], which embeds each function's CFG and
-/// loop forest).
+/// module with its setup closure ([`KernelSpec`]), the static analysis
+/// ([`ProgramStructure`], which embeds each function's CFG and loop
+/// forest), and the simulator lowering ([`CompiledProgram`]), so repeat
+/// launches — batch re-runs, daemon traffic — skip re-lowering the
+/// module every time.
 pub struct ModuleArtifacts {
     /// The built kernel variant (module, entry, launch, setup).
     pub spec: KernelSpec,
     /// Static analysis of `spec.module`.
     pub structure: ProgramStructure,
+    /// The module lowered for simulation, reused across launches.
+    pub program: Arc<CompiledProgram>,
+    /// Snapshot of device memory and kernel params after the spec's
+    /// setup closure ran once: setup closures are deterministic per
+    /// variant, so repeat launches clone the initialized pages instead
+    /// of replaying element-wise host writes.
+    init: OnceLock<MemInit>,
+}
+
+/// The device state a spec's setup closure produced (see
+/// [`ModuleArtifacts::init`]).
+struct MemInit {
+    global: gpa_sim::GlobalMem,
+    params: Vec<u8>,
 }
 
 /// A long-lived analysis context: owns the experiment configuration and
@@ -82,6 +98,17 @@ impl Session {
         self
     }
 
+    /// Replaces the simulator configuration (e.g. to run the dense
+    /// reference scheduler for differential benchmarks). Clears the
+    /// artifact cache: compiled programs embed nothing config-dependent,
+    /// but cached outcomes should not mix configurations mid-session.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self.cache = Mutex::new(HashMap::new());
+        self
+    }
+
     /// The device configuration.
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
@@ -130,7 +157,10 @@ impl Session {
         }
         let spec = (app.build)(job.variant, &self.params);
         let structure = ProgramStructure::build(&spec.module);
-        let built = Arc::new(ModuleArtifacts { spec, structure });
+        let program = CompiledProgram::build(&spec.module, &spec.entry, &self.arch)
+            .map(Arc::new)
+            .map_err(|e| AnalysisError::new(job, e.to_string()))?;
+        let built = Arc::new(ModuleArtifacts { spec, structure, program, init: OnceLock::new() });
         let mut cache = self.cache.lock().expect("cache lock");
         // Two workers may race to build the same key; keep the first.
         Ok(Arc::clone(cache.entry(key).or_insert(built)))
@@ -150,18 +180,36 @@ impl Session {
         gpu
     }
 
-    /// Runs a spec's kernel with the profiler attached: the sampling
-    /// primitive every analysis path shares.
-    fn sample_spec(
+    /// A simulator armed for an artifact's kernel: device built, constant
+    /// bank wired, inputs initialized. The first call per artifact runs
+    /// the spec's setup closure and snapshots the resulting device
+    /// memory; later calls clone the snapshot instead of replaying the
+    /// element-wise host writes (a large share of repeat-launch cost).
+    fn armed_gpu(&self, artifacts: &ModuleArtifacts) -> (GpuSim, Vec<u8>) {
+        let spec = &artifacts.spec;
+        let init = artifacts.init.get_or_init(|| {
+            let mut gpu = self.gpu_for(spec);
+            let params = (spec.setup)(&mut gpu);
+            MemInit { global: gpu.global().clone(), params }
+        });
+        let mut gpu = self.gpu_for(spec);
+        *gpu.global_mut() = init.global.clone();
+        (gpu, init.params.clone())
+    }
+
+    /// Runs an artifact's kernel with the profiler attached: the sampling
+    /// primitive every analysis path shares. Uses the artifact's cached
+    /// [`CompiledProgram`] and memory snapshot, so only the launch itself
+    /// is paid per run.
+    fn sample_artifacts(
         &self,
         job: &AnalysisJob,
-        spec: &KernelSpec,
+        artifacts: &ModuleArtifacts,
     ) -> Result<(KernelProfile, u64), AnalysisError> {
-        let mut gpu = self.gpu_for(spec);
-        let host_params = (spec.setup)(&mut gpu);
+        let (gpu, host_params) = self.armed_gpu(artifacts);
         let mut profiler = Profiler::new(gpu);
         let (profile, result) = profiler
-            .profile(&spec.module, &spec.entry, &spec.launch, &host_params)
+            .profile_compiled(&artifacts.program, &artifacts.spec.launch, &host_params)
             .map_err(|e| AnalysisError::new(job, e.to_string()))?;
         Ok((profile, result.cycles))
     }
@@ -195,7 +243,7 @@ impl Session {
         job: &AnalysisJob,
     ) -> Result<(Arc<ModuleArtifacts>, KernelProfile, u64), AnalysisError> {
         let artifacts = self.artifacts(job)?;
-        let (profile, cycles) = self.sample_spec(job, &artifacts.spec)?;
+        let (profile, cycles) = self.sample_artifacts(job, &artifacts)?;
         Ok((artifacts, profile, cycles))
     }
 
@@ -266,8 +314,12 @@ impl Session {
         let t0 = Instant::now();
         let job = AnalysisJob::new(spec.module.name.clone(), 0);
         let structure = ProgramStructure::build(&spec.module);
-        let artifacts = Arc::new(ModuleArtifacts { spec, structure });
-        let (profile, cycles) = self.sample_spec(&job, &artifacts.spec)?;
+        let program = CompiledProgram::build(&spec.module, &spec.entry, &self.arch)
+            .map(Arc::new)
+            .map_err(|e| AnalysisError::new(&job, e.to_string()))?;
+        let artifacts =
+            Arc::new(ModuleArtifacts { spec, structure, program, init: OnceLock::new() });
+        let (profile, cycles) = self.sample_artifacts(&job, &artifacts)?;
         let report = self.advise_artifacts(&artifacts, &profile);
         Ok(AnalysisOutcome {
             job,
@@ -288,12 +340,10 @@ impl Session {
     /// Unknown app/variant, or a simulator fault.
     pub fn time_one(&self, job: &AnalysisJob) -> Result<u64, AnalysisError> {
         let artifacts = self.artifacts(job)?;
-        let spec = &artifacts.spec;
-        let mut gpu = self.gpu_for(spec);
-        let host_params = (spec.setup)(&mut gpu);
+        let (gpu, host_params) = self.armed_gpu(&artifacts);
         let mut profiler = Profiler::new(gpu);
         profiler
-            .time_only(&spec.module, &spec.entry, &spec.launch, &host_params)
+            .time_only_compiled(&artifacts.program, &artifacts.spec.launch, &host_params)
             .map_err(|e| AnalysisError::new(job, e.to_string()))
     }
 

@@ -3,7 +3,7 @@
 use crate::profile::KernelProfile;
 use gpa_arch::LaunchConfig;
 use gpa_isa::Module;
-use gpa_sim::{GpuSim, LaunchResult, Result};
+use gpa_sim::{CompiledProgram, GpuSim, LaunchResult, Result};
 
 /// Profiles kernels on a simulated device.
 ///
@@ -49,11 +49,29 @@ impl Profiler {
         launch: &LaunchConfig,
         params: &[u8],
     ) -> Result<(KernelProfile, LaunchResult)> {
-        let result = self.gpu.launch(module, entry, launch, params)?;
+        let prog = self.gpu.compile(module, entry)?;
+        self.profile_compiled(&prog, launch, params)
+    }
+
+    /// Launches an already-compiled program (see [`GpuSim::compile`]) and
+    /// aggregates its PC samples into a profile — the repeat-launch path:
+    /// the module lowering (instruction cloning, reconvergence analysis)
+    /// is paid once, not per launch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (arch mismatch, faults, cycle limit).
+    pub fn profile_compiled(
+        &mut self,
+        prog: &CompiledProgram,
+        launch: &LaunchConfig,
+        params: &[u8],
+    ) -> Result<(KernelProfile, LaunchResult)> {
+        let result = self.gpu.launch_compiled(prog, launch, params)?;
         let profile = KernelProfile::from_launch(
-            entry,
-            &module.name,
-            &module.arch,
+            prog.entry(),
+            prog.module_name(),
+            prog.isa_arch(),
             self.gpu.config().sampling_period,
             &result,
         );
@@ -74,9 +92,24 @@ impl Profiler {
         launch: &LaunchConfig,
         params: &[u8],
     ) -> Result<u64> {
+        let prog = self.gpu.compile(module, entry)?;
+        self.time_only_compiled(&prog, launch, params)
+    }
+
+    /// Times an already-compiled program without sampling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn time_only_compiled(
+        &mut self,
+        prog: &CompiledProgram,
+        launch: &LaunchConfig,
+        params: &[u8],
+    ) -> Result<u64> {
         let saved = self.gpu.config().sampling_period;
         self.gpu.config_mut().sampling_period = 0;
-        let r = self.gpu.launch(module, entry, launch, params);
+        let r = self.gpu.launch_compiled(prog, launch, params);
         self.gpu.config_mut().sampling_period = saved;
         Ok(r?.cycles)
     }

@@ -8,7 +8,9 @@
 use crate::mem::{ConstMem, GlobalMem};
 use crate::warp::{DivEntry, WarpState, WARP_LANES};
 use crate::{Result, SimError};
-use gpa_isa::{Instruction, MemSpace, Modifier, Opcode, Operand, INSTR_BYTES};
+use gpa_isa::{
+    Instruction, MemSpace, Modifier, Opcode, Operand, Register, SpecialReg, INSTR_BYTES,
+};
 
 /// Shared-state view handed to the executor for one instruction.
 pub struct ExecCtx<'a> {
@@ -67,30 +69,364 @@ fn fault(pc: u64, message: impl Into<String>) -> SimError {
     SimError::Fault { pc, message: message.into() }
 }
 
-/// Reads a 32-bit source operand for one lane.
-fn val32(w: &WarpState, lane: usize, op: &Operand, ctx: &ExecCtx) -> Result<u32> {
-    if let Some(v) = w.operand_u32(lane, op) {
-        return Ok(v);
-    }
-    match *op {
-        Operand::CMem { bank, offset } => Ok(ctx.consts.read_u32(bank, offset as u32)),
-        Operand::SReg(s) => {
-            Ok(w.special(lane, s, ctx.block_id, ctx.grid_blocks, ctx.block_threads))
-        }
-        Operand::RegPair(r) => Ok(w.read_reg(lane, r)), // low half
-        _ => Err(fault(w.pc, format!("operand {op:?} is not a 32-bit source"))),
+/// A source operand resolved once per instruction: lane-invariant values
+/// (immediates, constant-bank reads) are computed up front so the hot
+/// per-lane loops only touch the register file.
+#[derive(Clone, Copy)]
+enum Src {
+    /// Lane-invariant 32-bit value.
+    Val(u32),
+    /// Lane-invariant 64-bit value.
+    Val64(u64),
+    /// Per-lane register read (zero-extended in 64-bit contexts).
+    Reg(Register),
+    /// Per-lane register-pair read (low half in 32-bit contexts).
+    Pair(Register),
+    /// Per-lane special-register read.
+    SReg(SpecialReg),
+}
+
+/// Resolves an operand for 32-bit lane reads.
+#[inline]
+fn resolve32(w: &WarpState, op: &Operand, ctx: &ExecCtx) -> Result<Src> {
+    Ok(match *op {
+        Operand::Reg(r) => Src::Reg(r),
+        Operand::Imm(v) => Src::Val(v as i32 as u32),
+        Operand::FImm(v) => Src::Val((v as f32).to_bits()),
+        Operand::CMem { bank, offset } => Src::Val(ctx.consts.read_u32(bank, offset as u32)),
+        Operand::SReg(s) => Src::SReg(s),
+        Operand::RegPair(r) => Src::Pair(r), // low half
+        _ => return Err(fault(w.pc, format!("operand {op:?} is not a 32-bit source"))),
+    })
+}
+
+/// Resolves an operand for 64-bit lane reads.
+#[inline]
+fn resolve64(w: &WarpState, op: &Operand, ctx: &ExecCtx) -> Result<Src> {
+    Ok(match *op {
+        Operand::RegPair(r) => Src::Pair(r),
+        Operand::Reg(r) => Src::Reg(r),
+        Operand::Imm(v) => Src::Val64(v as u64),
+        Operand::FImm(v) => Src::Val64(v.to_bits()),
+        Operand::CMem { bank, offset } => Src::Val64(ctx.consts.read_u64(bank, offset as u32)),
+        _ => return Err(fault(w.pc, format!("operand {op:?} is not a 64-bit source"))),
+    })
+}
+
+/// Reads a resolved 32-bit source for one lane.
+#[inline]
+fn get32(w: &WarpState, lane: usize, s: Src, ctx: &ExecCtx) -> u32 {
+    match s {
+        Src::Val(v) => v,
+        Src::Val64(v) => v as u32,
+        Src::Reg(r) | Src::Pair(r) => w.read_reg(lane, r),
+        Src::SReg(sr) => w.special(lane, sr, ctx.block_id, ctx.grid_blocks, ctx.block_threads),
     }
 }
 
-/// Reads a 64-bit source operand for one lane.
-fn val64(w: &WarpState, lane: usize, op: &Operand, ctx: &ExecCtx) -> Result<u64> {
-    match *op {
-        Operand::RegPair(r) => Ok(w.read_pair(lane, r)),
-        Operand::Reg(r) => Ok(w.read_reg(lane, r) as u64),
-        Operand::Imm(v) => Ok(v as u64),
-        Operand::FImm(v) => Ok(v.to_bits()),
-        Operand::CMem { bank, offset } => Ok(ctx.consts.read_u64(bank, offset as u32)),
-        _ => Err(fault(w.pc, format!("operand {op:?} is not a 64-bit source"))),
+/// Reads a resolved 64-bit source for one lane.
+#[inline]
+fn get64(w: &WarpState, lane: usize, s: Src, ctx: &ExecCtx) -> u64 {
+    match s {
+        Src::Val(v) => v as u64,
+        Src::Val64(v) => v,
+        Src::Reg(r) => w.read_reg(lane, r) as u64,
+        Src::Pair(r) => w.read_pair(lane, r),
+        Src::SReg(sr) => {
+            w.special(lane, sr, ctx.block_id, ctx.grid_blocks, ctx.block_threads) as u64
+        }
+    }
+}
+
+/// Lane indices of a fully active warp.
+const ALL_LANES: [usize; WARP_LANES] = {
+    let mut a = [0usize; WARP_LANES];
+    let mut i = 0;
+    while i < WARP_LANES {
+        a[i] = i;
+        i += 1;
+    }
+    a
+};
+
+/// Materializes a resolved 32-bit source into per-lane values: one row
+/// copy (or broadcast) per instruction instead of an enum match per lane.
+/// Safe because lane writes are strictly lane-local — no instruction
+/// observes another lane's same-instruction result through the register
+/// file (SHFL snapshots explicitly).
+#[inline]
+fn fill32(w: &WarpState, s: Src, ctx: &ExecCtx, out: &mut [u32; WARP_LANES]) {
+    match s {
+        Src::Val(v) => out.fill(v),
+        Src::Val64(v) => out.fill(v as u32),
+        Src::Reg(r) | Src::Pair(r) => {
+            if r.is_zero() {
+                out.fill(0);
+            } else {
+                *out = w.regs[r.index() as usize];
+            }
+        }
+        Src::SReg(sr) => {
+            for (l, slot) in out.iter_mut().enumerate() {
+                *slot = w.special(l, sr, ctx.block_id, ctx.grid_blocks, ctx.block_threads);
+            }
+        }
+    }
+}
+
+/// Materializes a resolved 64-bit source into per-lane values.
+#[inline]
+fn fill64(w: &WarpState, s: Src, ctx: &ExecCtx, out: &mut [u64; WARP_LANES]) {
+    match s {
+        Src::Val(v) => out.fill(v as u64),
+        Src::Val64(v) => out.fill(v),
+        Src::Reg(r) => {
+            for (l, slot) in out.iter_mut().enumerate() {
+                *slot = w.read_reg(l, r) as u64;
+            }
+        }
+        Src::Pair(r) => {
+            for (l, slot) in out.iter_mut().enumerate() {
+                *slot = w.read_pair(l, r);
+            }
+        }
+        Src::SReg(sr) => {
+            for (l, slot) in out.iter_mut().enumerate() {
+                *slot = w.special(l, sr, ctx.block_id, ctx.grid_blocks, ctx.block_threads) as u64;
+            }
+        }
+    }
+}
+
+/// Writes per-lane results to a destination register for the given lanes.
+#[inline]
+fn store32(w: &mut WarpState, d: Register, lanes: &[usize], vals: &[u32; WARP_LANES]) {
+    if d.is_zero() {
+        return;
+    }
+    let row = &mut w.regs[d.index() as usize];
+    for &l in lanes {
+        row[l] = vals[l];
+    }
+}
+
+/// Writes per-lane results to a destination register pair.
+#[inline]
+fn store64(w: &mut WarpState, d: Register, lanes: &[usize], vals: &[u64; WARP_LANES]) {
+    for &l in lanes {
+        w.write_pair(l, d, vals[l]);
+    }
+}
+
+/// Unary 32-bit lane op over materialized sources.
+#[inline]
+fn un32(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u32) -> u32,
+) {
+    let mut a = [0u32; WARP_LANES];
+    fill32(w, sa, ctx, &mut a);
+    let mut o = [0u32; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l]);
+    }
+    store32(w, d, lanes, &o);
+}
+
+/// Binary 32-bit lane op over materialized sources.
+#[inline]
+fn bin32(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    sb: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u32, u32) -> u32,
+) {
+    let mut a = [0u32; WARP_LANES];
+    let mut b = [0u32; WARP_LANES];
+    fill32(w, sa, ctx, &mut a);
+    fill32(w, sb, ctx, &mut b);
+    let mut o = [0u32; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l], b[l]);
+    }
+    store32(w, d, lanes, &o);
+}
+
+/// Ternary 32-bit lane op over materialized sources.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tri32(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    sb: Src,
+    sc: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u32, u32, u32) -> u32,
+) {
+    let mut a = [0u32; WARP_LANES];
+    let mut b = [0u32; WARP_LANES];
+    let mut c = [0u32; WARP_LANES];
+    fill32(w, sa, ctx, &mut a);
+    fill32(w, sb, ctx, &mut b);
+    fill32(w, sc, ctx, &mut c);
+    let mut o = [0u32; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l], b[l], c[l]);
+    }
+    store32(w, d, lanes, &o);
+}
+
+/// Unary 64-bit lane op over materialized sources.
+#[inline]
+fn un64(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u64) -> u64,
+) {
+    let mut a = [0u64; WARP_LANES];
+    fill64(w, sa, ctx, &mut a);
+    let mut o = [0u64; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l]);
+    }
+    store64(w, d, lanes, &o);
+}
+
+/// Binary 64-bit lane op over materialized sources.
+#[inline]
+fn bin64(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    sb: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u64, u64) -> u64,
+) {
+    let mut a = [0u64; WARP_LANES];
+    let mut b = [0u64; WARP_LANES];
+    fill64(w, sa, ctx, &mut a);
+    fill64(w, sb, ctx, &mut b);
+    let mut o = [0u64; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l], b[l]);
+    }
+    store64(w, d, lanes, &o);
+}
+
+/// Ternary 64-bit lane op over materialized sources.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tri64(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    sb: Src,
+    sc: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u64, u64, u64) -> u64,
+) {
+    let mut a = [0u64; WARP_LANES];
+    let mut b = [0u64; WARP_LANES];
+    let mut c = [0u64; WARP_LANES];
+    fill64(w, sa, ctx, &mut a);
+    fill64(w, sb, ctx, &mut b);
+    fill64(w, sc, ctx, &mut c);
+    let mut o = [0u64; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l], b[l], c[l]);
+    }
+    store64(w, d, lanes, &o);
+}
+
+/// 32→64-bit conversion lane op.
+#[inline]
+fn cvt32to64(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u32) -> u64,
+) {
+    let mut a = [0u32; WARP_LANES];
+    fill32(w, sa, ctx, &mut a);
+    let mut o = [0u64; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l]);
+    }
+    store64(w, d, lanes, &o);
+}
+
+/// 64→32-bit conversion lane op.
+#[inline]
+fn cvt64to32(
+    w: &mut WarpState,
+    d: Register,
+    lanes: &[usize],
+    sa: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u64) -> u32,
+) {
+    let mut a = [0u64; WARP_LANES];
+    fill64(w, sa, ctx, &mut a);
+    let mut o = [0u32; WARP_LANES];
+    for &l in lanes {
+        o[l] = f(a[l]);
+    }
+    store32(w, d, lanes, &o);
+}
+
+/// Predicate-setting comparison over materialized 32-bit sources.
+#[inline]
+fn setp32(
+    w: &mut WarpState,
+    p: gpa_isa::PredReg,
+    lanes: &[usize],
+    sa: Src,
+    sb: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u32, u32) -> bool,
+) {
+    let mut a = [0u32; WARP_LANES];
+    let mut b = [0u32; WARP_LANES];
+    fill32(w, sa, ctx, &mut a);
+    fill32(w, sb, ctx, &mut b);
+    for &l in lanes {
+        w.write_pred(l, p, f(a[l], b[l]));
+    }
+}
+
+/// Predicate-setting comparison over materialized 64-bit sources.
+#[inline]
+fn setp64(
+    w: &mut WarpState,
+    p: gpa_isa::PredReg,
+    lanes: &[usize],
+    sa: Src,
+    sb: Src,
+    ctx: &ExecCtx,
+    f: impl Fn(u64, u64) -> bool,
+) {
+    let mut a = [0u64; WARP_LANES];
+    let mut b = [0u64; WARP_LANES];
+    fill64(w, sa, ctx, &mut a);
+    fill64(w, sb, ctx, &mut b);
+    for &l in lanes {
+        w.write_pred(l, p, f(a[l], b[l]));
     }
 }
 
@@ -109,27 +445,44 @@ fn dst_is_pair(instr: &Instruction) -> bool {
     matches!(instr.dsts.first(), Some(Operand::RegPair(_)))
 }
 
-fn cmp_i(mods: &[Modifier], a: u32, b: u32) -> bool {
-    let unsigned = mods.contains(&Modifier::U32);
-    let ord = if unsigned { a.cmp(&b) } else { (a as i32).cmp(&(b as i32)) };
-    cmp_from_mods(mods, ord)
+/// A comparison selected once per instruction (the first ordering
+/// modifier wins; no modifier means equality, matching `ISETP` defaults).
+#[derive(Clone, Copy)]
+enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
 }
 
-fn cmp_from_mods(mods: &[Modifier], ord: std::cmp::Ordering) -> bool {
-    use std::cmp::Ordering::*;
+fn cmp_op(mods: &[Modifier]) -> CmpOp {
     for m in mods {
-        let r = match m {
-            Modifier::Lt => ord == Less,
-            Modifier::Le => ord != Greater,
-            Modifier::Gt => ord == Greater,
-            Modifier::Ge => ord != Less,
-            Modifier::Eq => ord == Equal,
-            Modifier::Ne => ord != Equal,
+        return match m {
+            Modifier::Lt => CmpOp::Lt,
+            Modifier::Le => CmpOp::Le,
+            Modifier::Gt => CmpOp::Gt,
+            Modifier::Ge => CmpOp::Ge,
+            Modifier::Eq => CmpOp::Eq,
+            Modifier::Ne => CmpOp::Ne,
             _ => continue,
         };
-        return r;
     }
-    ord == std::cmp::Ordering::Equal
+    CmpOp::Eq
+}
+
+#[inline]
+fn cmp_apply(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+    }
 }
 
 fn load_width(instr: &Instruction) -> u64 {
@@ -213,91 +566,101 @@ pub fn execute(
     }
 
     let mut mem: Option<MemAccess> = None;
-    let lanes: Vec<usize> = (0..WARP_LANES).filter(|l| exec_mask & (1 << l) != 0).collect();
+    // Full warps are the common case: reuse a constant lane list and only
+    // build one for partial masks.
+    let mut lanes_buf = [0usize; WARP_LANES];
+    let lanes: &[usize] = if exec_mask == u32::MAX {
+        &ALL_LANES
+    } else {
+        let mut nlanes = 0;
+        let mut mask = exec_mask;
+        while mask != 0 {
+            lanes_buf[nlanes] = mask.trailing_zeros() as usize;
+            nlanes += 1;
+            mask &= mask - 1;
+        }
+        &lanes_buf[..nlanes]
+    };
 
     use Opcode::*;
     match instr.opcode {
         Mov | Mov32i | I2i => {
             let d = dst_reg(instr, pc)?;
             if dst_is_pair(instr) {
-                for &l in &lanes {
-                    let v = val64(w, l, &instr.srcs[0], ctx)?;
-                    w.write_pair(l, d, v);
-                }
+                let sa = resolve64(w, &instr.srcs[0], ctx)?;
+                un64(w, d, lanes, sa, ctx, |a| a);
             } else {
-                for &l in &lanes {
-                    let v = val32(w, l, &instr.srcs[0], ctx)?;
-                    w.write_reg(l, d, v);
-                }
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                un32(w, d, lanes, sa, ctx, |a| a);
             }
         }
         Iadd => {
             let d = dst_reg(instr, pc)?;
             if dst_is_pair(instr) {
-                for &l in &lanes {
-                    let a = val64(w, l, &instr.srcs[0], ctx)?;
-                    let b = val64(w, l, &instr.srcs[1], ctx)?;
-                    w.write_pair(l, d, a.wrapping_add(b));
-                }
+                let sa = resolve64(w, &instr.srcs[0], ctx)?;
+                let sb = resolve64(w, &instr.srcs[1], ctx)?;
+                bin64(w, d, lanes, sa, sb, ctx, |a, b| a.wrapping_add(b));
             } else {
-                for &l in &lanes {
-                    let a = val32(w, l, &instr.srcs[0], ctx)?;
-                    let b = val32(w, l, &instr.srcs[1], ctx)?;
-                    w.write_reg(l, d, a.wrapping_add(b));
-                }
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                let sb = resolve32(w, &instr.srcs[1], ctx)?;
+                bin32(w, d, lanes, sa, sb, ctx, |a, b| a.wrapping_add(b));
             }
         }
         Iadd3 => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let b = val32(w, l, &instr.srcs[1], ctx)?;
-                let c = val32(w, l, &instr.srcs[2], ctx)?;
-                w.write_reg(l, d, a.wrapping_add(b).wrapping_add(c));
-            }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            let sc = resolve32(w, &instr.srcs[2], ctx)?;
+            tri32(w, d, lanes, sa, sb, sc, ctx, |a, b, c| a.wrapping_add(b).wrapping_add(c));
         }
         Imad => {
             let d = dst_reg(instr, pc)?;
             let signed = instr.mods.contains(&Modifier::S32);
             if instr.mods.contains(&Modifier::Wide) {
-                for &l in &lanes {
-                    let a = val32(w, l, &instr.srcs[0], ctx)?;
-                    let b = val32(w, l, &instr.srcs[1], ctx)?;
-                    let c = val64(w, l, &instr.srcs[2], ctx)?;
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                let sb = resolve32(w, &instr.srcs[1], ctx)?;
+                let sc = resolve64(w, &instr.srcs[2], ctx)?;
+                let mut a = [0u32; WARP_LANES];
+                let mut b = [0u32; WARP_LANES];
+                let mut c = [0u64; WARP_LANES];
+                fill32(w, sa, ctx, &mut a);
+                fill32(w, sb, ctx, &mut b);
+                fill64(w, sc, ctx, &mut c);
+                let mut o = [0u64; WARP_LANES];
+                for &l in lanes {
                     let prod = if signed {
-                        (a as i32 as i64).wrapping_mul(b as i32 as i64) as u64
+                        (a[l] as i32 as i64).wrapping_mul(b[l] as i32 as i64) as u64
                     } else {
-                        (a as u64).wrapping_mul(b as u64)
+                        (a[l] as u64).wrapping_mul(b[l] as u64)
                     };
-                    w.write_pair(l, d, prod.wrapping_add(c));
+                    o[l] = prod.wrapping_add(c[l]);
                 }
+                store64(w, d, lanes, &o);
             } else {
-                for &l in &lanes {
-                    let a = val32(w, l, &instr.srcs[0], ctx)?;
-                    let b = val32(w, l, &instr.srcs[1], ctx)?;
-                    let c = val32(w, l, &instr.srcs[2], ctx)?;
-                    w.write_reg(l, d, a.wrapping_mul(b).wrapping_add(c));
-                }
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                let sb = resolve32(w, &instr.srcs[1], ctx)?;
+                let sc = resolve32(w, &instr.srcs[2], ctx)?;
+                tri32(w, d, lanes, sa, sb, sc, ctx, |a, b, c| a.wrapping_mul(b).wrapping_add(c));
             }
         }
         Imul => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let b = val32(w, l, &instr.srcs[1], ctx)?;
-                w.write_reg(l, d, a.wrapping_mul(b));
-            }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            bin32(w, d, lanes, sa, sb, ctx, |a, b| a.wrapping_mul(b));
         }
         Isetp => {
             let p = instr.dsts[0]
                 .pred()
                 .ok_or_else(|| fault(pc, "ISETP needs a predicate destination"))?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let b = val32(w, l, &instr.srcs[1], ctx)?;
-                let r = cmp_i(&instr.mods, a, b);
-                w.write_pred(l, p, r);
-            }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            let op = cmp_op(&instr.mods);
+            let unsigned = instr.mods.contains(&Modifier::U32);
+            setp32(w, p, lanes, sa, sb, ctx, |a, b| {
+                let ord = if unsigned { a.cmp(&b) } else { (a as i32).cmp(&(b as i32)) };
+                cmp_apply(op, ord)
+            });
         }
         Lea => {
             let d = dst_reg(instr, pc)?;
@@ -310,106 +673,116 @@ pub fn execute(
                 0
             };
             if dst_is_pair(instr) {
-                for &l in &lanes {
-                    let a = val32(w, l, &instr.srcs[0], ctx)? as u64;
-                    let b = val64(w, l, &instr.srcs[1], ctx)?;
-                    w.write_pair(l, d, b.wrapping_add(a << shift));
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                let sb = resolve64(w, &instr.srcs[1], ctx)?;
+                let mut a = [0u32; WARP_LANES];
+                let mut b = [0u64; WARP_LANES];
+                fill32(w, sa, ctx, &mut a);
+                fill64(w, sb, ctx, &mut b);
+                let mut o = [0u64; WARP_LANES];
+                for &l in lanes {
+                    o[l] = b[l].wrapping_add((a[l] as u64) << shift);
                 }
+                store64(w, d, lanes, &o);
             } else {
-                for &l in &lanes {
-                    let a = val32(w, l, &instr.srcs[0], ctx)?;
-                    let b = val32(w, l, &instr.srcs[1], ctx)?;
-                    w.write_reg(l, d, b.wrapping_add(a << shift));
-                }
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                let sb = resolve32(w, &instr.srcs[1], ctx)?;
+                bin32(w, d, lanes, sa, sb, ctx, |a, b| b.wrapping_add(a << shift));
             }
         }
         Lop3 => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let b = val32(w, l, &instr.srcs[1], ctx)?;
-                let v = if instr.mods.contains(&Modifier::Or) {
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            let or = instr.mods.contains(&Modifier::Or);
+            let xor = instr.mods.contains(&Modifier::Xor);
+            bin32(w, d, lanes, sa, sb, ctx, |a, b| {
+                if or {
                     a | b
-                } else if instr.mods.contains(&Modifier::Xor) {
+                } else if xor {
                     a ^ b
                 } else {
                     a & b
-                };
-                w.write_reg(l, d, v);
-            }
+                }
+            });
         }
         Shl | Shr | Shf => {
             let d = dst_reg(instr, pc)?;
             let right =
                 instr.opcode == Shr || (instr.opcode == Shf && instr.mods.contains(&Modifier::R));
             let arith = instr.mods.contains(&Modifier::S32);
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let s = val32(w, l, &instr.srcs[1], ctx)? & 31;
-                let v = if !right {
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            bin32(w, d, lanes, sa, sb, ctx, |a, s| {
+                let s = s & 31;
+                if !right {
                     a << s
                 } else if arith {
                     ((a as i32) >> s) as u32
                 } else {
                     a >> s
-                };
-                w.write_reg(l, d, v);
-            }
+                }
+            });
         }
         Imnmx => {
             let d = dst_reg(instr, pc)?;
             let take_max = instr.mods.contains(&Modifier::Gt);
             let unsigned = instr.mods.contains(&Modifier::U32);
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let b = val32(w, l, &instr.srcs[1], ctx)?;
-                let v = match (unsigned, take_max) {
-                    (true, true) => a.max(b),
-                    (true, false) => a.min(b),
-                    (false, true) => (a as i32).max(b as i32) as u32,
-                    (false, false) => (a as i32).min(b as i32) as u32,
-                };
-                w.write_reg(l, d, v);
-            }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            bin32(w, d, lanes, sa, sb, ctx, |a, b| match (unsigned, take_max) {
+                (true, true) => a.max(b),
+                (true, false) => a.min(b),
+                (false, true) => (a as i32).max(b as i32) as u32,
+                (false, false) => (a as i32).min(b as i32) as u32,
+            });
         }
         Iabs => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                w.write_reg(l, d, (a as i32).unsigned_abs());
-            }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            un32(w, d, lanes, sa, ctx, |a| (a as i32).unsigned_abs());
         }
         Popc => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                w.write_reg(l, d, a.count_ones());
-            }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            un32(w, d, lanes, sa, ctx, |a| a.count_ones());
         }
         Sel => {
             let d = dst_reg(instr, pc)?;
             let p =
                 instr.srcs[2].pred().ok_or_else(|| fault(pc, "SEL needs a predicate source"))?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let b = val32(w, l, &instr.srcs[1], ctx)?;
-                w.write_reg(l, d, if w.read_pred(l, p) { a } else { b });
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            let mut a = [0u32; WARP_LANES];
+            let mut b = [0u32; WARP_LANES];
+            fill32(w, sa, ctx, &mut a);
+            fill32(w, sb, ctx, &mut b);
+            let mut o = [0u32; WARP_LANES];
+            for &l in lanes {
+                o[l] = if w.read_pred(l, p) { a[l] } else { b[l] };
             }
+            store32(w, d, lanes, &o);
         }
         Fadd | Fmul | Ffma | Fmnmx => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = f32v(val32(w, l, &instr.srcs[0], ctx)?);
-                let b = f32v(val32(w, l, &instr.srcs[1], ctx)?);
+
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            let sc =
+                if instr.opcode == Ffma { Some(resolve32(w, &instr.srcs[2], ctx)?) } else { None };
+            let take_max = instr.opcode == Fmnmx && instr.mods.contains(&Modifier::Gt);
+            for &l in lanes {
+                let a = f32v(get32(w, l, sa, ctx));
+                let b = f32v(get32(w, l, sb, ctx));
                 let v = match instr.opcode {
                     Fadd => a + b,
                     Fmul => a * b,
                     Ffma => {
-                        let c = f32v(val32(w, l, &instr.srcs[2], ctx)?);
+                        let c = f32v(get32(w, l, sc.expect("resolved above"), ctx));
                         a.mul_add(b, c)
                     }
                     _ => {
-                        if instr.mods.contains(&Modifier::Gt) {
+                        if take_max {
                             a.max(b)
                         } else {
                             a.min(b)
@@ -423,102 +796,111 @@ pub fn execute(
             let p = instr.dsts[0]
                 .pred()
                 .ok_or_else(|| fault(pc, "FSETP needs a predicate destination"))?;
-            for &l in &lanes {
-                let a = f32v(val32(w, l, &instr.srcs[0], ctx)?);
-                let b = f32v(val32(w, l, &instr.srcs[1], ctx)?);
-                let ord = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Greater);
-                w.write_pred(l, p, cmp_from_mods(&instr.mods, ord));
-            }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            let op = cmp_op(&instr.mods);
+            setp32(w, p, lanes, sa, sb, ctx, |a, b| {
+                let ord = f32v(a).partial_cmp(&f32v(b)).unwrap_or(std::cmp::Ordering::Greater);
+                cmp_apply(op, ord)
+            });
         }
         Mufu => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = f32v(val32(w, l, &instr.srcs[0], ctx)?);
-                let v = if instr.mods.contains(&Modifier::Rcp) {
-                    1.0 / a
-                } else if instr.mods.contains(&Modifier::Rsq) {
-                    1.0 / a.sqrt()
-                } else if instr.mods.contains(&Modifier::Sqrt) {
-                    a.sqrt()
-                } else if instr.mods.contains(&Modifier::Sin) {
-                    a.sin()
-                } else if instr.mods.contains(&Modifier::Cos) {
-                    a.cos()
-                } else if instr.mods.contains(&Modifier::Ex2) {
-                    a.exp2()
-                } else if instr.mods.contains(&Modifier::Lg2) {
-                    a.log2()
-                } else {
-                    return Err(fault(pc, "MUFU needs a function modifier"));
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let func = instr
+                .mods
+                .iter()
+                .find(|m| {
+                    matches!(
+                        m,
+                        Modifier::Rcp
+                            | Modifier::Rsq
+                            | Modifier::Sqrt
+                            | Modifier::Sin
+                            | Modifier::Cos
+                            | Modifier::Ex2
+                            | Modifier::Lg2
+                    )
+                })
+                .ok_or_else(|| fault(pc, "MUFU needs a function modifier"))?;
+            un32(w, d, lanes, sa, ctx, |a| {
+                let a = f32v(a);
+                let v = match func {
+                    Modifier::Rcp => 1.0 / a,
+                    Modifier::Rsq => 1.0 / a.sqrt(),
+                    Modifier::Sqrt => a.sqrt(),
+                    Modifier::Sin => a.sin(),
+                    Modifier::Cos => a.cos(),
+                    Modifier::Ex2 => a.exp2(),
+                    _ => a.log2(),
                 };
-                w.write_reg(l, d, v.to_bits());
-            }
+                v.to_bits()
+            });
         }
         Dadd | Dmul | Dfma => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = f64::from_bits(val64(w, l, &instr.srcs[0], ctx)?);
-                let b = f64::from_bits(val64(w, l, &instr.srcs[1], ctx)?);
-                let v = match instr.opcode {
-                    Dadd => a + b,
-                    Dmul => a * b,
-                    _ => {
-                        let c = f64::from_bits(val64(w, l, &instr.srcs[2], ctx)?);
-                        a.mul_add(b, c)
-                    }
-                };
-                w.write_pair(l, d, v.to_bits());
+            let sa = resolve64(w, &instr.srcs[0], ctx)?;
+            let sb = resolve64(w, &instr.srcs[1], ctx)?;
+            match instr.opcode {
+                Dadd => bin64(w, d, lanes, sa, sb, ctx, |a, b| {
+                    (f64::from_bits(a) + f64::from_bits(b)).to_bits()
+                }),
+                Dmul => bin64(w, d, lanes, sa, sb, ctx, |a, b| {
+                    (f64::from_bits(a) * f64::from_bits(b)).to_bits()
+                }),
+                _ => {
+                    let sc = resolve64(w, &instr.srcs[2], ctx)?;
+                    tri64(w, d, lanes, sa, sb, sc, ctx, |a, b, c| {
+                        f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c)).to_bits()
+                    });
+                }
             }
         }
         Dsetp => {
             let p = instr.dsts[0]
                 .pred()
                 .ok_or_else(|| fault(pc, "DSETP needs a predicate destination"))?;
-            for &l in &lanes {
-                let a = f64::from_bits(val64(w, l, &instr.srcs[0], ctx)?);
-                let b = f64::from_bits(val64(w, l, &instr.srcs[1], ctx)?);
-                let ord = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Greater);
-                w.write_pred(l, p, cmp_from_mods(&instr.mods, ord));
-            }
+            let sa = resolve64(w, &instr.srcs[0], ctx)?;
+            let sb = resolve64(w, &instr.srcs[1], ctx)?;
+            let op = cmp_op(&instr.mods);
+            setp64(w, p, lanes, sa, sb, ctx, |a, b| {
+                let ord = f64::from_bits(a)
+                    .partial_cmp(&f64::from_bits(b))
+                    .unwrap_or(std::cmp::Ordering::Greater);
+                cmp_apply(op, ord)
+            });
         }
         F2f => {
             let d = dst_reg(instr, pc)?;
             // Modifier order is [dst, src].
             let to64 = instr.mods.first() == Some(&Modifier::F64);
             if to64 {
-                for &l in &lanes {
-                    let a = f32v(val32(w, l, &instr.srcs[0], ctx)?);
-                    w.write_pair(l, d, (a as f64).to_bits());
-                }
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                cvt32to64(w, d, lanes, sa, ctx, |a| (f32v(a) as f64).to_bits());
             } else {
-                for &l in &lanes {
-                    let a = f64::from_bits(val64(w, l, &instr.srcs[0], ctx)?);
-                    w.write_reg(l, d, (a as f32).to_bits());
-                }
+                let sa = resolve64(w, &instr.srcs[0], ctx)?;
+                cvt64to32(w, d, lanes, sa, ctx, |a| (f64::from_bits(a) as f32).to_bits());
             }
         }
         F2i => {
             let d = dst_reg(instr, pc)?;
             let from64 = instr.mods.contains(&Modifier::F64);
-            for &l in &lanes {
-                let v = if from64 {
-                    f64::from_bits(val64(w, l, &instr.srcs[0], ctx)?) as i32
-                } else {
-                    f32v(val32(w, l, &instr.srcs[0], ctx)?) as i32
-                };
-                w.write_reg(l, d, v as u32);
+            if from64 {
+                let sa = resolve64(w, &instr.srcs[0], ctx)?;
+                cvt64to32(w, d, lanes, sa, ctx, |a| f64::from_bits(a) as i32 as u32);
+            } else {
+                let sa = resolve32(w, &instr.srcs[0], ctx)?;
+                un32(w, d, lanes, sa, ctx, |a| f32v(a) as i32 as u32);
             }
         }
         I2f => {
             let d = dst_reg(instr, pc)?;
             let to64 = instr.mods.contains(&Modifier::F64);
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)? as i32;
-                if to64 {
-                    w.write_pair(l, d, (a as f64).to_bits());
-                } else {
-                    w.write_reg(l, d, (a as f32).to_bits());
-                }
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            if to64 {
+                cvt32to64(w, d, lanes, sa, ctx, |a| (a as i32 as f64).to_bits());
+            } else {
+                un32(w, d, lanes, sa, ctx, |a| (a as i32 as f32).to_bits());
             }
         }
         S2r | Cs2r => {
@@ -527,7 +909,7 @@ pub fn execute(
                 Operand::SReg(s) => s,
                 _ => return Err(fault(pc, "S2R needs a special-register source")),
             };
-            for &l in &lanes {
+            for &l in lanes {
                 let v = w.special(l, s, ctx.block_id, ctx.grid_blocks, ctx.block_threads);
                 w.write_reg(l, d, v);
             }
@@ -541,8 +923,9 @@ pub fn execute(
             // Snapshot before writing (source and destination may alias).
             let snapshot =
                 if src_r.is_zero() { [0u32; WARP_LANES] } else { w.regs[src_r.index() as usize] };
-            for &l in &lanes {
-                let idx = (val32(w, l, &instr.srcs[1], ctx)? as usize) % WARP_LANES;
+            let si = resolve32(w, &instr.srcs[1], ctx)?;
+            for &l in lanes {
+                let idx = (get32(w, l, si, ctx) as usize) % WARP_LANES;
                 w.write_reg(l, d, snapshot[idx]);
             }
         }
@@ -553,16 +936,16 @@ pub fn execute(
             let all_mode = instr.mods.contains(&Modifier::All);
             let votes: Vec<bool> = lanes.iter().map(|&l| w.read_pred(l, p)).collect();
             let agg = if all_mode { votes.iter().all(|&v| v) } else { votes.iter().any(|&v| v) };
-            for &l in &lanes {
+            for &l in lanes {
                 w.write_reg(l, d, agg as u32);
             }
         }
         Prmt => {
             let d = dst_reg(instr, pc)?;
-            for &l in &lanes {
-                let a = val32(w, l, &instr.srcs[0], ctx)?;
-                let b = val32(w, l, &instr.srcs[1], ctx)?;
-                let sel = val32(w, l, &instr.srcs[2], ctx)?;
+            let sa = resolve32(w, &instr.srcs[0], ctx)?;
+            let sb = resolve32(w, &instr.srcs[1], ctx)?;
+            let ss = resolve32(w, &instr.srcs[2], ctx)?;
+            tri32(w, d, lanes, sa, sb, ss, ctx, |a, b, sel| {
                 let pool = ((b as u64) << 32) | a as u64;
                 let mut v = 0u32;
                 for i in 0..4 {
@@ -570,11 +953,11 @@ pub fn execute(
                     let byte = (pool >> (8 * s)) & 0xFF;
                     v |= (byte as u32) << (8 * i);
                 }
-                w.write_reg(l, d, v);
-            }
+                v
+            });
         }
         Ldg | Stg | Lds | Sts | Ldl | Stl | Ldc | AtomG | AtomS => {
-            mem = Some(memory_op(w, instr, &lanes, ctx)?);
+            mem = Some(memory_op(w, instr, lanes, ctx)?);
         }
         Bra | Exit | Cal | Ret | Bar | Nop | Membar | Bssy | Bsync => unreachable!(),
     }
@@ -606,7 +989,26 @@ fn memory_op(
     });
 
     match instr.opcode {
-        Ldg | Ldl => {
+        Ldg => {
+            let m = mem_op.ok_or_else(|| fault(pc, "load needs a memory operand"))?;
+            let d = dst_reg(instr, pc)?;
+            // Page-memoized reads: lanes usually share one or two pages.
+            let mut rd = ctx.global.reader();
+            for &l in lanes {
+                let base =
+                    if m.wide { w.read_pair(l, m.base) } else { w.read_reg(l, m.base) as u64 };
+                let addr = base.wrapping_add(m.offset as i64 as u64);
+                addrs.push(addr);
+                if width == 8 {
+                    let v = rd.read_u64(addr);
+                    w.write_pair(l, d, v);
+                } else {
+                    let v = rd.read_u32(addr);
+                    w.write_reg(l, d, v);
+                }
+            }
+        }
+        Ldl => {
             let m = mem_op.ok_or_else(|| fault(pc, "load needs a memory operand"))?;
             let d = dst_reg(instr, pc)?;
             for &l in lanes {
@@ -614,21 +1016,11 @@ fn memory_op(
                     if m.wide { w.read_pair(l, m.base) } else { w.read_reg(l, m.base) as u64 };
                 let addr = base.wrapping_add(m.offset as i64 as u64);
                 addrs.push(addr);
-                if instr.opcode == Ldg {
-                    if width == 8 {
-                        let v = ctx.global.read_u64(addr);
-                        w.write_pair(l, d, v);
-                    } else {
-                        let v = ctx.global.read_u32(addr);
-                        w.write_reg(l, d, v);
-                    }
+                let v = read_local(w, l, addr, width, pc)?;
+                if width == 8 {
+                    w.write_pair(l, d, v);
                 } else {
-                    let v = read_local(w, l, addr, width, pc)?;
-                    if width == 8 {
-                        w.write_pair(l, d, v);
-                    } else {
-                        w.write_reg(l, d, v as u32);
-                    }
+                    w.write_reg(l, d, v as u32);
                 }
             }
         }
@@ -639,23 +1031,43 @@ fn memory_op(
                 .iter()
                 .find(|o| !matches!(o, Operand::Mem(_)))
                 .ok_or_else(|| fault(pc, "store needs a data operand"))?;
-            for &l in lanes {
-                let base =
-                    if m.wide { w.read_pair(l, m.base) } else { w.read_reg(l, m.base) as u64 };
-                let addr = base.wrapping_add(m.offset as i64 as u64);
-                addrs.push(addr);
-                let v: u64 = if width == 8 {
-                    val64(w, l, data, ctx)?
-                } else {
-                    val32(w, l, data, ctx)? as u64
-                };
-                if instr.opcode == Stg {
+            let sdata =
+                if width == 8 { resolve64(w, data, ctx)? } else { resolve32(w, data, ctx)? };
+            if instr.opcode == Stg {
+                // Collect the warp's stores and commit them page-run at a
+                // time (stores never feed back into this instruction's
+                // register reads, so deferring them is exact).
+                let mut b32 = [(0u64, 0u32); WARP_LANES];
+                let mut b64 = [(0u64, 0u64); WARP_LANES];
+                let mut n = 0;
+                for &l in lanes {
+                    let base =
+                        if m.wide { w.read_pair(l, m.base) } else { w.read_reg(l, m.base) as u64 };
+                    let addr = base.wrapping_add(m.offset as i64 as u64);
+                    addrs.push(addr);
                     if width == 8 {
-                        ctx.global.write_u64(addr, v);
+                        b64[n] = (addr, get64(w, l, sdata, ctx));
                     } else {
-                        ctx.global.write_u32(addr, v as u32);
+                        b32[n] = (addr, get32(w, l, sdata, ctx));
                     }
+                    n += 1;
+                }
+                if width == 8 {
+                    ctx.global.write_batch_u64(&b64[..n]);
                 } else {
+                    ctx.global.write_batch_u32(&b32[..n]);
+                }
+            } else {
+                for &l in lanes {
+                    let base =
+                        if m.wide { w.read_pair(l, m.base) } else { w.read_reg(l, m.base) as u64 };
+                    let addr = base.wrapping_add(m.offset as i64 as u64);
+                    addrs.push(addr);
+                    let v: u64 = if width == 8 {
+                        get64(w, l, sdata, ctx)
+                    } else {
+                        get32(w, l, sdata, ctx) as u64
+                    };
                     write_local(w, l, addr, v, width, pc)?;
                 }
             }
@@ -681,13 +1093,15 @@ fn memory_op(
                 .iter()
                 .find(|o| !matches!(o, Operand::Mem(_)))
                 .ok_or_else(|| fault(pc, "STS needs a data operand"))?;
+            let sdata =
+                if width == 8 { resolve64(w, data, ctx)? } else { resolve32(w, data, ctx)? };
             for &l in lanes {
                 let addr = (w.read_reg(l, m.base) as u64).wrapping_add(m.offset as i64 as u64);
                 addrs.push(addr);
                 let v: u64 = if width == 8 {
-                    val64(w, l, data, ctx)?
+                    get64(w, l, sdata, ctx)
                 } else {
-                    val32(w, l, data, ctx)? as u64
+                    get32(w, l, sdata, ctx) as u64
                 };
                 write_smem(ctx.smem, addr, v, width, pc)?;
             }
@@ -726,13 +1140,14 @@ fn memory_op(
                 .iter()
                 .find(|o| !matches!(o, Operand::Mem(_)))
                 .ok_or_else(|| fault(pc, "ATOMG needs a data operand"))?;
+            let sdata = resolve32(w, data, ctx)?;
             for &l in lanes {
                 let base =
                     if m.wide { w.read_pair(l, m.base) } else { w.read_reg(l, m.base) as u64 };
                 let addr = base.wrapping_add(m.offset as i64 as u64);
                 addrs.push(addr);
                 let old = ctx.global.read_u32(addr);
-                let v = val32(w, l, data, ctx)?;
+                let v = get32(w, l, sdata, ctx);
                 ctx.global.write_u32(addr, old.wrapping_add(v));
                 w.write_reg(l, d, old);
             }
@@ -745,11 +1160,12 @@ fn memory_op(
                 .iter()
                 .find(|o| !matches!(o, Operand::Mem(_)))
                 .ok_or_else(|| fault(pc, "ATOMS needs a data operand"))?;
+            let sdata = resolve32(w, data, ctx)?;
             for &l in lanes {
                 let addr = (w.read_reg(l, m.base) as u64).wrapping_add(m.offset as i64 as u64);
                 addrs.push(addr);
                 let old = read_smem(ctx.smem, addr, 4, pc)? as u32;
-                let v = val32(w, l, data, ctx)?;
+                let v = get32(w, l, sdata, ctx);
                 write_smem(ctx.smem, addr, old.wrapping_add(v) as u64, 4, pc)?;
                 w.write_reg(l, d, old);
             }
@@ -836,7 +1252,7 @@ mod tests {
     }
 
     fn setup() -> (WarpState, GlobalMem, Vec<u8>, ConstMem) {
-        (WarpState::new(0, 0, 0, 0, 32), GlobalMem::new(), Vec::new(), ConstMem::new())
+        (WarpState::new(0, 0, 0, 0, 32, 256), GlobalMem::new(), Vec::new(), ConstMem::new())
     }
 
     fn ctx<'a>(g: &'a mut GlobalMem, s: &'a mut Vec<u8>, c: &'a ConstMem) -> ExecCtx<'a> {

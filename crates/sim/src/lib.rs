@@ -29,6 +29,15 @@
 //! an *active* or *latency* [`RawSample`] carrying the sampled warp's stall
 //! reason.
 //!
+//! The scheduler core is **event-driven**: on cycles where no warp can
+//! issue anywhere, the clock jumps straight to the next warp-ready time or
+//! sampling tick instead of spinning (see `docs/simulator.md`). The dense
+//! per-cycle loop survives behind [`SimConfig::dense_reference`] and the
+//! differential tests assert both cores produce byte-identical
+//! [`LaunchResult`]s. Lowering a module for simulation is separable and
+//! cacheable: [`CompiledProgram`] is built once per (module, entry) and
+//! reused across launches via [`GpuSim::launch_compiled`].
+//!
 //! # Example
 //!
 //! ```
@@ -59,7 +68,7 @@ pub mod reconv;
 pub mod stall;
 pub mod warp;
 
-pub use machine::{GpuSim, LaunchResult, RawSample, SimConfig, SmStats};
+pub use machine::{CompiledProgram, GpuSim, LaunchResult, RawSample, SimConfig, SmStats};
 pub use mem::GlobalMem;
 pub use stall::StallReason;
 

@@ -1,4 +1,15 @@
 //! The device: SMs, warp schedulers, and the main timing loop.
+//!
+//! The timing core is **event-driven**: instead of re-evaluating every
+//! warp on every cycle, the scheduler computes, per warp, the earliest
+//! cycle it could possibly issue ([`ready_at`]) and jumps the clock
+//! straight to the next interesting cycle — the minimum over all warps'
+//! ready times and the next PC-sampling tick. Nothing can change while no
+//! warp issues (all scoreboard/barrier/pipe clear times are frozen), so
+//! samples taken at skipped-period boundaries and the final
+//! [`LaunchResult`] are byte-identical to the dense per-cycle reference
+//! loop, which remains available behind [`SimConfig::dense_reference`]
+//! for differential testing.
 
 use crate::exec::{execute, ExecCtx, Outcome};
 use crate::mem::{ConstMem, DirectCache, GlobalMem};
@@ -8,7 +19,8 @@ use crate::warp::WarpState;
 use crate::{Result, SimError};
 use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig, Occupancy};
 use gpa_isa::{Instruction, MemSpace, Module, Opcode, Pipe, Slot, Visibility, INSTR_BYTES};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Tunable simulator knobs (separate from the machine description).
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +41,10 @@ pub struct SimConfig {
     pub shfl_latency: u32,
     /// Extra latency per atomic operation.
     pub atom_extra: u32,
+    /// Run the dense per-cycle reference scheduler instead of the
+    /// event-driven core. Slower but structurally closer to hardware;
+    /// results are identical (the differential tests assert this).
+    pub dense_reference: bool,
 }
 
 impl Default for SimConfig {
@@ -42,6 +58,7 @@ impl Default for SimConfig {
             s2r_latency: 20,
             shfl_latency: 25,
             atom_extra: 12,
+            dense_reference: false,
         }
     }
 }
@@ -74,7 +91,7 @@ pub struct SmStats {
 }
 
 /// Everything a launch produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaunchResult {
     /// Total kernel cycles (launch to last block completion).
     pub cycles: u64,
@@ -82,8 +99,9 @@ pub struct LaunchResult {
     pub issued: u64,
     /// PC samples (empty when sampling is disabled).
     pub samples: Vec<RawSample>,
-    /// Exact per-PC issue counts (ground truth for validation).
-    pub issue_counts: HashMap<u64, u64>,
+    /// Exact per-PC issue counts (ground truth for validation), ordered
+    /// by PC so iteration is deterministic.
+    pub issue_counts: BTreeMap<u64, u64>,
     /// Global-memory transactions (32-byte sectors).
     pub mem_transactions: u64,
     /// L2 hits.
@@ -111,19 +129,53 @@ struct InstrMeta {
     pipe: Pipe,
     throttled_mem: bool,
     reconv: Option<u64>,
+    /// Program index of the fall-through instruction (`NO_IDX` when the
+    /// instruction is the last of its function).
+    next_idx: u32,
+    /// Program index of the static branch/call target (`NO_IDX` for
+    /// non-control instructions or targets outside the program).
+    target_idx: u32,
 }
 
+/// Sentinel for "no instruction index" in the control-flow index tables.
+const NO_IDX: u32 = u32::MAX;
+
 /// A module lowered to flat arrays for simulation.
-struct Program {
+///
+/// Building one clones every instruction and runs reconvergence analysis
+/// (CFG + postdominators per function) — expensive enough that repeat
+/// launches should reuse a compiled program instead of re-lowering:
+/// compile once with [`GpuSim::compile`] (or let a pipeline `Session`
+/// cache it per module artifact) and launch with
+/// [`GpuSim::launch_compiled`].
+pub struct CompiledProgram {
+    entry: String,
+    module_name: String,
+    isa_arch: String,
+    arch_name: String,
     instrs: Vec<Instruction>,
     meta: Vec<InstrMeta>,
     pcs: Vec<u64>,
-    pc2idx: HashMap<u64, u32>,
+    /// Per-function contiguous PC ranges `(base, end, first_idx)`, sorted
+    /// by base — the hot pc→index lookup for dynamic control flow (the
+    /// exact pc→index map lives only at build time, for entry lookup and
+    /// static target resolution).
+    ranges: Vec<(u64, u64, u32)>,
     entry_pc: u64,
+    entry_idx: u32,
+    /// Registers the program can touch (max operand register + 1), so
+    /// warps allocate register files sized to the kernel instead of the
+    /// full 256-row architectural file.
+    nregs: usize,
 }
 
-impl Program {
-    fn build(module: &Module, entry: &str, arch: &ArchConfig) -> Result<Self> {
+impl CompiledProgram {
+    /// Lowers `entry` of `module` for simulation on `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unlinked modules and unknown kernels.
+    pub fn build(module: &Module, entry: &str, arch: &ArchConfig) -> Result<Self> {
         if !module.is_linked() {
             return Err(SimError::UnlinkedModule);
         }
@@ -135,10 +187,15 @@ impl Program {
         let lat = LatencyTable::for_arch(arch);
         let reconv_map = build_reconvergence(module);
         let mut instrs = Vec::new();
-        let mut meta = Vec::new();
+        let mut meta: Vec<InstrMeta> = Vec::new();
         let mut pcs = Vec::new();
+        let mut ranges = Vec::new();
         let mut pc2idx = HashMap::new();
+        let mut nregs: usize = 8;
         for f in &module.functions {
+            if !f.is_empty() {
+                ranges.push((f.base, f.end(), instrs.len() as u32));
+            }
             for (i, instr) in f.instrs.iter().enumerate() {
                 let pc = f.pc_of(i);
                 pc2idx.insert(pc, instrs.len() as u32);
@@ -161,6 +218,13 @@ impl Program {
                         Slot::Bar(_) => {}
                     }
                 }
+                for op in instr.srcs.iter().chain(instr.dsts.iter()) {
+                    for r in op.src_regs().into_iter().chain(op.dst_regs()) {
+                        if !r.is_zero() {
+                            nregs = nregs.max(r.index() as usize + 1);
+                        }
+                    }
+                }
                 let space = instr.opcode.mem_space();
                 meta.push(InstrMeta {
                     use_regs,
@@ -172,11 +236,65 @@ impl Program {
                     pipe: instr.opcode.pipe(),
                     throttled_mem: matches!(space, Some(MemSpace::Global) | Some(MemSpace::Local)),
                     reconv: reconv_map.get(&pc).copied(),
+                    next_idx: if i + 1 < f.instrs.len() { instrs.len() as u32 + 1 } else { NO_IDX },
+                    target_idx: NO_IDX,
                 });
                 instrs.push(instr.clone());
             }
         }
-        Ok(Program { instrs, meta, pcs, pc2idx, entry_pc })
+        // Second pass: resolve static branch/call targets now that the
+        // whole index space exists (calls may target later functions).
+        for (m, instr) in meta.iter_mut().zip(&instrs) {
+            if matches!(instr.opcode, Opcode::Bra | Opcode::Cal) {
+                if let Some(t) = instr.branch_target() {
+                    m.target_idx = pc2idx.get(&t).copied().unwrap_or(NO_IDX);
+                }
+            }
+        }
+        let entry_idx = pc2idx[&entry_pc];
+        Ok(CompiledProgram {
+            entry: entry.to_string(),
+            module_name: module.name.clone(),
+            isa_arch: module.arch.clone(),
+            arch_name: arch.name.clone(),
+            instrs,
+            meta,
+            pcs,
+            ranges,
+            entry_pc,
+            entry_idx,
+            nregs,
+        })
+    }
+
+    /// The entry (kernel) function name.
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// The source module's name.
+    pub fn module_name(&self) -> &str {
+        &self.module_name
+    }
+
+    /// The source module's ISA architecture tag.
+    pub fn isa_arch(&self) -> &str {
+        &self.isa_arch
+    }
+
+    /// Instruction index for an absolute PC via the per-function range
+    /// table (dynamic control flow: returns, reconvergence).
+    fn idx_of_pc(&self, pc: u64) -> Option<u32> {
+        let i = self.ranges.partition_point(|&(base, _, _)| base <= pc);
+        let &(base, end, first_idx) = self.ranges.get(i.checked_sub(1)?)?;
+        if pc >= end {
+            return None;
+        }
+        let off = pc - base;
+        if !off.is_multiple_of(INSTR_BYTES) {
+            return None;
+        }
+        Some(first_idx + (off / INSTR_BYTES) as u32)
     }
 }
 
@@ -210,6 +328,15 @@ struct Sm {
     icache: DirectCache,
     inflight: Vec<(u64, u32)>,
     inflight_count: u32,
+    /// Earliest completion among `inflight` (`u64::MAX` when empty) — the
+    /// retire sweep runs only when something can actually retire.
+    next_retire: u64,
+    /// Per-scheduler lower bound on the next cycle it could issue: the
+    /// event-driven core skips a scheduler's warp scan entirely while its
+    /// bound lies in the future, and the main loop jumps the clock to the
+    /// minimum bound. Invalidated (lowered) whenever another warp's issue
+    /// can wake this scheduler's warps: barrier release and block starts.
+    sched_next_ready: Vec<u64>,
     ifetch_fill_free: u64,
     pipe_free: Vec<u64>,
     rr_issue: Vec<usize>,
@@ -271,6 +398,19 @@ impl GpuSim {
         self.user_banks.push((bank, data));
     }
 
+    /// Lowers `entry` from `module` once for this device's architecture.
+    /// The result is shareable ([`Arc`]) and reusable across launches and
+    /// across devices configured with the same architecture — callers
+    /// that launch the same kernel repeatedly should compile once and use
+    /// [`GpuSim::launch_compiled`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown kernels or unlinked modules.
+    pub fn compile(&self, module: &Module, entry: &str) -> Result<Arc<CompiledProgram>> {
+        CompiledProgram::build(module, entry, &self.arch).map(Arc::new)
+    }
+
     /// Launches `entry` from `module` and runs it to completion.
     ///
     /// `params` fills constant bank 0 (kernel parameters: buffer addresses
@@ -287,6 +427,29 @@ impl GpuSim {
         launch: &LaunchConfig,
         params: &[u8],
     ) -> Result<LaunchResult> {
+        let prog = CompiledProgram::build(module, entry, &self.arch)?;
+        self.launch_compiled(&prog, launch, params)
+    }
+
+    /// Launches an already-compiled program (see [`GpuSim::compile`]),
+    /// skipping the per-launch lowering work.
+    ///
+    /// # Errors
+    ///
+    /// Fails on architecture mismatch, zero-sized launches, functional
+    /// faults, or exceeding the cycle budget.
+    pub fn launch_compiled(
+        &mut self,
+        prog: &CompiledProgram,
+        launch: &LaunchConfig,
+        params: &[u8],
+    ) -> Result<LaunchResult> {
+        if prog.arch_name != self.arch.name {
+            return Err(SimError::BadLaunch(format!(
+                "program compiled for arch `{}`, device is `{}`",
+                prog.arch_name, self.arch.name
+            )));
+        }
         if launch.grid_blocks == 0 || launch.block_threads == 0 {
             return Err(SimError::BadLaunch("empty grid or block".into()));
         }
@@ -296,7 +459,6 @@ impl GpuSim {
                 launch.block_threads, self.arch.max_threads_per_block
             )));
         }
-        let prog = Program::build(module, entry, &self.arch)?;
         let occupancy = self.arch.occupancy(launch);
         let wpb = launch.warps_per_block(self.arch.warp_size);
         let mut consts = ConstMem::new();
@@ -307,14 +469,6 @@ impl GpuSim {
 
         let slots = occupancy.blocks_per_sm.max(1) as usize;
         let nsched = self.arch.schedulers_per_sm as usize;
-        let mut l2 = DirectCache::new(self.arch.l2_size, self.arch.l2_line);
-        let mut next_block: u32 = 0;
-        let mut blocks_done: u32 = 0;
-        let mut samples = Vec::new();
-        let mut issue_counts: Vec<u64> = vec![0; prog.instrs.len()];
-        let mut issued_total: u64 = 0;
-        let mut mem_transactions: u64 = 0;
-        let mut icache_misses: u64 = 0;
 
         // Build SMs and distribute initial blocks breadth-first.
         let mut sms: Vec<Sm> = (0..self.arch.num_sms)
@@ -335,6 +489,7 @@ impl GpuSim {
                                 wi / wpb as usize,
                                 (wi % wpb as usize) as u32,
                                 launch.block_threads,
+                                prog.nregs,
                             )
                         })
                         .collect(),
@@ -342,6 +497,8 @@ impl GpuSim {
                     icache: DirectCache::new(self.arch.icache_size, self.arch.icache_line),
                     inflight: Vec::new(),
                     inflight_count: 0,
+                    next_retire: u64::MAX,
+                    sched_next_ready: vec![0; nsched],
                     ifetch_fill_free: 0,
                     pipe_free: vec![0; nsched * N_PIPES],
                     rr_issue: vec![0; nsched],
@@ -350,121 +507,413 @@ impl GpuSim {
                 }
             })
             .collect();
+
+        let mut st = LaunchState {
+            prog,
+            arch: &self.arch,
+            cfg: &self.cfg,
+            launch,
+            wpb,
+            nsched,
+            global: &mut self.global,
+            consts,
+            l2: DirectCache::new(self.arch.l2_size, self.arch.l2_line),
+            next_block: 0,
+            blocks_done: 0,
+            samples: Vec::new(),
+            issue_counts: vec![0; prog.instrs.len()],
+            issued_total: 0,
+            mem_transactions: 0,
+            icache_misses: 0,
+        };
         for slot in 0..slots {
             for sm in &mut sms {
-                if next_block < launch.grid_blocks {
-                    start_block(sm, slot, next_block, wpb, launch, &prog, 0);
-                    next_block += 1;
+                if st.next_block < launch.grid_blocks {
+                    start_block(sm, slot, st.next_block, wpb, launch, prog, 0);
+                    st.next_block += 1;
                 }
             }
         }
 
         let period = self.cfg.sampling_period as u64;
         let mut cycle: u64 = 0;
-        while blocks_done < launch.grid_blocks {
+        while st.blocks_done < launch.grid_blocks {
             if cycle > self.cfg.max_cycles {
                 return Err(SimError::CycleLimit(self.cfg.max_cycles));
             }
-            let sample_due = period > 0 && cycle.is_multiple_of(period);
-            let sample_sched = cycle.checked_div(period).map_or(0, |q| (q as usize) % nsched);
             for sm in &mut sms {
-                // Retire completed memory requests.
-                sm.inflight.retain(|&(done, n)| {
-                    if done <= cycle {
-                        sm.inflight_count -= n;
-                        false
-                    } else {
-                        true
-                    }
-                });
-                for sched in 0..nsched {
-                    // Pre-issue snapshot of the warp this scheduler would
-                    // sample, so samples see the cycle's initial state.
-                    let sampled = if sample_due && sched == sample_sched {
-                        pick_sample_warp(sm, sched)
-                    } else {
-                        None
-                    };
-                    let sampled_status =
-                        sampled.map(|wi| (wi, warp_status(sm, wi, &prog, cycle, &self.arch)));
-                    // Issue: scan warps round-robin, first ready wins.
-                    let list_len = sm.sched_warps[sched].len();
-                    let mut issued_warp: Option<usize> = None;
-                    for k in 0..list_len {
-                        let pos = (sm.rr_issue[sched] + k) % list_len;
-                        let wi = sm.sched_warps[sched][pos];
-                        if warp_status(sm, wi, &prog, cycle, &self.arch) == Status::Ready {
-                            issued_warp = Some(wi);
-                            sm.rr_issue[sched] = (pos + 1) % list_len;
-                            break;
-                        }
-                    }
-                    if let Some(wi) = issued_warp {
-                        issue_one(
-                            sm,
-                            wi,
-                            &prog,
-                            cycle,
-                            &self.arch,
-                            &self.cfg,
-                            &mut self.global,
-                            &consts,
-                            launch,
-                            &mut l2,
-                            &mut issue_counts,
-                            &mut issued_total,
-                            &mut mem_transactions,
-                            &mut icache_misses,
-                            &mut blocks_done,
-                            &mut next_block,
-                            wpb,
-                        )?;
-                    }
-                    if let Some((wi, status)) = sampled_status {
-                        let w = &sm.warps[wi];
-                        let stall = if issued_warp == Some(wi) {
-                            StallReason::Selected
-                        } else {
-                            match status {
-                                Status::Ready => StallReason::NotSelected,
-                                Status::Stalled(r) => r,
-                                Status::NotResident => StallReason::Other,
-                            }
-                        };
-                        samples.push(RawSample {
-                            sm: sm.id,
-                            scheduler: sched as u32,
-                            cycle,
-                            pc: w.pc,
-                            stall,
-                            scheduler_active: issued_warp.is_some(),
-                        });
-                    }
-                }
+                st.step_sm(sm, cycle)?;
             }
             cycle += 1;
+            // Event-driven advance: every scheduler now carries a lower
+            // bound on its next possible issue cycle, so nothing can
+            // change before the earliest bound — jump the clock straight
+            // there, stopping at sampling ticks so the sample stream
+            // stays identical to the dense loop.
+            if !self.cfg.dense_reference && st.blocks_done < launch.grid_blocks {
+                let mut next = u64::MAX;
+                for sm in &sms {
+                    for &bound in &sm.sched_next_ready {
+                        next = next.min(bound);
+                    }
+                }
+                let next_tick = (cycle - 1)
+                    .checked_div(period)
+                    .map_or(u64::MAX, |q| (q + 1).saturating_mul(period));
+                // A jump past the budget still errors deterministically:
+                // clamp to max_cycles + 1 and let the loop-top check fire
+                // exactly as the dense loop would.
+                cycle = next.min(next_tick).max(cycle).min(self.cfg.max_cycles.saturating_add(1));
+            }
         }
 
-        let (l2_hits, l2_misses) = l2.stats();
+        let (l2_hits, l2_misses) = st.l2.stats();
         Ok(LaunchResult {
             cycles: cycle,
-            issued: issued_total,
-            samples,
+            issued: st.issued_total,
+            samples: st.samples,
             issue_counts: prog
                 .pcs
                 .iter()
-                .zip(issue_counts.iter())
+                .zip(st.issue_counts.iter())
                 .filter(|(_, &c)| c > 0)
                 .map(|(&pc, &c)| (pc, c))
                 .collect(),
-            mem_transactions,
+            mem_transactions: st.mem_transactions,
             l2_hits,
             l2_misses,
-            icache_misses,
+            icache_misses: st.icache_misses,
             occupancy,
             launch: *launch,
             sm_stats: sms.iter().map(|s| s.stats).collect(),
         })
+    }
+}
+
+/// Per-launch mutable state shared by the cycle stepper and issue path
+/// (everything except the SMs themselves, which are borrowed per call).
+struct LaunchState<'a> {
+    prog: &'a CompiledProgram,
+    arch: &'a ArchConfig,
+    cfg: &'a SimConfig,
+    launch: &'a LaunchConfig,
+    wpb: u32,
+    nsched: usize,
+    global: &'a mut GlobalMem,
+    consts: ConstMem,
+    l2: DirectCache,
+    next_block: u32,
+    blocks_done: u32,
+    samples: Vec<RawSample>,
+    issue_counts: Vec<u64>,
+    issued_total: u64,
+    mem_transactions: u64,
+    icache_misses: u64,
+}
+
+impl LaunchState<'_> {
+    /// Runs one cycle on one SM: retire memory requests, then give each
+    /// scheduler one issue opportunity (sampling the designated scheduler
+    /// first, pre-issue, so samples see the cycle's initial state).
+    ///
+    /// In the event-driven core a scheduler whose next-ready bound lies
+    /// in the future is skipped without touching its warps — it provably
+    /// cannot issue, which is exactly what the dense scan would conclude
+    /// the slow way. Full stall classification runs only for the sampled
+    /// warp on sampling ticks.
+    fn step_sm(&mut self, sm: &mut Sm, cycle: u64) -> Result<()> {
+        // Retire completed memory requests — only when something can
+        // actually complete this cycle.
+        if sm.next_retire <= cycle {
+            let mut next = u64::MAX;
+            sm.inflight.retain(|&(done, n)| {
+                if done <= cycle {
+                    sm.inflight_count -= n;
+                    false
+                } else {
+                    next = next.min(done);
+                    true
+                }
+            });
+            sm.next_retire = next;
+        }
+        let period = self.cfg.sampling_period as u64;
+        let sample_due = period > 0 && cycle.is_multiple_of(period);
+        let sample_sched = cycle.checked_div(period).map_or(0, |q| (q as usize) % self.nsched);
+        for sched in 0..self.nsched {
+            // Pre-issue snapshot of the warp this scheduler would sample,
+            // so samples see the cycle's initial state.
+            let sampled = if sample_due && sched == sample_sched {
+                pick_sample_warp(sm, sched)
+            } else {
+                None
+            };
+            let sampled_status =
+                sampled.map(|wi| (wi, classify(sm, wi, self.prog, cycle, self.arch)));
+            let issued_warp = if self.cfg.dense_reference {
+                self.dense_issue_scan(sm, sched, cycle, sampled_status)
+            } else if sm.sched_next_ready[sched] <= cycle {
+                self.event_issue_scan(sm, sched, cycle)
+            } else {
+                None // Provably stalled until the bound: skip the scan.
+            };
+            if let Some(wi) = issued_warp {
+                self.issue_one(sm, wi, cycle)?;
+                if !self.cfg.dense_reference {
+                    // One issue per scheduler per cycle; rescan next cycle.
+                    sm.sched_next_ready[sched] = cycle + 1;
+                }
+            }
+            if let Some((wi, status)) = sampled_status {
+                let w = &sm.warps[wi];
+                let stall = if issued_warp == Some(wi) {
+                    StallReason::Selected
+                } else {
+                    match status {
+                        Status::Ready => StallReason::NotSelected,
+                        Status::Stalled(r) => r,
+                        Status::NotResident => StallReason::Other,
+                    }
+                };
+                self.samples.push(RawSample {
+                    sm: sm.id,
+                    scheduler: sched as u32,
+                    cycle,
+                    pc: w.pc,
+                    stall,
+                    scheduler_active: issued_warp.is_some(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The dense reference scan: classify warps round-robin, first ready
+    /// wins (reusing the sampled warp's status instead of re-evaluating).
+    fn dense_issue_scan(
+        &self,
+        sm: &mut Sm,
+        sched: usize,
+        cycle: u64,
+        sampled_status: Option<(usize, Status)>,
+    ) -> Option<usize> {
+        let list_len = sm.sched_warps[sched].len();
+        for k in 0..list_len {
+            let pos = (sm.rr_issue[sched] + k) % list_len;
+            let wi = sm.sched_warps[sched][pos];
+            let ready = match sampled_status {
+                Some((swi, status)) if swi == wi => status == Status::Ready,
+                _ => classify(sm, wi, self.prog, cycle, self.arch) == Status::Ready,
+            };
+            if ready {
+                sm.rr_issue[sched] = (pos + 1) % list_len;
+                return Some(wi);
+            }
+        }
+        None
+    }
+
+    /// The event-core scan: fold each warp's cheap readiness horizon in
+    /// round-robin order; the first warp whose horizon has arrived issues.
+    /// When none has, the fold's minimum becomes the scheduler's
+    /// next-ready bound — the cycles in between cannot issue and are
+    /// never scanned again.
+    fn event_issue_scan(&self, sm: &mut Sm, sched: usize, cycle: u64) -> Option<usize> {
+        let throttle_clear = throttle_clear_time(sm, self.arch);
+        let list_len = sm.sched_warps[sched].len();
+        let mut earliest = u64::MAX;
+        for k in 0..list_len {
+            let pos = (sm.rr_issue[sched] + k) % list_len;
+            let wi = sm.sched_warps[sched][pos];
+            let t = ready_at(sm, wi, self.prog, throttle_clear);
+            if t <= cycle {
+                sm.rr_issue[sched] = (pos + 1) % list_len;
+                return Some(wi);
+            }
+            earliest = earliest.min(t);
+        }
+        sm.sched_next_ready[sched] = earliest;
+        None
+    }
+
+    /// Issues warp `wi`'s next instruction: functional execution, result
+    /// latency bookkeeping, control flow, and block lifecycle.
+    fn issue_one(&mut self, sm: &mut Sm, wi: usize, now: u64) -> Result<()> {
+        let prog = self.prog;
+        let idx = sm.warps[wi].cur_idx as usize;
+        let instr = &prog.instrs[idx];
+        let meta = &prog.meta[idx];
+
+        // Functional execution.
+        let res = {
+            let warps = &mut sm.warps;
+            let blocks = &mut sm.block_slots;
+            let warp = &mut warps[wi];
+            let block = blocks[warp.block_slot].as_mut().expect("resident warp has a block");
+            let mut ctx = ExecCtx {
+                global: self.global,
+                smem: &mut block.smem,
+                consts: &self.consts,
+                block_id: block.block_id,
+                grid_blocks: self.launch.grid_blocks,
+                block_threads: self.launch.block_threads,
+            };
+            execute(warp, instr, meta.reconv, &mut ctx)?
+        };
+
+        self.issue_counts[idx] += 1;
+        self.issued_total += 1;
+        sm.stats.issued += 1;
+
+        // Result latency and blame classification.
+        let (lat, reason) = if let Some(l) = meta.fixed_lat {
+            (l, StallReason::ExecutionDependency)
+        } else if let Some(mem) = &res.mem {
+            let (lat, txns, reason) = mem_latency(&mut self.l2, self.arch, self.cfg, mem, instr);
+            if txns > 0 {
+                let done_at = now + lat as u64;
+                // Keep the queue ordered by completion time so the
+                // throttle-clear fold below is a plain prefix scan.
+                let pos = sm.inflight.partition_point(|&(d, _)| d <= done_at);
+                sm.inflight.insert(pos, (done_at, txns));
+                sm.inflight_count += txns;
+                sm.next_retire = sm.next_retire.min(done_at);
+                self.mem_transactions += txns as u64;
+            }
+            (lat, reason)
+        } else {
+            // Non-memory variable latency.
+            let lat = match instr.opcode {
+                Opcode::Mufu => self.cfg.mufu_latency,
+                Opcode::S2r => self.cfg.s2r_latency,
+                Opcode::Shfl => self.cfg.shfl_latency,
+                _ => 8,
+            };
+            (lat, StallReason::ExecutionDependency)
+        };
+
+        let w = &mut sm.warps[wi];
+        let done_at = now + lat as u64;
+        for &r in &meta.def_regs {
+            w.reg_ready[r as usize] = done_at;
+            w.reg_reason[r as usize] = reason.code();
+        }
+        if meta.def_preds != 0 {
+            for p in 0..7 {
+                if meta.def_preds & (1 << p) != 0 {
+                    w.pred_ready[p] = done_at;
+                }
+            }
+        }
+        if let Some(b) = instr.ctrl.write_barrier {
+            w.bar_clear[b.index() as usize] = done_at;
+            w.bar_reason[b.index() as usize] = reason.code();
+        }
+        if let Some(b) = instr.ctrl.read_barrier {
+            w.bar_clear[b.index() as usize] = now + self.cfg.war_read_cycles as u64;
+            w.bar_reason[b.index() as usize] = StallReason::ExecutionDependency.code();
+        }
+        w.next_issue = now + instr.ctrl.stall.max(1) as u64;
+        let sched = w.scheduler as usize;
+        sm.pipe_free[sched * N_PIPES + pipe_idx(meta.pipe)] =
+            now + self.arch.pipe_interval(meta.pipe) as u64;
+
+        // Control flow. The next instruction index comes from the
+        // precomputed fall-through/target tables; only dynamic edges
+        // (returns, reconvergence switches) need a pc lookup.
+        let mut redirected = false;
+        let mut next_idx = meta.next_idx;
+        match res.outcome {
+            Outcome::Next => w.pc += INSTR_BYTES,
+            Outcome::Jump(t) => {
+                w.pc = t;
+                next_idx = meta.target_idx;
+                redirected = true;
+            }
+            Outcome::Call(t) => {
+                w.call_stack.push(w.pc + INSTR_BYTES);
+                w.pc = t;
+                next_idx = meta.target_idx;
+                redirected = true;
+            }
+            Outcome::Ret => {
+                let ret = w.call_stack.pop().ok_or_else(|| SimError::Fault {
+                    pc: w.pc,
+                    message: "RET on empty stack".into(),
+                })?;
+                w.pc = ret;
+                next_idx = prog.idx_of_pc(ret).unwrap_or(NO_IDX);
+                redirected = true;
+            }
+            Outcome::Sync => {
+                w.pc += INSTR_BYTES;
+                w.at_barrier = true;
+            }
+            Outcome::Exit => {
+                w.done = true;
+            }
+        }
+        w.prev_was_ctrl = redirected;
+        if redirected {
+            w.next_issue = w.next_issue.max(now + self.arch.lat_branch_redirect as u64);
+        }
+        if !w.done {
+            if w.reconverge_if_needed() {
+                next_idx = prog.idx_of_pc(w.pc).unwrap_or(NO_IDX);
+            }
+            let pc = w.pc;
+            if next_idx == NO_IDX {
+                return Err(SimError::Fault {
+                    pc,
+                    message: "control flow left the program".into(),
+                });
+            }
+            w.cur_idx = next_idx;
+            if !sm.icache.access(pc) {
+                // One fill port per SM: concurrent misses queue behind each
+                // other, so i-cache thrash throttles the whole SM.
+                let start = sm.ifetch_fill_free.max(now);
+                let ready = start + self.arch.lat_ifetch_miss as u64;
+                sm.ifetch_fill_free = ready;
+                sm.warps[wi].fetch_ready = ready;
+                self.icache_misses += 1;
+            }
+        }
+
+        // Block barrier / completion bookkeeping.
+        let slot = sm.warps[wi].block_slot;
+        match res.outcome {
+            Outcome::Sync => {
+                let block = sm.block_slots[slot].as_mut().expect("resident block");
+                block.arrived += 1;
+                try_release_barrier(sm, slot, now);
+            }
+            Outcome::Exit => {
+                let block = sm.block_slots[slot].as_mut().expect("resident block");
+                block.done_warps += 1;
+                if block.done_warps >= block.total_warps {
+                    sm.block_slots[slot] = None;
+                    self.blocks_done += 1;
+                    if self.next_block < self.launch.grid_blocks {
+                        let b = self.next_block;
+                        self.next_block += 1;
+                        start_block(
+                            sm,
+                            slot,
+                            b,
+                            self.wpb,
+                            self.launch,
+                            prog,
+                            now + self.cfg.block_launch_overhead as u64,
+                        );
+                    }
+                } else {
+                    try_release_barrier(sm, slot, now);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
     }
 }
 
@@ -474,7 +923,7 @@ fn start_block(
     block_id: u32,
     wpb: u32,
     launch: &LaunchConfig,
-    prog: &Program,
+    prog: &CompiledProgram,
     start_cycle: u64,
 ) {
     sm.block_slots[slot] = Some(BlockCtx {
@@ -485,15 +934,18 @@ fn start_block(
         arrived: 0,
     });
     sm.stats.blocks += 1;
-    let entry_idx = prog.pc2idx[&prog.entry_pc];
     for w in 0..wpb as usize {
         let wi = slot * wpb as usize + w;
         let warp = &mut sm.warps[wi];
         let scheduler = warp.scheduler;
-        *warp = WarpState::new(wi as u32, scheduler, slot, w as u32, launch.block_threads);
+        *warp =
+            WarpState::new(wi as u32, scheduler, slot, w as u32, launch.block_threads, prog.nregs);
         warp.pc = prog.entry_pc;
-        warp.cur_idx = entry_idx;
+        warp.cur_idx = prog.entry_idx;
         warp.next_issue = start_cycle;
+        // Fresh warps invalidate their scheduler's next-ready bound.
+        let bound = &mut sm.sched_next_ready[scheduler as usize];
+        *bound = (*bound).min(start_cycle);
     }
 }
 
@@ -516,7 +968,13 @@ fn pick_sample_warp(sm: &mut Sm, sched: usize) -> Option<usize> {
     None
 }
 
-fn warp_status(sm: &Sm, wi: usize, prog: &Program, now: u64, arch: &ArchConfig) -> Status {
+/// Full warp-status classification: whether `wi` can issue at `now`, and
+/// if not, the CUPTI-style stall reason a sample would report.
+///
+/// Must stay in lock-step with [`ready_at`]: for any frozen machine state,
+/// `classify(..) == Ready` exactly when `ready_at(..) <= now` (the
+/// dense-vs-event differential tests enforce this across the whole suite).
+fn classify(sm: &Sm, wi: usize, prog: &CompiledProgram, now: u64, arch: &ArchConfig) -> Status {
     let w = &sm.warps[wi];
     if w.done || sm.block_slots[w.block_slot].is_none() {
         return Status::NotResident;
@@ -572,185 +1030,62 @@ fn warp_status(sm: &Sm, wi: usize, prog: &Program, now: u64, arch: &ArchConfig) 
     Status::Ready
 }
 
-#[allow(clippy::too_many_arguments)]
-fn issue_one(
-    sm: &mut Sm,
-    wi: usize,
-    prog: &Program,
-    now: u64,
-    arch: &ArchConfig,
-    cfg: &SimConfig,
-    global: &mut GlobalMem,
-    consts: &ConstMem,
-    launch: &LaunchConfig,
-    l2: &mut DirectCache,
-    issue_counts: &mut [u64],
-    issued_total: &mut u64,
-    mem_transactions: &mut u64,
-    icache_misses: &mut u64,
-    blocks_done: &mut u32,
-    next_block: &mut u32,
-    wpb: u32,
-) -> Result<()> {
-    let idx = sm.warps[wi].cur_idx as usize;
-    let instr = &prog.instrs[idx];
-    let meta = &prog.meta[idx];
-
-    // Functional execution.
-    let res = {
-        let warps = &mut sm.warps;
-        let blocks = &mut sm.block_slots;
-        let warp = &mut warps[wi];
-        let block = blocks[warp.block_slot].as_mut().expect("resident warp has a block");
-        let mut ctx = ExecCtx {
-            global,
-            smem: &mut block.smem,
-            consts,
-            block_id: block.block_id,
-            grid_blocks: launch.grid_blocks,
-            block_threads: launch.block_threads,
-        };
-        execute(warp, instr, meta.reconv, &mut ctx)?
-    };
-
-    issue_counts[idx] += 1;
-    *issued_total += 1;
-    sm.stats.issued += 1;
-
-    // Result latency and blame classification.
-    let (lat, reason) = if let Some(l) = meta.fixed_lat {
-        (l, StallReason::ExecutionDependency)
-    } else if let Some(mem) = &res.mem {
-        let (lat, txns, reason) = mem_latency(l2, arch, cfg, mem, instr);
-        if txns > 0 {
-            sm.inflight.push((now + lat as u64, txns));
-            sm.inflight_count += txns;
-            *mem_transactions += txns as u64;
-        }
-        (lat, reason)
-    } else {
-        // Non-memory variable latency.
-        let lat = match instr.opcode {
-            Opcode::Mufu => cfg.mufu_latency,
-            Opcode::S2r => cfg.s2r_latency,
-            Opcode::Shfl => cfg.shfl_latency,
-            _ => 8,
-        };
-        (lat, StallReason::ExecutionDependency)
-    };
-
-    let w = &mut sm.warps[wi];
-    let done_at = now + lat as u64;
-    for &r in &meta.def_regs {
-        w.reg_ready[r as usize] = done_at;
-        w.reg_reason[r as usize] = reason.code();
+/// The cheap readiness horizon: the earliest cycle `wi` could issue,
+/// assuming no other warp's issue wakes it first. `u64::MAX` when only
+/// another warp's progress can unblock it (barrier parking, exited).
+///
+/// Every condition [`classify`] checks is of the form `time >= T` with `T`
+/// fixed while the warp's own state is untouched, so the earliest ready
+/// cycle is just the max of the clear times — an integer fold, no reason
+/// bookkeeping. Events that can lower the horizon from outside (barrier
+/// release, block replacement) explicitly invalidate the scheduler bounds
+/// built from it; later memory traffic can only *raise* the throttle
+/// component, which keeps cached bounds valid lower bounds.
+fn ready_at(sm: &Sm, wi: usize, prog: &CompiledProgram, throttle_clear: u64) -> u64 {
+    let w = &sm.warps[wi];
+    if w.done || sm.block_slots[w.block_slot].is_none() || w.at_barrier {
+        return u64::MAX;
     }
-    if meta.def_preds != 0 {
+    let mut t = w.fetch_ready.max(w.next_issue);
+    let meta = &prog.meta[w.cur_idx as usize];
+    if meta.wait_mask != 0 {
+        for b in 0..6 {
+            if meta.wait_mask & (1 << b) != 0 {
+                t = t.max(w.bar_clear[b]);
+            }
+        }
+    }
+    for &r in &meta.use_regs {
+        t = t.max(w.reg_ready[r as usize]);
+    }
+    if meta.use_preds != 0 {
         for p in 0..7 {
-            if meta.def_preds & (1 << p) != 0 {
-                w.pred_ready[p] = done_at;
+            if meta.use_preds & (1 << p) != 0 {
+                t = t.max(w.pred_ready[p]);
             }
         }
     }
-    if let Some(b) = instr.ctrl.write_barrier {
-        w.bar_clear[b.index() as usize] = done_at;
-        w.bar_reason[b.index() as usize] = reason.code();
+    if meta.throttled_mem {
+        t = t.max(throttle_clear);
     }
-    if let Some(b) = instr.ctrl.read_barrier {
-        w.bar_clear[b.index() as usize] = now + cfg.war_read_cycles as u64;
-        w.bar_reason[b.index() as usize] = StallReason::ExecutionDependency.code();
-    }
-    w.next_issue = now + instr.ctrl.stall.max(1) as u64;
-    let sched = w.scheduler as usize;
-    sm.pipe_free[sched * N_PIPES + pipe_idx(meta.pipe)] =
-        now + arch.pipe_interval(meta.pipe) as u64;
+    t.max(sm.pipe_free[w.scheduler as usize * N_PIPES + pipe_idx(meta.pipe)])
+}
 
-    // Control flow.
-    let mut redirected = false;
-    match res.outcome {
-        Outcome::Next => w.pc += INSTR_BYTES,
-        Outcome::Jump(t) => {
-            w.pc = t;
-            redirected = true;
-        }
-        Outcome::Call(t) => {
-            w.call_stack.push(w.pc + INSTR_BYTES);
-            w.pc = t;
-            redirected = true;
-        }
-        Outcome::Ret => {
-            let ret = w.call_stack.pop().ok_or_else(|| SimError::Fault {
-                pc: w.pc,
-                message: "RET on empty stack".into(),
-            })?;
-            w.pc = ret;
-            redirected = true;
-        }
-        Outcome::Sync => {
-            w.pc += INSTR_BYTES;
-            w.at_barrier = true;
-        }
-        Outcome::Exit => {
-            w.done = true;
+/// Earliest cycle the SM's in-flight memory queue drops below the LSU
+/// limit, assuming no new requests are added (frozen machine). The
+/// queue is kept sorted by completion time, so this is a prefix scan.
+fn throttle_clear_time(sm: &Sm, arch: &ArchConfig) -> u64 {
+    if sm.inflight_count < arch.max_mem_inflight_per_sm {
+        return 0;
+    }
+    let mut count = sm.inflight_count;
+    for &(done, n) in &sm.inflight {
+        count -= n;
+        if count < arch.max_mem_inflight_per_sm {
+            return done;
         }
     }
-    w.prev_was_ctrl = redirected;
-    if redirected {
-        w.next_issue = w.next_issue.max(now + arch.lat_branch_redirect as u64);
-    }
-    if !w.done {
-        w.reconverge_if_needed();
-        let pc = w.pc;
-        let new_idx = *prog
-            .pc2idx
-            .get(&pc)
-            .ok_or(SimError::Fault { pc, message: "control flow left the program".into() })?;
-        w.cur_idx = new_idx;
-        if !sm.icache.access(pc) {
-            // One fill port per SM: concurrent misses queue behind each
-            // other, so i-cache thrash throttles the whole SM.
-            let start = sm.ifetch_fill_free.max(now);
-            let ready = start + arch.lat_ifetch_miss as u64;
-            sm.ifetch_fill_free = ready;
-            sm.warps[wi].fetch_ready = ready;
-            *icache_misses += 1;
-        }
-    }
-
-    // Block barrier / completion bookkeeping.
-    let slot = sm.warps[wi].block_slot;
-    match res.outcome {
-        Outcome::Sync => {
-            let block = sm.block_slots[slot].as_mut().expect("resident block");
-            block.arrived += 1;
-            try_release_barrier(sm, slot, now);
-        }
-        Outcome::Exit => {
-            let block = sm.block_slots[slot].as_mut().expect("resident block");
-            block.done_warps += 1;
-            if block.done_warps >= block.total_warps {
-                sm.block_slots[slot] = None;
-                *blocks_done += 1;
-                if *next_block < launch.grid_blocks {
-                    let b = *next_block;
-                    *next_block += 1;
-                    start_block(
-                        sm,
-                        slot,
-                        b,
-                        wpb,
-                        launch,
-                        prog,
-                        now + cfg.block_launch_overhead as u64,
-                    );
-                }
-            } else {
-                try_release_barrier(sm, slot, now);
-            }
-        }
-        _ => {}
-    }
-    Ok(())
+    u64::MAX
 }
 
 /// Releases a block barrier once every live warp has arrived.
@@ -761,10 +1096,15 @@ fn try_release_barrier(sm: &mut Sm, slot: usize, now: u64) {
         return;
     }
     sm.block_slots[slot].as_mut().expect("checked above").arrived = 0;
-    for w in sm.warps.iter_mut() {
+    let Sm { warps, sched_next_ready, .. } = sm;
+    for w in warps.iter_mut() {
         if w.block_slot == slot && w.at_barrier && !w.done {
             w.at_barrier = false;
             w.next_issue = w.next_issue.max(now + 1);
+            // Unparked warps invalidate their scheduler's next-ready
+            // bound (it was computed while they looked unwakeable).
+            let bound = &mut sched_next_ready[w.scheduler as usize];
+            *bound = (*bound).min(now + 1);
         }
     }
 }
@@ -1078,5 +1418,118 @@ join:
         for i in 0..32u64 {
             assert_eq!(gpu.global().read_u32(out + 4 * i), 3 * i as u32);
         }
+    }
+
+    /// Runs a kernel under both scheduler cores and asserts byte-identical
+    /// results.
+    fn assert_dense_event_identical(
+        text: &str,
+        entry: &str,
+        launch: LaunchConfig,
+        period: u32,
+        nbufs: u64,
+        words_per_buf: u64,
+    ) {
+        let m = parse_module(text).unwrap();
+        let run = |dense: bool| {
+            let mut cfg = SimConfig::default();
+            cfg.sampling_period = period;
+            cfg.dense_reference = dense;
+            let mut gpu = GpuSim::new(ArchConfig::small(2), cfg);
+            let bufs: Vec<u64> =
+                (0..nbufs).map(|_| gpu.global_mut().alloc(4 * words_per_buf)).collect();
+            for (bi, b) in bufs.iter().enumerate() {
+                for i in 0..words_per_buf {
+                    gpu.global_mut().write_u32(b + 4 * i, (bi as u32 + 1) * 10 + i as u32);
+                }
+            }
+            gpu.launch(&m, entry, &launch, &params_u64(&bufs)).unwrap()
+        };
+        let dense = run(true);
+        let event = run(false);
+        assert_eq!(dense, event, "dense and event-driven cores must agree for `{entry}`");
+    }
+
+    #[test]
+    fn event_core_matches_dense_reference() {
+        assert_dense_event_identical(VEC_ADD, "vecadd", LaunchConfig::new(4, 64), 13, 3, 256);
+        assert_dense_event_identical(BARRIER, "barrier", LaunchConfig::new(2, 64), 31, 0, 0);
+        assert_dense_event_identical(DIVERGE, "diverge", LaunchConfig::new(2, 32), 7, 1, 64);
+        assert_dense_event_identical(CALL, "main", LaunchConfig::new(2, 32), 17, 1, 64);
+    }
+
+    #[test]
+    fn event_core_matches_dense_without_sampling() {
+        assert_dense_event_identical(VEC_ADD, "vecadd", LaunchConfig::new(4, 64), 0, 3, 256);
+    }
+
+    #[test]
+    fn cycle_budget_errors_identically_when_jumping_past_it() {
+        // A memory-latency-bound kernel with a tiny budget and sampling
+        // off: the event core's first jump would leap far past the budget
+        // and must clamp to it, erroring exactly like the dense loop.
+        let m = parse_module(VEC_ADD).unwrap();
+        let run = |dense: bool| {
+            let mut cfg = SimConfig::default();
+            cfg.sampling_period = 0;
+            cfg.max_cycles = 50;
+            cfg.dense_reference = dense;
+            let mut gpu = GpuSim::new(ArchConfig::small(1), cfg);
+            let a = gpu.global_mut().alloc(256);
+            let b = gpu.global_mut().alloc(256);
+            let out = gpu.global_mut().alloc(256);
+            gpu.launch(&m, "vecadd", &LaunchConfig::new(1, 32), &params_u64(&[a, b, out]))
+        };
+        assert_eq!(run(true).unwrap_err(), SimError::CycleLimit(50));
+        assert_eq!(run(false).unwrap_err(), SimError::CycleLimit(50));
+    }
+
+    #[test]
+    fn compiled_program_reuse_matches_fresh_launches() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut gpu = sim(1);
+        let prog = gpu.compile(&m, "vecadd").unwrap();
+        assert_eq!(prog.entry(), "vecadd");
+        assert_eq!(prog.module_name(), "vecadd");
+        let a = gpu.global_mut().alloc(4 * 64);
+        let b = gpu.global_mut().alloc(4 * 64);
+        let out = gpu.global_mut().alloc(4 * 64);
+        let params = params_u64(&[a, b, out]);
+        let lc = LaunchConfig::new(2, 32);
+        let fresh = gpu.launch(&m, "vecadd", &lc, &params).unwrap();
+        let reused = gpu.launch_compiled(&prog, &lc, &params).unwrap();
+        let again = gpu.launch_compiled(&prog, &lc, &params).unwrap();
+        assert_eq!(fresh, reused);
+        assert_eq!(fresh, again);
+    }
+
+    #[test]
+    fn compiled_program_rejects_mismatched_arch() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut small_arch = ArchConfig::small(1);
+        small_arch.name = "other-arch".into();
+        let other = GpuSim::new(small_arch, SimConfig::default());
+        let prog = other.compile(&m, "vecadd").unwrap();
+        let mut gpu = sim(1);
+        assert!(matches!(
+            gpu.launch_compiled(&prog, &LaunchConfig::new(1, 32), &[]),
+            Err(SimError::BadLaunch(_))
+        ));
+    }
+
+    #[test]
+    fn issue_counts_are_sorted_by_pc() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let mut gpu = sim(1);
+        let a = gpu.global_mut().alloc(4 * 32);
+        let b = gpu.global_mut().alloc(4 * 32);
+        let out = gpu.global_mut().alloc(4 * 32);
+        let r =
+            gpu.launch(&m, "vecadd", &LaunchConfig::new(1, 32), &params_u64(&[a, b, out])).unwrap();
+        let pcs: Vec<u64> = r.issue_counts.keys().copied().collect();
+        let mut sorted = pcs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pcs, sorted, "BTreeMap iteration is PC-ordered");
+        assert_eq!(r.issue_counts.values().sum::<u64>(), r.issued);
     }
 }

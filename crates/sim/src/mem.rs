@@ -4,6 +4,42 @@ use std::collections::HashMap;
 
 const PAGE_SIZE: u64 = 4096;
 
+/// Generates an ordered batch-write method: words are committed page-run
+/// at a time (one page lookup per run of same-page addresses), with
+/// page-straddling words falling back to the byte path in place so write
+/// order — and thus same-address last-lane-wins semantics — is preserved.
+macro_rules! gen_write_batch {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $width:expr, $fallback:ident) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, items: &[(u64, $ty)]) {
+            let mut i = 0;
+            while i < items.len() {
+                let (addr, v) = items[i];
+                let off = (addr % PAGE_SIZE) as usize;
+                if off + $width > PAGE_SIZE as usize {
+                    self.$fallback(addr, v);
+                    i += 1;
+                    continue;
+                }
+                let id = addr / PAGE_SIZE;
+                let mut j = i;
+                while j < items.len()
+                    && items[j].0 / PAGE_SIZE == id
+                    && (items[j].0 % PAGE_SIZE) as usize + $width <= PAGE_SIZE as usize
+                {
+                    j += 1;
+                }
+                let page = self.page_mut(addr);
+                for &(a, v) in &items[i..j] {
+                    let o = (a % PAGE_SIZE) as usize;
+                    page[o..o + $width].copy_from_slice(&v.to_le_bytes());
+                }
+                i = j;
+            }
+        }
+    };
+}
+
 /// Paged device (global) memory.
 ///
 /// Reads of unwritten memory return zero, like freshly `cudaMalloc`ed and
@@ -46,7 +82,17 @@ impl GlobalMem {
     }
 
     /// Reads a little-endian `u32`.
+    ///
+    /// The simulator issues these for every lane of every load, so the
+    /// common case — the word lies within one page — resolves the page
+    /// once instead of hashing per byte.
     pub fn read_u32(&self, addr: u64) -> u32 {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 4 <= PAGE_SIZE as usize {
+            return self.pages.get(&(addr / PAGE_SIZE)).map_or(0, |p| {
+                u32::from_le_bytes(p[off..off + 4].try_into().expect("4-byte slice"))
+            });
+        }
         u32::from_le_bytes([
             self.read_u8(addr),
             self.read_u8(addr + 1),
@@ -57,6 +103,11 @@ impl GlobalMem {
 
     /// Writes a little-endian `u32`.
     pub fn write_u32(&mut self, addr: u64, v: u32) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 4 <= PAGE_SIZE as usize {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
         for (i, b) in v.to_le_bytes().iter().enumerate() {
             self.write_u8(addr + i as u64, *b);
         }
@@ -64,11 +115,22 @@ impl GlobalMem {
 
     /// Reads a little-endian `u64`.
     pub fn read_u64(&self, addr: u64) -> u64 {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            return self.pages.get(&(addr / PAGE_SIZE)).map_or(0, |p| {
+                u64::from_le_bytes(p[off..off + 8].try_into().expect("8-byte slice"))
+            });
+        }
         (self.read_u32(addr) as u64) | ((self.read_u32(addr + 4) as u64) << 32)
     }
 
     /// Writes a little-endian `u64`.
     pub fn write_u64(&mut self, addr: u64, v: u64) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            self.page_mut(addr)[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
         self.write_u32(addr, v as u32);
         self.write_u32(addr + 4, (v >> 32) as u32);
     }
@@ -93,6 +155,25 @@ impl GlobalMem {
         self.write_u64(addr, v.to_bits());
     }
 
+    gen_write_batch!(
+        /// Writes a batch of `u32`s in order, resolving each page once per
+        /// run of same-page addresses — the warp-wide store path (32 lanes
+        /// usually span one or two pages, so per-lane hashing is wasted).
+        write_batch_u32,
+        u32,
+        4,
+        write_u32
+    );
+
+    gen_write_batch!(
+        /// Writes a batch of `u64`s in order; see
+        /// [`GlobalMem::write_batch_u32`].
+        write_batch_u64,
+        u64,
+        8,
+        write_u64
+    );
+
     /// Copies a byte slice into memory.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
         for (i, b) in bytes.iter().enumerate() {
@@ -103,6 +184,56 @@ impl GlobalMem {
     /// Reads `len` bytes.
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
         (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// A read cursor that memoizes the last page lookup — the warp-wide
+    /// load path.
+    pub fn reader(&self) -> GlobalReader<'_> {
+        GlobalReader { mem: self, page_id: u64::MAX, page: None }
+    }
+}
+
+/// Memoizing read cursor over [`GlobalMem`]: consecutive lane addresses
+/// usually share a page, so the page hash is resolved once per run.
+pub struct GlobalReader<'a> {
+    mem: &'a GlobalMem,
+    page_id: u64,
+    page: Option<&'a [u8]>,
+}
+
+impl GlobalReader<'_> {
+    #[inline]
+    fn page_for(&mut self, addr: u64) -> Option<&[u8]> {
+        let id = addr / PAGE_SIZE;
+        if id != self.page_id {
+            self.page_id = id;
+            self.page = self.mem.pages.get(&id).map(|p| &p[..]);
+        }
+        self.page
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn read_u32(&mut self, addr: u64) -> u32 {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 4 <= PAGE_SIZE as usize {
+            return self.page_for(addr).map_or(0, |p| {
+                u32::from_le_bytes(p[off..off + 4].try_into().expect("4-byte slice"))
+            });
+        }
+        self.mem.read_u32(addr)
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            return self.page_for(addr).map_or(0, |p| {
+                u64::from_le_bytes(p[off..off + 8].try_into().expect("8-byte slice"))
+            });
+        }
+        self.mem.read_u64(addr)
     }
 }
 

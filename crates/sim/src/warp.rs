@@ -40,7 +40,10 @@ pub struct WarpState {
     pub cur_idx: u32,
     /// Active-lane mask.
     pub active: u32,
-    /// Register file: `regs[r][lane]`.
+    /// Register file: `regs[r][lane]`, sized to the program's highest
+    /// register (the machine passes `CompiledProgram`'s register count, so
+    /// allocating and zeroing 256 rows per warp per block start is avoided
+    /// for the typical kernel that touches a few dozen).
     pub regs: Vec<[u32; WARP_LANES]>,
     /// Predicate registers as lane masks.
     pub preds: [u32; 7],
@@ -78,13 +81,16 @@ pub struct WarpState {
 
 impl WarpState {
     /// Creates a warp covering threads `warp_in_block*32 ..` of a block
-    /// with `block_threads` threads.
+    /// with `block_threads` threads, with an `nregs`-register file (use
+    /// the executing program's register count, or 256 for the full
+    /// architectural file).
     pub fn new(
         warp_id: u32,
         scheduler: u32,
         block_slot: usize,
         warp_in_block: u32,
         block_threads: u32,
+        nregs: usize,
     ) -> Self {
         let first_tid = warp_in_block * WARP_LANES as u32;
         let lanes = (block_threads.saturating_sub(first_tid)).min(WARP_LANES as u32);
@@ -97,15 +103,15 @@ impl WarpState {
             pc: 0,
             cur_idx: 0,
             active,
-            regs: vec![[0u32; WARP_LANES]; 256],
+            regs: vec![[0u32; WARP_LANES]; nregs],
             preds: [0; 7],
             div_stack: Vec::new(),
             call_stack: Vec::new(),
             local: vec![Vec::new(); WARP_LANES],
             next_issue: 0,
             fetch_ready: 0,
-            reg_ready: vec![0; 256],
-            reg_reason: vec![StallReason::ExecutionDependency.code(); 256],
+            reg_ready: vec![0; nregs],
+            reg_reason: vec![StallReason::ExecutionDependency.code(); nregs],
             pred_ready: [0; 7],
             bar_clear: [0; 6],
             bar_reason: [StallReason::ExecutionDependency.code(); 6],
@@ -262,17 +268,17 @@ mod tests {
 
     #[test]
     fn partial_warp_active_mask() {
-        let w = WarpState::new(0, 0, 0, 0, 16);
+        let w = WarpState::new(0, 0, 0, 0, 16, 256);
         assert_eq!(w.active, 0xFFFF);
-        let w2 = WarpState::new(1, 1, 0, 1, 40);
+        let w2 = WarpState::new(1, 1, 0, 1, 40, 256);
         assert_eq!(w2.active, 0xFF, "second warp of a 40-thread block has 8 lanes");
-        let w3 = WarpState::new(0, 0, 0, 0, 64);
+        let w3 = WarpState::new(0, 0, 0, 0, 64, 256);
         assert_eq!(w3.active, u32::MAX);
     }
 
     #[test]
     fn register_and_pair_access() {
-        let mut w = WarpState::new(0, 0, 0, 0, 32);
+        let mut w = WarpState::new(0, 0, 0, 0, 32, 256);
         let r4 = Register::from_u8(4);
         w.write_reg(3, r4, 77);
         assert_eq!(w.read_reg(3, r4), 77);
@@ -286,7 +292,7 @@ mod tests {
 
     #[test]
     fn predicates_and_guard_masks() {
-        let mut w = WarpState::new(0, 0, 0, 0, 32);
+        let mut w = WarpState::new(0, 0, 0, 0, 32, 256);
         let p0 = PredReg::new(0).unwrap();
         w.write_pred(1, p0, true);
         w.write_pred(5, p0, true);
@@ -299,7 +305,7 @@ mod tests {
 
     #[test]
     fn reconvergence_switches_to_else_then_merges() {
-        let mut w = WarpState::new(0, 0, 0, 0, 32);
+        let mut w = WarpState::new(0, 0, 0, 0, 32, 256);
         w.pc = 0x200; // pretend we reached the reconvergence point
         w.active = 0x0000_FFFF;
         w.div_stack.push(DivEntry {

@@ -37,16 +37,23 @@ impl Bencher {
 /// The harness configuration and runner.
 pub struct Criterion {
     sample_size: usize,
+    /// Samples forced via `GPA_BENCH_SAMPLES` (quick mode for CI perf
+    /// smoke runs); wins over in-code [`Criterion::sample_size`] calls.
+    env_samples: Option<usize>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        let env_samples = std::env::var("GPA_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(1));
+        Criterion { sample_size: 20, env_samples }
     }
 }
 
 impl Criterion {
-    /// Sets samples per benchmark.
+    /// Sets samples per benchmark (overridden by `GPA_BENCH_SAMPLES`).
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(1);
@@ -55,7 +62,8 @@ impl Criterion {
 
     /// Runs one named benchmark and prints its timing line.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let sample_size = self.env_samples.unwrap_or(self.sample_size);
+        let mut b = Bencher { samples: Vec::new(), sample_size };
         f(&mut b);
         if b.samples.is_empty() {
             println!("{name:<44} (no samples)");

@@ -1,0 +1,67 @@
+//! Differential tests for the simulator's two scheduler cores: the
+//! event-driven cycle-skipping core (the default) must produce results
+//! **byte-identical** to the dense per-cycle reference loop
+//! (`SimConfig::dense_reference`) — cycles, the full sample stream,
+//! per-PC issue counts, memory/L2/i-cache counters, and per-SM stats —
+//! across every app in the benchmark registry.
+
+use gpa::arch::ArchConfig;
+use gpa::kernels::runner::{arch_for, launch_spec_with, sim_config};
+use gpa::kernels::{all_apps, KernelSpec, Params};
+use gpa::sampling::KernelProfile;
+use gpa::sim::{LaunchResult, SimConfig};
+
+/// Runs one spec to completion under the given scheduler core.
+fn launch_with(spec: &KernelSpec, arch: &ArchConfig, cfg: SimConfig) -> LaunchResult {
+    launch_spec_with(spec, arch, cfg).expect("launch succeeds")
+}
+
+fn cfg(dense: bool) -> SimConfig {
+    SimConfig { dense_reference: dense, ..sim_config() }
+}
+
+#[test]
+fn all_apps_dense_vs_event_driven_identical() {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    for app in all_apps() {
+        let spec = (app.build)(0, &p);
+        let dense = launch_with(&spec, &arch, cfg(true));
+        let event = launch_with(&spec, &arch, cfg(false));
+        // Named comparisons first so a mismatch reads well, then the
+        // whole result (covers occupancy, launch, and future fields).
+        assert_eq!(dense.cycles, event.cycles, "{}: cycles", app.name);
+        assert_eq!(dense.issued, event.issued, "{}: issued", app.name);
+        assert_eq!(dense.samples, event.samples, "{}: sample stream", app.name);
+        assert_eq!(dense.issue_counts, event.issue_counts, "{}: issue counts", app.name);
+        assert_eq!(dense.mem_transactions, event.mem_transactions, "{}: mem txns", app.name);
+        assert_eq!(dense.l2_hits, event.l2_hits, "{}: L2 hits", app.name);
+        assert_eq!(dense.l2_misses, event.l2_misses, "{}: L2 misses", app.name);
+        assert_eq!(dense.icache_misses, event.icache_misses, "{}: icache misses", app.name);
+        assert_eq!(dense.sm_stats, event.sm_stats, "{}: per-SM stats", app.name);
+        assert_eq!(dense, event, "{}: full LaunchResult", app.name);
+    }
+}
+
+#[test]
+fn aggregated_profiles_are_identical_too() {
+    // Sample aggregation is deterministic, so identical raw samples must
+    // yield identical profiles — the artifact the advisor actually sees.
+    let p = Params::test();
+    let arch = arch_for(&p);
+    for app in all_apps().into_iter().take(4) {
+        let spec = (app.build)(0, &p);
+        let period = sim_config().sampling_period;
+        let profile = |dense: bool| {
+            let r = launch_with(&spec, &arch, cfg(dense));
+            KernelProfile::from_launch(
+                &spec.entry,
+                &spec.module.name,
+                &spec.module.arch,
+                period,
+                &r,
+            )
+        };
+        assert_eq!(profile(true), profile(false), "{}: aggregated profile", app.name);
+    }
+}
