@@ -31,7 +31,9 @@ fn main() {
             if let Some(top) = report.top() {
                 println!(
                     "  {} (variant {v}): {} — estimated {:.2}x",
-                    app.name, top.optimizer, top.estimated_speedup
+                    app.name,
+                    top.optimizer(),
+                    top.estimated_speedup
                 );
             }
         }

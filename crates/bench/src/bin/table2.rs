@@ -1,18 +1,18 @@
 //! Reproduces **Table 2**: the optimizer catalog — name, category, and
 //! what each optimizer matches.
 
-use gpa_core::optimizers::all_optimizers;
+use gpa_core::optimizers::OptimizerRegistry;
 
 fn main() {
     println!("Table 2 — GPU optimizers in GPA\n");
     println!("{:<45} {:<20} first hint", "Optimizer", "Category");
     println!("{}", "-".repeat(110));
-    for opt in all_optimizers() {
+    for opt in OptimizerRegistry::full().iter() {
         let hints = opt.hints();
         println!(
             "{:<45} {:<20} {}",
-            opt.name(),
-            opt.category().to_string(),
+            opt.id().name(),
+            opt.id().category().to_string(),
             hints.first().copied().unwrap_or("")
         );
     }

@@ -59,9 +59,9 @@ pub fn run_app(session: &Session, app: &App) -> Result<AppRun, String> {
         let opt_cycles =
             session.time_one(&AnalysisJob::new(app.name, k + 1)).map_err(|e| e.to_string())?;
         let achieved = run.cycles as f64 / opt_cycles as f64;
-        let item = run.report.item(stage.optimizer);
+        let item = run.report.item_named(stage.optimizer);
         let estimated = item.map_or(1.0, |i| i.estimated_speedup);
-        let rank = run.report.rank_of(stage.optimizer);
+        let rank = run.report.rank_of_named(stage.optimizer);
         rows.push(Table3Row {
             app: app.name.to_string(),
             kernel: app.kernel.to_string(),

@@ -17,11 +17,11 @@
 //! a positional argument. Under `analyze --json`, failures are reported
 //! as machine-readable JSON on stdout (still with a nonzero exit code).
 
-use gpa_core::report;
+use gpa_core::{report, OptimizerCategory};
 use gpa_json::Json;
 use gpa_kernels::all_apps;
 use gpa_pipeline::{AnalysisError, AnalysisJob, Session};
-use gpa_serve::{serve, ServeClient, ServerConfig, DEFAULT_ADDR};
+use gpa_serve::{serve, ServeClient, ServerConfig, WireOptions, DEFAULT_ADDR};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,14 +30,18 @@ use std::sync::Arc;
 const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
      list                                       list built-in kernels\n  \
      analyze <app> [variant] [--json]           profile + advise (default variant 0)\n  \
-     analyze --all [--json]                     analyze every app in parallel, with summary\n  \
+     analyze --all [--json]                     analyze every app in parallel, with summary\n          \
+     [--top N] [--category C] [--min-speedup X] scope the advice request\n          \
+     [--schema v1|v2]                           advice schema for --json output\n  \
      profile <app> [variant]                    dump the profile JSON\n  \
      asm <app> [variant]                        print kernel assembly\n  \
      serve [--addr A] [--workers N] [--queue N] run the advisor daemon\n           \
      [--store N] [--persist DIR]\n  \
      request analyze <app> [variant] [--addr A]          analyze on the daemon\n  \
      request analyze_profile <app> [variant] --profile F advise on a saved profile\n  \
-     request status|shutdown [--addr A]                  daemon control";
+     request status|shutdown [--addr A]                  daemon control\n          \
+     request accepts --top/--category/--min-speedup/--schema too\n\n  \
+     categories: stall-elimination, latency-hiding, parallel";
 
 fn usage(msg: &str) -> ExitCode {
     if !msg.is_empty() {
@@ -58,6 +62,10 @@ struct Flags {
     store: Option<usize>,
     persist: Option<PathBuf>,
     profile: Option<PathBuf>,
+    top: Option<usize>,
+    category: Option<String>,
+    min_speedup: Option<f64>,
+    schema: Option<String>,
 }
 
 fn take_value(
@@ -113,6 +121,16 @@ fn parse_cmdline(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 "profile" => {
                     flags.profile = Some(PathBuf::from(take_value(name, inline, &mut rest)?));
                 }
+                "top" => flags.top = Some(take_usize(name, inline, &mut rest)?),
+                "category" => flags.category = Some(take_value(name, inline, &mut rest)?),
+                "min-speedup" => {
+                    let v = take_value(name, inline, &mut rest)?;
+                    flags.min_speedup = Some(
+                        v.parse()
+                            .map_err(|_| format!("flag --{name} expects a number, got `{v}`"))?,
+                    );
+                }
+                "schema" => flags.schema = Some(take_value(name, inline, &mut rest)?),
                 _ => return Err(format!("unknown flag `{arg}` (see usage)")),
             }
         } else if arg.starts_with('-') && arg.len() > 1 {
@@ -135,6 +153,10 @@ fn stray_flag(flags: &Flags, allowed: &[&str]) -> Option<String> {
         ("store", flags.store.is_some()),
         ("persist", flags.persist.is_some()),
         ("profile", flags.profile.is_some()),
+        ("top", flags.top.is_some()),
+        ("category", flags.category.is_some()),
+        ("min-speedup", flags.min_speedup.is_some()),
+        ("schema", flags.schema.is_some()),
     ];
     set.iter()
         .find(|(name, on)| *on && !allowed.contains(name))
@@ -148,6 +170,34 @@ fn parse_variant(arg: Option<&String>) -> Result<usize, String> {
     }
 }
 
+/// Maps the advice flags onto the wire/advisor options shared by local
+/// `analyze` and daemon `request`s.
+fn advice_options(flags: &Flags) -> Result<WireOptions, String> {
+    let mut options = WireOptions::default();
+    if let Some(s) = &flags.schema {
+        options.schema = match s.as_str() {
+            "v1" | "1" => 1,
+            "v2" | "2" => 2,
+            other => return Err(format!("unknown schema `{other}` (expected v1 or v2)")),
+        };
+    }
+    if let Some(top) = flags.top {
+        options.request.top = Some(top);
+    }
+    if let Some(c) = &flags.category {
+        let cat = OptimizerCategory::from_slug(c).ok_or_else(|| {
+            format!(
+                "unknown category `{c}` (expected stall-elimination, latency-hiding or parallel)"
+            )
+        })?;
+        options.request.categories.push(cat);
+    }
+    if let Some(m) = flags.min_speedup {
+        options.request.min_speedup = m;
+    }
+    Ok(options)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (pos, flags) = match parse_cmdline(&args) {
@@ -156,9 +206,9 @@ fn main() -> ExitCode {
     };
     let Some(cmd) = pos.first().map(String::as_str) else { return usage("") };
     let allowed: &[&str] = match cmd {
-        "analyze" => &["json", "all"],
+        "analyze" => &["json", "all", "top", "category", "min-speedup", "schema"],
         "serve" => &["addr", "workers", "queue", "store", "persist"],
-        "request" => &["addr", "profile"],
+        "request" => &["addr", "profile", "top", "category", "min-speedup", "schema"],
         _ => &[],
     };
     if let Some(msg) = stray_flag(&flags, allowed) {
@@ -177,8 +227,17 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "analyze" if flags.all => analyze_all(flags.json),
         "analyze" | "profile" | "asm" => {
+            let options = match advice_options(&flags) {
+                Ok(o) => o,
+                Err(msg) => return usage(&msg),
+            };
+            if options.schema != 1 && !flags.json {
+                return usage("flag --schema selects the --json output schema; add --json");
+            }
+            if flags.all {
+                return analyze_all(flags.json, &options);
+            }
             let Some(name) = pos.get(1) else {
                 return usage(&format!("`{cmd}` needs an app name (try `gpa list`)"));
             };
@@ -186,7 +245,7 @@ fn main() -> ExitCode {
                 Ok(v) => v,
                 Err(msg) => return usage(&msg),
             };
-            run_local(cmd, name, variant, flags.json)
+            run_local(cmd, name, variant, flags.json, &options)
         }
         "serve" => run_serve(&flags),
         "request" => run_request(&pos, &flags),
@@ -195,7 +254,7 @@ fn main() -> ExitCode {
 }
 
 /// `analyze`/`profile`/`asm` against an in-process session.
-fn run_local(cmd: &str, name: &str, variant: usize, json: bool) -> ExitCode {
+fn run_local(cmd: &str, name: &str, variant: usize, json: bool, options: &WireOptions) -> ExitCode {
     let session = Session::full();
     let job = AnalysisJob::new(name, variant);
     if cmd == "asm" {
@@ -210,13 +269,15 @@ fn run_local(cmd: &str, name: &str, variant: usize, json: bool) -> ExitCode {
             }
         };
     }
-    match session.run_one(&job) {
+    match session.run_one_request(&job, &options.request) {
         Ok(outcome) => {
             match cmd {
                 "profile" => println!("{}", outcome.profile.to_json()),
+                _ if json && options.schema == 2 => println!("{}", outcome.to_json_v2()),
                 _ if json => println!("{}", outcome.to_json()),
                 _ => {
-                    print!("{}", report::render(&outcome.report, 5));
+                    let top = options.request.top.unwrap_or(5);
+                    print!("{}", report::render(&outcome.report, top));
                     println!("kernel cycles: {}", outcome.cycles);
                 }
             }
@@ -239,11 +300,11 @@ fn analysis_failure(json: bool, e: &AnalysisError) -> ExitCode {
 
 /// `gpa analyze --all [--json]`: every registry app (baseline variant)
 /// through the parallel batch pipeline, then an end-of-run summary.
-fn analyze_all(json: bool) -> ExitCode {
+fn analyze_all(json: bool, options: &WireOptions) -> ExitCode {
     let session = Session::full();
     let jobs = session.jobs_for_all_apps();
     let t0 = std::time::Instant::now();
-    let results = session.run_batch(&jobs);
+    let results = session.run_batch_request(&jobs, &options.request);
     let total_wall = t0.elapsed();
     let faults = results.iter().filter(|r| r.is_err()).count();
 
@@ -251,6 +312,7 @@ fn analyze_all(json: bool) -> ExitCode {
         let apps: Vec<Json> = results
             .iter()
             .map(|r| match r {
+                Ok(out) if options.schema == 2 => out.to_json_v2(),
                 Ok(out) => out.to_json(),
                 Err(e) => e.to_json(),
             })
@@ -274,7 +336,7 @@ fn analyze_all(json: bool) -> ExitCode {
             match result {
                 Ok(out) => {
                     let top = out.report.top().map_or("(no advice matched)".to_string(), |i| {
-                        format!("{} {:.2}x", i.optimizer, i.estimated_speedup)
+                        format!("{} {:.2}x", i.optimizer(), i.estimated_speedup)
                     });
                     println!(
                         "{:<24} {:<28} {:>10}cy {:>9} {:>8.1}ms  {}",
@@ -345,6 +407,24 @@ fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
     let Some(op) = pos.get(1).map(String::as_str) else {
         return usage("`request` needs an op: analyze, analyze_profile, status, shutdown");
     };
+    // Advice options only make sense on the advising ops; anywhere else
+    // they would be silently ignored, which strict parsing forbids.
+    if !matches!(op, "analyze" | "analyze_profile") {
+        for (name, set) in [
+            ("top", flags.top.is_some()),
+            ("category", flags.category.is_some()),
+            ("min-speedup", flags.min_speedup.is_some()),
+            ("schema", flags.schema.is_some()),
+        ] {
+            if set {
+                return usage(&format!("flag --{name} is not supported by `request {op}`"));
+            }
+        }
+    }
+    let options = match advice_options(flags) {
+        Ok(o) => o,
+        Err(msg) => return usage(&msg),
+    };
     // Validate the whole command line (including the profile file)
     // BEFORE connecting, so usage errors and exit codes do not depend
     // on whether a daemon happens to be running.
@@ -400,9 +480,9 @@ fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
     let sent = match prepared {
         Prepared::Status => client.status(),
         Prepared::Shutdown => client.shutdown(),
-        Prepared::Analyze { app, variant } => client.analyze(&app, variant),
+        Prepared::Analyze { app, variant } => client.analyze_with(&app, variant, &options),
         Prepared::AnalyzeProfile { app, variant, profile } => {
-            client.analyze_profile(&app, variant, &profile)
+            client.analyze_profile_with(&app, variant, &profile, &options)
         }
     };
     match sent {

@@ -101,6 +101,62 @@ fn request_usage_errors_do_not_depend_on_a_daemon() {
 }
 
 #[test]
+fn advice_flags_are_validated_strictly() {
+    // --schema shapes --json output only; without --json it is an error.
+    let out = gpa(&["analyze", "rodinia/hotspot", "--schema", "v2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--json"), "{}", stderr(&out));
+    // Unknown schema / category values name the bad value.
+    let out = gpa(&["analyze", "rodinia/hotspot", "--json", "--schema", "v9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown schema `v9`"), "{}", stderr(&out));
+    let out = gpa(&["analyze", "rodinia/hotspot", "--category", "warp-drive"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown category `warp-drive`"), "{}", stderr(&out));
+    // Numeric flags reject junk.
+    let out = gpa(&["analyze", "rodinia/hotspot", "--min-speedup", "fast"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--min-speedup expects a number"), "{}", stderr(&out));
+    let out = gpa(&["analyze", "rodinia/hotspot", "--top", "few"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--top expects a number"), "{}", stderr(&out));
+    // Advice flags stay scoped to analyze/request.
+    let out = gpa(&["list", "--top", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--top is not supported"), "{}", stderr(&out));
+    let out = gpa(&["serve", "--schema", "v2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--schema is not supported"), "{}", stderr(&out));
+}
+
+#[test]
+fn request_advice_flags_are_validated_before_connecting() {
+    // Bad option values are usage errors even with no daemon running.
+    let out = gpa(&["request", "analyze", "rodinia/hotspot", "--category", "warp-drive"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown category"), "{}", stderr(&out));
+    let out = gpa(&["request", "analyze", "rodinia/hotspot", "--schema", "3000"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown schema"), "{}", stderr(&out));
+    // Advice flags are scoped to the advising ops; on status/shutdown
+    // they would be silently ignored, so they are usage errors.
+    let out = gpa(&["request", "status", "--schema", "v2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--schema is not supported by `request status`"),
+        "{}",
+        stderr(&out)
+    );
+    let out = gpa(&["request", "shutdown", "--top", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--top is not supported by `request shutdown`"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn request_against_no_daemon_fails_cleanly() {
     // Port 9 (discard) on loopback is essentially never listening.
     let out = gpa(&["request", "status", "--addr", "127.0.0.1:9"]);

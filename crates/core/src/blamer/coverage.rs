@@ -68,7 +68,7 @@ pub fn detail_shares(blame: &ModuleBlame) -> Vec<(DetailedReason, f64)> {
         .iter()
         .filter_map(|d| totals.get(d).map(|(s, _)| (*d, if sum > 0.0 { s / sum } else { 0.0 })))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 

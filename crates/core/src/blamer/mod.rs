@@ -4,7 +4,7 @@
 //! dependency, execution dependency, and synchronization stalls, however,
 //! are caused by *source* instructions. The blamer finds those sources:
 //!
-//! 1. [`slice`] — backward slicing over def–use chains, with virtual
+//! 1. [`slice`](mod@slice) — backward slicing over def–use chains, with virtual
 //!    barrier registers (Figure 3) and predicate-cover search (Figure 4a),
 //! 2. [`graph`] — dependency-graph construction, the three cold-edge
 //!    pruning rules, and Eq. 1 apportioning (Figures 4b–4d),

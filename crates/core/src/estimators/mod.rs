@@ -152,6 +152,69 @@ mod tests {
             prop_assert!(s >= 1.0 && s.is_finite());
         }
 
+        /// Theorem 5.1, per the paper's bound: whenever the active
+        /// samples are at most half the total (`A ≤ T/2`), latency
+        /// hiding cannot exceed 2× — for the global estimator (Eq. 4)
+        /// and for any scope partition (Eq. 5).
+        #[test]
+        fn theorem_5_1_when_active_at_most_half(total in 1.0f64..1e9,
+                                                active_frac in 0.0f64..0.5,
+                                                matched in 0.0f64..1e9,
+                                                split in 0.0f64..1.0,
+                                                a1_frac in 0.0f64..1.0) {
+            let active = total * active_frac;
+            let s = latency_hiding_speedup(total, active, matched);
+            prop_assert!(s <= 2.0 + 1e-9, "Eq. 4: Sh = {s}");
+            let a1 = active * a1_frac;
+            let scoped = scoped_latency_hiding_speedup(
+                total, active, &[(a1, matched * split), (active - a1, matched * (1.0 - split))]);
+            prop_assert!(scoped <= 2.0 + 1e-9, "Eq. 5: Sh = {scoped}");
+        }
+
+        /// Every estimator's speedup is at least 1 (fixing an
+        /// inefficiency never predicts a slowdown), and at least as much
+        /// for the parallel model whenever the proposed configuration
+        /// weakly dominates the old one.
+        #[test]
+        fn all_estimators_at_least_one(total in 1.0f64..1e9, matched in 0.0f64..1e9,
+                                       active in 0.0f64..1e9,
+                                       a1 in 0.0f64..1e6, m1 in 0.0f64..1e6,
+                                       a2 in 0.0f64..1e6, m2 in 0.0f64..1e6,
+                                       i in 0.01f64..0.95, w in 1.0f64..16.0,
+                                       dw in 0.0f64..8.0, dsm in 0.0f64..64.0,
+                                       dlane in 0.0f64..0.5, dfactor in 0.0f64..1.0) {
+            prop_assert!(stall_elimination_speedup(total, matched) >= 1.0);
+            prop_assert!(latency_hiding_speedup(total, active, matched) >= 1.0);
+            prop_assert!(scoped_latency_hiding_speedup(total, active, &[(a1, m1), (a2, m2)]) >= 1.0);
+            let p = ParallelParams {
+                w_old: w, w_new: w + dw,
+                busy_sms_old: 16.0, busy_sms_new: 16.0 + dsm,
+                lane_eff_old: 0.5, lane_eff_new: 0.5 + dlane,
+                factor: 1.0 + dfactor,
+            };
+            prop_assert!(parallel_speedup(i, &p) >= 1.0 - 1e-9,
+                         "a weakly dominating configuration never predicts a slowdown");
+        }
+
+        /// Saturation at full match: the estimators stay finite and
+        /// monotone as the matched samples approach (and reach) the
+        /// total, instead of diverging at `M = T`.
+        #[test]
+        fn saturation_at_full_match(total in 1.0f64..1e9, over in 0.0f64..2.0) {
+            let full = stall_elimination_speedup(total, total);
+            prop_assert!(full.is_finite() && full >= 999.0, "saturated but finite: {full}");
+            // Over-matching (M > T, a matcher double-counting) cannot
+            // exceed the saturated estimate.
+            let overshoot = stall_elimination_speedup(total, total * (1.0 + over));
+            prop_assert!(overshoot.is_finite() && (overshoot - full).abs() < 1e-6);
+            // Latency hiding saturates at the active bound instead.
+            let h = latency_hiding_speedup(total, total, total);
+            prop_assert!(h.is_finite() && h >= 999.0);
+            // And monotonicity in the matched share holds up to the cap.
+            let half = stall_elimination_speedup(total, total * 0.5);
+            prop_assert!(half <= full && half >= 1.0);
+        }
+
         /// More warps never predict a slowdown (all else equal).
         #[test]
         fn parallel_monotone_in_warps(i in 0.01f64..0.95, w in 1.0f64..16.0, dw in 0.0f64..8.0) {

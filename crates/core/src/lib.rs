@@ -26,9 +26,16 @@ pub mod blamer;
 pub mod estimators;
 pub mod optimizers;
 pub mod report;
+pub mod schema;
 
-pub use advisor::{AdviceItem, AdviceReport, Advisor, AnalysisCtx};
+pub use advisor::{
+    AdviceItem, AdviceReport, AdviceRequest, Advisor, AdvisorBuilder, AnalysisCtx, EstimatorInputs,
+    HotspotReport, LocationReport, RegionReport, SCHEMA_VERSION,
+};
 pub use blamer::{
     BlamedEdge, DepEdge, DepGraph, DetailedReason, FunctionBlame, ModuleBlame, PruneRule,
 };
-pub use optimizers::{Hotspot, MatchResult, Optimizer, OptimizerCategory};
+pub use optimizers::{
+    Hint, HintKind, Hotspot, MatchResult, Optimizer, OptimizerCategory, OptimizerId,
+    OptimizerRegistry,
+};

@@ -1,6 +1,6 @@
 //! Latency-hiding optimizers (Table 2, middle).
 
-use super::{Hotspot, MatchResult, Optimizer, OptimizerCategory};
+use super::{Hotspot, MatchResult, Optimizer, OptimizerId};
 use crate::advisor::AnalysisCtx;
 use crate::blamer::DetailedReason;
 use gpa_isa::{Opcode, Visibility};
@@ -25,12 +25,8 @@ fn hideable(detail: DetailedReason) -> bool {
 pub struct LoopUnrolling;
 
 impl Optimizer for LoopUnrolling {
-    fn name(&self) -> &'static str {
-        "GPULoopUnrollOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::LatencyHiding
+    fn id(&self) -> OptimizerId {
+        OptimizerId::LoopUnrolling
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -77,12 +73,8 @@ pub struct CodeReordering;
 const REORDER_WINDOW: u32 = 48;
 
 impl Optimizer for CodeReordering {
-    fn name(&self) -> &'static str {
-        "GPUCodeReorderOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::LatencyHiding
+    fn id(&self) -> OptimizerId {
+        OptimizerId::CodeReordering
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -122,12 +114,8 @@ impl Optimizer for CodeReordering {
 pub struct FunctionInlining;
 
 impl Optimizer for FunctionInlining {
-    fn name(&self) -> &'static str {
-        "GPUFunctionInliningOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::LatencyHiding
+    fn id(&self) -> OptimizerId {
+        OptimizerId::FunctionInlining
     }
 
     fn hints(&self) -> Vec<&'static str> {

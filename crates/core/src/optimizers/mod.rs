@@ -35,7 +35,7 @@ use gpa_structure::Scope;
 use std::fmt;
 
 /// The three optimizer families of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OptimizerCategory {
     /// Remove the stalls themselves (Eq. 2).
     StallElimination,
@@ -43,6 +43,29 @@ pub enum OptimizerCategory {
     LatencyHiding,
     /// Change the parallelism level (Eqs. 6–10).
     Parallel,
+}
+
+impl OptimizerCategory {
+    /// Every category, in Table 2 order.
+    pub const ALL: [OptimizerCategory; 3] = [
+        OptimizerCategory::StallElimination,
+        OptimizerCategory::LatencyHiding,
+        OptimizerCategory::Parallel,
+    ];
+
+    /// Stable machine-readable name (advice schema v2, CLI `--category`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            OptimizerCategory::StallElimination => "stall-elimination",
+            OptimizerCategory::LatencyHiding => "latency-hiding",
+            OptimizerCategory::Parallel => "parallel",
+        }
+    }
+
+    /// Parses a [`OptimizerCategory::slug`] back to the category.
+    pub fn from_slug(s: &str) -> Option<OptimizerCategory> {
+        Self::ALL.into_iter().find(|c| c.slug() == s)
+    }
 }
 
 impl fmt::Display for OptimizerCategory {
@@ -53,6 +76,173 @@ impl fmt::Display for OptimizerCategory {
             OptimizerCategory::Parallel => "parallel",
         };
         f.write_str(s)
+    }
+}
+
+/// Typed identity of a Table 2 optimizer.
+///
+/// The `Ord` derived from declaration order is the catalog order, which
+/// the advisor uses as the deterministic tie-break for equal estimated
+/// speedups and the [`OptimizerRegistry`] uses as its iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptimizerId {
+    /// Local-memory dependency stalls (register spills).
+    RegisterReuse,
+    /// Execution-dependency stalls of long-latency arithmetic.
+    StrengthReduction,
+    /// Instruction-fetch stalls in functions larger than the i-cache.
+    FunctionSplit,
+    /// Stalls inside CUDA math-library functions.
+    FastMath,
+    /// Synchronization stalls at barriers.
+    WarpBalance,
+    /// Memory-throttle stalls (too many transactions in flight).
+    MemoryTransactionReduction,
+    /// Hideable latency with def and use in one loop.
+    LoopUnrolling,
+    /// Hideable latency at short def→use distance.
+    CodeReordering,
+    /// Stalls in out-of-line device functions and call sites.
+    FunctionInlining,
+    /// Grids leaving SMs idle.
+    BlockIncrease,
+    /// Blocks too small for full occupancy.
+    ThreadIncrease,
+}
+
+impl OptimizerId {
+    /// Every built-in optimizer, in Table 2 (catalog) order.
+    pub const ALL: [OptimizerId; 11] = [
+        OptimizerId::RegisterReuse,
+        OptimizerId::StrengthReduction,
+        OptimizerId::FunctionSplit,
+        OptimizerId::FastMath,
+        OptimizerId::WarpBalance,
+        OptimizerId::MemoryTransactionReduction,
+        OptimizerId::LoopUnrolling,
+        OptimizerId::CodeReordering,
+        OptimizerId::FunctionInlining,
+        OptimizerId::BlockIncrease,
+        OptimizerId::ThreadIncrease,
+    ];
+
+    /// The paper-style display name (e.g. `GPURegisterReuseOptimizer`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizerId::RegisterReuse => "GPURegisterReuseOptimizer",
+            OptimizerId::StrengthReduction => "GPUStrengthReductionOptimizer",
+            OptimizerId::FunctionSplit => "GPUFunctionSplitOptimizer",
+            OptimizerId::FastMath => "GPUFastMathOptimizer",
+            OptimizerId::WarpBalance => "GPUWarpBalanceOptimizer",
+            OptimizerId::MemoryTransactionReduction => "GPUMemoryTransactionReductionOptimizer",
+            OptimizerId::LoopUnrolling => "GPULoopUnrollOptimizer",
+            OptimizerId::CodeReordering => "GPUCodeReorderOptimizer",
+            OptimizerId::FunctionInlining => "GPUFunctionInliningOptimizer",
+            OptimizerId::BlockIncrease => "GPUBlockIncreaseOptimizer",
+            OptimizerId::ThreadIncrease => "GPUThreadIncreaseOptimizer",
+        }
+    }
+
+    /// Stable machine-readable name (advice schema v2, CLI filters).
+    pub fn slug(self) -> &'static str {
+        match self {
+            OptimizerId::RegisterReuse => "register-reuse",
+            OptimizerId::StrengthReduction => "strength-reduction",
+            OptimizerId::FunctionSplit => "function-split",
+            OptimizerId::FastMath => "fast-math",
+            OptimizerId::WarpBalance => "warp-balance",
+            OptimizerId::MemoryTransactionReduction => "memory-transaction-reduction",
+            OptimizerId::LoopUnrolling => "loop-unrolling",
+            OptimizerId::CodeReordering => "code-reordering",
+            OptimizerId::FunctionInlining => "function-inlining",
+            OptimizerId::BlockIncrease => "block-increase",
+            OptimizerId::ThreadIncrease => "thread-increase",
+        }
+    }
+
+    /// The Table 2 family the optimizer belongs to.
+    pub fn category(self) -> OptimizerCategory {
+        match self {
+            OptimizerId::RegisterReuse
+            | OptimizerId::StrengthReduction
+            | OptimizerId::FunctionSplit
+            | OptimizerId::FastMath
+            | OptimizerId::WarpBalance
+            | OptimizerId::MemoryTransactionReduction => OptimizerCategory::StallElimination,
+            OptimizerId::LoopUnrolling
+            | OptimizerId::CodeReordering
+            | OptimizerId::FunctionInlining => OptimizerCategory::LatencyHiding,
+            OptimizerId::BlockIncrease | OptimizerId::ThreadIncrease => OptimizerCategory::Parallel,
+        }
+    }
+
+    /// Parses either form of the name: the paper-style display name
+    /// (`GPULoopUnrollOptimizer`) or the schema slug (`loop-unrolling`).
+    pub fn from_name(s: &str) -> Option<OptimizerId> {
+        Self::ALL.into_iter().find(|id| id.name() == s || id.slug() == s)
+    }
+}
+
+impl fmt::Display for OptimizerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of statement a [`Hint`] makes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HintKind {
+    /// Static guidance: how to apply the optimization (Figure 8's
+    /// numbered suggestions).
+    Guidance,
+    /// A dynamic finding from this profile (e.g. the proposed launch
+    /// configuration).
+    Finding,
+}
+
+impl HintKind {
+    /// Whether this is static guidance (vs a dynamic finding).
+    pub fn is_guidance(self) -> bool {
+        self == HintKind::Guidance
+    }
+
+    /// Stable machine-readable name (advice schema v2).
+    pub fn slug(self) -> &'static str {
+        match self {
+            HintKind::Guidance => "guidance",
+            HintKind::Finding => "finding",
+        }
+    }
+
+    /// Parses a [`HintKind::slug`] back to the kind.
+    pub fn from_slug(s: &str) -> Option<HintKind> {
+        match s {
+            "guidance" => Some(HintKind::Guidance),
+            "finding" => Some(HintKind::Finding),
+            _ => None,
+        }
+    }
+}
+
+/// One structured suggestion in an advice item: static guidance on how
+/// to apply the optimizer, or a dynamic finding from the profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hint {
+    /// Guidance or finding.
+    pub kind: HintKind,
+    /// The suggestion text.
+    pub text: String,
+}
+
+impl Hint {
+    /// A static guidance hint.
+    pub fn guidance(text: impl Into<String>) -> Hint {
+        Hint { kind: HintKind::Guidance, text: text.into() }
+    }
+
+    /// A dynamic finding.
+    pub fn finding(text: impl Into<String>) -> Hint {
+        Hint { kind: HintKind::Finding, text: text.into() }
     }
 }
 
@@ -92,9 +282,11 @@ impl MatchResult {
         self.matched == 0.0 && self.matched_latency == 0.0 && self.parallel.is_none()
     }
 
-    /// Sorts hotspots by sample weight and keeps the top `n`.
+    /// Sorts hotspots by sample weight and keeps the top `n`. The sort
+    /// is a total order (`f64::total_cmp`, stable), so a NaN weight can
+    /// never panic and equal weights keep their discovery order.
     pub fn keep_top_hotspots(&mut self, n: usize) {
-        self.hotspots.sort_by(|a, b| b.samples.partial_cmp(&a.samples).expect("finite weights"));
+        self.hotspots.sort_by(|a, b| b.samples.total_cmp(&a.samples));
         self.hotspots.truncate(n);
     }
 
@@ -111,16 +303,15 @@ impl MatchResult {
 }
 
 /// A performance optimizer: matches an inefficiency pattern and describes
-/// the fix.
+/// the fix. Name and category derive from [`Optimizer::id`], so an
+/// optimizer is identified by one typed value everywhere (reports,
+/// filters, wire protocol) instead of a free-form string.
 ///
 /// `Send + Sync` so one [`Advisor`](crate::Advisor) can be shared across
 /// the pipeline's worker threads; optimizers are stateless matchers.
 pub trait Optimizer: Send + Sync {
-    /// Paper-style name (e.g. `GPUStrengthReductionOptimizer`).
-    fn name(&self) -> &'static str;
-
-    /// Which family it belongs to.
-    fn category(&self) -> OptimizerCategory;
+    /// Which catalog slot this matcher fills.
+    fn id(&self) -> OptimizerId;
 
     /// Static optimization hints shown in the report (the numbered
     /// suggestions of Figure 8).
@@ -130,19 +321,160 @@ pub trait Optimizer: Send + Sync {
     fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult;
 }
 
-/// The full Table 2 catalog.
-pub fn all_optimizers() -> Vec<Box<dyn Optimizer>> {
-    vec![
-        Box::new(RegisterReuse),
-        Box::new(StrengthReduction),
-        Box::new(FunctionSplit),
-        Box::new(FastMath),
-        Box::new(WarpBalance),
-        Box::new(MemoryTransactionReduction),
-        Box::new(LoopUnrolling),
-        Box::new(CodeReordering),
-        Box::new(FunctionInlining),
-        Box::new(BlockIncrease),
-        Box::new(ThreadIncrease),
-    ]
+/// The typed optimizer catalog: at most one matcher per [`OptimizerId`],
+/// iterated in catalog order regardless of registration order, so the
+/// advisor's output is deterministic for any registry composition.
+///
+/// Replaces the seed-era anonymous `Vec<Box<dyn Optimizer>>`: callers
+/// select, replace, or restrict matchers by id instead of by position.
+pub struct OptimizerRegistry {
+    /// Kept sorted by `entry.id()`; ids are unique.
+    entries: Vec<Box<dyn Optimizer>>,
+}
+
+impl fmt::Debug for OptimizerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("OptimizerRegistry").field(&self.ids()).finish()
+    }
+}
+
+impl Default for OptimizerRegistry {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl OptimizerRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        OptimizerRegistry { entries: Vec::new() }
+    }
+
+    /// The full Table 2 catalog.
+    pub fn full() -> Self {
+        Self::of(&OptimizerId::ALL)
+    }
+
+    /// A registry of the built-in matchers for `ids` (duplicates are
+    /// collapsed).
+    pub fn of(ids: &[OptimizerId]) -> Self {
+        let mut registry = Self::empty();
+        for &id in ids {
+            registry.insert(builtin(id));
+        }
+        registry
+    }
+
+    /// Adds a matcher, replacing any existing matcher with the same id
+    /// (the paper notes users can add custom optimizers; a custom
+    /// matcher takes over its catalog slot).
+    pub fn insert(&mut self, opt: Box<dyn Optimizer>) {
+        match self.entries.binary_search_by_key(&opt.id(), |e| e.id()) {
+            Ok(i) => self.entries[i] = opt,
+            Err(i) => self.entries.insert(i, opt),
+        }
+    }
+
+    /// Removes the matcher for `id`, if present.
+    pub fn remove(&mut self, id: OptimizerId) {
+        self.entries.retain(|e| e.id() != id);
+    }
+
+    /// The matcher registered for `id`.
+    pub fn get(&self, id: OptimizerId) -> Option<&dyn Optimizer> {
+        self.entries.binary_search_by_key(&id, |e| e.id()).ok().map(|i| self.entries[i].as_ref())
+    }
+
+    /// All matchers, in catalog order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Optimizer> {
+        self.entries.iter().map(Box::as_ref)
+    }
+
+    /// The registered ids, in catalog order.
+    pub fn ids(&self) -> Vec<OptimizerId> {
+        self.entries.iter().map(|e| e.id()).collect()
+    }
+
+    /// Number of registered matchers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The built-in matcher for a catalog id.
+pub fn builtin(id: OptimizerId) -> Box<dyn Optimizer> {
+    match id {
+        OptimizerId::RegisterReuse => Box::new(RegisterReuse),
+        OptimizerId::StrengthReduction => Box::new(StrengthReduction),
+        OptimizerId::FunctionSplit => Box::new(FunctionSplit),
+        OptimizerId::FastMath => Box::new(FastMath),
+        OptimizerId::WarpBalance => Box::new(WarpBalance),
+        OptimizerId::MemoryTransactionReduction => Box::new(MemoryTransactionReduction),
+        OptimizerId::LoopUnrolling => Box::new(LoopUnrolling),
+        OptimizerId::CodeReordering => Box::new(CodeReordering),
+        OptimizerId::FunctionInlining => Box::new(FunctionInlining),
+        OptimizerId::BlockIncrease => Box::new(BlockIncrease),
+        OptimizerId::ThreadIncrease => Box::new(ThreadIncrease),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_names_and_slugs() {
+        for id in OptimizerId::ALL {
+            assert_eq!(OptimizerId::from_name(id.name()), Some(id));
+            assert_eq!(OptimizerId::from_name(id.slug()), Some(id));
+            assert_eq!(builtin(id).id(), id);
+        }
+        assert_eq!(OptimizerId::from_name("GPUWarpDriveOptimizer"), None);
+        for cat in OptimizerCategory::ALL {
+            assert_eq!(OptimizerCategory::from_slug(cat.slug()), Some(cat));
+        }
+    }
+
+    #[test]
+    fn registry_is_catalog_ordered_and_unique() {
+        // Register in reverse: iteration order must still be catalog order.
+        let mut r = OptimizerRegistry::empty();
+        for id in OptimizerId::ALL.iter().rev() {
+            r.insert(builtin(*id));
+        }
+        assert_eq!(r.ids(), OptimizerId::ALL.to_vec());
+        assert_eq!(r.len(), 11);
+
+        // Replacing a slot keeps the registry unique.
+        r.insert(builtin(OptimizerId::FastMath));
+        assert_eq!(r.len(), 11);
+        r.remove(OptimizerId::FastMath);
+        assert!(r.get(OptimizerId::FastMath).is_none());
+        assert_eq!(r.len(), 10);
+
+        let sub = OptimizerRegistry::of(&[OptimizerId::ThreadIncrease, OptimizerId::FastMath]);
+        assert_eq!(sub.ids(), vec![OptimizerId::FastMath, OptimizerId::ThreadIncrease]);
+    }
+
+    #[test]
+    fn keep_top_hotspots_uses_a_total_order() {
+        let mut m = MatchResult {
+            hotspots: vec![
+                Hotspot { def_pc: None, use_pc: 0, samples: 1.0, distance: None },
+                Hotspot { def_pc: None, use_pc: 16, samples: f64::NAN, distance: None },
+                Hotspot { def_pc: None, use_pc: 32, samples: 5.0, distance: None },
+            ],
+            ..MatchResult::default()
+        };
+        // Must not panic on the NaN weight; NaN sorts above all finite
+        // values under total_cmp's descending order.
+        m.keep_top_hotspots(2);
+        assert_eq!(m.hotspots.len(), 2);
+        assert_eq!(m.hotspots[1].use_pc, 32, "largest finite weight survives");
+    }
 }

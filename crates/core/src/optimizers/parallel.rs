@@ -1,6 +1,6 @@
 //! Parallel optimizers (Table 2, bottom) — Eqs. 6–10.
 
-use super::{MatchResult, Optimizer, OptimizerCategory};
+use super::{MatchResult, Optimizer, OptimizerId};
 use crate::advisor::AnalysisCtx;
 use crate::estimators::ParallelParams;
 use gpa_arch::LaunchConfig;
@@ -33,12 +33,8 @@ fn lane_efficiency(block_threads: u32, warp_size: u32) -> f64 {
 pub struct BlockIncrease;
 
 impl Optimizer for BlockIncrease {
-    fn name(&self) -> &'static str {
-        "GPUBlockIncreaseOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::Parallel
+    fn id(&self) -> OptimizerId {
+        OptimizerId::BlockIncrease
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -92,12 +88,8 @@ impl Optimizer for BlockIncrease {
 pub struct ThreadIncrease;
 
 impl Optimizer for ThreadIncrease {
-    fn name(&self) -> &'static str {
-        "GPUThreadIncreaseOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::Parallel
+    fn id(&self) -> OptimizerId {
+        OptimizerId::ThreadIncrease
     }
 
     fn hints(&self) -> Vec<&'static str> {

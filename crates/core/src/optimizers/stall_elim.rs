@@ -1,6 +1,6 @@
 //! Stall-elimination optimizers (Table 2, upper half).
 
-use super::{Hotspot, MatchResult, Optimizer, OptimizerCategory};
+use super::{Hotspot, MatchResult, Optimizer, OptimizerId};
 use crate::advisor::AnalysisCtx;
 use crate::blamer::DetailedReason;
 use gpa_sampling::StallReason;
@@ -19,12 +19,8 @@ fn edge_hotspot(ctx: &AnalysisCtx<'_>, func: usize, e: &crate::blamer::BlamedEdg
 pub struct RegisterReuse;
 
 impl Optimizer for RegisterReuse {
-    fn name(&self) -> &'static str {
-        "GPURegisterReuseOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::StallElimination
+    fn id(&self) -> OptimizerId {
+        OptimizerId::RegisterReuse
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -54,12 +50,8 @@ impl Optimizer for RegisterReuse {
 pub struct StrengthReduction;
 
 impl Optimizer for StrengthReduction {
-    fn name(&self) -> &'static str {
-        "GPUStrengthReductionOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::StallElimination
+    fn id(&self) -> OptimizerId {
+        OptimizerId::StrengthReduction
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -92,12 +84,8 @@ impl Optimizer for StrengthReduction {
 pub struct FunctionSplit;
 
 impl Optimizer for FunctionSplit {
-    fn name(&self) -> &'static str {
-        "GPUFunctionSplitOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::StallElimination
+    fn id(&self) -> OptimizerId {
+        OptimizerId::FunctionSplit
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -137,12 +125,8 @@ impl Optimizer for FunctionSplit {
 pub struct FastMath;
 
 impl Optimizer for FastMath {
-    fn name(&self) -> &'static str {
-        "GPUFastMathOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::StallElimination
+    fn id(&self) -> OptimizerId {
+        OptimizerId::FastMath
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -179,12 +163,8 @@ impl Optimizer for FastMath {
 pub struct WarpBalance;
 
 impl Optimizer for WarpBalance {
-    fn name(&self) -> &'static str {
-        "GPUWarpBalanceOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::StallElimination
+    fn id(&self) -> OptimizerId {
+        OptimizerId::WarpBalance
     }
 
     fn hints(&self) -> Vec<&'static str> {
@@ -213,12 +193,8 @@ impl Optimizer for WarpBalance {
 pub struct MemoryTransactionReduction;
 
 impl Optimizer for MemoryTransactionReduction {
-    fn name(&self) -> &'static str {
-        "GPUMemoryTransactionReductionOptimizer"
-    }
-
-    fn category(&self) -> OptimizerCategory {
-        OptimizerCategory::StallElimination
+    fn id(&self) -> OptimizerId {
+        OptimizerId::MemoryTransactionReduction
     }
 
     fn hints(&self) -> Vec<&'static str> {

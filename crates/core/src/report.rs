@@ -8,6 +8,12 @@
 //!      From tensor_transpose at cuda2.cu:34 in Loop at cuda2.cu:30
 //!      To   tensor_transpose at cuda2.cu:34 in Loop at cuda2.cu:30
 //! ```
+//!
+//! The renderer is a thin view over the structured advice schema
+//! ([`AdviceReport`] v2): guidance hints render as `*` bullets, dynamic
+//! findings as `-` bullets, hotspots with their blamed def→use pair.
+//! The machine-readable form of the same report lives in
+//! [`crate::schema`].
 
 use crate::advisor::{AdviceItem, AdviceReport, LocationReport};
 use std::fmt::Write;
@@ -32,27 +38,24 @@ pub fn render(report: &AdviceReport, top: usize) -> String {
         return out;
     }
     for item in report.items.iter().take(top) {
-        render_item(&mut out, report, item);
+        render_item(&mut out, item);
         let _ = writeln!(out);
     }
     out
 }
 
-fn render_item(out: &mut String, report: &AdviceReport, item: &AdviceItem) {
+fn render_item(out: &mut String, item: &AdviceItem) {
     let _ = writeln!(
         out,
         "Apply {} optimization, ratio {:.3}%, estimate speedup {:.3}x",
-        item.optimizer,
+        item.optimizer(),
         100.0 * item.matched_ratio,
         item.estimated_speedup
     );
     for hint in &item.hints {
-        let _ = writeln!(out, "  * {hint}");
+        let bullet = if hint.kind.is_guidance() { '*' } else { '-' };
+        let _ = writeln!(out, "  {bullet} {}", hint.text);
     }
-    for note in &item.notes {
-        let _ = writeln!(out, "  - {note}");
-    }
-    let _ = report;
     for (i, h) in item.hotspots.iter().enumerate() {
         let mut line = format!(
             "  {}. Hot BLAME code, ratio {:.3}%, speedup {:.3}x",
@@ -95,7 +98,7 @@ pub fn render_summary(report: &AdviceReport) -> String {
         let _ = writeln!(
             out,
             "{:<45} {:>8} ratio {:>7.3}%  speedup {:>6.3}x",
-            item.optimizer,
+            item.optimizer(),
             format!("[{}]", item.category),
             100.0 * item.matched_ratio,
             item.estimated_speedup

@@ -3,7 +3,7 @@
 //! This crate is the substrate GPA's static analyzer works on. It models the
 //! parts of NVIDIA's Volta SASS that matter for stall attribution:
 //!
-//! * fixed-length 128-bit instruction words ([`encode`]),
+//! * fixed-length 128-bit instruction words ([`encode`](mod@encode)),
 //! * **control codes** — stall cycles, yield flag, write/read barrier
 //!   indices and a wait mask over six scoreboard barriers ([`ControlCode`]),
 //! * **predicates** `P0`–`P6` plus the always-true `PT` ([`Predicate`]),

@@ -67,7 +67,9 @@ impl fmt::Debug for AnalysisOutcome {
 
 impl AnalysisOutcome {
     /// A machine-readable summary: identity, counters, and the ranked
-    /// advice (optimizer, estimated speedup, matched ratio).
+    /// advice (optimizer, estimated speedup, matched ratio). This is the
+    /// **v1** advice shape, kept byte-stable for existing consumers; the
+    /// full structured report is [`AnalysisOutcome::to_json_v2`].
     pub fn to_json(&self) -> Json {
         let advice: Vec<Json> = self
             .report
@@ -77,7 +79,7 @@ impl AnalysisOutcome {
             .map(|(rank, item)| {
                 Json::object()
                     .with("rank", rank + 1)
-                    .with("optimizer", item.optimizer.clone())
+                    .with("optimizer", item.optimizer())
                     .with("estimated_speedup", item.estimated_speedup)
                     .with("matched_ratio", item.matched_ratio)
             })
@@ -91,6 +93,22 @@ impl AnalysisOutcome {
             .with("issue_ratio", self.profile.issue_ratio())
             .with("wall_ms", self.wall.as_secs_f64() * 1e3)
             .with("advice", Json::Arr(advice))
+    }
+
+    /// The outcome with its advice as the full machine-readable **v2**
+    /// report ([`gpa_core::schema`]): identity and counters as in
+    /// [`AnalysisOutcome::to_json`], plus the versioned `report`
+    /// document instead of the flat `advice` summary.
+    pub fn to_json_v2(&self) -> Json {
+        Json::object()
+            .with("app", self.job.app.clone())
+            .with("variant", self.job.variant)
+            .with("kernel", self.kernel.clone())
+            .with("cycles", self.cycles)
+            .with("total_samples", self.profile.total_samples)
+            .with("issue_ratio", self.profile.issue_ratio())
+            .with("wall_ms", self.wall.as_secs_f64() * 1e3)
+            .with("report", gpa_core::schema::report_to_json(&self.report))
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::{AnalysisError, AnalysisJob, AnalysisOutcome};
 use gpa_arch::{ArchConfig, LatencyTable};
-use gpa_core::{Advisor, ModuleBlame};
+use gpa_core::{AdviceRequest, Advisor, ModuleBlame};
 use gpa_kernels::apps::app_by_name;
 use gpa_kernels::{KernelSpec, Params};
 use gpa_sampling::{KernelProfile, Profiler};
@@ -215,18 +215,21 @@ impl Session {
     }
 
     /// Advises on a sampled profile using an artifact's cached static
-    /// analysis and the session's latency table.
+    /// analysis and the session's latency table, scoped by a per-call
+    /// [`AdviceRequest`].
     fn advise_artifacts(
         &self,
         artifacts: &ModuleArtifacts,
         profile: &KernelProfile,
+        request: &AdviceRequest,
     ) -> gpa_core::AdviceReport {
-        self.advisor.advise_with(
+        self.advisor.advise_request(
             &artifacts.spec.module,
             &artifacts.structure,
             &self.latency,
             profile,
             &self.arch,
+            request,
         )
     }
 
@@ -248,15 +251,30 @@ impl Session {
     }
 
     /// Runs one job: simulate with sampling, aggregate the profile, and
-    /// produce the ranked advice report.
+    /// produce the ranked advice report with the advisor's default
+    /// options (see [`gpa_core::AdvisorBuilder::defaults`]).
     ///
     /// # Errors
     ///
     /// Unknown app/variant, or a simulator fault.
     pub fn run_one(&self, job: &AnalysisJob) -> Result<AnalysisOutcome, AnalysisError> {
+        self.run_one_request(job, self.advisor.defaults())
+    }
+
+    /// [`Session::run_one`] scoped by a per-call [`AdviceRequest`]
+    /// (top-k, category/optimizer filters, hotspot budget, evidence).
+    ///
+    /// # Errors
+    ///
+    /// Unknown app/variant, or a simulator fault.
+    pub fn run_one_request(
+        &self,
+        job: &AnalysisJob,
+        request: &AdviceRequest,
+    ) -> Result<AnalysisOutcome, AnalysisError> {
         let t0 = Instant::now();
         let (artifacts, profile, cycles) = self.profile_one(job)?;
-        let report = self.advise_artifacts(&artifacts, &profile);
+        let report = self.advise_artifacts(&artifacts, &profile, request);
         Ok(AnalysisOutcome {
             job: job.clone(),
             kernel: artifacts.spec.entry.clone(),
@@ -283,8 +301,23 @@ impl Session {
         job: &AnalysisJob,
         profile: &KernelProfile,
     ) -> Result<gpa_core::AdviceReport, AnalysisError> {
+        self.advise_profile_request(job, profile, self.advisor.defaults())
+    }
+
+    /// [`Session::advise_profile`] scoped by a per-call
+    /// [`AdviceRequest`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown app or variant out of range.
+    pub fn advise_profile_request(
+        &self,
+        job: &AnalysisJob,
+        profile: &KernelProfile,
+        request: &AdviceRequest,
+    ) -> Result<gpa_core::AdviceReport, AnalysisError> {
         let artifacts = self.artifacts(job)?;
-        Ok(self.advise_artifacts(&artifacts, profile))
+        Ok(self.advise_artifacts(&artifacts, profile, request))
     }
 
     /// Profiles one job and attributes its stalls, returning the blame
@@ -320,7 +353,7 @@ impl Session {
         let artifacts =
             Arc::new(ModuleArtifacts { spec, structure, program, init: OnceLock::new() });
         let (profile, cycles) = self.sample_artifacts(&job, &artifacts)?;
-        let report = self.advise_artifacts(&artifacts, &profile);
+        let report = self.advise_artifacts(&artifacts, &profile, self.advisor.defaults());
         Ok(AnalysisOutcome {
             job,
             kernel: artifacts.spec.entry.clone(),
@@ -366,7 +399,17 @@ impl Session {
     /// job order — index `i` of the output always answers `jobs[i]`,
     /// independent of scheduling — so batch output is deterministic.
     pub fn run_batch(&self, jobs: &[AnalysisJob]) -> Vec<Result<AnalysisOutcome, AnalysisError>> {
-        jobs.par_iter().map(|job| self.run_one(job)).collect()
+        self.run_batch_request(jobs, self.advisor.defaults())
+    }
+
+    /// [`Session::run_batch`] with one shared per-call [`AdviceRequest`]
+    /// applied to every job.
+    pub fn run_batch_request(
+        &self,
+        jobs: &[AnalysisJob],
+        request: &AdviceRequest,
+    ) -> Vec<Result<AnalysisOutcome, AnalysisError>> {
+        jobs.par_iter().map(|job| self.run_one_request(job, request)).collect()
     }
 
     /// The serial reference for [`Session::run_batch`] (used by the

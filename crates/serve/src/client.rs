@@ -5,7 +5,7 @@
 //! open several clients for concurrency — the throughput bench and the
 //! integration tests do.
 
-use crate::protocol::Request;
+use crate::protocol::{Request, WireOptions};
 use gpa_json::Json;
 use gpa_pipeline::AnalysisJob;
 use std::io::{self, BufRead, BufReader, Write};
@@ -103,16 +103,36 @@ impl ServeClient {
         Response::from_frame(&line)
     }
 
-    /// `analyze`: profile-and-advise `(app, variant)` on the daemon.
+    /// `analyze`: profile-and-advise `(app, variant)` on the daemon
+    /// with default options (schema v1).
     ///
     /// # Errors
     ///
     /// I/O failure or a malformed response frame.
     pub fn analyze(&mut self, app: &str, variant: usize) -> io::Result<Response> {
-        self.request(&Request::Analyze { job: AnalysisJob::new(app, variant) })
+        self.analyze_with(app, variant, &WireOptions::default())
     }
 
-    /// `analyze_profile`: advise on a locally gathered profile document.
+    /// [`ServeClient::analyze`] with an explicit negotiated schema and
+    /// advice options.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed response frame.
+    pub fn analyze_with(
+        &mut self,
+        app: &str,
+        variant: usize,
+        options: &WireOptions,
+    ) -> io::Result<Response> {
+        self.request(&Request::Analyze {
+            job: AnalysisJob::new(app, variant),
+            options: options.clone(),
+        })
+    }
+
+    /// `analyze_profile`: advise on a locally gathered profile document
+    /// with default options (schema v1).
     ///
     /// # Errors
     ///
@@ -123,7 +143,24 @@ impl ServeClient {
         variant: usize,
         profile: &Json,
     ) -> io::Result<Response> {
-        let frame = crate::protocol::analyze_profile_frame(app, variant, &profile.compact());
+        self.analyze_profile_with(app, variant, profile, &WireOptions::default())
+    }
+
+    /// [`ServeClient::analyze_profile`] with an explicit negotiated
+    /// schema and advice options.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed response frame.
+    pub fn analyze_profile_with(
+        &mut self,
+        app: &str,
+        variant: usize,
+        profile: &Json,
+        options: &WireOptions,
+    ) -> io::Result<Response> {
+        let frame =
+            crate::protocol::analyze_profile_frame(app, variant, &profile.compact(), options);
         let line = self.request_line(&frame)?;
         Response::from_frame(&line)
     }

@@ -5,8 +5,15 @@
 //! an `"op"` discriminator; responses carry `"ok"` plus either a
 //! `"result"` payload or an `"error"` message. The full schema lives in
 //! `docs/protocol.md`.
+//!
+//! `analyze`/`analyze_profile` requests negotiate the **advice schema
+//! version** per call: `"schema": 2` selects the structured v2 report
+//! ([`gpa_core::schema`]); absent (or `1`) keeps the flat v1 body, so
+//! pre-v2 clients keep working unchanged. The same requests also carry
+//! optional [`AdviceRequest`] options (`top`, `categories`,
+//! `optimizers`, `min_speedup`, `hotspots`, `evidence`).
 
-use gpa_core::{report, AdviceReport};
+use gpa_core::{report, schema, AdviceReport, AdviceRequest, OptimizerCategory, OptimizerId};
 use gpa_json::Json;
 use gpa_pipeline::{AnalysisError, AnalysisJob, AnalysisOutcome};
 use gpa_sampling::KernelProfile;
@@ -14,6 +21,13 @@ use gpa_sampling::KernelProfile;
 /// The default daemon address (`gpa serve` / `gpa request` without
 /// `--addr`).
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7070";
+
+/// Advice schema versions the daemon can answer with.
+pub const SCHEMA_VERSIONS: [u32; 2] = [1, 2];
+
+/// The schema version used when a request does not negotiate one —
+/// v1, so pre-v2 clients see unchanged bodies.
+pub const DEFAULT_SCHEMA: u32 = 1;
 
 /// Hard cap on one request line. Anything longer is rejected and the
 /// connection closed: past this point the stream cannot be resynced.
@@ -27,6 +41,164 @@ pub const MAX_SLEEP_MS: u64 = 5_000;
 /// `analyze` default).
 pub const REPORT_TOP: usize = 5;
 
+/// Per-request advice options carried on the wire: the negotiated
+/// schema version plus the [`AdviceRequest`] the advisor runs with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireOptions {
+    /// Advice schema version for the response body (1 or 2).
+    pub schema: u32,
+    /// Advisor options for this call.
+    pub request: AdviceRequest,
+}
+
+impl Default for WireOptions {
+    fn default() -> Self {
+        WireOptions { schema: DEFAULT_SCHEMA, request: AdviceRequest::default() }
+    }
+}
+
+impl WireOptions {
+    /// Options selecting the v2 schema with default advisor behavior.
+    pub fn v2() -> Self {
+        WireOptions { schema: 2, ..WireOptions::default() }
+    }
+
+    /// Parses the optional advice-option fields of an
+    /// `analyze`/`analyze_profile` request.
+    fn parse(doc: &Json) -> Result<WireOptions, String> {
+        let mut options = WireOptions::default();
+        if let Some(v) = doc.get("schema") {
+            options.schema = parse_schema(v)?;
+        }
+        let mut request = AdviceRequest::default();
+        if let Some(v) = doc.get("top") {
+            let top = v.as_u64().map_err(|_| "`top` must be an unsigned integer")?;
+            request.top = Some(usize::try_from(top).map_err(|_| "`top` out of range")?);
+        }
+        if let Some(v) = doc.get("categories") {
+            for s in strings_of(v, "categories")? {
+                let cat = OptimizerCategory::from_slug(&s)
+                    .ok_or_else(|| format!("unknown category `{s}`"))?;
+                request.categories.push(cat);
+            }
+        }
+        if let Some(v) = doc.get("optimizers") {
+            for s in strings_of(v, "optimizers")? {
+                let id =
+                    OptimizerId::from_name(&s).ok_or_else(|| format!("unknown optimizer `{s}`"))?;
+                request.optimizers.push(id);
+            }
+        }
+        if let Some(v) = doc.get("min_speedup") {
+            request.min_speedup = v.as_f64().map_err(|_| "`min_speedup` must be a number")?;
+        }
+        if let Some(v) = doc.get("hotspots") {
+            let n = v.as_u64().map_err(|_| "`hotspots` must be an unsigned integer")?;
+            request.hotspots = usize::try_from(n).map_err(|_| "`hotspots` out of range")?;
+        }
+        if let Some(v) = doc.get("evidence") {
+            request.evidence = v.as_bool().map_err(|_| "`evidence` must be a boolean")?;
+        }
+        options.request = request;
+        Ok(options)
+    }
+
+    /// Appends the non-default option fields to a wire frame object.
+    fn extend_wire(&self, mut doc: Json) -> Json {
+        let defaults = AdviceRequest::default();
+        if self.schema != DEFAULT_SCHEMA {
+            doc = doc.with("schema", self.schema);
+        }
+        let r = &self.request;
+        if let Some(top) = r.top {
+            doc = doc.with("top", top);
+        }
+        if !r.categories.is_empty() {
+            doc = doc.with(
+                "categories",
+                Json::Arr(r.categories.iter().map(|c| c.slug().into()).collect()),
+            );
+        }
+        if !r.optimizers.is_empty() {
+            doc = doc.with(
+                "optimizers",
+                Json::Arr(r.optimizers.iter().map(|o| o.slug().into()).collect()),
+            );
+        }
+        if r.min_speedup != defaults.min_speedup {
+            doc = doc.with("min_speedup", r.min_speedup);
+        }
+        if r.hotspots != defaults.hotspots {
+            doc = doc.with("hotspots", r.hotspots);
+        }
+        if r.evidence != defaults.evidence {
+            doc = doc.with("evidence", r.evidence);
+        }
+        doc
+    }
+
+    /// A canonical rendering of everything in the options that shapes a
+    /// response body — the options segment of the content address.
+    /// Filter lists are sorted and deduplicated (membership filters are
+    /// order-insensitive), so semantically identical requests share one
+    /// store entry.
+    fn cache_segment(&self) -> String {
+        let r = &self.request;
+        let mut cats: Vec<&str> = r.categories.iter().map(|c| c.slug()).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        let mut opts: Vec<&str> = r.optimizers.iter().map(|o| o.slug()).collect();
+        opts.sort_unstable();
+        opts.dedup();
+        format!(
+            "s{}|t{}|c{}|o{}|m{}|h{}|e{}",
+            self.schema,
+            r.top.map_or_else(|| "-".to_string(), |t| t.to_string()),
+            cats.join(","),
+            opts.join(","),
+            r.min_speedup,
+            r.hotspots,
+            u8::from(r.evidence),
+        )
+    }
+}
+
+/// Parses a schema version: the integers 1/2 or the strings "v1"/"v2".
+fn parse_schema(v: &Json) -> Result<u32, String> {
+    let n = match v {
+        Json::Str(s) => match s.as_str() {
+            "v1" | "1" => 1,
+            "v2" | "2" => 2,
+            other => return Err(format!("unknown schema `{other}` (expected v1 or v2)")),
+        },
+        other => {
+            let n = other.as_u64().map_err(|_| "`schema` must be 1, 2, \"v1\" or \"v2\"")?;
+            u32::try_from(n).map_err(|_| "`schema` out of range")?
+        }
+    };
+    if SCHEMA_VERSIONS.contains(&n) {
+        Ok(n)
+    } else {
+        Err(format!("unsupported schema version {n} (supported: 1, 2)"))
+    }
+}
+
+/// A string or an array of strings.
+fn strings_of(v: &Json, field: &str) -> Result<Vec<String>, String> {
+    match v {
+        Json::Str(s) => Ok(vec![s.clone()]),
+        Json::Arr(items) => items
+            .iter()
+            .map(|i| {
+                i.as_str()
+                    .map(str::to_string)
+                    .map_err(|_| format!("`{field}` entries must be strings"))
+            })
+            .collect(),
+        _ => Err(format!("`{field}` must be a string or an array of strings")),
+    }
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -34,6 +206,8 @@ pub enum Request {
     Analyze {
         /// The app/variant to analyze.
         job: AnalysisJob,
+        /// Negotiated schema version and advisor options.
+        options: WireOptions,
     },
     /// Advise on a client-submitted profile (no simulation): the
     /// decoupled path a real CUPTI dump would take.
@@ -45,6 +219,8 @@ pub enum Request {
         /// Canonical (compact) rendering of the submitted profile,
         /// kept for content-addressing.
         canon: String,
+        /// Negotiated schema version and advisor options.
+        options: WireOptions,
     },
     /// Daemon metrics snapshot.
     Status,
@@ -73,7 +249,9 @@ impl Request {
             .as_str()
             .map_err(|_| "`op` must be a string")?;
         match op {
-            "analyze" => Ok(Request::Analyze { job: job_from(&doc)? }),
+            "analyze" => {
+                Ok(Request::Analyze { job: job_from(&doc)?, options: WireOptions::parse(&doc)? })
+            }
             "analyze_profile" => {
                 let profile_doc = doc.get("profile").ok_or("missing `profile` field")?;
                 let profile = KernelProfile::from_doc(profile_doc)
@@ -82,6 +260,7 @@ impl Request {
                     job: job_from(&doc)?,
                     profile: Box::new(profile),
                     canon: profile_doc.compact(),
+                    options: WireOptions::parse(&doc)?,
                 })
             }
             "status" => Ok(Request::Status),
@@ -109,29 +288,41 @@ impl Request {
     }
 
     /// The content-address of a cacheable request: a canonical string
-    /// covering everything that determines the response body. `None`
+    /// covering everything that determines the response body — including
+    /// the negotiated schema and advice options, so a v1 and a v2 client
+    /// asking for the same job occupy distinct store entries. `None`
     /// for ops whose responses must not be cached.
     pub fn cache_key(&self) -> Option<String> {
         match self {
-            Request::Analyze { job } => Some(format!("analyze\0{}\0{}", job.app, job.variant)),
-            Request::AnalyzeProfile { job, canon, .. } => {
-                Some(format!("analyze_profile\0{}\0{}\0{canon}", job.app, job.variant))
+            Request::Analyze { job, options } => {
+                Some(format!("analyze\0{}\0{}\0{}", job.app, job.variant, options.cache_segment()))
             }
+            Request::AnalyzeProfile { job, canon, options, .. } => Some(format!(
+                "analyze_profile\0{}\0{}\0{}\0{canon}",
+                job.app,
+                job.variant,
+                options.cache_segment()
+            )),
             Request::Status | Request::Shutdown | Request::Sleep { .. } => None,
         }
     }
 
     /// Renders the request as its wire frame (without the trailing
-    /// newline). Used by clients; servers only parse.
+    /// newline). Used by clients; servers only parse. Default options
+    /// add no fields, so a default frame is byte-identical to a pre-v2
+    /// client's.
     pub fn to_wire(&self) -> String {
         match self {
-            Request::Analyze { job } => Json::object()
-                .with("op", "analyze")
-                .with("app", job.app.clone())
-                .with("variant", job.variant)
+            Request::Analyze { job, options } => options
+                .extend_wire(
+                    Json::object()
+                        .with("op", "analyze")
+                        .with("app", job.app.clone())
+                        .with("variant", job.variant),
+                )
                 .compact(),
-            Request::AnalyzeProfile { job, canon, .. } => {
-                analyze_profile_frame(&job.app, job.variant, canon)
+            Request::AnalyzeProfile { job, canon, options, .. } => {
+                analyze_profile_frame(&job.app, job.variant, canon, options)
             }
             Request::Status => "{\"op\":\"status\"}".to_string(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
@@ -142,9 +333,22 @@ impl Request {
 
 /// The `analyze_profile` request frame for a canonically (compact)
 /// rendered profile document — the one place its wire layout lives.
-pub fn analyze_profile_frame(app: &str, variant: usize, profile_canon: &str) -> String {
+/// Option fields (schema, top, ...) precede the profile payload.
+pub fn analyze_profile_frame(
+    app: &str,
+    variant: usize,
+    profile_canon: &str,
+    options: &WireOptions,
+) -> String {
+    let opts = options
+        .extend_wire(Json::object())
+        .compact()
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .to_string();
+    let opts = if opts.is_empty() { opts } else { format!("{opts},") };
     format!(
-        "{{\"op\":\"analyze_profile\",\"app\":{},\"variant\":{variant},\"profile\":{profile_canon}}}",
+        "{{\"op\":\"analyze_profile\",\"app\":{},\"variant\":{variant},{opts}\"profile\":{profile_canon}}}",
         Json::from(app).compact()
     )
 }
@@ -188,17 +392,21 @@ pub fn job_error_frame(err: &AnalysisError) -> String {
         .compact()
 }
 
-/// The deterministic `analyze` result body: identity, counters, ranked
-/// advice, and the rendered report text. Deliberately excludes
-/// wall-clock time so the body is byte-identical run to run (and hence
-/// cacheable by content address).
-pub fn analyze_body(outcome: &AnalysisOutcome) -> Json {
-    result_body(&outcome.job, &outcome.kernel, &outcome.profile, &outcome.report)
+/// The deterministic `analyze` result body in the negotiated schema.
+/// Deliberately excludes wall-clock time so the body is byte-identical
+/// run to run (and hence cacheable by content address).
+pub fn analyze_body(outcome: &AnalysisOutcome, schema: u32) -> Json {
+    result_body(&outcome.job, &outcome.kernel, &outcome.profile, &outcome.report, schema)
 }
 
 /// The `analyze_profile` result body (same shape as [`analyze_body`]).
-pub fn profile_body(job: &AnalysisJob, profile: &KernelProfile, report: &AdviceReport) -> Json {
-    result_body(job, &profile.kernel, profile, report)
+pub fn profile_body(
+    job: &AnalysisJob,
+    profile: &KernelProfile,
+    report: &AdviceReport,
+    schema: u32,
+) -> Json {
+    result_body(job, &profile.kernel, profile, report, schema)
 }
 
 fn result_body(
@@ -206,28 +414,41 @@ fn result_body(
     kernel: &str,
     profile: &KernelProfile,
     advice: &AdviceReport,
+    schema: u32,
 ) -> Json {
-    let items: Vec<Json> = advice
-        .items
-        .iter()
-        .enumerate()
-        .map(|(rank, item)| {
-            Json::object()
-                .with("rank", rank + 1)
-                .with("optimizer", item.optimizer.clone())
-                .with("estimated_speedup", item.estimated_speedup)
-                .with("matched_ratio", item.matched_ratio)
-        })
-        .collect();
-    Json::object()
+    let envelope = Json::object()
         .with("app", job.app.clone())
         .with("variant", job.variant)
         .with("kernel", kernel.to_string())
         .with("cycles", profile.cycles)
         .with("total_samples", profile.total_samples)
-        .with("issue_ratio", profile.issue_ratio())
-        .with("advice", Json::Arr(items))
-        .with("text", report::render(advice, REPORT_TOP))
+        .with("issue_ratio", profile.issue_ratio());
+    match schema {
+        // v2: the versioned machine-readable report document.
+        2 => envelope
+            .with("schema", 2u64)
+            .with("report", schema::report_to_json(advice))
+            .with("text", report::render(advice, REPORT_TOP)),
+        // v1 (compatibility renderer): the flat pre-v2 advice summary,
+        // byte-identical to what pre-v2 daemons produced.
+        _ => {
+            let items: Vec<Json> = advice
+                .items
+                .iter()
+                .enumerate()
+                .map(|(rank, item)| {
+                    Json::object()
+                        .with("rank", rank + 1)
+                        .with("optimizer", item.optimizer())
+                        .with("estimated_speedup", item.estimated_speedup)
+                        .with("matched_ratio", item.matched_ratio)
+                })
+                .collect();
+            envelope
+                .with("advice", Json::Arr(items))
+                .with("text", report::render(advice, REPORT_TOP))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +459,10 @@ mod tests {
     fn parses_the_documented_ops() {
         let r = Request::parse(r#"{"op":"analyze","app":"rodinia/nw","variant":1}"#).unwrap();
         match r {
-            Request::Analyze { job } => assert_eq!(job, AnalysisJob::new("rodinia/nw", 1)),
+            Request::Analyze { job, options } => {
+                assert_eq!(job, AnalysisJob::new("rodinia/nw", 1));
+                assert_eq!(options, WireOptions::default(), "absent options mean v1 defaults");
+            }
             other => panic!("wrong parse: {other:?}"),
         }
         assert!(matches!(Request::parse(r#"{"op":"status"}"#), Ok(Request::Status)));
@@ -253,9 +477,70 @@ mod tests {
     fn variant_defaults_to_baseline() {
         let r = Request::parse(r#"{"op":"analyze","app":"rodinia/nw"}"#).unwrap();
         match r {
-            Request::Analyze { job } => assert_eq!(job.variant, 0),
+            Request::Analyze { job, .. } => assert_eq!(job.variant, 0),
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn negotiates_schema_and_options() {
+        let line = r#"{"op":"analyze","app":"a","schema":2,"top":3,"categories":"parallel",
+                       "optimizers":["block-increase","GPUThreadIncreaseOptimizer"],
+                       "min_speedup":1.05,"hotspots":2,"evidence":false}"#
+            .replace('\n', " ");
+        let r = Request::parse(&line).unwrap();
+        let Request::Analyze { options, .. } = r else { panic!("wrong parse") };
+        assert_eq!(options.schema, 2);
+        assert_eq!(options.request.top, Some(3));
+        assert_eq!(options.request.categories, vec![gpa_core::OptimizerCategory::Parallel]);
+        assert_eq!(
+            options.request.optimizers,
+            vec![gpa_core::OptimizerId::BlockIncrease, gpa_core::OptimizerId::ThreadIncrease]
+        );
+        assert_eq!(options.request.min_speedup, 1.05);
+        assert_eq!(options.request.hotspots, 2);
+        assert!(!options.request.evidence);
+        // "v2" spelled as a string works too (what the CLI forwards).
+        let r = Request::parse(r#"{"op":"analyze","app":"a","schema":"v2"}"#).unwrap();
+        let Request::Analyze { options, .. } = r else { panic!("wrong parse") };
+        assert_eq!(options.schema, 2);
+    }
+
+    #[test]
+    fn rejects_bad_options_with_context() {
+        for (line, needle) in [
+            (r#"{"op":"analyze","app":"a","schema":3}"#, "unsupported schema"),
+            (r#"{"op":"analyze","app":"a","schema":"v9"}"#, "unknown schema"),
+            (r#"{"op":"analyze","app":"a","top":"all"}"#, "`top` must be"),
+            (r#"{"op":"analyze","app":"a","categories":"warp-drive"}"#, "unknown category"),
+            (r#"{"op":"analyze","app":"a","optimizers":["nope"]}"#, "unknown optimizer"),
+            (r#"{"op":"analyze","app":"a","evidence":"yes"}"#, "`evidence` must be"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn default_wire_frames_carry_no_option_fields() {
+        let r = Request::Analyze {
+            job: AnalysisJob::new("rodinia/nw", 1),
+            options: WireOptions::default(),
+        };
+        assert_eq!(r.to_wire(), r#"{"op":"analyze","app":"rodinia/nw","variant":1}"#);
+        let r =
+            Request::Analyze { job: AnalysisJob::new("rodinia/nw", 1), options: WireOptions::v2() };
+        assert_eq!(r.to_wire(), r#"{"op":"analyze","app":"rodinia/nw","variant":1,"schema":2}"#);
+        let frame = analyze_profile_frame("a", 0, "{}", &WireOptions::default());
+        assert_eq!(frame, r#"{"op":"analyze_profile","app":"a","variant":0,"profile":{}}"#);
+        let frame = analyze_profile_frame("a", 0, "{}", &WireOptions::v2());
+        assert_eq!(
+            frame,
+            r#"{"op":"analyze_profile","app":"a","variant":0,"schema":2,"profile":{}}"#
+        );
+        // Frames with options parse back to the same options.
+        let r = Request::parse(&frame).unwrap_err();
+        assert!(r.contains("bad `profile`"), "empty profile rejected downstream: {r}");
     }
 
     #[test]
@@ -275,12 +560,28 @@ mod tests {
     }
 
     #[test]
-    fn cache_keys_separate_ops_and_variants() {
+    fn cache_keys_separate_ops_variants_and_options() {
         let a = Request::parse(r#"{"op":"analyze","app":"a","variant":0}"#).unwrap();
         let b = Request::parse(r#"{"op":"analyze","app":"a","variant":1}"#).unwrap();
         assert_ne!(a.cache_key(), b.cache_key());
+        let v2 = Request::parse(r#"{"op":"analyze","app":"a","variant":0,"schema":2}"#).unwrap();
+        assert_ne!(a.cache_key(), v2.cache_key(), "negotiated schema is part of the address");
+        let top = Request::parse(r#"{"op":"analyze","app":"a","variant":0,"top":1}"#).unwrap();
+        assert_ne!(a.cache_key(), top.cache_key(), "options are part of the address");
         assert!(Request::Status.cache_key().is_none());
         assert!(Request::Sleep { ms: 1 }.cache_key().is_none());
+
+        // Membership filters are order-insensitive, so permuted or
+        // duplicated filter lists share one content address.
+        let x = Request::parse(
+            r#"{"op":"analyze","app":"a","categories":["parallel","latency-hiding"]}"#,
+        )
+        .unwrap();
+        let y = Request::parse(
+            r#"{"op":"analyze","app":"a","categories":["latency-hiding","parallel","parallel"]}"#,
+        )
+        .unwrap();
+        assert_eq!(x.cache_key(), y.cache_key(), "equivalent filters, one store entry");
     }
 
     #[test]

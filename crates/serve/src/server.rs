@@ -379,21 +379,24 @@ fn worker_loop(shared: &Shared) {
 fn execute(shared: &Shared, request: Request) -> String {
     let key = request.cache_key();
     match request {
-        Request::Analyze { job } => match shared.session.run_one(&job) {
-            Ok(outcome) => {
-                let body = protocol::analyze_body(&outcome).compact();
-                let stored = shared.store.insert(&key.expect("analyze is cacheable"), &body);
-                protocol::ok_frame(false, &stored)
+        Request::Analyze { job, options } => {
+            match shared.session.run_one_request(&job, &options.request) {
+                Ok(outcome) => {
+                    let body = protocol::analyze_body(&outcome, options.schema).compact();
+                    let stored = shared.store.insert(&key.expect("analyze is cacheable"), &body);
+                    protocol::ok_frame(false, &stored)
+                }
+                Err(e) => {
+                    shared.metrics.analysis_errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::job_error_frame(&e)
+                }
             }
-            Err(e) => {
-                shared.metrics.analysis_errors.fetch_add(1, Ordering::Relaxed);
-                protocol::job_error_frame(&e)
-            }
-        },
-        Request::AnalyzeProfile { job, profile, .. } => {
-            match shared.session.advise_profile(&job, &profile) {
+        }
+        Request::AnalyzeProfile { job, profile, options, .. } => {
+            match shared.session.advise_profile_request(&job, &profile, &options.request) {
                 Ok(report) => {
-                    let body = protocol::profile_body(&job, &profile, &report).compact();
+                    let body =
+                        protocol::profile_body(&job, &profile, &report, options.schema).compact();
                     let stored =
                         shared.store.insert(&key.expect("analyze_profile is cacheable"), &body);
                     protocol::ok_frame(false, &stored)
@@ -421,6 +424,12 @@ fn status_body(shared: &Shared) -> Json {
     Json::object()
         .with("uptime_ms", m.uptime_ms())
         .with("workers", shared.workers)
+        .with(
+            "schemas",
+            Json::Arr(
+                protocol::SCHEMA_VERSIONS.iter().map(|&v| Json::from(u64::from(v))).collect(),
+            ),
+        )
         .with("connections", m.connections.load(Ordering::Relaxed))
         .with("ops", m.ops_json())
         .with(

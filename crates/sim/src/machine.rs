@@ -2,7 +2,7 @@
 //!
 //! The timing core is **event-driven**: instead of re-evaluating every
 //! warp on every cycle, the scheduler computes, per warp, the earliest
-//! cycle it could possibly issue ([`ready_at`]) and jumps the clock
+//! cycle it could possibly issue (`ready_at`) and jumps the clock
 //! straight to the next interesting cycle — the minimum over all warps'
 //! ready times and the next PC-sampling tick. Nothing can change while no
 //! warp issues (all scoreboard/barrier/pipe clear times are frozen), so

@@ -6,7 +6,7 @@
 //! cargo run --release --example hotspot_advisor
 //! ```
 
-use gpa::core::report;
+use gpa::core::{report, OptimizerId};
 use gpa::pipeline::{AnalysisJob, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opt_cycles = session.time_one(&AnalysisJob::new("rodinia/hotspot", 1))?;
     let achieved = run.cycles as f64 / opt_cycles as f64;
     let estimated =
-        run.report.item("GPUStrengthReductionOptimizer").map_or(1.0, |i| i.estimated_speedup);
+        run.report.item(OptimizerId::StrengthReduction).map_or(1.0, |i| i.estimated_speedup);
     println!("optimized: {opt_cycles} cycles");
     println!("achieved speedup {achieved:.2}x, GPA estimated {estimated:.2}x");
     println!("(paper: 1.15x achieved, 1.10x estimated)");

@@ -8,6 +8,7 @@
 //! ```
 
 use gpa::arch::LaunchConfig;
+use gpa::core::OptimizerId;
 use gpa::kernels::{apps, Params};
 use gpa::pipeline::{AnalysisJob, Session};
 
@@ -32,15 +33,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // What does GPA say about the worst configuration?
     let run = session.run_one(&AnalysisJob::new(app.name, 0))?;
-    let item = run.report.item("GPUThreadIncreaseOptimizer").expect("matches");
+    let item = run.report.item(OptimizerId::ThreadIncrease).expect("matches");
     println!(
         "\nGPA suggests {} (rank {}), estimated {:.2}x:",
-        item.optimizer,
-        run.report.rank_of("GPUThreadIncreaseOptimizer").unwrap(),
+        item.optimizer(),
+        run.report.rank_of(OptimizerId::ThreadIncrease).unwrap(),
         item.estimated_speedup
     );
-    for note in &item.notes {
-        println!("  - {note}");
+    for finding in item.findings() {
+        println!("  - {finding}");
     }
 
     let opt_cycles = session.time_one(&AnalysisJob::new(app.name, 1))?;

@@ -11,7 +11,7 @@
 //! The crates re-exported here:
 //!
 //! * [`isa`] — instructions, control codes, 128-bit encoding, assembler.
-//! * [`cfg`] — control-flow graphs, dominators, loop nests, path queries.
+//! * [`cfg`](mod@cfg) — control-flow graphs, dominators, loop nests, path queries.
 //! * [`arch`] — machine description, latency tables, occupancy.
 //! * [`sim`] — the SIMT simulator with PC-sampling hooks.
 //! * [`sampling`] — profile aggregation (the CUPTI substitute).

@@ -3,7 +3,7 @@
 
 use gpa::arch::{ArchConfig, LatencyTable, LaunchConfig};
 use gpa::core::blamer::single_dependency_coverage;
-use gpa::core::{report, Advisor, DetailedReason, ModuleBlame};
+use gpa::core::{report, Advisor, DetailedReason, ModuleBlame, OptimizerId};
 use gpa::kernels::runner::{arch_for, run_spec, time_spec};
 use gpa::kernels::{apps, Params};
 use gpa::sampling::{Profiler, StallReason};
@@ -75,9 +75,9 @@ fn advisor_ranks_the_right_optimizer_for_hotspot() {
     let spec = (app.build)(0, &p);
     let run = run_spec(&spec, &arch).unwrap();
     let advice = Advisor::new().advise(&spec.module, &run.profile, &arch);
-    let rank = advice.rank_of("GPUStrengthReductionOptimizer");
+    let rank = advice.rank_of(OptimizerId::StrengthReduction);
     assert!(rank.is_some_and(|r| r <= 5), "strength reduction in top 5, got {rank:?}");
-    let item = advice.item("GPUStrengthReductionOptimizer").unwrap();
+    let item = advice.item(OptimizerId::StrengthReduction).unwrap();
     assert!(item.estimated_speedup > 1.0);
     assert!(item.estimated_speedup <= 2.0, "stall elimination bounded here");
     assert!(!item.hotspots.is_empty(), "hotspots reported");
@@ -95,7 +95,7 @@ fn thread_increase_suggested_and_real_for_gaussian() {
     let base = (app.build)(0, &p);
     let run = run_spec(&base, &arch).unwrap();
     let advice = Advisor::new().advise(&base.module, &run.profile, &arch);
-    let item = advice.item("GPUThreadIncreaseOptimizer").expect("matches tiny blocks");
+    let item = advice.item(OptimizerId::ThreadIncrease).expect("matches tiny blocks");
     assert!(item.estimated_speedup > 1.2, "got {}", item.estimated_speedup);
     let opt = (app.build)(1, &p);
     let opt_cycles = time_spec(&opt, &arch).unwrap();
@@ -116,7 +116,7 @@ fn warp_balance_matches_sync_stalls() {
         "the serial wavefront stalls at barriers"
     );
     let advice = Advisor::new().advise(&spec.module, &run.profile, &arch);
-    let rank = advice.rank_of("GPUWarpBalanceOptimizer");
+    let rank = advice.rank_of(OptimizerId::WarpBalance);
     assert!(rank.is_some_and(|r| r <= 3), "warp balance ranks high: {rank:?}");
 }
 
@@ -149,7 +149,7 @@ fn table3_smoke_subset() {
             assert!(achieved > 0.9, "{} stage {k} must not regress badly: {achieved:.2}", app.name);
             let advice = Advisor::new().advise(&base.module, &run.profile, &arch);
             assert!(
-                advice.rank_of(stage.optimizer).is_some(),
+                advice.rank_of_named(stage.optimizer).is_some(),
                 "{} stage {k}: {} should match",
                 app.name,
                 stage.optimizer

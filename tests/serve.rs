@@ -7,9 +7,10 @@
 //! store (cache hits observable via `status`), a full queue rejects
 //! instead of growing, and shutdown is clean.
 
+use gpa::core::schema;
 use gpa::json::Json;
 use gpa::pipeline::{AnalysisJob, Session};
-use gpa::serve::{protocol, serve, Request, ServeClient, ServerConfig};
+use gpa::serve::{protocol, serve, Request, ServeClient, ServerConfig, WireOptions};
 use std::sync::Arc;
 
 fn test_server(config: ServerConfig) -> gpa::serve::ServerHandle {
@@ -23,7 +24,7 @@ fn ephemeral() -> ServerConfig {
 /// The reference body: what `Session::run_one` yields, rendered exactly
 /// as the daemon renders it.
 fn reference_body(session: &Session, job: &AnalysisJob) -> String {
-    protocol::analyze_body(&session.run_one(job).expect("reference run")).compact()
+    protocol::analyze_body(&session.run_one(job).expect("reference run"), 1).compact()
 }
 
 #[test]
@@ -118,13 +119,105 @@ fn analyze_profile_decouples_profiling_from_advising() {
     let body = response.result.unwrap();
 
     let report = reference.advise_profile(&job, &profile).expect("local advising");
-    let expected = protocol::profile_body(&job, &profile, &report).compact();
+    let expected = protocol::profile_body(&job, &profile, &report, 1).compact();
     assert_eq!(body.compact(), expected, "daemon advice matches local advise_profile");
 
     // Same submission again: a content-addressed cache hit.
     let again = client.analyze_profile(&job.app, job.variant, &profile_doc).expect("repeat");
     assert!(again.cached, "identical profile submission hits the store");
     assert_eq!(again.result.unwrap().compact(), expected);
+    handle.shutdown();
+    handle.join();
+}
+
+/// The v2 negotiation contract: one daemon answers v1 and v2 clients
+/// for the same request; the v1 body keeps the pre-v2 shape; each
+/// version caches independently and byte-identically.
+#[test]
+fn daemon_answers_v1_and_v2_clients_for_the_same_request() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+
+    // A client that never mentions `schema` gets the flat v1 body with
+    // the pre-v2 field set, bytes equal to the local v1 rendering.
+    let v1 = client.analyze(&job.app, job.variant).expect("v1 round-trip");
+    assert!(v1.ok, "{:?}", v1.error);
+    let v1_body = v1.result.unwrap();
+    let keys: Vec<&str> = v1_body.entries().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        ["app", "variant", "kernel", "cycles", "total_samples", "issue_ratio", "advice", "text"],
+        "v1 clients see the unchanged field set"
+    );
+    assert_eq!(v1_body.compact(), reference_body(&reference, &job));
+
+    // The same request with `schema: 2` carries the structured report.
+    let v2 = client.analyze_with(&job.app, job.variant, &WireOptions::v2()).expect("v2");
+    assert!(v2.ok, "{:?}", v2.error);
+    let v2_body = v2.result.unwrap();
+    assert_eq!(v2_body.field("schema").unwrap().as_u64().unwrap(), 2);
+    let report = schema::report_from_json(v2_body.field("report").unwrap()).expect("v2 parses");
+    let local = reference.run_one(&job).unwrap().report;
+    assert_eq!(report, local, "daemon v2 report equals local advise");
+    assert_eq!(
+        v2_body.field("text").unwrap(),
+        v1_body.field("text").unwrap(),
+        "rendered text identical across schema versions"
+    );
+
+    // Both versions hit the store independently, byte-identically.
+    let v1_again = client.analyze(&job.app, job.variant).expect("v1 repeat");
+    assert!(v1_again.cached, "v1 repeat is a cache hit");
+    assert_eq!(v1_again.result.unwrap().compact(), v1_body.compact());
+    let v2_again = client.analyze_with(&job.app, job.variant, &WireOptions::v2()).expect("v2");
+    assert!(v2_again.cached, "v2 repeat is a cache hit");
+    assert_eq!(v2_again.result.unwrap().compact(), v2_body.compact());
+
+    // Request options shape the body (and address the cache) per call.
+    let mut top1 = WireOptions::v2();
+    top1.request.top = Some(1);
+    let top = client.analyze_with(&job.app, job.variant, &top1).expect("top-1");
+    assert!(!top.cached, "different options are a different content address");
+    let top_report =
+        schema::report_from_json(top.result.unwrap().field("report").unwrap()).unwrap();
+    assert_eq!(top_report.items.len(), 1);
+    assert_eq!(top_report.items[0], local.items[0]);
+
+    // `status` advertises the negotiable versions.
+    let status = client.status().unwrap().into_result().unwrap();
+    let versions: Vec<u64> = status
+        .field("schemas")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(versions, vec![1, 2]);
+    handle.shutdown();
+    handle.join();
+}
+
+/// `analyze_profile` negotiates the schema the same way `analyze` does.
+#[test]
+fn analyze_profile_negotiates_v2() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/nw", 0);
+    let (_, profile, _) = reference.profile_one(&job).expect("local profiling");
+    let profile_doc = Json::parse(&profile.to_json()).expect("profile serializes");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let response = client
+        .analyze_profile_with(&job.app, job.variant, &profile_doc, &WireOptions::v2())
+        .expect("request");
+    assert!(response.ok, "{:?}", response.error);
+    let body = response.result.unwrap();
+    let report = schema::report_from_json(body.field("report").unwrap()).expect("v2 parses");
+    let local = reference.advise_profile(&job, &profile).expect("local advising");
+    assert_eq!(report, local);
     handle.shutdown();
     handle.join();
 }
