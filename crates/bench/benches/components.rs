@@ -5,16 +5,22 @@
 //! The `sim/*` group compares the event-driven scheduler core against the
 //! dense per-cycle reference loop (`SimConfig::dense_reference`) on both
 //! a real app and a long-latency-dominated kernel, plus the compiled
-//! program reuse path. Quick mode for CI: set `GPA_BENCH_SAMPLES=3`.
+//! program reuse path. The `sampling/*` group measures the streaming
+//! measurement layer: the default at-source aggregating `SampleSink`
+//! against the old raw-buffered `Vec<RawSample>` path on a sample-heavy
+//! run. Quick mode for CI: set `GPA_BENCH_SAMPLES=3`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig};
 use gpa_core::{Advisor, ModuleBlame};
 use gpa_isa::parse_module;
 use gpa_kernels::apps;
-use gpa_kernels::runner::{arch_for, launch_spec_with, run_spec, sim_config};
+use gpa_kernels::runner::{
+    arch_for, launch_spec_with, launch_spec_with_sink, run_spec, sim_config,
+};
 use gpa_kernels::{KernelSpec, Params};
-use gpa_sim::{GpuSim, LaunchResult, SimConfig};
+use gpa_sampling::KernelProfile;
+use gpa_sim::{GpuSim, LaunchResult, RawSample, SampleSet, SimConfig};
 use gpa_structure::ProgramStructure;
 
 /// Launches a spec under the chosen scheduler core.
@@ -109,6 +115,61 @@ fn bench_compiled_reuse(c: &mut Criterion) {
     });
 }
 
+/// Measurement-layer overhead on a sample-heavy run: the default
+/// at-source aggregating sink (`SampleSet` built during the launch, no
+/// retained raw samples) against the old buffered path (collect every
+/// `RawSample` in a `Vec`, aggregate afterwards). Both end in the same
+/// `KernelProfile` — asserted up front — so the timing delta is pure
+/// measurement-layer cost; the sink must not lose to the buffer.
+fn bench_sampling_sink(c: &mut Criterion) {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    let spec = (apps::hotspot::app().build)(0, &p);
+    // A tight period makes sampling a dominant cost: every 5th cycle
+    // per SM takes a sample.
+    let cfg = SimConfig { sampling_period: 5, ..sim_config() };
+    let period = cfg.sampling_period;
+    let launch = |sink: Option<&mut Vec<RawSample>>| {
+        match sink {
+            None => launch_spec_with(&spec, &arch, cfg.clone()),
+            Some(raw) => launch_spec_with_sink(&spec, &arch, cfg.clone(), raw),
+        }
+        .expect("launch")
+    };
+    let profile_of = |set: &SampleSet, result: &LaunchResult| {
+        KernelProfile::from_set(
+            &spec.entry,
+            &spec.module.name,
+            &spec.module.arch,
+            period,
+            set,
+            result,
+        )
+    };
+    let streamed = launch(None);
+    let mut raw = Vec::new();
+    let buffered = launch(Some(&mut raw));
+    assert!(streamed.samples.total_samples() > 1_000, "sample-heavy run");
+    assert_eq!(
+        profile_of(&streamed.samples, &streamed),
+        profile_of(&SampleSet::from_raw(&raw), &buffered),
+        "both measurement paths yield one profile"
+    );
+    c.bench_function("sampling/aggregating_sink", |b| {
+        b.iter(|| {
+            let r = launch(None);
+            profile_of(&r.samples, &r)
+        })
+    });
+    c.bench_function("sampling/raw_buffered", |b| {
+        b.iter(|| {
+            let mut raw: Vec<RawSample> = Vec::new();
+            let r = launch(Some(&mut raw));
+            profile_of(&SampleSet::from_raw(&raw), &r)
+        })
+    });
+}
+
 fn bench_blamer(c: &mut Criterion) {
     let p = Params::test();
     let arch = arch_for(&p);
@@ -146,6 +207,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_simulator, bench_dense_vs_event, bench_long_latency, bench_compiled_reuse,
-        bench_blamer, bench_advisor, bench_static_analysis
+        bench_sampling_sink, bench_blamer, bench_advisor, bench_static_analysis
 }
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use gpa_arch::{ArchConfig, LaunchConfig};
 use gpa_isa::parse_module;
-use gpa_sim::{GpuSim, SimConfig};
+use gpa_sim::{GpuSim, RawSample, SimConfig};
 
 fn main() {
     let m = parse_module(
@@ -27,16 +27,18 @@ loop:
 "#,
     )
     .expect("parses");
-    let mut cfg = SimConfig::default();
-    cfg.sampling_period = 64; // N = 64 cycles
+    let cfg = SimConfig { sampling_period: 64, ..SimConfig::default() }; // N = 64 cycles
     let mut gpu = GpuSim::new(ArchConfig::small(1), cfg);
     let buf = gpu.global_mut().alloc(4 * 128);
     let params: Vec<u8> = buf.to_le_bytes().to_vec();
-    let r = gpu.launch(&m, "k", &LaunchConfig::new(2, 64), &params).expect("runs");
+    // Per-sample timelines need the raw stream: collect through the
+    // raw-buffering sink instead of the default aggregating one.
+    let mut samples: Vec<RawSample> = Vec::new();
+    gpu.launch_with_sink(&m, "k", &LaunchConfig::new(2, 64), &params, &mut samples).expect("runs");
 
     println!("Figure 1 — PC sampling on one SM (period N = 64 cycles)\n");
-    println!("{:<8} {:<10} {:<10} {:<18} {}", "cycle", "scheduler", "class", "stall reason", "pc");
-    for s in r.samples.iter().take(16) {
+    println!("{:<8} {:<10} {:<10} {:<18} pc", "cycle", "scheduler", "class", "stall reason");
+    for s in samples.iter().take(16) {
         let class = if s.scheduler_active { "active" } else { "latency" };
         println!(
             "{:<8} {:<10} {:<10} {:<18} {:#x}",
@@ -47,19 +49,19 @@ loop:
             s.pc
         );
     }
-    let active = r.samples.iter().filter(|s| s.scheduler_active).count();
-    let latency = r.samples.len() - active;
-    let stalls = r.samples.iter().filter(|s| s.stall.is_stall()).count();
+    let active = samples.iter().filter(|s| s.scheduler_active).count();
+    let latency = samples.len() - active;
+    let stalls = samples.iter().filter(|s| s.stall.is_stall()).count();
     println!(
         "\ntotals: {} samples = {} active + {} latency; {} are stall samples",
-        r.samples.len(),
+        samples.len(),
         active,
         latency,
         stalls
     );
     println!(
         "stall ratio {:.2}, active ratio {:.2}",
-        latency as f64 / r.samples.len() as f64,
-        active as f64 / r.samples.len() as f64
+        latency as f64 / samples.len() as f64,
+        active as f64 / samples.len() as f64
     );
 }

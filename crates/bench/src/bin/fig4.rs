@@ -7,7 +7,7 @@
 use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig};
 use gpa_core::blamer::graph::blame_function;
 use gpa_sampling::{KernelProfile, StallReason};
-use gpa_sim::{LaunchResult, RawSample};
+use gpa_sim::{LaunchResult, RawSample, SampleSet};
 use gpa_structure::ProgramStructure;
 
 fn main() {
@@ -50,7 +50,7 @@ fn main() {
     let result = LaunchResult {
         cycles: 100,
         issued: 8,
-        samples,
+        samples: SampleSet::from_raw(&samples),
         issue_counts: Default::default(),
         mem_transactions: 0,
         l2_hits: 0,

@@ -21,7 +21,7 @@ use gpa_core::{report, OptimizerCategory};
 use gpa_json::Json;
 use gpa_kernels::all_apps;
 use gpa_pipeline::{AnalysisError, AnalysisJob, Session};
-use gpa_serve::{serve, ServeClient, ServerConfig, WireOptions, DEFAULT_ADDR};
+use gpa_serve::{serve, ServeClient, ServerConfig, WireOptions, DEFAULT_ADDR, MAX_REPEAT};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,15 +32,18 @@ const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
      analyze <app> [variant] [--json]           profile + advise (default variant 0)\n  \
      analyze --all [--json]                     analyze every app in parallel, with summary\n          \
      [--top N] [--category C] [--min-speedup X] scope the advice request\n          \
-     [--schema v1|v2]                           advice schema for --json output\n  \
-     profile <app> [variant]                    dump the profile JSON\n  \
+     [--schema v1|v2]                           advice schema for --json output\n          \
+     [--repeat N]                               merge N replayed profiling launches\n  \
+     profile <app> [variant] [--repeat N]       dump the (merged) profile JSON\n           \
+     [--out FILE]                               write it to FILE instead of stdout\n  \
      asm <app> [variant]                        print kernel assembly\n  \
      serve [--addr A] [--workers N] [--queue N] run the advisor daemon\n           \
      [--store N] [--persist DIR]\n  \
      request analyze <app> [variant] [--addr A]          analyze on the daemon\n  \
      request analyze_profile <app> [variant] --profile F advise on a saved profile\n  \
      request status|shutdown [--addr A]                  daemon control\n          \
-     request accepts --top/--category/--min-speedup/--schema too\n\n  \
+     request accepts --top/--category/--min-speedup/--schema too,\n          \
+     and --repeat on analyze\n\n  \
      categories: stall-elimination, latency-hiding, parallel";
 
 fn usage(msg: &str) -> ExitCode {
@@ -66,6 +69,8 @@ struct Flags {
     category: Option<String>,
     min_speedup: Option<f64>,
     schema: Option<String>,
+    repeat: Option<usize>,
+    out: Option<PathBuf>,
 }
 
 fn take_value(
@@ -131,6 +136,8 @@ fn parse_cmdline(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     );
                 }
                 "schema" => flags.schema = Some(take_value(name, inline, &mut rest)?),
+                "repeat" => flags.repeat = Some(take_usize(name, inline, &mut rest)?),
+                "out" => flags.out = Some(PathBuf::from(take_value(name, inline, &mut rest)?)),
                 _ => return Err(format!("unknown flag `{arg}` (see usage)")),
             }
         } else if arg.starts_with('-') && arg.len() > 1 {
@@ -157,6 +164,8 @@ fn stray_flag(flags: &Flags, allowed: &[&str]) -> Option<String> {
         ("category", flags.category.is_some()),
         ("min-speedup", flags.min_speedup.is_some()),
         ("schema", flags.schema.is_some()),
+        ("repeat", flags.repeat.is_some()),
+        ("out", flags.out.is_some()),
     ];
     set.iter()
         .find(|(name, on)| *on && !allowed.contains(name))
@@ -195,6 +204,17 @@ fn advice_options(flags: &Flags) -> Result<WireOptions, String> {
     if let Some(m) = flags.min_speedup {
         options.request.min_speedup = m;
     }
+    if let Some(r) = flags.repeat {
+        if r == 0 {
+            return Err("flag --repeat expects a count of at least 1".to_string());
+        }
+        // Same bound the daemon enforces (each repeat is a full
+        // re-simulation), applied before connecting anywhere.
+        if r > MAX_REPEAT as usize {
+            return Err(format!("flag --repeat exceeds the limit of {MAX_REPEAT}"));
+        }
+        options.repeat = r as u32;
+    }
     Ok(options)
 }
 
@@ -206,9 +226,10 @@ fn main() -> ExitCode {
     };
     let Some(cmd) = pos.first().map(String::as_str) else { return usage("") };
     let allowed: &[&str] = match cmd {
-        "analyze" => &["json", "all", "top", "category", "min-speedup", "schema"],
+        "analyze" => &["json", "all", "top", "category", "min-speedup", "schema", "repeat"],
+        "profile" => &["repeat", "out"],
         "serve" => &["addr", "workers", "queue", "store", "persist"],
-        "request" => &["addr", "profile", "top", "category", "min-speedup", "schema"],
+        "request" => &["addr", "profile", "top", "category", "min-speedup", "schema", "repeat"],
         _ => &[],
     };
     if let Some(msg) = stray_flag(&flags, allowed) {
@@ -245,7 +266,7 @@ fn main() -> ExitCode {
                 Ok(v) => v,
                 Err(msg) => return usage(&msg),
             };
-            run_local(cmd, name, variant, flags.json, &options)
+            run_local(cmd, name, variant, flags.json, &options, flags.out.as_deref())
         }
         "serve" => run_serve(&flags),
         "request" => run_request(&pos, &flags),
@@ -254,8 +275,15 @@ fn main() -> ExitCode {
 }
 
 /// `analyze`/`profile`/`asm` against an in-process session.
-fn run_local(cmd: &str, name: &str, variant: usize, json: bool, options: &WireOptions) -> ExitCode {
-    let session = Session::full();
+fn run_local(
+    cmd: &str,
+    name: &str,
+    variant: usize,
+    json: bool,
+    options: &WireOptions,
+    out: Option<&std::path::Path>,
+) -> ExitCode {
+    let session = Session::full().with_repeat(options.repeat);
     let job = AnalysisJob::new(name, variant);
     if cmd == "asm" {
         return match session.artifacts(&job) {
@@ -269,10 +297,33 @@ fn run_local(cmd: &str, name: &str, variant: usize, json: bool, options: &WireOp
             }
         };
     }
+    if cmd == "profile" {
+        // Profiling only — no advising. With --repeat N the dump is the
+        // merged multi-launch profile; the daemon's `analyze_profile`
+        // op (and `request --profile`) accepts it either way.
+        return match session.profile_one(&job) {
+            Ok((_, profile, _)) => {
+                let text = profile.to_json();
+                match out {
+                    None => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Some(path) => match std::fs::write(path, text + "\n") {
+                        Ok(()) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("gpa profile: cannot write {}: {e}", path.display());
+                            ExitCode::FAILURE
+                        }
+                    },
+                }
+            }
+            Err(e) => analysis_failure(false, &e),
+        };
+    }
     match session.run_one_request(&job, &options.request) {
         Ok(outcome) => {
             match cmd {
-                "profile" => println!("{}", outcome.profile.to_json()),
                 _ if json && options.schema == 2 => println!("{}", outcome.to_json_v2()),
                 _ if json => println!("{}", outcome.to_json()),
                 _ => {
@@ -301,7 +352,7 @@ fn analysis_failure(json: bool, e: &AnalysisError) -> ExitCode {
 /// `gpa analyze --all [--json]`: every registry app (baseline variant)
 /// through the parallel batch pipeline, then an end-of-run summary.
 fn analyze_all(json: bool, options: &WireOptions) -> ExitCode {
-    let session = Session::full();
+    let session = Session::full().with_repeat(options.repeat);
     let jobs = session.jobs_for_all_apps();
     let t0 = std::time::Instant::now();
     let results = session.run_batch_request(&jobs, &options.request);
@@ -415,11 +466,17 @@ fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
             ("category", flags.category.is_some()),
             ("min-speedup", flags.min_speedup.is_some()),
             ("schema", flags.schema.is_some()),
+            ("repeat", flags.repeat.is_some()),
         ] {
             if set {
                 return usage(&format!("flag --{name} is not supported by `request {op}`"));
             }
         }
+    }
+    // Repeat profiling happens daemon-side during `analyze`; a submitted
+    // profile is already gathered (and possibly merged) client-side.
+    if op == "analyze_profile" && flags.repeat.is_some() {
+        return usage("flag --repeat is not supported by `request analyze_profile`");
     }
     let options = match advice_options(flags) {
         Ok(o) => o,

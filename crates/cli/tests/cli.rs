@@ -157,6 +157,71 @@ fn request_advice_flags_are_validated_before_connecting() {
 }
 
 #[test]
+fn profile_flags_are_validated_strictly() {
+    // --repeat must be a positive count.
+    let out = gpa(&["profile", "rodinia/hotspot", "--repeat", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--repeat expects a count of at least 1"), "{}", stderr(&out));
+    let out = gpa(&["analyze", "rodinia/hotspot", "--repeat", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--repeat expects a number"), "{}", stderr(&out));
+    // The daemon's compute cap is enforced before connecting anywhere.
+    let out = gpa(&["request", "analyze", "rodinia/hotspot", "--repeat", "65"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--repeat exceeds the limit of 64"), "{}", stderr(&out));
+    // --out is scoped to `profile`; --json is not a `profile` flag.
+    let out = gpa(&["analyze", "rodinia/hotspot", "--out", "x.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--out is not supported"), "{}", stderr(&out));
+    let out = gpa(&["profile", "rodinia/hotspot", "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--json is not supported"), "{}", stderr(&out));
+    // Repeat stays off `request` ops where it cannot apply.
+    let out = gpa(&["request", "status", "--repeat", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--repeat is not supported by `request status`"),
+        "{}",
+        stderr(&out)
+    );
+    let out = gpa(&["request", "analyze_profile", "rodinia/hotspot", "--repeat", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--repeat is not supported by `request analyze_profile`"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn profile_writes_merged_dumps_to_files() {
+    let dir = std::env::temp_dir().join(format!("gpa-cli-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let single = dir.join("single.json");
+    let merged = dir.join("merged.json");
+    let out = gpa(&["profile", "rodinia/hotspot", "--out", single.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "--out leaves stdout clean");
+    let out =
+        gpa(&["profile", "rodinia/hotspot", "--repeat", "2", "--out", merged.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let single = std::fs::read_to_string(&single).unwrap();
+    let merged = std::fs::read_to_string(&merged).unwrap();
+    let single = gpa_json::Json::parse(&single).expect("dump is JSON");
+    let merged = gpa_json::Json::parse(&merged).expect("dump is JSON");
+    let samples = |doc: &gpa_json::Json| doc.field("total_samples").unwrap().as_u64().unwrap();
+    let cycles = |doc: &gpa_json::Json| doc.field("cycles").unwrap().as_u64().unwrap();
+    assert!(samples(&merged) > samples(&single), "merged replays hold more samples");
+    assert_eq!(cycles(&merged), cycles(&single), "ground-truth cycles unchanged");
+    // And `--out`-less profile prints the same single-launch dump.
+    let out = gpa(&["profile", "rodinia/hotspot"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(gpa_json::Json::parse(stdout(&out).trim()).unwrap(), single);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn request_against_no_daemon_fails_cleanly() {
     // Port 9 (discard) on loopback is essentially never listening.
     let out = gpa(&["request", "status", "--addr", "127.0.0.1:9"]);

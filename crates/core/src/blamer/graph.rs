@@ -242,7 +242,7 @@ pub(crate) mod tests {
     use super::*;
     use gpa_arch::{ArchConfig, LaunchConfig};
     use gpa_sampling::RawSample;
-    use gpa_sim::LaunchResult;
+    use gpa_sim::{LaunchResult, SampleSet};
     use gpa_structure::ProgramStructure;
 
     /// Builds a fake profile from `(pc, reason, active, count)` tuples.
@@ -265,7 +265,7 @@ pub(crate) mod tests {
         let result = LaunchResult {
             cycles: 1000,
             issued: 100,
-            samples,
+            samples: SampleSet::from_raw(&samples),
             issue_counts: Default::default(),
             mem_transactions: 0,
             l2_hits: 0,

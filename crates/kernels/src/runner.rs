@@ -32,12 +32,20 @@ pub fn arch_for(p: &Params) -> ArchConfig {
 /// setup, and returns the armed profiler plus kernel parameters — the
 /// glue `run_spec` and `time_spec` share.
 pub fn profiler_for(spec: &KernelSpec, arch: &ArchConfig) -> (Profiler, Vec<u8>) {
-    let mut gpu = GpuSim::new(arch.clone(), sim_config());
+    let (gpu, params) = armed_gpu_with(spec, arch, sim_config());
+    (Profiler::new(gpu), params)
+}
+
+/// Arms a device for a spec under an explicit simulator configuration:
+/// constant bank wired, setup closure run. Returns the device and the
+/// kernel parameters — the one place the arming recipe lives.
+pub fn armed_gpu_with(spec: &KernelSpec, arch: &ArchConfig, cfg: SimConfig) -> (GpuSim, Vec<u8>) {
+    let mut gpu = GpuSim::new(arch.clone(), cfg);
     if let Some(bank) = &spec.const_bank1 {
         gpu.set_const_bank(1, bank.clone());
     }
     let params = (spec.setup)(&mut gpu);
-    (Profiler::new(gpu), params)
+    (gpu, params)
 }
 
 /// Arms a device for a spec under an explicit simulator configuration
@@ -53,12 +61,25 @@ pub fn launch_spec_with(
     arch: &ArchConfig,
     cfg: SimConfig,
 ) -> Result<gpa_sim::LaunchResult> {
-    let mut gpu = GpuSim::new(arch.clone(), cfg);
-    if let Some(bank) = &spec.const_bank1 {
-        gpu.set_const_bank(1, bank.clone());
-    }
-    let params = (spec.setup)(&mut gpu);
+    let (mut gpu, params) = armed_gpu_with(spec, arch, cfg);
     gpu.launch(&spec.module, &spec.entry, &spec.launch, &params)
+}
+
+/// [`launch_spec_with`] with a caller-supplied [`gpa_sim::SampleSink`]
+/// (e.g. a `Vec<RawSample>` buffering the raw stream for differential
+/// checks); the result's own sample set stays empty.
+///
+/// # Errors
+///
+/// Propagates simulator errors (faults, cycle limit).
+pub fn launch_spec_with_sink(
+    spec: &KernelSpec,
+    arch: &ArchConfig,
+    cfg: SimConfig,
+    sink: &mut dyn gpa_sim::SampleSink,
+) -> Result<gpa_sim::LaunchResult> {
+    let (mut gpu, params) = armed_gpu_with(spec, arch, cfg);
+    gpu.launch_with_sink(&spec.module, &spec.entry, &spec.launch, &params, sink)
 }
 
 /// Runs one kernel variant with sampling and returns profile + cycles.

@@ -55,6 +55,7 @@ pub struct Session {
     latency: LatencyTable,
     params: Params,
     advisor: Advisor,
+    repeat: u32,
     cache: Mutex<HashMap<(String, usize), Arc<ModuleArtifacts>>>,
 }
 
@@ -68,6 +69,7 @@ impl Session {
             latency,
             params,
             advisor: Advisor::new(),
+            repeat: 1,
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -107,6 +109,22 @@ impl Session {
         self.sim = sim;
         self.cache = Mutex::new(HashMap::new());
         self
+    }
+
+    /// Sets the session's default profiling-repeat count: every sampling
+    /// run replays the kernel this many times with shifted sampling
+    /// phases and merges the profiles (replay-style noise reduction, see
+    /// [`gpa_sampling::Profiler::profile_repeat`]). Values below 1 are
+    /// clamped to 1 (plain single-launch profiling — the default).
+    #[must_use]
+    pub fn with_repeat(mut self, repeat: u32) -> Self {
+        self.repeat = repeat.max(1);
+        self
+    }
+
+    /// The session's default profiling-repeat count.
+    pub fn repeat(&self) -> u32 {
+        self.repeat
     }
 
     /// The device configuration.
@@ -200,16 +218,24 @@ impl Session {
     /// Runs an artifact's kernel with the profiler attached: the sampling
     /// primitive every analysis path shares. Uses the artifact's cached
     /// [`CompiledProgram`] and memory snapshot, so only the launch itself
-    /// is paid per run.
+    /// is paid per run. `repeat > 1` replays the launch with shifted
+    /// sampling phases and merges the profiles; the returned cycles are
+    /// always the phase-0 (single-launch) ground truth.
     fn sample_artifacts(
         &self,
         job: &AnalysisJob,
         artifacts: &ModuleArtifacts,
+        repeat: u32,
     ) -> Result<(KernelProfile, u64), AnalysisError> {
         let (gpu, host_params) = self.armed_gpu(artifacts);
         let mut profiler = Profiler::new(gpu);
         let (profile, result) = profiler
-            .profile_compiled(&artifacts.program, &artifacts.spec.launch, &host_params)
+            .profile_repeat_compiled(
+                &artifacts.program,
+                &artifacts.spec.launch,
+                &host_params,
+                repeat,
+            )
             .map_err(|e| AnalysisError::new(job, e.to_string()))?;
         Ok((profile, result.cycles))
     }
@@ -245,8 +271,22 @@ impl Session {
         &self,
         job: &AnalysisJob,
     ) -> Result<(Arc<ModuleArtifacts>, KernelProfile, u64), AnalysisError> {
+        self.profile_one_repeat(job, self.repeat)
+    }
+
+    /// [`Session::profile_one`] with an explicit repeat count overriding
+    /// the session default (the daemon's per-request `repeat` option).
+    ///
+    /// # Errors
+    ///
+    /// Unknown app/variant, or a simulator fault.
+    pub fn profile_one_repeat(
+        &self,
+        job: &AnalysisJob,
+        repeat: u32,
+    ) -> Result<(Arc<ModuleArtifacts>, KernelProfile, u64), AnalysisError> {
         let artifacts = self.artifacts(job)?;
-        let (profile, cycles) = self.sample_artifacts(job, &artifacts)?;
+        let (profile, cycles) = self.sample_artifacts(job, &artifacts, repeat)?;
         Ok((artifacts, profile, cycles))
     }
 
@@ -272,8 +312,24 @@ impl Session {
         job: &AnalysisJob,
         request: &AdviceRequest,
     ) -> Result<AnalysisOutcome, AnalysisError> {
+        self.run_one_request_repeat(job, request, self.repeat)
+    }
+
+    /// [`Session::run_one_request`] with an explicit repeat count: the
+    /// profile the advisor sees is the merge of `repeat` replayed
+    /// launches (see [`Session::with_repeat`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown app/variant, or a simulator fault.
+    pub fn run_one_request_repeat(
+        &self,
+        job: &AnalysisJob,
+        request: &AdviceRequest,
+        repeat: u32,
+    ) -> Result<AnalysisOutcome, AnalysisError> {
         let t0 = Instant::now();
-        let (artifacts, profile, cycles) = self.profile_one(job)?;
+        let (artifacts, profile, cycles) = self.profile_one_repeat(job, repeat)?;
         let report = self.advise_artifacts(&artifacts, &profile, request);
         Ok(AnalysisOutcome {
             job: job.clone(),
@@ -352,7 +408,7 @@ impl Session {
             .map_err(|e| AnalysisError::new(&job, e.to_string()))?;
         let artifacts =
             Arc::new(ModuleArtifacts { spec, structure, program, init: OnceLock::new() });
-        let (profile, cycles) = self.sample_artifacts(&job, &artifacts)?;
+        let (profile, cycles) = self.sample_artifacts(&job, &artifacts, self.repeat)?;
         let report = self.advise_artifacts(&artifacts, &profile, self.advisor.defaults());
         Ok(AnalysisOutcome {
             job,
@@ -458,6 +514,25 @@ mod tests {
         let c = s.artifacts(&AnalysisJob::new("rodinia/hotspot", 1)).unwrap();
         assert!(!Arc::ptr_eq(&a, &c), "different variants differ");
         assert_eq!(s.cached_modules(), 2);
+    }
+
+    #[test]
+    fn repeat_profiling_sharpens_samples_without_changing_ground_truth() {
+        let job = AnalysisJob::new("rodinia/hotspot", 0);
+        let single = Session::test().run_one(&job).unwrap();
+        let repeated = Session::test().with_repeat(3).run_one(&job).unwrap();
+        assert_eq!(repeated.cycles, single.cycles, "ground truth is the phase-0 launch");
+        assert_eq!(repeated.profile.cycles, single.profile.cycles);
+        assert!(
+            repeated.profile.total_samples > single.profile.total_samples,
+            "merged replays observe more cycles: {} vs {}",
+            repeated.profile.total_samples,
+            single.profile.total_samples
+        );
+        // Per-request override beats the session default.
+        let s = Session::test().with_repeat(3);
+        let overridden = s.run_one_request_repeat(&job, s.advisor.defaults(), 1).unwrap();
+        assert_eq!(overridden.profile, single.profile);
     }
 
     #[test]

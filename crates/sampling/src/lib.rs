@@ -18,10 +18,18 @@
 //!
 //! Profiles serialize to JSON for offline analysis, mirroring how GPA dumps
 //! profiles for its post-mortem dynamic analysis.
+//!
+//! Measurement **streams**: the simulator emits samples into a
+//! [`SampleSink`] and aggregates at the source into a [`SampleSet`], so
+//! nothing retains O(samples) memory; [`KernelProfile::merge`] folds
+//! repeated launches together (associative and commutative, with
+//! [`KernelProfile::empty_like`] as identity) and
+//! [`Profiler::profile_repeat`] drives CUPTI-replay-style noise
+//! reduction on top. See `docs/profiling.md` for the full model.
 
 pub mod profile;
 pub mod profiler;
 
-pub use gpa_sim::{RawSample, StallReason};
-pub use profile::{KernelProfile, PcStats};
+pub use gpa_sim::{RawSample, SampleSet, SampleSink, StallReason};
+pub use profile::{KernelProfile, MergeError, PcStats, ProfileBuilder};
 pub use profiler::Profiler;

@@ -1,13 +1,16 @@
-//! Aggregated kernel profiles.
+//! Aggregated kernel profiles: construction from streamed [`SampleSet`]s,
+//! associative/commutative multi-launch merging, chunked splitting, and
+//! the (strictly validated) JSON schema.
 
 use gpa_arch::{LaunchConfig, OccLimiter, Occupancy};
 use gpa_json::Json;
-use gpa_sim::{LaunchResult, RawSample, StallReason};
+use gpa_sim::{LaunchResult, RawSample, SampleSet, StallReason};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
 use std::path::Path;
 
-const N_REASONS: usize = StallReason::ALL.len();
+const N_REASONS: usize = gpa_sim::N_REASONS;
 
 /// Sample statistics for one program counter.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -80,7 +83,8 @@ pub struct KernelProfile {
 }
 
 impl KernelProfile {
-    /// Aggregates a launch's raw samples into a profile.
+    /// Builds a profile from a launch's aggregated [`SampleSet`] (the
+    /// default measurement path — the raw samples were never buffered).
     pub fn from_launch(
         kernel: &str,
         module_name: &str,
@@ -88,20 +92,31 @@ impl KernelProfile {
         period: u32,
         result: &LaunchResult,
     ) -> Self {
+        Self::from_set(kernel, module_name, arch, period, &result.samples, result)
+    }
+
+    /// Builds a profile from an explicit [`SampleSet`] plus a launch's
+    /// ground-truth metadata. Use this when the samples streamed into an
+    /// external sink (so `result.samples` is empty) or were aggregated
+    /// from a buffered raw stream.
+    pub fn from_set(
+        kernel: &str,
+        module_name: &str,
+        arch: &str,
+        period: u32,
+        set: &SampleSet,
+        result: &LaunchResult,
+    ) -> Self {
         let mut pcs: BTreeMap<u64, PcStats> = BTreeMap::new();
-        let mut total = 0u64;
-        let mut active = 0u64;
-        for s in &result.samples {
-            let e = pcs.entry(s.pc).or_default();
-            e.total += 1;
-            e.by_reason[s.stall.code() as usize] += 1;
-            if !s.scheduler_active {
-                e.latency_by_reason[s.stall.code() as usize] += 1;
-            }
-            total += 1;
-            if s.scheduler_active {
-                active += 1;
-            }
+        for (pc, by_reason, latency_by_reason) in set.iter() {
+            pcs.insert(
+                pc,
+                PcStats {
+                    total: by_reason.iter().sum(),
+                    by_reason: *by_reason,
+                    latency_by_reason: *latency_by_reason,
+                },
+            );
         }
         KernelProfile {
             kernel: kernel.to_string(),
@@ -113,14 +128,174 @@ impl KernelProfile {
             cycles: result.cycles,
             issued: result.issued,
             pcs,
-            total_samples: total,
-            active_samples: active,
-            latency_samples: total - active,
+            total_samples: set.total_samples(),
+            active_samples: set.active_samples(),
+            latency_samples: set.latency_samples(),
             mem_transactions: result.mem_transactions,
             l2_hits: result.l2_hits,
             l2_misses: result.l2_misses,
             icache_misses: result.icache_misses,
         }
+    }
+
+    /// A profile with this profile's identity (kernel, module, arch,
+    /// period, launch, occupancy) and zero measurements — the identity
+    /// element of [`KernelProfile::merge`].
+    pub fn empty_like(&self) -> Self {
+        KernelProfile {
+            kernel: self.kernel.clone(),
+            module_name: self.module_name.clone(),
+            arch: self.arch.clone(),
+            period: self.period,
+            launch: self.launch,
+            occupancy: self.occupancy,
+            cycles: 0,
+            issued: 0,
+            pcs: BTreeMap::new(),
+            total_samples: 0,
+            active_samples: 0,
+            latency_samples: 0,
+            mem_transactions: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            icache_misses: 0,
+        }
+    }
+
+    /// Merges another launch's profile of the **same kernel
+    /// configuration** into this one (CUPTI-replay style): sample
+    /// counters add pointwise (per PC and the kernel totals `T`/`A`/`L`),
+    /// while per-launch ground-truth measurements (cycles, issued,
+    /// memory/L2/i-cache counters) take the maximum — identical across
+    /// deterministic replays, so merging `n` repeats of one launch leaves
+    /// them untouched while the sample statistics sharpen.
+    ///
+    /// The operation is associative and commutative, with
+    /// [`KernelProfile::empty_like`] as identity — chunked uploads and
+    /// repeat profiling may fold profiles in any order. Counter
+    /// additions are overflow-checked: a merge that would wrap `u64`
+    /// fails with [`MergeError::CounterOverflow`] instead of producing
+    /// an internally inconsistent profile (so a merged profile of
+    /// consistent inputs is always itself consistent).
+    ///
+    /// # Errors
+    ///
+    /// When the two profiles disagree on kernel identity, architecture,
+    /// sampling period, launch configuration, or occupancy.
+    pub fn merge_in(&mut self, other: &KernelProfile) -> Result<(), MergeError> {
+        fn check<T: PartialEq + fmt::Debug>(
+            field: &'static str,
+            a: &T,
+            b: &T,
+        ) -> Result<(), MergeError> {
+            if a == b {
+                Ok(())
+            } else {
+                Err(MergeError::Mismatch { field, left: format!("{a:?}"), right: format!("{b:?}") })
+            }
+        }
+        fn add(field: &'static str, a: u64, b: u64) -> Result<u64, MergeError> {
+            a.checked_add(b).ok_or(MergeError::CounterOverflow { field })
+        }
+        check("kernel", &self.kernel, &other.kernel)?;
+        check("module_name", &self.module_name, &other.module_name)?;
+        check("arch", &self.arch, &other.arch)?;
+        check("period", &self.period, &other.period)?;
+        check("launch", &self.launch, &other.launch)?;
+        check("occupancy", &self.occupancy, &other.occupancy)?;
+        // Validate every addition before mutating anything, so a failed
+        // merge leaves `self` untouched (the daemon keeps a rejected
+        // chunk's upload usable).
+        for (&pc, st) in &other.pcs {
+            if let Some(e) = self.pcs.get(&pc) {
+                add("pcs", e.total, st.total)?;
+                for (a, b) in e.by_reason.iter().zip(&st.by_reason) {
+                    add("pcs", *a, *b)?;
+                }
+                for (a, b) in e.latency_by_reason.iter().zip(&st.latency_by_reason) {
+                    add("pcs", *a, *b)?;
+                }
+            }
+        }
+        let total = add("total_samples", self.total_samples, other.total_samples)?;
+        let active = add("active_samples", self.active_samples, other.active_samples)?;
+        let latency = add("latency_samples", self.latency_samples, other.latency_samples)?;
+        for (&pc, st) in &other.pcs {
+            let e = self.pcs.entry(pc).or_default();
+            e.total += st.total;
+            for (a, b) in e.by_reason.iter_mut().zip(&st.by_reason) {
+                *a += b;
+            }
+            for (a, b) in e.latency_by_reason.iter_mut().zip(&st.latency_by_reason) {
+                *a += b;
+            }
+        }
+        self.total_samples = total;
+        self.active_samples = active;
+        self.latency_samples = latency;
+        self.cycles = self.cycles.max(other.cycles);
+        self.issued = self.issued.max(other.issued);
+        self.mem_transactions = self.mem_transactions.max(other.mem_transactions);
+        self.l2_hits = self.l2_hits.max(other.l2_hits);
+        self.l2_misses = self.l2_misses.max(other.l2_misses);
+        self.icache_misses = self.icache_misses.max(other.icache_misses);
+        Ok(())
+    }
+
+    /// [`KernelProfile::merge_in`] returning the merged profile.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelProfile::merge_in`].
+    pub fn merge(&self, other: &KernelProfile) -> Result<KernelProfile, MergeError> {
+        let mut merged = self.clone();
+        merged.merge_in(other)?;
+        Ok(merged)
+    }
+
+    /// Splits the profile into at most `chunks` internally consistent
+    /// pieces (contiguous PC ranges, kernel totals recomputed per piece;
+    /// ground-truth fields copied, which max-merging restores exactly).
+    /// Merging the pieces in any order reproduces this profile — the
+    /// client side of the daemon's chunked `profile_begin` /
+    /// `profile_chunk` / `profile_end` upload.
+    pub fn split_chunks(&self, chunks: usize) -> Vec<KernelProfile> {
+        let chunks = chunks.max(1);
+        if self.pcs.is_empty() {
+            return vec![self.clone()];
+        }
+        let per = self.pcs.len().div_ceil(chunks);
+        let entries: Vec<(&u64, &PcStats)> = self.pcs.iter().collect();
+        entries
+            .chunks(per)
+            .map(|group| {
+                // Each piece copies only its own PC group (plus the
+                // cheap header), so the whole split is O(total PCs) —
+                // chunking exists for profiles too large to ship whole.
+                let pcs: BTreeMap<u64, PcStats> =
+                    group.iter().map(|(&pc, st)| (pc, (*st).clone())).collect();
+                let total_samples: u64 = pcs.values().map(|s| s.total).sum();
+                let latency_samples: u64 = pcs.values().map(PcStats::latency_total).sum();
+                KernelProfile {
+                    kernel: self.kernel.clone(),
+                    module_name: self.module_name.clone(),
+                    arch: self.arch.clone(),
+                    period: self.period,
+                    launch: self.launch,
+                    occupancy: self.occupancy,
+                    cycles: self.cycles,
+                    issued: self.issued,
+                    pcs,
+                    total_samples,
+                    active_samples: total_samples - latency_samples,
+                    latency_samples,
+                    mem_transactions: self.mem_transactions,
+                    l2_hits: self.l2_hits,
+                    l2_misses: self.l2_misses,
+                    icache_misses: self.icache_misses,
+                }
+            })
+            .collect()
     }
 
     /// Kernel-level stall histogram over all samples.
@@ -161,6 +336,13 @@ impl KernelProfile {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
+        self.to_doc().pretty()
+    }
+
+    /// The profile as a JSON document (the single place the wire/file
+    /// layout lives; `compact()` of this is the canonical rendering the
+    /// daemon content-addresses).
+    pub fn to_doc(&self) -> Json {
         let pcs = Json::Obj(
             self.pcs
                 .iter()
@@ -205,7 +387,6 @@ impl KernelProfile {
             .with("l2_hits", self.l2_hits)
             .with("l2_misses", self.l2_misses)
             .with("icache_misses", self.icache_misses)
-            .pretty()
     }
 
     /// Parses a profile from JSON text.
@@ -220,10 +401,18 @@ impl KernelProfile {
     /// Builds a profile from an already-parsed JSON document (e.g. a
     /// subtree of a larger request object).
     ///
+    /// Validation is **strict**: unknown fields (at the top level and
+    /// inside each per-PC stats object) are rejected rather than
+    /// silently dropped, and the document must be internally consistent
+    /// — each PC's `total` must equal the sum of its stall-reason
+    /// counters, latency counters can never exceed their all-sample
+    /// counterparts, and the kernel totals must equal the sums over the
+    /// `pcs` table.
+    ///
     /// # Errors
     ///
-    /// Returns a [`gpa_json::JsonError`] when fields are missing or of
-    /// the wrong type.
+    /// Returns a [`gpa_json::JsonError`] when fields are missing, of
+    /// the wrong type, unknown, or inconsistent.
     pub fn from_doc(doc: &Json) -> gpa_json::Result<Self> {
         let launch = doc.field("launch")?;
         let occ = doc.field("occupancy")?;
@@ -232,16 +421,35 @@ impl KernelProfile {
             let pc: u64 = key
                 .parse()
                 .map_err(|_| gpa_json::JsonError::from_msg(format!("bad pc key `{key}`")))?;
-            pcs.insert(
-                pc,
-                PcStats {
-                    total: stats.field("total")?.as_u64()?,
-                    by_reason: reason_array(stats.field("by_reason")?)?,
-                    latency_by_reason: reason_array(stats.field("latency_by_reason")?)?,
-                },
-            );
+            let st = PcStats {
+                total: stats.field("total")?.as_u64()?,
+                by_reason: reason_array(stats.field("by_reason")?)?,
+                latency_by_reason: reason_array(stats.field("latency_by_reason")?)?,
+            };
+            reject_unknown_keys(stats, &["total", "by_reason", "latency_by_reason"], "pc stats")?;
+            // Checked sum: a crafted document whose counters overflow
+            // u64 must be rejected, not silently wrapped past the very
+            // consistency check below.
+            let sum = checked_sum(st.by_reason.iter().copied()).ok_or_else(|| {
+                gpa_json::JsonError::from_msg(format!("pc {pc}: stall-reason counters overflow"))
+            })?;
+            if sum != st.total {
+                return Err(gpa_json::JsonError::from_msg(format!(
+                    "pc {pc}: `total` is {} but its stall-reason counters sum to {sum}",
+                    st.total
+                )));
+            }
+            for (i, (&all, &lat)) in st.by_reason.iter().zip(&st.latency_by_reason).enumerate() {
+                if lat > all {
+                    let reason = StallReason::from_code(i as u8).expect("index within ALL");
+                    return Err(gpa_json::JsonError::from_msg(format!(
+                        "pc {pc}: {lat} latency samples exceed {all} total for reason `{reason}`"
+                    )));
+                }
+            }
+            pcs.insert(pc, st);
         }
-        Ok(KernelProfile {
+        let profile = KernelProfile {
             kernel: doc.field("kernel")?.as_str()?.to_string(),
             module_name: doc.field("module_name")?.as_str()?.to_string(),
             arch: doc.field("arch")?.as_str()?.to_string(),
@@ -269,7 +477,72 @@ impl KernelProfile {
             l2_hits: doc.field("l2_hits")?.as_u64()?,
             l2_misses: doc.field("l2_misses")?.as_u64()?,
             icache_misses: doc.field("icache_misses")?.as_u64()?,
-        })
+        };
+        reject_unknown_keys(
+            doc,
+            &[
+                "kernel",
+                "module_name",
+                "arch",
+                "period",
+                "launch",
+                "occupancy",
+                "cycles",
+                "issued",
+                "pcs",
+                "total_samples",
+                "active_samples",
+                "latency_samples",
+                "mem_transactions",
+                "l2_hits",
+                "l2_misses",
+                "icache_misses",
+            ],
+            "profile",
+        )?;
+        reject_unknown_keys(
+            launch,
+            &["grid_blocks", "block_threads", "regs_per_thread", "smem_per_block"],
+            "launch",
+        )?;
+        reject_unknown_keys(
+            occ,
+            &["blocks_per_sm", "warps_per_sm", "warps_per_scheduler", "limiter", "ratio"],
+            "occupancy",
+        )?;
+        // Kernel totals must agree with the per-PC table — a truncated
+        // or hand-edited profile is rejected, not silently accepted.
+        // Sums are checked: an overflowing table can never match a
+        // (necessarily in-range) declared total.
+        let pc_total = checked_sum(profile.pcs.values().map(|s| s.total));
+        if pc_total != Some(profile.total_samples) {
+            return Err(gpa_json::JsonError::from_msg(format!(
+                "`total_samples` is {} but the pcs table sums to {}",
+                profile.total_samples,
+                pc_total.map_or_else(|| "more than u64::MAX".to_string(), |t| t.to_string()),
+            )));
+        }
+        // Per-PC validation above bounds each entry's latency sum by its
+        // (in-range) total, so this checked sum can only overflow if the
+        // pc_total check would already have failed; it stays checked for
+        // symmetry.
+        let pc_latency = checked_sum(profile.pcs.values().map(PcStats::latency_total));
+        if pc_latency != Some(profile.latency_samples) {
+            return Err(gpa_json::JsonError::from_msg(format!(
+                "`latency_samples` is {} but the pcs table sums to {}",
+                profile.latency_samples,
+                pc_latency.map_or_else(|| "more than u64::MAX".to_string(), |t| t.to_string()),
+            )));
+        }
+        if profile.active_samples.checked_add(profile.latency_samples)
+            != Some(profile.total_samples)
+        {
+            return Err(gpa_json::JsonError::from_msg(format!(
+                "`active_samples` ({}) + `latency_samples` ({}) != `total_samples` ({})",
+                profile.active_samples, profile.latency_samples, profile.total_samples
+            )));
+        }
+        Ok(profile)
     }
 
     /// Writes the profile to a file.
@@ -291,6 +564,139 @@ impl KernelProfile {
         let text = std::fs::read_to_string(path)?;
         Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+}
+
+/// Two profiles that cannot be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The profiles describe different kernels, configurations, or
+    /// sampling setups.
+    Mismatch {
+        /// The profile field that disagrees.
+        field: &'static str,
+        /// The left profile's value (debug-rendered).
+        left: String,
+        /// The right profile's value (debug-rendered).
+        right: String,
+    },
+    /// Adding the profiles' counters would overflow `u64` — merging
+    /// would produce an internally inconsistent profile, so the merge
+    /// is refused instead (real sample counts are bounded by kernel
+    /// cycles; only crafted inputs get here).
+    CounterOverflow {
+        /// Which counter family overflowed.
+        field: &'static str,
+    },
+}
+
+impl MergeError {
+    /// The profile field the error is about.
+    pub fn field(&self) -> &'static str {
+        match self {
+            MergeError::Mismatch { field, .. } | MergeError::CounterOverflow { field } => field,
+        }
+    }
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Mismatch { field, left, right } => write!(
+                f,
+                "profiles disagree on `{field}`: {left} vs {right} \
+                 (merge requires identical kernel configurations)"
+            ),
+            MergeError::CounterOverflow { field } => {
+                write!(f, "merging would overflow the `{field}` counters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Incrementally folds per-launch profiles into one merged profile —
+/// the accumulation side of replay-style repeat profiling and of the
+/// daemon's chunked uploads. Feed it with [`ProfileBuilder::add`] (an
+/// already-built profile) or [`ProfileBuilder::add_launch`] (straight
+/// from a launch's [`SampleSet`]); only the running merge is retained,
+/// never the individual launches.
+#[derive(Debug, Default)]
+pub struct ProfileBuilder {
+    acc: Option<KernelProfile>,
+    launches: u64,
+}
+
+impl ProfileBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ProfileBuilder::default()
+    }
+
+    /// Number of profiles folded in so far.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Folds one profile into the running merge.
+    ///
+    /// # Errors
+    ///
+    /// When the profile disagrees with the accumulated kernel
+    /// configuration (see [`KernelProfile::merge_in`]).
+    pub fn add(&mut self, profile: &KernelProfile) -> Result<(), MergeError> {
+        match &mut self.acc {
+            None => self.acc = Some(profile.clone()),
+            Some(acc) => acc.merge_in(profile)?,
+        }
+        self.launches += 1;
+        Ok(())
+    }
+
+    /// Folds one launch's samples in directly (see
+    /// [`KernelProfile::from_launch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProfileBuilder::add`].
+    pub fn add_launch(
+        &mut self,
+        kernel: &str,
+        module_name: &str,
+        arch: &str,
+        period: u32,
+        result: &LaunchResult,
+    ) -> Result<(), MergeError> {
+        self.add(&KernelProfile::from_launch(kernel, module_name, arch, period, result))
+    }
+
+    /// The merged profile, or `None` when nothing was added.
+    pub fn build(self) -> Option<KernelProfile> {
+        self.acc
+    }
+}
+
+/// Overflow-checked sum for validating untrusted counter tables.
+fn checked_sum(values: impl Iterator<Item = u64>) -> Option<u64> {
+    let mut acc = 0u64;
+    for v in values {
+        acc = acc.checked_add(v)?;
+    }
+    Some(acc)
+}
+
+/// Rejects fields outside `known` so schema typos and foreign data are
+/// surfaced instead of silently accepted.
+fn reject_unknown_keys(doc: &Json, known: &[&str], what: &str) -> gpa_json::Result<()> {
+    for (key, _) in doc.entries()? {
+        if !known.contains(&key.as_str()) {
+            return Err(gpa_json::JsonError::from_msg(format!(
+                "unknown field `{key}` in {what} (expected one of: {})",
+                known.join(", ")
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn limiter_str(l: OccLimiter) -> &'static str {
@@ -336,6 +742,18 @@ pub fn classify_sample(s: &RawSample) -> (bool, bool, bool) {
     (s.scheduler_active, !s.scheduler_active, s.stall.is_stall())
 }
 
+impl PcStats {
+    /// Total latency samples (scheduler idle) at this PC.
+    pub fn latency_total(&self) -> u64 {
+        self.latency_by_reason.iter().sum()
+    }
+
+    /// Total active samples (scheduler issuing) at this PC.
+    pub fn active_total(&self) -> u64 {
+        self.total - self.latency_total()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,7 +765,7 @@ mod tests {
         LaunchResult {
             cycles: 1000,
             issued: 100,
-            samples,
+            samples: SampleSet::from_raw(&samples),
             issue_counts: Default::default(),
             mem_transactions: 5,
             l2_hits: 3,
@@ -499,16 +917,212 @@ mod tests {
         assert_eq!(p.issue_ratio(), 0.0);
         assert!(p.pc(0x10).is_none());
     }
-}
 
-impl PcStats {
-    /// Total latency samples (scheduler idle) at this PC.
-    pub fn latency_total(&self) -> u64 {
-        self.latency_by_reason.iter().sum()
+    fn two_pc_profile() -> KernelProfile {
+        KernelProfile::from_launch(
+            "k",
+            "m",
+            "volta",
+            509,
+            &fake_result(vec![
+                sample(0x10, StallReason::MemoryDependency, false),
+                sample(0x10, StallReason::Selected, true),
+                sample(0x20, StallReason::Synchronization, false),
+            ]),
+        )
     }
 
-    /// Total active samples (scheduler issuing) at this PC.
-    pub fn active_total(&self) -> u64 {
-        self.total - self.latency_total()
+    #[test]
+    fn merge_adds_samples_and_maxes_ground_truth() {
+        let a = two_pc_profile();
+        let mut b = two_pc_profile();
+        b.cycles = 900; // a slightly faster replay
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.total_samples, 6);
+        assert_eq!(m.active_samples, 2);
+        assert_eq!(m.latency_samples, 4);
+        assert_eq!(m.pc(0x10).unwrap().total, 4);
+        assert_eq!(m.pc(0x10).unwrap().stalls(StallReason::MemoryDependency), 2);
+        assert_eq!(m.cycles, 1000, "ground truth takes the representative (max) launch");
+        assert_eq!(m.issued, 100);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_has_an_identity() {
+        let a = two_pc_profile();
+        let mut b = two_pc_profile();
+        b.pcs.remove(&0x20);
+        b.total_samples = 2;
+        b.active_samples = 1;
+        b.latency_samples = 1;
+        assert_eq!(a.merge(&b).unwrap(), b.merge(&a).unwrap());
+        let empty = a.empty_like();
+        assert_eq!(a.merge(&empty).unwrap(), a);
+        assert_eq!(empty.merge(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configurations() {
+        let a = two_pc_profile();
+        let mut other_kernel = two_pc_profile();
+        other_kernel.kernel = "different".into();
+        let err = a.merge(&other_kernel).unwrap_err();
+        assert_eq!(err.field(), "kernel");
+        assert!(err.to_string().contains("profiles disagree on `kernel`"), "{err}");
+        let mut other_period = two_pc_profile();
+        other_period.period = 127;
+        assert_eq!(a.merge(&other_period).unwrap_err().field(), "period");
+    }
+
+    #[test]
+    fn builder_folds_launches_incrementally() {
+        let b = ProfileBuilder::new();
+        assert!(b.build().is_none());
+        let mut b = ProfileBuilder::new();
+        b.add(&two_pc_profile()).unwrap();
+        b.add(&two_pc_profile()).unwrap();
+        assert_eq!(b.launches(), 2);
+        let merged = b.build().unwrap();
+        assert_eq!(merged, two_pc_profile().merge(&two_pc_profile()).unwrap());
+    }
+
+    #[test]
+    fn split_chunks_round_trips_through_merge() {
+        let p = two_pc_profile();
+        for n in [1, 2, 5] {
+            let chunks = p.split_chunks(n);
+            assert!(chunks.len() <= n.max(1));
+            // Every chunk is internally consistent — it parses under the
+            // strict validator.
+            for c in &chunks {
+                assert_eq!(KernelProfile::from_json(&c.to_json()).unwrap(), *c);
+            }
+            let mut b = ProfileBuilder::new();
+            for c in &chunks {
+                b.add(c).unwrap();
+            }
+            assert_eq!(b.build().unwrap(), p, "merging {n} chunks reproduces the profile");
+        }
+    }
+
+    #[test]
+    fn overflowing_counters_are_rejected_not_wrapped() {
+        // Two PCs whose totals are individually valid but sum past
+        // u64::MAX: the kernel-total check must reject, not wrap.
+        let mut huge = two_pc_profile();
+        for st in huge.pcs.values_mut() {
+            let code = StallReason::Other.code() as usize;
+            st.by_reason[code] = u64::MAX - st.total;
+            st.total = u64::MAX;
+        }
+        huge.total_samples = u64::MAX; // declared total is in range
+        huge.active_samples = u64::MAX - huge.latency_samples;
+        let err = KernelProfile::from_json(&huge.to_json()).unwrap_err();
+        assert!(err.to_string().contains("more than u64::MAX"), "{err}");
+
+        // A single PC whose own counters overflow is caught per-PC.
+        let mut huge = two_pc_profile();
+        let st = huge.pcs.get_mut(&0x10).unwrap();
+        st.by_reason[0] = u64::MAX;
+        st.by_reason[1] = u64::MAX;
+        let err = KernelProfile::from_json(&huge.to_json()).unwrap_err();
+        assert!(err.to_string().contains("counters overflow"), "{err}");
+    }
+
+    #[test]
+    fn merge_refuses_counter_overflow_without_mutating() {
+        // Two individually consistent profiles whose per-PC counters
+        // would wrap u64 when added: the merge is refused (a wrapped
+        // result would be internally inconsistent and panic downstream
+        // sums), and the accumulator is left untouched for retries.
+        let near_max = || {
+            let mut p = two_pc_profile();
+            let st = p.pcs.get_mut(&0x10).unwrap();
+            let code = StallReason::Other.code() as usize;
+            st.by_reason[code] = u64::MAX / 2 + 1;
+            st.total += u64::MAX / 2 + 1;
+            p.total_samples += u64::MAX / 2 + 1;
+            p.active_samples += u64::MAX / 2 + 1;
+            p
+        };
+        let a = near_max();
+        let mut acc = a.clone();
+        let err = acc.merge_in(&near_max()).unwrap_err();
+        assert!(matches!(err, MergeError::CounterOverflow { .. }), "{err:?}");
+        assert!(err.to_string().contains("overflow"), "{err}");
+        assert_eq!(acc, a, "failed merge leaves the accumulator untouched");
+        // Merged consistent profiles stay consistent: the strict parser
+        // accepts what merge produces.
+        let merged = two_pc_profile().merge(&two_pc_profile()).unwrap();
+        assert_eq!(KernelProfile::from_json(&merged.to_json()).unwrap(), merged);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_everywhere() {
+        let text = valid_profile_text();
+        // Renaming a known field is reported as the field going missing
+        // (extraction runs first)...
+        for (needle, replacement, expect) in [
+            ("\"module_name\"", "\"modulo_name\"", "missing field `module_name`"),
+            ("\"by_reason\"", "\"by_raisin\"", "missing field `by_reason`"),
+            ("\"smem_per_block\"", "\"smem_per_war\"", "missing field `smem_per_block`"),
+        ] {
+            let broken = text.replacen(needle, replacement, 1);
+            let err = KernelProfile::from_json(&broken).unwrap_err();
+            assert!(err.to_string().contains(expect), "{replacement}: {err}");
+        }
+        // ...while an extra field is rejected as unknown, at every level
+        // of the document.
+        for (anchor, extra, expect) in [
+            ("\"cycles\"", "\"mystery\": 1, ", "unknown field `mystery` in profile"),
+            ("\"total\"", "\"vibes\": 1, ", "unknown field `vibes` in pc stats"),
+            ("\"ratio\"", "\"raito\": 1, ", "unknown field `raito` in occupancy"),
+            (
+                "\"smem_per_block\"",
+                "\"smem_per_war\": 1, ",
+                "unknown field `smem_per_war` in launch",
+            ),
+        ] {
+            assert!(text.contains(anchor), "anchor {anchor} present");
+            let broken = text.replacen(anchor, &format!("{extra}{anchor}"), 1);
+            let err = KernelProfile::from_json(&broken).unwrap_err();
+            assert!(err.to_string().contains(expect), "{extra}: {err}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_totals_are_rejected() {
+        let p = two_pc_profile();
+        // Kernel total disagrees with the pcs table.
+        let mut broken = p.clone();
+        broken.total_samples += 1;
+        broken.active_samples += 1; // keep A + L = T so the sum check fires
+        let err = KernelProfile::from_json(&broken.to_json()).unwrap_err();
+        assert!(err.to_string().contains("`total_samples` is 4"), "{err}");
+        // Latency total disagrees.
+        let mut broken = p.clone();
+        broken.latency_samples -= 1;
+        broken.active_samples += 1;
+        let err = KernelProfile::from_json(&broken.to_json()).unwrap_err();
+        assert!(err.to_string().contains("`latency_samples` is 1"), "{err}");
+        // A + L != T.
+        let mut broken = p.clone();
+        broken.active_samples += 1;
+        let err = KernelProfile::from_json(&broken.to_json()).unwrap_err();
+        assert!(err.to_string().contains("!= `total_samples`"), "{err}");
+        // A PC's own counters disagree with its total.
+        let mut broken = p.clone();
+        broken.pcs.get_mut(&0x10).unwrap().total += 1;
+        broken.total_samples += 1;
+        broken.active_samples += 1;
+        let err = KernelProfile::from_json(&broken.to_json()).unwrap_err();
+        assert!(err.to_string().contains("stall-reason counters sum to"), "{err}");
+        // Latency exceeding all-samples for one reason (caught while
+        // parsing the pcs table, before the kernel totals).
+        let mut broken = p;
+        broken.pcs.get_mut(&0x10).unwrap().latency_by_reason
+            [StallReason::Selected.code() as usize] += 2;
+        let err = KernelProfile::from_json(&broken.to_json()).unwrap_err();
+        assert!(err.to_string().contains("latency samples exceed"), "{err}");
     }
 }

@@ -34,6 +34,8 @@ pub mod store;
 
 pub use client::{Response, ServeClient};
 pub use metrics::Metrics;
-pub use protocol::{Request, WireOptions, DEFAULT_ADDR, DEFAULT_SCHEMA, SCHEMA_VERSIONS};
+pub use protocol::{
+    Request, WireOptions, DEFAULT_ADDR, DEFAULT_SCHEMA, MAX_REPEAT, SCHEMA_VERSIONS,
+};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{ReportStore, StoreStats};

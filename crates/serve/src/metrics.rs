@@ -15,6 +15,14 @@ pub struct Metrics {
     pub analyze: AtomicU64,
     /// `analyze_profile` requests received.
     pub analyze_profile: AtomicU64,
+    /// `profile_begin` requests received (chunked uploads opened).
+    pub profile_begin: AtomicU64,
+    /// `profile_chunk` requests received.
+    pub profile_chunk: AtomicU64,
+    /// `profile_end` requests received (chunked uploads finalized).
+    pub profile_end: AtomicU64,
+    /// `profile_abort` requests received (chunked uploads discarded).
+    pub profile_abort: AtomicU64,
     /// `status` requests received.
     pub status: AtomicU64,
     /// `shutdown` requests received.
@@ -41,6 +49,10 @@ impl Default for Metrics {
             started: Instant::now(),
             analyze: AtomicU64::new(0),
             analyze_profile: AtomicU64::new(0),
+            profile_begin: AtomicU64::new(0),
+            profile_chunk: AtomicU64::new(0),
+            profile_end: AtomicU64::new(0),
+            profile_abort: AtomicU64::new(0),
             status: AtomicU64::new(0),
             shutdown: AtomicU64::new(0),
             sleep: AtomicU64::new(0),
@@ -65,6 +77,10 @@ impl Metrics {
         let counter = match request {
             Request::Analyze { .. } => &self.analyze,
             Request::AnalyzeProfile { .. } => &self.analyze_profile,
+            Request::ProfileBegin { .. } => &self.profile_begin,
+            Request::ProfileChunk { .. } => &self.profile_chunk,
+            Request::ProfileEnd { .. } => &self.profile_end,
+            Request::ProfileAbort { .. } => &self.profile_abort,
             Request::Status => &self.status,
             Request::Shutdown => &self.shutdown,
             Request::Sleep { .. } => &self.sleep,
@@ -88,6 +104,10 @@ impl Metrics {
         Json::object()
             .with("analyze", self.analyze.load(Ordering::Relaxed))
             .with("analyze_profile", self.analyze_profile.load(Ordering::Relaxed))
+            .with("profile_begin", self.profile_begin.load(Ordering::Relaxed))
+            .with("profile_chunk", self.profile_chunk.load(Ordering::Relaxed))
+            .with("profile_end", self.profile_end.load(Ordering::Relaxed))
+            .with("profile_abort", self.profile_abort.load(Ordering::Relaxed))
             .with("status", self.status.load(Ordering::Relaxed))
             .with("shutdown", self.shutdown.load(Ordering::Relaxed))
             .with("sleep", self.sleep.load(Ordering::Relaxed))

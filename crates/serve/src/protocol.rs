@@ -37,23 +37,35 @@ pub const MAX_REQUEST_BYTES: u64 = 8 * 1024 * 1024;
 /// park a worker indefinitely.
 pub const MAX_SLEEP_MS: u64 = 5_000;
 
+/// Upper bound on `analyze`'s `repeat` option: each repeat is a full
+/// kernel re-simulation, so an uncapped value would let one frame pin a
+/// worker indefinitely (the compute analogue of [`MAX_SLEEP_MS`]).
+/// Sampling phases spread across one period, so repeats beyond the
+/// period add nothing anyway.
+pub const MAX_REPEAT: u32 = 64;
+
 /// How many advice items the rendered report text includes (the CLI's
 /// `analyze` default).
 pub const REPORT_TOP: usize = 5;
 
 /// Per-request advice options carried on the wire: the negotiated
-/// schema version plus the [`AdviceRequest`] the advisor runs with.
+/// schema version, the profiling repeat count, plus the
+/// [`AdviceRequest`] the advisor runs with.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireOptions {
     /// Advice schema version for the response body (1 or 2).
     pub schema: u32,
+    /// Profiling repeat count for `analyze`: the daemon replays the
+    /// launch this many times with shifted sampling phases and advises
+    /// on the merged profile (1 = plain single-launch profiling).
+    pub repeat: u32,
     /// Advisor options for this call.
     pub request: AdviceRequest,
 }
 
 impl Default for WireOptions {
     fn default() -> Self {
-        WireOptions { schema: DEFAULT_SCHEMA, request: AdviceRequest::default() }
+        WireOptions { schema: DEFAULT_SCHEMA, repeat: 1, request: AdviceRequest::default() }
     }
 }
 
@@ -69,6 +81,18 @@ impl WireOptions {
         let mut options = WireOptions::default();
         if let Some(v) = doc.get("schema") {
             options.schema = parse_schema(v)?;
+        }
+        if let Some(v) = doc.get("repeat") {
+            let n = v.as_u64().map_err(|_| "`repeat` must be an unsigned integer")?;
+            if n == 0 {
+                return Err("`repeat` must be at least 1".to_string());
+            }
+            // Each repeat re-simulates the kernel; cap what one frame
+            // can make a worker do.
+            if n > u64::from(MAX_REPEAT) {
+                return Err(format!("`repeat` exceeds the limit of {MAX_REPEAT}"));
+            }
+            options.repeat = n as u32;
         }
         let mut request = AdviceRequest::default();
         if let Some(v) = doc.get("top") {
@@ -108,6 +132,9 @@ impl WireOptions {
         let defaults = AdviceRequest::default();
         if self.schema != DEFAULT_SCHEMA {
             doc = doc.with("schema", self.schema);
+        }
+        if self.repeat != 1 {
+            doc = doc.with("repeat", self.repeat);
         }
         let r = &self.request;
         if let Some(top) = r.top {
@@ -151,8 +178,9 @@ impl WireOptions {
         opts.sort_unstable();
         opts.dedup();
         format!(
-            "s{}|t{}|c{}|o{}|m{}|h{}|e{}",
+            "s{}|r{}|t{}|c{}|o{}|m{}|h{}|e{}",
             self.schema,
+            self.repeat,
             r.top.map_or_else(|| "-".to_string(), |t| t.to_string()),
             cats.join(","),
             opts.join(","),
@@ -222,6 +250,42 @@ pub enum Request {
         /// Negotiated schema version and advisor options.
         options: WireOptions,
     },
+    /// Opens a chunked profile upload for `(app, variant)`: large
+    /// client profiles stream in as several `profile_chunk` frames
+    /// (each under the request size cap) instead of one giant
+    /// `analyze_profile` frame. Answered with an `upload_id` scoped to
+    /// this connection.
+    ProfileBegin {
+        /// The app/variant whose module artifacts to match against.
+        job: AnalysisJob,
+        /// Negotiated schema version and advisor options for the final
+        /// advice.
+        options: WireOptions,
+    },
+    /// Adds one profile chunk to an open upload. Chunks are full (but
+    /// typically partial-coverage) `KernelProfile` documents; the daemon
+    /// folds them together with `KernelProfile::merge`, so only the
+    /// running merge is retained server-side.
+    ProfileChunk {
+        /// The id `profile_begin` returned.
+        upload_id: u64,
+        /// This chunk's profile document.
+        profile: Box<KernelProfile>,
+    },
+    /// Closes an upload: the merged profile is advised on exactly like
+    /// an `analyze_profile` submission of the merged document — same
+    /// response body, same content-addressed cache entry.
+    ProfileEnd {
+        /// The id `profile_begin` returned.
+        upload_id: u64,
+    },
+    /// Discards an open upload without analyzing it, freeing its
+    /// per-connection slot — the recovery path when a chunk was
+    /// rejected mid-upload.
+    ProfileAbort {
+        /// The id `profile_begin` returned.
+        upload_id: u64,
+    },
     /// Daemon metrics snapshot.
     Status,
     /// Stop accepting work and exit cleanly.
@@ -253,16 +317,33 @@ impl Request {
                 Ok(Request::Analyze { job: job_from(&doc)?, options: WireOptions::parse(&doc)? })
             }
             "analyze_profile" => {
+                // Cheap validation (job, options) before the profile
+                // document, which can be megabytes.
+                let job = job_from(&doc)?;
+                let options = no_repeat(WireOptions::parse(&doc)?, op)?;
                 let profile_doc = doc.get("profile").ok_or("missing `profile` field")?;
                 let profile = KernelProfile::from_doc(profile_doc)
                     .map_err(|e| format!("bad `profile`: {e}"))?;
                 Ok(Request::AnalyzeProfile {
-                    job: job_from(&doc)?,
+                    job,
                     profile: Box::new(profile),
                     canon: profile_doc.compact(),
-                    options: WireOptions::parse(&doc)?,
+                    options,
                 })
             }
+            "profile_begin" => Ok(Request::ProfileBegin {
+                job: job_from(&doc)?,
+                options: no_repeat(WireOptions::parse(&doc)?, op)?,
+            }),
+            "profile_chunk" => {
+                let upload_id = upload_id_from(&doc)?;
+                let profile_doc = doc.get("profile").ok_or("missing `profile` field")?;
+                let profile = KernelProfile::from_doc(profile_doc)
+                    .map_err(|e| format!("bad `profile`: {e}"))?;
+                Ok(Request::ProfileChunk { upload_id, profile: Box::new(profile) })
+            }
+            "profile_end" => Ok(Request::ProfileEnd { upload_id: upload_id_from(&doc)? }),
+            "profile_abort" => Ok(Request::ProfileAbort { upload_id: upload_id_from(&doc)? }),
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
             "sleep" => {
@@ -281,6 +362,10 @@ impl Request {
         match self {
             Request::Analyze { .. } => "analyze",
             Request::AnalyzeProfile { .. } => "analyze_profile",
+            Request::ProfileBegin { .. } => "profile_begin",
+            Request::ProfileChunk { .. } => "profile_chunk",
+            Request::ProfileEnd { .. } => "profile_end",
+            Request::ProfileAbort { .. } => "profile_abort",
             Request::Status => "status",
             Request::Shutdown => "shutdown",
             Request::Sleep { .. } => "sleep",
@@ -303,6 +388,13 @@ impl Request {
                 job.variant,
                 options.cache_segment()
             )),
+            // Upload ops are connection-stateful; only the *merged*
+            // profile is addressable, and `profile_end` reaches the
+            // store through the synthesized `analyze_profile` request.
+            Request::ProfileBegin { .. }
+            | Request::ProfileChunk { .. }
+            | Request::ProfileEnd { .. }
+            | Request::ProfileAbort { .. } => None,
             Request::Status | Request::Shutdown | Request::Sleep { .. } => None,
         }
     }
@@ -323,6 +415,23 @@ impl Request {
                 .compact(),
             Request::AnalyzeProfile { job, canon, options, .. } => {
                 analyze_profile_frame(&job.app, job.variant, canon, options)
+            }
+            Request::ProfileBegin { job, options } => options
+                .extend_wire(
+                    Json::object()
+                        .with("op", "profile_begin")
+                        .with("app", job.app.clone())
+                        .with("variant", job.variant),
+                )
+                .compact(),
+            Request::ProfileChunk { upload_id, profile } => {
+                profile_chunk_frame(*upload_id, &profile.to_doc().compact())
+            }
+            Request::ProfileEnd { upload_id } => {
+                format!("{{\"op\":\"profile_end\",\"upload_id\":{upload_id}}}")
+            }
+            Request::ProfileAbort { upload_id } => {
+                format!("{{\"op\":\"profile_abort\",\"upload_id\":{upload_id}}}")
             }
             Request::Status => "{\"op\":\"status\"}".to_string(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
@@ -351,6 +460,32 @@ pub fn analyze_profile_frame(
         "{{\"op\":\"analyze_profile\",\"app\":{},\"variant\":{variant},{opts}\"profile\":{profile_canon}}}",
         Json::from(app).compact()
     )
+}
+
+/// The `profile_chunk` request frame for a canonically (compact)
+/// rendered chunk document.
+pub fn profile_chunk_frame(upload_id: u64, profile_canon: &str) -> String {
+    format!("{{\"op\":\"profile_chunk\",\"upload_id\":{upload_id},\"profile\":{profile_canon}}}")
+}
+
+/// Rejects a `repeat` option on ops that advise on an already-gathered
+/// profile: repeat profiling happens during `analyze`'s simulation, so
+/// here it could only be silently ignored — and since every option is
+/// part of the content address, accepting it would also split
+/// byte-identical bodies across store entries (breaking the documented
+/// chunked/whole cache sharing).
+fn no_repeat(options: WireOptions, op: &str) -> Result<WireOptions, String> {
+    if options.repeat != 1 {
+        return Err(format!("`repeat` is not supported by `{op}` (use it on `analyze`)"));
+    }
+    Ok(options)
+}
+
+fn upload_id_from(doc: &Json) -> Result<u64, String> {
+    doc.get("upload_id")
+        .ok_or("missing `upload_id` field")?
+        .as_u64()
+        .map_err(|_| "`upload_id` must be an unsigned integer".to_string())
 }
 
 fn job_from(doc: &Json) -> Result<AnalysisJob, String> {
@@ -541,6 +676,80 @@ mod tests {
         // Frames with options parse back to the same options.
         let r = Request::parse(&frame).unwrap_err();
         assert!(r.contains("bad `profile`"), "empty profile rejected downstream: {r}");
+    }
+
+    #[test]
+    fn parses_repeat_and_renders_it_on_the_wire() {
+        let r = Request::parse(r#"{"op":"analyze","app":"a","repeat":4}"#).unwrap();
+        let Request::Analyze { options, .. } = r else { panic!("wrong parse") };
+        assert_eq!(options.repeat, 4);
+        let opts = WireOptions { repeat: 4, ..WireOptions::default() };
+        let r = Request::Analyze { job: AnalysisJob::new("a", 0), options: opts };
+        assert_eq!(r.to_wire(), r#"{"op":"analyze","app":"a","variant":0,"repeat":4}"#);
+        for (line, needle) in [
+            (r#"{"op":"analyze","app":"a","repeat":0}"#, "`repeat` must be at least 1"),
+            (r#"{"op":"analyze","app":"a","repeat":"thrice"}"#, "`repeat` must be"),
+            (r#"{"op":"analyze","app":"a","repeat":65}"#, "exceeds the limit of 64"),
+            (r#"{"op":"analyze","app":"a","repeat":4294967295}"#, "exceeds the limit"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_the_chunked_upload_ops() {
+        let r =
+            Request::parse(r#"{"op":"profile_begin","app":"a","variant":1,"schema":2}"#).unwrap();
+        let Request::ProfileBegin { job, options } = r else { panic!("wrong parse") };
+        assert_eq!(job, AnalysisJob::new("a", 1));
+        assert_eq!(options.schema, 2);
+        assert!(matches!(
+            Request::parse(r#"{"op":"profile_end","upload_id":7}"#),
+            Ok(Request::ProfileEnd { upload_id: 7 })
+        ));
+        for (line, needle) in [
+            (r#"{"op":"profile_begin"}"#, "missing `app`"),
+            (r#"{"op":"profile_chunk","profile":{}}"#, "missing `upload_id`"),
+            (r#"{"op":"profile_chunk","upload_id":"x","profile":{}}"#, "`upload_id` must be"),
+            (r#"{"op":"profile_chunk","upload_id":0}"#, "missing `profile`"),
+            (r#"{"op":"profile_chunk","upload_id":0,"profile":{}}"#, "bad `profile`"),
+            (r#"{"op":"profile_end"}"#, "missing `upload_id`"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // Upload ops are never cached directly; the merged result joins
+        // the store through the synthesized analyze_profile.
+        let begin = Request::parse(r#"{"op":"profile_begin","app":"a"}"#).unwrap();
+        assert!(begin.cache_key().is_none());
+        assert!(Request::ProfileEnd { upload_id: 0 }.cache_key().is_none());
+        assert_eq!(begin.op(), "profile_begin");
+        assert_eq!(
+            profile_chunk_frame(3, "{}"),
+            r#"{"op":"profile_chunk","upload_id":3,"profile":{}}"#
+        );
+    }
+
+    #[test]
+    fn repeat_is_part_of_the_content_address() {
+        let plain = Request::parse(r#"{"op":"analyze","app":"a"}"#).unwrap();
+        let repeated = Request::parse(r#"{"op":"analyze","app":"a","repeat":3}"#).unwrap();
+        assert_ne!(plain.cache_key(), repeated.cache_key());
+    }
+
+    #[test]
+    fn repeat_is_rejected_on_profile_submission_ops() {
+        // Repeat profiling happens during `analyze`'s simulation; on the
+        // submission ops it would be silently ignored *and* fragment the
+        // content-addressed store, so the parser refuses it outright.
+        for (line, op) in [
+            (r#"{"op":"analyze_profile","app":"a","repeat":2,"profile":{}}"#, "analyze_profile"),
+            (r#"{"op":"profile_begin","app":"a","repeat":2}"#, "profile_begin"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(&format!("`repeat` is not supported by `{op}`")), "{line}: {err}");
+        }
     }
 
     #[test]

@@ -20,11 +20,12 @@
 //! and a dummy connect unblocks `accept`.
 
 use crate::metrics::Metrics;
-use crate::protocol::{self, Request, DEFAULT_ADDR, MAX_REQUEST_BYTES};
+use crate::protocol::{self, Request, WireOptions, DEFAULT_ADDR, MAX_REQUEST_BYTES};
 use crate::store::ReportStore;
 use gpa_json::Json;
-use gpa_pipeline::Session;
-use std::collections::VecDeque;
+use gpa_pipeline::{AnalysisJob, Session};
+use gpa_sampling::KernelProfile;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -73,6 +74,44 @@ struct Work {
     reply: mpsc::Sender<String>,
 }
 
+/// Open chunked uploads are scoped to one connection: abandoned uploads
+/// die with the socket instead of leaking daemon-global state, and ids
+/// never collide across clients.
+const MAX_UPLOADS_PER_CONNECTION: usize = 8;
+
+/// Hard cap on chunks per upload. Each accepted chunk can add up to one
+/// frame's worth of PC entries to the retained merge, so without a cap
+/// a client could grow daemon memory one 8 MiB frame at a time.
+const MAX_CHUNKS_PER_UPLOAD: u64 = 64;
+
+/// Hard cap on distinct PCs in an upload's running merge — the actual
+/// retained-memory bound (chunks with disjoint PC keys accumulate).
+/// Far above any real program's instruction count.
+const MAX_UPLOAD_PCS: usize = 1 << 18;
+
+/// Daemon-global cap on PC entries retained across *all* open uploads
+/// on *all* connections — the per-upload/per-connection caps bound one
+/// client, this bounds the fleet (a swarm of connections each parking
+/// maximal uploads would otherwise grow daemon memory without limit).
+const MAX_TOTAL_UPLOAD_PCS: usize = 1 << 21;
+
+/// One open chunked upload: the target job, the advice options fixed at
+/// `profile_begin`, and the running merge (never the individual
+/// chunks).
+struct Upload {
+    job: AnalysisJob,
+    options: WireOptions,
+    merged: Option<KernelProfile>,
+    chunks: u64,
+}
+
+/// Per-connection request state (chunked uploads in flight).
+#[derive(Default)]
+struct ConnState {
+    uploads: HashMap<u64, Upload>,
+    next_upload_id: u64,
+}
+
 /// Whether the connection keeps reading after a response.
 enum Control {
     Continue,
@@ -93,6 +132,10 @@ struct Shared {
     conns: Mutex<Vec<(u64, TcpStream)>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     local_addr: SocketAddr,
+    /// PC entries currently retained by open uploads, daemon-wide
+    /// (see [`MAX_TOTAL_UPLOAD_PCS`]). Approximate accounting —
+    /// relaxed atomics — is fine for a resource budget.
+    upload_pcs: AtomicU64,
 }
 
 /// A running daemon: its address and the threads behind it.
@@ -131,6 +174,7 @@ pub fn serve(session: Arc<Session>, config: ServerConfig) -> io::Result<ServerHa
         conns: Mutex::new(Vec::new()),
         conn_threads: Mutex::new(Vec::new()),
         local_addr,
+        upload_pcs: AtomicU64::new(0),
     });
     let worker_handles = (0..workers)
         .map(|i| {
@@ -264,6 +308,7 @@ fn connection_loop(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
     let mut writer = stream;
     let mut reader = BufReader::new(read_half).take(MAX_REQUEST_BYTES);
     let mut line = String::new();
+    let mut state = ConnState::default();
     loop {
         line.clear();
         reader.set_limit(MAX_REQUEST_BYTES);
@@ -283,7 +328,7 @@ fn connection_loop(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, control) = handle_line(shared, &line);
+        let (response, control) = handle_line(shared, &mut state, &line);
         if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
             break;
         }
@@ -292,12 +337,17 @@ fn connection_loop(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
             break;
         }
     }
+    // Abandoned uploads die with the connection — return their share of
+    // the daemon-wide retained-PC budget.
+    for upload in state.uploads.values() {
+        release_upload_pcs(shared, upload);
+    }
     // Deregister this connection's dup'd socket so a long-lived daemon
     // does not hold one CLOSE_WAIT fd per past client.
     shared.conns.lock().expect("conns lock").retain(|(id, _)| *id != conn_id);
 }
 
-fn handle_line(shared: &Shared, line: &str) -> (String, Control) {
+fn handle_line(shared: &Shared, state: &mut ConnState, line: &str) -> (String, Control) {
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(msg) => {
@@ -306,49 +356,229 @@ fn handle_line(shared: &Shared, line: &str) -> (String, Control) {
         }
     };
     shared.metrics.count_op(&request);
-    match &request {
+    let request = match request {
         Request::Status => {
-            (protocol::ok_frame(false, &status_body(shared).compact()), Control::Continue)
+            return (protocol::ok_frame(false, &status_body(shared).compact()), Control::Continue)
         }
         Request::Shutdown => {
-            (protocol::ok_frame(false, "{\"shutting_down\":true}"), Control::Shutdown)
+            return (protocol::ok_frame(false, "{\"shutting_down\":true}"), Control::Shutdown)
         }
-        _ => {
-            if let Some(key) = request.cache_key() {
-                if let Some(body) = shared.store.get(&key) {
-                    return (protocol::ok_frame(true, &body), Control::Continue);
-                }
+        // Upload bookkeeping is answered inline by the connection
+        // thread; only the finalized merge consumes a worker slot, as a
+        // synthesized `analyze_profile` request.
+        Request::ProfileBegin { job, options } => {
+            return (upload_begin(shared, state, job, options), Control::Continue)
+        }
+        Request::ProfileChunk { upload_id, profile } => {
+            return (upload_chunk(shared, state, upload_id, profile), Control::Continue)
+        }
+        Request::ProfileAbort { upload_id } => {
+            return (upload_abort(shared, state, upload_id), Control::Continue)
+        }
+        Request::ProfileEnd { upload_id } => {
+            return (upload_end(shared, state, upload_id), Control::Continue)
+        }
+        other => other,
+    };
+    if let Some(key) = request.cache_key() {
+        if let Some(body) = shared.store.get(&key) {
+            return (protocol::ok_frame(true, &body), Control::Continue);
+        }
+    }
+    (dispatch(shared, request).into_frame(), Control::Continue)
+}
+
+/// `profile_begin`: opens an upload slot after validating (and warming)
+/// the job's module artifacts, so a typo'd app or out-of-range variant
+/// fails before the client streams megabytes of chunks.
+fn upload_begin(
+    shared: &Shared,
+    state: &mut ConnState,
+    job: AnalysisJob,
+    options: WireOptions,
+) -> String {
+    if state.uploads.len() >= MAX_UPLOADS_PER_CONNECTION {
+        return protocol::error_frame(&format!(
+            "too many open uploads on this connection (limit {MAX_UPLOADS_PER_CONNECTION}); \
+             finish one with profile_end first"
+        ));
+    }
+    if let Err(e) = shared.session.artifacts(&job) {
+        return protocol::job_error_frame(&e);
+    }
+    let id = state.next_upload_id;
+    state.next_upload_id += 1;
+    state.uploads.insert(id, Upload { job, options, merged: None, chunks: 0 });
+    protocol::ok_frame(false, &format!("{{\"upload_id\":{id}}}"))
+}
+
+/// `profile_chunk`: folds one chunk into the upload's running merge.
+/// Every rejection (chunk-count cap, per-upload or daemon-wide PC
+/// budget, merge mismatch) leaves the upload in its previous, usable
+/// state.
+fn upload_chunk(
+    shared: &Shared,
+    state: &mut ConnState,
+    upload_id: u64,
+    profile: Box<KernelProfile>,
+) -> String {
+    let Some(upload) = state.uploads.get_mut(&upload_id) else {
+        return protocol::error_frame(&format!("unknown upload id {upload_id}"));
+    };
+    if upload.chunks >= MAX_CHUNKS_PER_UPLOAD {
+        return protocol::error_frame(&format!(
+            "upload {upload_id} already holds {MAX_CHUNKS_PER_UPLOAD} chunks \
+             (the limit); send profile_end"
+        ));
+    }
+    // The documented bound is on *distinct* PCs in the running merge,
+    // so count only this chunk's genuinely new keys (replay-style
+    // chunks overlap heavily).
+    let (merged_pcs, new_pcs) = match &upload.merged {
+        None => (0, profile.pcs.len()),
+        Some(acc) => {
+            (acc.pcs.len(), profile.pcs.keys().filter(|pc| !acc.pcs.contains_key(pc)).count())
+        }
+    };
+    if merged_pcs + new_pcs > MAX_UPLOAD_PCS {
+        return protocol::error_frame(&format!(
+            "upload {upload_id} would exceed {MAX_UPLOAD_PCS} merged PCs"
+        ));
+    }
+    if shared.upload_pcs.load(Ordering::Relaxed) + new_pcs as u64 > MAX_TOTAL_UPLOAD_PCS as u64 {
+        return protocol::error_frame(&format!(
+            "daemon-wide upload budget of {MAX_TOTAL_UPLOAD_PCS} retained PCs exhausted; \
+             retry later"
+        ));
+    }
+    match &mut upload.merged {
+        None => upload.merged = Some(*profile),
+        Some(acc) => {
+            if let Err(e) = acc.merge_in(&profile) {
+                return protocol::error_frame(&format!("chunk does not merge: {e}"));
             }
-            (dispatch(shared, request), Control::Continue)
+        }
+    }
+    upload.chunks += 1;
+    shared.upload_pcs.fetch_add(new_pcs as u64, Ordering::Relaxed);
+    protocol::ok_frame(false, &format!("{{\"received\":{}}}", upload.chunks))
+}
+
+/// `profile_abort`: discards an open upload and releases its share of
+/// the daemon-wide PC budget.
+fn upload_abort(shared: &Shared, state: &mut ConnState, upload_id: u64) -> String {
+    match state.uploads.remove(&upload_id) {
+        Some(upload) => {
+            release_upload_pcs(shared, &upload);
+            protocol::ok_frame(false, "{\"aborted\":true}")
+        }
+        None => protocol::error_frame(&format!("unknown upload id {upload_id}")),
+    }
+}
+
+/// `profile_end`: finalizes an upload as a synthesized
+/// `analyze_profile` of the merged document — same body, same content
+/// address, so chunked and whole submissions share one report-store
+/// entry. A backpressure rejection restores the upload (the "retry
+/// later" advice must be followable); success and cache hits release
+/// its budget share.
+fn upload_end(shared: &Shared, state: &mut ConnState, upload_id: u64) -> String {
+    let Some(upload) = state.uploads.remove(&upload_id) else {
+        return protocol::error_frame(&format!("unknown upload id {upload_id}"));
+    };
+    let Upload { job, options, merged, chunks } = upload;
+    let Some(profile) = merged else {
+        return protocol::error_frame(&format!(
+            "upload {upload_id} has no chunks; send profile_chunk before profile_end"
+        ));
+    };
+    let retained_pcs = profile.pcs.len() as u64;
+    let canon = profile.to_doc().compact();
+    let request = Request::AnalyzeProfile { job, profile: Box::new(profile), canon, options };
+    if let Some(key) = request.cache_key() {
+        if let Some(body) = shared.store.get(&key) {
+            shared.upload_pcs.fetch_sub(retained_pcs, Ordering::Relaxed);
+            return protocol::ok_frame(true, &body);
+        }
+    }
+    match dispatch(shared, request) {
+        Dispatched::Replied(frame) => {
+            shared.upload_pcs.fetch_sub(retained_pcs, Ordering::Relaxed);
+            frame
+        }
+        Dispatched::Rejected { request, frame } => {
+            if let Request::AnalyzeProfile { job, profile, options, .. } = request {
+                state
+                    .uploads
+                    .insert(upload_id, Upload { job, options, merged: Some(*profile), chunks });
+            }
+            frame
+        }
+    }
+}
+
+/// Returns an upload's retained PCs to the daemon-wide budget.
+fn release_upload_pcs(shared: &Shared, upload: &Upload) {
+    if let Some(merged) = &upload.merged {
+        shared.upload_pcs.fetch_sub(merged.pcs.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// The outcome of [`dispatch`]: a reply frame, or a backpressure
+/// rejection that hands the request back so stateful callers
+/// (`profile_end`) can preserve what it was built from.
+enum Dispatched {
+    /// A worker (or the rejection path of a worker-less op) answered.
+    Replied(String),
+    /// The queue was full or the daemon is shutting down; the request
+    /// never entered the queue.
+    Rejected {
+        /// The request, returned unconsumed.
+        request: Request,
+        /// The error frame to send.
+        frame: String,
+    },
+}
+
+impl Dispatched {
+    fn into_frame(self) -> String {
+        match self {
+            Dispatched::Replied(frame) | Dispatched::Rejected { frame, .. } => frame,
         }
     }
 }
 
 /// Pushes a request onto the bounded queue and waits for its frame;
 /// rejects immediately when the queue is at capacity.
-fn dispatch(shared: &Shared, request: Request) -> String {
+fn dispatch(shared: &Shared, request: Request) -> Dispatched {
     let (reply, result) = mpsc::channel();
     {
         let mut queue = shared.queue.lock().expect("queue lock");
         if shared.shutting_down.load(Ordering::Acquire) {
-            return protocol::error_frame("server is shutting down");
+            return Dispatched::Rejected {
+                request,
+                frame: protocol::error_frame("server is shutting down"),
+            };
         }
         if queue.len() >= shared.queue_capacity {
             drop(queue);
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return protocol::error_frame(&format!(
-                "request queue full ({} pending, capacity {}); retry later",
-                shared.queue_capacity, shared.queue_capacity
-            ));
+            return Dispatched::Rejected {
+                request,
+                frame: protocol::error_frame(&format!(
+                    "request queue full ({} pending, capacity {}); retry later",
+                    shared.queue_capacity, shared.queue_capacity
+                )),
+            };
         }
         queue.push_back(Work { request, reply });
         shared.metrics.note_enqueued();
         shared.available.notify_one();
     }
-    match result.recv() {
+    Dispatched::Replied(match result.recv() {
         Ok(frame) => frame,
         Err(_) => protocol::error_frame("internal error: worker abandoned the request"),
-    }
+    })
 }
 
 fn worker_loop(shared: &Shared) {
@@ -380,7 +610,7 @@ fn execute(shared: &Shared, request: Request) -> String {
     let key = request.cache_key();
     match request {
         Request::Analyze { job, options } => {
-            match shared.session.run_one_request(&job, &options.request) {
+            match shared.session.run_one_request_repeat(&job, &options.request, options.repeat) {
                 Ok(outcome) => {
                     let body = protocol::analyze_body(&outcome, options.schema).compact();
                     let stored = shared.store.insert(&key.expect("analyze is cacheable"), &body);
@@ -412,7 +642,12 @@ fn execute(shared: &Shared, request: Request) -> String {
             protocol::ok_frame(false, &format!("{{\"slept_ms\":{ms}}}"))
         }
         // Handled inline by the connection thread; never queued.
-        Request::Status | Request::Shutdown => {
+        Request::Status
+        | Request::Shutdown
+        | Request::ProfileBegin { .. }
+        | Request::ProfileChunk { .. }
+        | Request::ProfileEnd { .. }
+        | Request::ProfileAbort { .. } => {
             protocol::error_frame("internal error: control op reached the worker pool")
         }
     }

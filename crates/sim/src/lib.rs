@@ -27,7 +27,11 @@
 //! PC sampling (the paper's Figure 1) is integrated in the main loop: every
 //! sampling period each SM samples one warp scheduler round-robin, emitting
 //! an *active* or *latency* [`RawSample`] carrying the sampled warp's stall
-//! reason.
+//! reason. Samples **stream** into a [`SampleSink`]; the default sink
+//! aggregates at the source into a columnar per-PC [`SampleSet`] (so peak
+//! memory never scales with sample count), while a plain
+//! `Vec<RawSample>` sink buffers the raw stream for tests and
+//! differential checks (see `docs/profiling.md`).
 //!
 //! The scheduler core is **event-driven**: on cycles where no warp can
 //! issue anywhere, the clock jumps straight to the next warp-ready time or
@@ -65,11 +69,13 @@ pub mod exec;
 pub mod machine;
 pub mod mem;
 pub mod reconv;
+pub mod sample;
 pub mod stall;
 pub mod warp;
 
 pub use machine::{CompiledProgram, GpuSim, LaunchResult, RawSample, SimConfig, SmStats};
 pub use mem::GlobalMem;
+pub use sample::{SampleSet, SampleSink, N_REASONS};
 pub use stall::StallReason;
 
 use std::fmt;

@@ -14,6 +14,7 @@
 use crate::exec::{execute, ExecCtx, Outcome};
 use crate::mem::{ConstMem, DirectCache, GlobalMem};
 use crate::reconv::build_reconvergence;
+use crate::sample::{SampleSet, SampleSink};
 use crate::stall::StallReason;
 use crate::warp::WarpState;
 use crate::{Result, SimError};
@@ -29,6 +30,10 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// PC-sampling period in cycles per SM (0 disables sampling).
     pub sampling_period: u32,
+    /// Offset of the first sampling tick in cycles. Replay-style repeat
+    /// profiling varies the phase per launch so merged profiles observe
+    /// different cycles of the same deterministic execution.
+    pub sampling_phase: u32,
     /// Cycles to swap a finished block for a queued one.
     pub block_launch_overhead: u32,
     /// Cycles until a store's read barrier clears (WAR window).
@@ -52,6 +57,7 @@ impl Default for SimConfig {
         SimConfig {
             max_cycles: 500_000_000,
             sampling_period: 509,
+            sampling_phase: 0,
             block_launch_overhead: 25,
             war_read_cycles: 15,
             mufu_latency: 20,
@@ -97,8 +103,9 @@ pub struct LaunchResult {
     pub cycles: u64,
     /// Total instructions issued.
     pub issued: u64,
-    /// PC samples (empty when sampling is disabled).
-    pub samples: Vec<RawSample>,
+    /// Aggregated PC samples (empty when sampling is disabled, or when
+    /// the launch streamed its samples into an external [`SampleSink`]).
+    pub samples: SampleSet,
     /// Exact per-PC issue counts (ground truth for validation), ordered
     /// by PC so iteration is deterministic.
     pub issue_counts: BTreeMap<u64, u64>,
@@ -411,7 +418,9 @@ impl GpuSim {
         CompiledProgram::build(module, entry, &self.arch).map(Arc::new)
     }
 
-    /// Launches `entry` from `module` and runs it to completion.
+    /// Launches `entry` from `module` and runs it to completion, with
+    /// the default at-source aggregating sample sink: the result carries
+    /// a [`SampleSet`], never a raw sample buffer.
     ///
     /// `params` fills constant bank 0 (kernel parameters: buffer addresses
     /// and scalars, little-endian).
@@ -431,8 +440,29 @@ impl GpuSim {
         self.launch_compiled(&prog, launch, params)
     }
 
+    /// [`GpuSim::launch`] with a caller-supplied [`SampleSink`]: every
+    /// raw sample streams into `sink` and `LaunchResult::samples` stays
+    /// empty. Pass a `Vec<RawSample>` to buffer the raw stream (tests,
+    /// per-sample inspection, differential checks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpuSim::launch`].
+    pub fn launch_with_sink(
+        &mut self,
+        module: &Module,
+        entry: &str,
+        launch: &LaunchConfig,
+        params: &[u8],
+        sink: &mut dyn SampleSink,
+    ) -> Result<LaunchResult> {
+        let prog = CompiledProgram::build(module, entry, &self.arch)?;
+        self.launch_compiled_with_sink(&prog, launch, params, sink)
+    }
+
     /// Launches an already-compiled program (see [`GpuSim::compile`]),
-    /// skipping the per-launch lowering work.
+    /// skipping the per-launch lowering work. Samples aggregate into the
+    /// result's [`SampleSet`].
     ///
     /// # Errors
     ///
@@ -443,6 +473,25 @@ impl GpuSim {
         prog: &CompiledProgram,
         launch: &LaunchConfig,
         params: &[u8],
+    ) -> Result<LaunchResult> {
+        let mut set = SampleSet::new();
+        let mut result = self.launch_compiled_with_sink(prog, launch, params, &mut set)?;
+        result.samples = set;
+        Ok(result)
+    }
+
+    /// [`GpuSim::launch_compiled`] with a caller-supplied [`SampleSink`]
+    /// (the result's own `samples` set stays empty).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpuSim::launch_compiled`].
+    pub fn launch_compiled_with_sink(
+        &mut self,
+        prog: &CompiledProgram,
+        launch: &LaunchConfig,
+        params: &[u8],
+        sink: &mut dyn SampleSink,
     ) -> Result<LaunchResult> {
         if prog.arch_name != self.arch.name {
             return Err(SimError::BadLaunch(format!(
@@ -520,7 +569,7 @@ impl GpuSim {
             l2: DirectCache::new(self.arch.l2_size, self.arch.l2_line),
             next_block: 0,
             blocks_done: 0,
-            samples: Vec::new(),
+            sink,
             issue_counts: vec![0; prog.instrs.len()],
             issued_total: 0,
             mem_transactions: 0,
@@ -536,6 +585,7 @@ impl GpuSim {
         }
 
         let period = self.cfg.sampling_period as u64;
+        let phase = self.cfg.sampling_phase as u64;
         let mut cycle: u64 = 0;
         while st.blocks_done < launch.grid_blocks {
             if cycle > self.cfg.max_cycles {
@@ -557,9 +607,15 @@ impl GpuSim {
                         next = next.min(bound);
                     }
                 }
-                let next_tick = (cycle - 1)
-                    .checked_div(period)
-                    .map_or(u64::MAX, |q| (q + 1).saturating_mul(period));
+                // Smallest sampling tick (phase + m·period) at or after
+                // the current cycle.
+                let next_tick = if period == 0 {
+                    u64::MAX
+                } else if cycle <= phase {
+                    phase
+                } else {
+                    phase + (cycle - phase).div_ceil(period).saturating_mul(period)
+                };
                 // A jump past the budget still errors deterministically:
                 // clamp to max_cycles + 1 and let the loop-top check fire
                 // exactly as the dense loop would.
@@ -571,7 +627,7 @@ impl GpuSim {
         Ok(LaunchResult {
             cycles: cycle,
             issued: st.issued_total,
-            samples: st.samples,
+            samples: SampleSet::new(),
             issue_counts: prog
                 .pcs
                 .iter()
@@ -604,7 +660,7 @@ struct LaunchState<'a> {
     l2: DirectCache,
     next_block: u32,
     blocks_done: u32,
-    samples: Vec<RawSample>,
+    sink: &'a mut dyn SampleSink,
     issue_counts: Vec<u64>,
     issued_total: u64,
     mem_transactions: u64,
@@ -638,8 +694,13 @@ impl LaunchState<'_> {
             sm.next_retire = next;
         }
         let period = self.cfg.sampling_period as u64;
-        let sample_due = period > 0 && cycle.is_multiple_of(period);
-        let sample_sched = cycle.checked_div(period).map_or(0, |q| (q as usize) % self.nsched);
+        let phase = self.cfg.sampling_phase as u64;
+        let sample_due = period > 0 && cycle >= phase && (cycle - phase).is_multiple_of(period);
+        let sample_sched = if period == 0 || cycle < phase {
+            0
+        } else {
+            (((cycle - phase) / period) as usize) % self.nsched
+        };
         for sched in 0..self.nsched {
             // Pre-issue snapshot of the warp this scheduler would sample,
             // so samples see the cycle's initial state.
@@ -675,7 +736,7 @@ impl LaunchState<'_> {
                         Status::NotResident => StallReason::Other,
                     }
                 };
-                self.samples.push(RawSample {
+                self.sink.record(RawSample {
                     sm: sm.id,
                     scheduler: sched as u32,
                     cycle,
@@ -1231,7 +1292,7 @@ mod tests {
             let r = gpu
                 .launch(&m, "vecadd", &LaunchConfig::new(2, 32), &params_u64(&[a, b, out]))
                 .unwrap();
-            (r.cycles, r.issued, r.samples.len())
+            (r.cycles, r.issued, r.samples.total_samples())
         };
         assert_eq!(run(), run());
     }
@@ -1280,7 +1341,7 @@ join:
         let mut gpu = sim(1);
         gpu.config_mut().sampling_period = 31;
         let r = gpu.launch(&m, "barrier", &LaunchConfig::new(1, 64), &[]).unwrap();
-        let syncs = r.samples.iter().filter(|s| s.stall == StallReason::Synchronization).count();
+        let syncs = r.samples.reason_total(StallReason::Synchronization);
         assert!(syncs > 0, "warp 1 waits at BAR.SYNC while warp 0 loops");
         assert!(r.cycles > 1000, "200-iteration loop dominates");
     }
@@ -1331,11 +1392,9 @@ join:
         let r =
             gpu.launch(&m, "vecadd", &LaunchConfig::new(4, 64), &params_u64(&[a, b, out])).unwrap();
         assert!(!r.samples.is_empty());
-        let latency = r.samples.iter().filter(|s| !s.scheduler_active).count();
-        let stalls = r.samples.iter().filter(|s| s.stall.is_stall()).count();
-        assert!(latency > 0, "dependent loads leave empty issue slots");
-        assert!(stalls > 0);
-        let memdep = r.samples.iter().filter(|s| s.stall == StallReason::MemoryDependency).count();
+        assert!(r.samples.latency_samples() > 0, "dependent loads leave empty issue slots");
+        assert!(r.samples.stall_samples() > 0);
+        let memdep = r.samples.reason_total(StallReason::MemoryDependency);
         assert!(memdep > 0, "IADD waits on LDG barriers");
     }
 
@@ -1421,20 +1480,29 @@ join:
     }
 
     /// Runs a kernel under both scheduler cores and asserts byte-identical
-    /// results.
+    /// results — the aggregated `LaunchResult` *and* the raw per-sample
+    /// stream (cycle/SM/scheduler identity, which aggregation could
+    /// mask).
     fn assert_dense_event_identical(
         text: &str,
         entry: &str,
         launch: LaunchConfig,
         period: u32,
+        phase: u32,
         nbufs: u64,
         words_per_buf: u64,
     ) {
         let m = parse_module(text).unwrap();
-        let run = |dense: bool| {
-            let mut cfg = SimConfig::default();
-            cfg.sampling_period = period;
-            cfg.dense_reference = dense;
+        // One arming recipe for every run in this helper: `raw = None`
+        // launches through the default aggregating sink, `Some` buffers
+        // the raw stream.
+        let run = |dense: bool, collect_raw: bool| {
+            let cfg = SimConfig {
+                sampling_period: period,
+                sampling_phase: phase,
+                dense_reference: dense,
+                ..SimConfig::default()
+            };
             let mut gpu = GpuSim::new(ArchConfig::small(2), cfg);
             let bufs: Vec<u64> =
                 (0..nbufs).map(|_| gpu.global_mut().alloc(4 * words_per_buf)).collect();
@@ -1443,24 +1511,116 @@ join:
                     gpu.global_mut().write_u32(b + 4 * i, (bi as u32 + 1) * 10 + i as u32);
                 }
             }
-            gpu.launch(&m, entry, &launch, &params_u64(&bufs)).unwrap()
+            let params = params_u64(&bufs);
+            let mut raw: Vec<RawSample> = Vec::new();
+            let result = if collect_raw {
+                gpu.launch_with_sink(&m, entry, &launch, &params, &mut raw)
+            } else {
+                gpu.launch(&m, entry, &launch, &params)
+            };
+            (result.unwrap(), raw)
         };
-        let dense = run(true);
-        let event = run(false);
+        let (dense, dense_raw) = run(true, true);
+        let (event, event_raw) = run(false, true);
         assert_eq!(dense, event, "dense and event-driven cores must agree for `{entry}`");
+        assert_eq!(dense_raw, event_raw, "raw sample streams must agree for `{entry}`");
+        // The default aggregating sink sees exactly this stream.
+        let (aggregated, _) = run(false, false);
+        assert_eq!(
+            SampleSet::from_raw(&event_raw),
+            aggregated.samples,
+            "aggregate of the raw stream equals the default sink for `{entry}`"
+        );
     }
 
     #[test]
     fn event_core_matches_dense_reference() {
-        assert_dense_event_identical(VEC_ADD, "vecadd", LaunchConfig::new(4, 64), 13, 3, 256);
-        assert_dense_event_identical(BARRIER, "barrier", LaunchConfig::new(2, 64), 31, 0, 0);
-        assert_dense_event_identical(DIVERGE, "diverge", LaunchConfig::new(2, 32), 7, 1, 64);
-        assert_dense_event_identical(CALL, "main", LaunchConfig::new(2, 32), 17, 1, 64);
+        assert_dense_event_identical(VEC_ADD, "vecadd", LaunchConfig::new(4, 64), 13, 0, 3, 256);
+        assert_dense_event_identical(BARRIER, "barrier", LaunchConfig::new(2, 64), 31, 0, 0, 0);
+        assert_dense_event_identical(DIVERGE, "diverge", LaunchConfig::new(2, 32), 7, 0, 1, 64);
+        assert_dense_event_identical(CALL, "main", LaunchConfig::new(2, 32), 17, 0, 1, 64);
     }
 
     #[test]
     fn event_core_matches_dense_without_sampling() {
-        assert_dense_event_identical(VEC_ADD, "vecadd", LaunchConfig::new(4, 64), 0, 3, 256);
+        assert_dense_event_identical(VEC_ADD, "vecadd", LaunchConfig::new(4, 64), 0, 0, 3, 256);
+    }
+
+    #[test]
+    fn event_core_matches_dense_with_sampling_phase() {
+        // Replay-style repeat profiling offsets the first tick; the
+        // cores must agree for every phase, including phases beyond the
+        // first tick period.
+        for phase in [1, 5, 12, 40] {
+            assert_dense_event_identical(
+                VEC_ADD,
+                "vecadd",
+                LaunchConfig::new(4, 64),
+                13,
+                phase,
+                3,
+                256,
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_phase_shifts_which_cycles_are_observed() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let run = |phase: u32| {
+            let cfg =
+                SimConfig { sampling_period: 13, sampling_phase: phase, ..SimConfig::default() };
+            let mut gpu = GpuSim::new(ArchConfig::small(1), cfg);
+            let a = gpu.global_mut().alloc(4 * 256);
+            let b = gpu.global_mut().alloc(4 * 256);
+            let out = gpu.global_mut().alloc(4 * 256);
+            let mut raw: Vec<RawSample> = Vec::new();
+            let r = gpu
+                .launch_with_sink(
+                    &m,
+                    "vecadd",
+                    &LaunchConfig::new(4, 64),
+                    &params_u64(&[a, b, out]),
+                    &mut raw,
+                )
+                .unwrap();
+            (r.cycles, raw)
+        };
+        let (cycles0, base) = run(0);
+        let (cycles7, shifted) = run(7);
+        assert_eq!(cycles0, cycles7, "sampling never perturbs timing");
+        assert!(!base.is_empty() && !shifted.is_empty());
+        assert!(base.iter().all(|s| s.cycle % 13 == 0));
+        assert!(shifted.iter().all(|s| s.cycle % 13 == 7));
+    }
+
+    #[test]
+    fn external_sink_sees_the_stream_the_default_sink_aggregates() {
+        let m = parse_module(VEC_ADD).unwrap();
+        let launch = LaunchConfig::new(4, 64);
+        let alloc = |gpu: &mut GpuSim| {
+            let a = gpu.global_mut().alloc(4 * 256);
+            let b = gpu.global_mut().alloc(4 * 256);
+            let out = gpu.global_mut().alloc(4 * 256);
+            params_u64(&[a, b, out])
+        };
+        let cfg = SimConfig { sampling_period: 7, ..SimConfig::default() };
+        let mut gpu = GpuSim::new(ArchConfig::small(1), cfg.clone());
+        let params = alloc(&mut gpu);
+        let aggregated = gpu.launch(&m, "vecadd", &launch, &params).unwrap();
+
+        let mut gpu = GpuSim::new(ArchConfig::small(1), cfg);
+        let params = alloc(&mut gpu);
+        let mut raw: Vec<RawSample> = Vec::new();
+        let buffered = gpu.launch_with_sink(&m, "vecadd", &launch, &params, &mut raw).unwrap();
+        assert!(buffered.samples.is_empty(), "external sink owns the samples");
+        assert_eq!(
+            SampleSet::from_raw(&raw),
+            aggregated.samples,
+            "at-source aggregation equals buffered aggregation"
+        );
+        assert_eq!(buffered.cycles, aggregated.cycles);
+        assert_eq!(buffered.issued, aggregated.issued);
     }
 
     #[test]
@@ -1470,10 +1630,12 @@ join:
         // and must clamp to it, erroring exactly like the dense loop.
         let m = parse_module(VEC_ADD).unwrap();
         let run = |dense: bool| {
-            let mut cfg = SimConfig::default();
-            cfg.sampling_period = 0;
-            cfg.max_cycles = 50;
-            cfg.dense_reference = dense;
+            let cfg = SimConfig {
+                sampling_period: 0,
+                max_cycles: 50,
+                dense_reference: dense,
+                ..SimConfig::default()
+            };
             let mut gpu = GpuSim::new(ArchConfig::small(1), cfg);
             let a = gpu.global_mut().alloc(256);
             let b = gpu.global_mut().alloc(256);

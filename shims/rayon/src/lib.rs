@@ -147,12 +147,13 @@ mod tests {
         let ys: Vec<usize> = xs
             .par_iter()
             .map(|&x| {
-                // Skew the work so late indices finish first.
+                // Skew the work so late indices finish first; fold the
+                // busy-work into the result so it cannot be optimized out.
                 let mut acc = 0usize;
                 for i in 0..(64 - x) * 10_000 {
                     acc = acc.wrapping_add(i);
                 }
-                x + (acc & 1) * 0
+                x + usize::from(std::hint::black_box(acc) == usize::MAX)
             })
             .collect();
         assert_eq!(ys, xs);

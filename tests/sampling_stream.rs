@@ -1,0 +1,209 @@
+//! Differential and property tests for the streaming measurement layer.
+//!
+//! The acceptance bar for the refactor: across **every** app in the
+//! registry, the default at-source aggregating sink must reproduce the
+//! old buffered `Vec<RawSample>` path byte for byte — same `SampleSet`,
+//! same `KernelProfile`, same profile JSON, same advice — and
+//! `KernelProfile::merge` must behave as a proper commutative monoid
+//! (associative, commutative, identity = the empty profile), which is
+//! what makes repeat profiling and chunked uploads order-insensitive.
+
+use gpa::arch::{ArchConfig, LaunchConfig, Occupancy};
+use gpa::core::{report, Advisor};
+use gpa::kernels::runner::{
+    arch_for, launch_spec_with, launch_spec_with_sink, profiler_for, sim_config,
+};
+use gpa::kernels::{all_apps, Params};
+use gpa::sampling::{KernelProfile, PcStats, ProfileBuilder, StallReason};
+use gpa::sim::{RawSample, SampleSet};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The tentpole differential check: for all 21 apps, the streaming sink
+/// equals the buffered path — in the aggregated set, the profile, the
+/// profile JSON bytes, and the advice the profile produces.
+#[test]
+fn sink_equals_buffered_path_across_all_apps() {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    let advisor = Advisor::new();
+    for app in all_apps() {
+        let spec = (app.build)(0, &p);
+
+        // Default path: samples aggregate at the source.
+        let streamed = launch_spec_with(&spec, &arch, sim_config()).unwrap();
+
+        // Buffered path: collect the raw stream (the pre-refactor
+        // layout), then aggregate after the fact.
+        let mut raw: Vec<RawSample> = Vec::new();
+        let buffered = launch_spec_with_sink(&spec, &arch, sim_config(), &mut raw).unwrap();
+
+        assert!(!raw.is_empty(), "{}: kernel produced samples", app.name);
+        assert_eq!(
+            SampleSet::from_raw(&raw),
+            streamed.samples,
+            "{}: at-source aggregation equals buffered aggregation",
+            app.name
+        );
+
+        let period = sim_config().sampling_period;
+        let from_stream = KernelProfile::from_launch(
+            &spec.entry,
+            &spec.module.name,
+            &spec.module.arch,
+            period,
+            &streamed,
+        );
+        let from_buffer = KernelProfile::from_set(
+            &spec.entry,
+            &spec.module.name,
+            &spec.module.arch,
+            period,
+            &SampleSet::from_raw(&raw),
+            &buffered,
+        );
+        assert_eq!(from_stream, from_buffer, "{}: profiles identical", app.name);
+        assert_eq!(
+            from_stream.to_json(),
+            from_buffer.to_json(),
+            "{}: profile JSON byte-identical",
+            app.name
+        );
+
+        // And the artifact the user sees: identical advice.
+        let a = advisor.advise(&spec.module, &from_stream, &arch);
+        let b = advisor.advise(&spec.module, &from_buffer, &arch);
+        assert_eq!(a, b, "{}: advice reports identical", app.name);
+        assert_eq!(
+            report::render(&a, 5),
+            report::render(&b, 5),
+            "{}: rendered advice byte-identical",
+            app.name
+        );
+    }
+}
+
+/// `profile_repeat(1)` must be exactly `profile` — same profile, same
+/// JSON — for a sample of real apps (the full sweep runs in the sim's
+/// own unit tests).
+#[test]
+fn profile_repeat_one_equals_profile_on_real_apps() {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    for app in all_apps().into_iter().take(4) {
+        let spec = (app.build)(0, &p);
+        let run = |repeat: Option<u32>| {
+            let (mut prof, params) = profiler_for(&spec, &arch);
+            match repeat {
+                None => prof.profile(&spec.module, &spec.entry, &spec.launch, &params).unwrap().0,
+                Some(n) => {
+                    prof.profile_repeat(&spec.module, &spec.entry, &spec.launch, &params, n)
+                        .unwrap()
+                        .0
+                }
+            }
+        };
+        let single = run(None);
+        let repeat1 = run(Some(1));
+        assert_eq!(single, repeat1, "{}: repeat-1 equals single", app.name);
+        assert_eq!(single.to_json(), repeat1.to_json(), "{}: JSON bytes equal", app.name);
+    }
+}
+
+/// A deterministic pseudo-random profile for the merge monoid laws. All
+/// generated profiles share one header (merge requires it) and are
+/// internally consistent by construction.
+fn gen_profile(seed: u64) -> KernelProfile {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let arch = ArchConfig::small(1);
+    let launch = LaunchConfig::new(4, 64);
+    let occupancy: Occupancy = arch.occupancy(&launch);
+    let n_reasons = StallReason::ALL.len();
+    let mut pcs: BTreeMap<u64, PcStats> = BTreeMap::new();
+    let n_pcs = (next() % 6) as usize;
+    for _ in 0..n_pcs {
+        let pc = (next() % 24) * 16;
+        let mut st = PcStats::default();
+        for code in 0..n_reasons {
+            let all = next() % 5;
+            st.by_reason[code] = all;
+            st.latency_by_reason[code] = if all == 0 { 0 } else { next() % (all + 1) };
+            st.total += all;
+        }
+        // Colliding PCs overwrite; totals are recomputed below either way.
+        pcs.insert(pc, st);
+    }
+    let total: u64 = pcs.values().map(|s| s.total).sum();
+    let latency: u64 = pcs.values().map(PcStats::latency_total).sum();
+    KernelProfile {
+        kernel: "k".into(),
+        module_name: "m".into(),
+        arch: "volta".into(),
+        period: 509,
+        launch,
+        occupancy,
+        cycles: next() % 10_000,
+        issued: next() % 10_000,
+        pcs,
+        total_samples: total,
+        active_samples: total - latency,
+        latency_samples: latency,
+        mem_transactions: next() % 1_000,
+        l2_hits: next() % 1_000,
+        l2_misses: next() % 1_000,
+        icache_misses: next() % 100,
+    }
+}
+
+proptest! {
+    /// Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(sa in 0u64..1_000_000, sb in 0u64..1_000_000, sc in 0u64..1_000_000) {
+        let (a, b, c) = (gen_profile(sa), gen_profile(sb), gen_profile(sc));
+        let left = a.merge(&b).unwrap().merge(&c).unwrap();
+        let right = a.merge(&b.merge(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Commutativity: a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(sa in 0u64..1_000_000, sb in 0u64..1_000_000) {
+        let (a, b) = (gen_profile(sa), gen_profile(sb));
+        prop_assert_eq!(a.merge(&b).unwrap(), b.merge(&a).unwrap());
+    }
+
+    /// Identity: a ⊕ empty == empty ⊕ a == a.
+    #[test]
+    fn empty_profile_is_the_merge_identity(sa in 0u64..1_000_000) {
+        let a = gen_profile(sa);
+        let empty = a.empty_like();
+        prop_assert_eq!(a.merge(&empty).unwrap(), a.clone());
+        prop_assert_eq!(empty.merge(&a).unwrap(), a);
+    }
+
+    /// Splitting into chunks and folding them back (in any grouping the
+    /// builder chooses) reproduces the original profile.
+    #[test]
+    fn split_chunks_round_trips(sa in 0u64..1_000_000, n in 1usize..6) {
+        let a = gen_profile(sa);
+        let mut builder = ProfileBuilder::new();
+        for chunk in a.split_chunks(n) {
+            builder.add(&chunk).unwrap();
+        }
+        prop_assert_eq!(builder.build().unwrap(), a);
+    }
+
+    /// Generated profiles are themselves valid under the strict JSON
+    /// validator (so the generator exercises the real schema).
+    #[test]
+    fn generated_profiles_round_trip_strict_validation(sa in 0u64..1_000_000) {
+        let a = gen_profile(sa);
+        prop_assert_eq!(KernelProfile::from_json(&a.to_json()).unwrap(), a);
+    }
+}

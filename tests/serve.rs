@@ -222,6 +222,222 @@ fn analyze_profile_negotiates_v2() {
     handle.join();
 }
 
+/// The chunked-upload path: a large profile split into pieces streams
+/// in as `profile_begin` / `profile_chunk`* / `profile_end` and must
+/// produce the **same body and the same store entry** as submitting the
+/// whole profile in one `analyze_profile` frame.
+#[test]
+fn chunked_upload_matches_whole_profile_submission() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    let (_, profile, _) = reference.profile_one(&job).expect("local profiling");
+    let chunks: Vec<Json> = profile
+        .split_chunks(3)
+        .iter()
+        .map(|c| Json::parse(&c.to_json()).expect("chunk serializes"))
+        .collect();
+    assert!(chunks.len() > 1, "profile large enough to actually split");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let response = client
+        .analyze_profile_chunked(&job.app, job.variant, &chunks, &WireOptions::default())
+        .expect("chunked upload");
+    assert!(response.ok, "{:?}", response.error);
+    assert!(!response.cached, "first submission computes");
+    let body = response.result.unwrap().compact();
+
+    let report = reference.advise_profile(&job, &profile).expect("local advising");
+    let expected = protocol::profile_body(&job, &profile, &report, 1).compact();
+    assert_eq!(body, expected, "merged upload equals advising on the whole profile");
+
+    // The merged upload joined the content-addressed cache: submitting
+    // the same profile whole is a hit, and vice versa.
+    let profile_doc = Json::parse(&profile.to_json()).expect("profile serializes");
+    let whole = client.analyze_profile(&job.app, job.variant, &profile_doc).expect("request");
+    assert!(whole.cached, "whole-profile submission hits the chunked upload's entry");
+    assert_eq!(whole.result.unwrap().compact(), expected);
+
+    // Upload ops are visible in the metrics.
+    let status = client.status().expect("status").into_result().expect("ok");
+    let ops = status.field("ops").unwrap();
+    assert_eq!(ops.field("profile_begin").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(ops.field("profile_chunk").unwrap().as_u64().unwrap(), chunks.len() as u64);
+    assert_eq!(ops.field("profile_end").unwrap().as_u64().unwrap(), 1);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn upload_error_paths_leave_the_connection_usable() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    let (_, profile, _) = reference.profile_one(&job).expect("local profiling");
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+
+    // A bad job fails at `profile_begin`, before any chunk is streamed.
+    let err = client.profile_begin("no/such-app", 0, &WireOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("unknown app"), "{err}");
+    let err = client.profile_begin(&job.app, 99, &WireOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("variant out of range"), "{err}");
+
+    // Chunks and ends against unknown ids are errors, not hangs.
+    let doc = Json::parse(&profile.to_json()).unwrap();
+    let r = client.profile_chunk(99, &doc).expect("round-trip");
+    assert!(!r.ok);
+    assert!(r.error.unwrap().contains("unknown upload id 99"));
+    let r = client.profile_end(99).expect("round-trip");
+    assert!(!r.ok);
+
+    // Ending an upload with no chunks is an error; the id is consumed.
+    let id = client.profile_begin(&job.app, job.variant, &WireOptions::default()).unwrap();
+    let r = client.profile_end(id).expect("round-trip");
+    assert!(!r.ok);
+    assert!(r.error.unwrap().contains("has no chunks"));
+
+    // A chunk from a *different* kernel configuration is rejected but
+    // the upload keeps its previous state.
+    let id = client.profile_begin(&job.app, job.variant, &WireOptions::default()).unwrap();
+    assert!(client.profile_chunk(id, &doc).expect("first chunk").ok);
+    let (_, other, _) =
+        reference.profile_one(&AnalysisJob::new("rodinia/nw", 0)).expect("other profile");
+    let other_doc = Json::parse(&other.to_json()).unwrap();
+    let r = client.profile_chunk(id, &other_doc).expect("round-trip");
+    assert!(!r.ok);
+    assert!(r.error.unwrap().contains("chunk does not merge"), "merge mismatch is named");
+    let done = client.profile_end(id).expect("finalize");
+    assert!(done.ok, "upload survived the bad chunk: {:?}", done.error);
+
+    // Open uploads are bounded per connection; aborting one frees its
+    // slot without running an analysis.
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        ids.push(client.profile_begin(&job.app, job.variant, &WireOptions::default()).unwrap());
+    }
+    let err = client.profile_begin(&job.app, job.variant, &WireOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("too many open uploads"), "{err}");
+    let aborted = client.profile_abort(ids[0]).expect("abort round-trip");
+    assert!(aborted.ok, "{:?}", aborted.error);
+    assert!(client.profile_begin(&job.app, job.variant, &WireOptions::default()).is_ok());
+    let r = client.profile_abort(ids[0]).expect("round-trip");
+    assert!(!r.ok, "double abort is an unknown id");
+    handle.shutdown();
+    handle.join();
+}
+
+/// Uploads bound what the daemon retains: at most 64 chunks per upload
+/// (each chunk can add up to a frame's worth of PC entries to the
+/// running merge, so the count cap is the memory cap).
+#[test]
+fn upload_chunk_count_is_bounded() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    let (_, profile, _) = reference.profile_one(&job).expect("local profiling");
+    // An empty chunk (no PCs, zero totals) is valid and merges with
+    // anything — cheap fuel for hitting the count cap.
+    let empty = Json::parse(&profile.empty_like().to_json()).unwrap();
+    let full = Json::parse(&profile.to_json()).unwrap();
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let id = client.profile_begin(&job.app, job.variant, &WireOptions::default()).unwrap();
+    assert!(client.profile_chunk(id, &full).expect("real chunk").ok);
+    for _ in 0..63 {
+        assert!(client.profile_chunk(id, &empty).expect("filler chunk").ok);
+    }
+    let over = client.profile_chunk(id, &empty).expect("round-trip");
+    assert!(!over.ok, "65th chunk must be rejected");
+    assert!(over.error.unwrap().contains("64 chunks"), "limit is named");
+    // The upload is still finalizable, and empty chunks were identity
+    // merges: the result equals advising on the original profile.
+    let done = client.profile_end(id).expect("finalize");
+    assert!(done.ok, "{:?}", done.error);
+    let report = reference.advise_profile(&job, &profile).expect("local advising");
+    let expected = protocol::profile_body(&job, &profile, &report, 1).compact();
+    assert_eq!(done.result.unwrap().compact(), expected);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Daemon-side repeat profiling: `"repeat": n` on `analyze` merges `n`
+/// replayed launches, matches the local repeat path byte for byte, and
+/// caches separately from the single-launch request.
+#[test]
+fn analyze_repeat_merges_replays_daemon_side() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+
+    let single = client.analyze(&job.app, job.variant).expect("single");
+    assert!(single.ok);
+    let single_body = single.result.unwrap();
+
+    let options = WireOptions { repeat: 3, ..WireOptions::default() };
+    let repeated = client.analyze_with(&job.app, job.variant, &options).expect("repeat");
+    assert!(repeated.ok, "{:?}", repeated.error);
+    assert!(!repeated.cached, "repeat count addresses its own cache entry");
+    let repeated_body = repeated.result.unwrap();
+    let samples = |b: &Json| b.field("total_samples").unwrap().as_u64().unwrap();
+    let cycles = |b: &Json| b.field("cycles").unwrap().as_u64().unwrap();
+    assert!(samples(&repeated_body) > samples(&single_body));
+    assert_eq!(cycles(&repeated_body), cycles(&single_body), "ground truth unchanged");
+
+    let local = reference
+        .run_one_request_repeat(&job, &options.request, 3)
+        .expect("local repeat reference");
+    let expected = protocol::analyze_body(&local, 1).compact();
+    assert_eq!(repeated_body.compact(), expected, "daemon repeat equals local repeat");
+    handle.shutdown();
+    handle.join();
+}
+
+/// A backpressure-rejected `profile_end` says "retry later" — and the
+/// retry must actually work: the upload (and its merge) survives the
+/// rejection instead of being discarded.
+#[test]
+fn profile_end_survives_backpressure_rejection() {
+    let config = ServerConfig { workers: 1, queue: 1, ..ServerConfig::ephemeral() };
+    let handle = test_server(config);
+    let addr = handle.local_addr();
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    let (_, profile, _) = reference.profile_one(&job).expect("local profiling");
+    let doc = Json::parse(&profile.to_json()).unwrap();
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let id = client.profile_begin(&job.app, job.variant, &WireOptions::default()).unwrap();
+    assert!(client.profile_chunk(id, &doc).expect("chunk").ok);
+
+    // Occupy the single worker and fill the single queue slot.
+    let occupier = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(addr).expect("connect");
+        c.request(&Request::Sleep { ms: 1500 }).expect("sleep completes")
+    });
+    let queued = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(addr).expect("connect");
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        c.request(&Request::Sleep { ms: 10 }).expect("queued sleep completes")
+    });
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let rejected = client.profile_end(id).expect("round-trip");
+    assert!(!rejected.ok, "profile_end hits backpressure");
+    assert!(rejected.error.unwrap().contains("queue full"));
+
+    assert!(occupier.join().unwrap().ok);
+    assert!(queued.join().unwrap().ok);
+    // The upload survived the rejection: retrying finalizes the same
+    // merge, byte-identical to a whole-profile submission.
+    let done = client.profile_end(id).expect("retry after drain");
+    assert!(done.ok, "{:?}", done.error);
+    let report = reference.advise_profile(&job, &profile).expect("local advising");
+    let expected = protocol::profile_body(&job, &profile, &report, 1).compact();
+    assert_eq!(done.result.unwrap().compact(), expected);
+    handle.shutdown();
+    handle.join();
+}
+
 #[test]
 fn full_queue_rejects_with_backpressure_error() {
     // One worker, queue capacity 1: a long sleep occupies the worker,

@@ -1,19 +1,33 @@
 //! Differential tests for the simulator's two scheduler cores: the
 //! event-driven cycle-skipping core (the default) must produce results
 //! **byte-identical** to the dense per-cycle reference loop
-//! (`SimConfig::dense_reference`) — cycles, the full sample stream,
-//! per-PC issue counts, memory/L2/i-cache counters, and per-SM stats —
-//! across every app in the benchmark registry.
+//! (`SimConfig::dense_reference`) — cycles, the full **raw** sample
+//! stream (per-sample cycle, SM, scheduler, PC, stall — collected via
+//! the raw-buffering sink, since the default aggregate could mask a
+//! sample taken at the wrong cycle by a warp in the same state), per-PC
+//! issue counts, memory/L2/i-cache counters, and per-SM stats — across
+//! every app in the benchmark registry.
 
 use gpa::arch::ArchConfig;
-use gpa::kernels::runner::{arch_for, launch_spec_with, sim_config};
+use gpa::kernels::runner::{arch_for, launch_spec_with, launch_spec_with_sink, sim_config};
 use gpa::kernels::{all_apps, KernelSpec, Params};
 use gpa::sampling::KernelProfile;
-use gpa::sim::{LaunchResult, SimConfig};
+use gpa::sim::{LaunchResult, RawSample, SampleSet, SimConfig};
 
 /// Runs one spec to completion under the given scheduler core.
 fn launch_with(spec: &KernelSpec, arch: &ArchConfig, cfg: SimConfig) -> LaunchResult {
     launch_spec_with(spec, arch, cfg).expect("launch succeeds")
+}
+
+/// Like [`launch_with`], but buffering the raw sample stream.
+fn launch_raw(
+    spec: &KernelSpec,
+    arch: &ArchConfig,
+    cfg: SimConfig,
+) -> (LaunchResult, Vec<RawSample>) {
+    let mut raw = Vec::new();
+    let result = launch_spec_with_sink(spec, arch, cfg, &mut raw).expect("launch succeeds");
+    (result, raw)
 }
 
 fn cfg(dense: bool) -> SimConfig {
@@ -32,7 +46,7 @@ fn all_apps_dense_vs_event_driven_identical() {
         // whole result (covers occupancy, launch, and future fields).
         assert_eq!(dense.cycles, event.cycles, "{}: cycles", app.name);
         assert_eq!(dense.issued, event.issued, "{}: issued", app.name);
-        assert_eq!(dense.samples, event.samples, "{}: sample stream", app.name);
+        assert_eq!(dense.samples, event.samples, "{}: aggregated samples", app.name);
         assert_eq!(dense.issue_counts, event.issue_counts, "{}: issue counts", app.name);
         assert_eq!(dense.mem_transactions, event.mem_transactions, "{}: mem txns", app.name);
         assert_eq!(dense.l2_hits, event.l2_hits, "{}: L2 hits", app.name);
@@ -40,6 +54,37 @@ fn all_apps_dense_vs_event_driven_identical() {
         assert_eq!(dense.icache_misses, event.icache_misses, "{}: icache misses", app.name);
         assert_eq!(dense.sm_stats, event.sm_stats, "{}: per-SM stats", app.name);
         assert_eq!(dense, event, "{}: full LaunchResult", app.name);
+    }
+}
+
+/// The raw-stream differential: per-sample cycle/SM/scheduler identity,
+/// which the aggregated `SampleSet` comparison above cannot see (two
+/// cores sampling the same warp state at *different* cycles would
+/// aggregate identically). Also pins the raw stream to the default
+/// aggregate, and covers a nonzero sampling phase.
+#[test]
+fn all_apps_raw_sample_streams_identical() {
+    let p = Params::test();
+    let arch = arch_for(&p);
+    for app in all_apps() {
+        let spec = (app.build)(0, &p);
+        for phase in [0, 7] {
+            let with_phase = |dense: bool| SimConfig { sampling_phase: phase, ..cfg(dense) };
+            let (_, dense_raw) = launch_raw(&spec, &arch, with_phase(true));
+            let (_, event_raw) = launch_raw(&spec, &arch, with_phase(false));
+            assert_eq!(
+                dense_raw, event_raw,
+                "{} (phase {phase}): raw sample streams differ",
+                app.name
+            );
+            let aggregated = launch_with(&spec, &arch, with_phase(false));
+            assert_eq!(
+                SampleSet::from_raw(&event_raw),
+                aggregated.samples,
+                "{} (phase {phase}): raw stream aggregates to the default set",
+                app.name
+            );
+        }
     }
 }
 
