@@ -9,10 +9,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpa_pipeline::{AnalysisJob, Session};
-use gpa_serve::{serve, ServeClient, ServerConfig};
+use gpa_serve::{serve, ServeClient, ServerConfig, ServerEngine};
 use std::sync::Arc;
 
 const CLIENTS: usize = 8;
+
+/// The engine-comparison concurrency level: enough connections that
+/// thread-per-connection pays real scheduler and stack cost, while the
+/// reactor keeps them all on one thread.
+const SWARM: usize = 64;
 
 fn sweep(addr: std::net::SocketAddr, jobs: &[AnalysisJob]) {
     std::thread::scope(|scope| {
@@ -60,9 +65,84 @@ fn bench_serve_throughput(c: &mut Criterion) {
     handle.join();
 }
 
+/// Client threads driving the swarm. Few on purpose: with one thread
+/// per *connection* on the client too, the bench mostly measures its
+/// own 64 threads thrashing the scheduler, identically for both
+/// engines. A handful of drivers multiplexing 64 sockets keeps the
+/// client cheap so the measured difference is the server's.
+const DRIVERS: usize = 4;
+
+/// One swarm pass: the 21-app repeat sweep issued by `SWARM` concurrent
+/// client slots that dial a **fresh connection per request** — the
+/// traffic shape of real repeat users (`gpa request` connects, asks,
+/// disconnects). Per round, each driver opens its share of the 64
+/// connections, writes one frame on each, then reads the responses
+/// back, so all 64 are in flight together. Connection churn is exactly
+/// what the engines disagree on: thread-per-conn pays a thread
+/// spawn/join and registry bookkeeping per connection, the reactor an
+/// epoll registration on its one thread.
+fn swarm_sweep(addr: std::net::SocketAddr, frames: &[String]) {
+    use std::io::{BufRead, BufReader, Write};
+    std::thread::scope(|scope| {
+        for _ in 0..DRIVERS {
+            scope.spawn(move || {
+                let mut line = String::new();
+                for frame in frames {
+                    let mut conns = Vec::with_capacity(SWARM / DRIVERS);
+                    for _ in 0..SWARM / DRIVERS {
+                        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                        stream.set_nodelay(true).expect("nodelay");
+                        stream.write_all(frame.as_bytes()).expect("request frame");
+                        conns.push(BufReader::new(stream));
+                    }
+                    for reader in &mut conns {
+                        line.clear();
+                        reader.read_line(&mut line).expect("response");
+                        assert!(line.starts_with("{\"ok\":true"), "{line}");
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The engine comparison behind the reactor rewrite: 64 concurrent
+/// connections of 21-app repeat (warm-store) traffic against the
+/// reactor and against the legacy thread-per-connection engine. Warm
+/// traffic never touches the worker pool, so this isolates exactly
+/// what the rewrite changed: connection and frame handling.
+fn bench_engine_swarm(c: &mut Criterion) {
+    for (name, engine) in [
+        ("serve/64_clients_21_apps_warm_reactor", ServerEngine::Reactor),
+        ("serve/64_clients_21_apps_warm_threads", ServerEngine::Threads),
+    ] {
+        let session = Arc::new(Session::test());
+        let jobs = session.jobs_for_all_apps();
+        let config =
+            ServerConfig { workers: CLIENTS, queue: 64, engine, ..ServerConfig::ephemeral() };
+        let handle = serve(session, config).expect("daemon starts");
+        let addr = handle.local_addr();
+        // Warm the store so every benched request is a cache hit.
+        sweep(addr, &jobs);
+        let frames: Vec<String> = jobs
+            .iter()
+            .map(|job| {
+                let request = gpa_serve::Request::Analyze {
+                    job: job.clone(),
+                    options: gpa_serve::WireOptions::default(),
+                };
+                format!("{}\n", request.to_wire())
+            })
+            .collect();
+        c.bench_function(name, |b| b.iter(|| swarm_sweep(addr, &frames)));
+        handle.shutdown();
+        handle.join();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serve_throughput
+    targets = bench_serve_throughput, bench_engine_swarm
 }
 criterion_main!(benches);

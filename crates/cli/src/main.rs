@@ -21,7 +21,9 @@ use gpa_core::{report, OptimizerCategory};
 use gpa_json::Json;
 use gpa_kernels::all_apps;
 use gpa_pipeline::{AnalysisError, AnalysisJob, Session};
-use gpa_serve::{serve, ServeClient, ServerConfig, WireOptions, DEFAULT_ADDR, MAX_REPEAT};
+use gpa_serve::{
+    serve, ServeClient, ServerConfig, ServerEngine, WireOptions, DEFAULT_ADDR, MAX_REPEAT,
+};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,7 +40,9 @@ const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
      [--out FILE]                               write it to FILE instead of stdout\n  \
      asm <app> [variant]                        print kernel assembly\n  \
      serve [--addr A] [--workers N] [--queue N] run the advisor daemon\n           \
-     [--store N] [--persist DIR]\n  \
+     [--store N] [--persist DIR]\n           \
+     [--peers A,B,..] [--advertise A]           shard with peer daemons (consistent hashing)\n           \
+     [--engine reactor|threads]                 connection engine (default reactor)\n  \
      request analyze <app> [variant] [--addr A]          analyze on the daemon\n  \
      request analyze_profile <app> [variant] --profile F advise on a saved profile\n  \
      request status|shutdown [--addr A]                  daemon control\n          \
@@ -71,6 +75,9 @@ struct Flags {
     schema: Option<String>,
     repeat: Option<usize>,
     out: Option<PathBuf>,
+    peers: Option<String>,
+    advertise: Option<String>,
+    engine: Option<String>,
 }
 
 fn take_value(
@@ -138,6 +145,9 @@ fn parse_cmdline(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 "schema" => flags.schema = Some(take_value(name, inline, &mut rest)?),
                 "repeat" => flags.repeat = Some(take_usize(name, inline, &mut rest)?),
                 "out" => flags.out = Some(PathBuf::from(take_value(name, inline, &mut rest)?)),
+                "peers" => flags.peers = Some(take_value(name, inline, &mut rest)?),
+                "advertise" => flags.advertise = Some(take_value(name, inline, &mut rest)?),
+                "engine" => flags.engine = Some(take_value(name, inline, &mut rest)?),
                 _ => return Err(format!("unknown flag `{arg}` (see usage)")),
             }
         } else if arg.starts_with('-') && arg.len() > 1 {
@@ -166,6 +176,9 @@ fn stray_flag(flags: &Flags, allowed: &[&str]) -> Option<String> {
         ("schema", flags.schema.is_some()),
         ("repeat", flags.repeat.is_some()),
         ("out", flags.out.is_some()),
+        ("peers", flags.peers.is_some()),
+        ("advertise", flags.advertise.is_some()),
+        ("engine", flags.engine.is_some()),
     ];
     set.iter()
         .find(|(name, on)| *on && !allowed.contains(name))
@@ -228,7 +241,9 @@ fn main() -> ExitCode {
     let allowed: &[&str] = match cmd {
         "analyze" => &["json", "all", "top", "category", "min-speedup", "schema", "repeat"],
         "profile" => &["repeat", "out"],
-        "serve" => &["addr", "workers", "queue", "store", "persist"],
+        "serve" => {
+            &["addr", "workers", "queue", "store", "persist", "peers", "advertise", "engine"]
+        }
         "request" => &["addr", "profile", "top", "category", "min-speedup", "schema", "repeat"],
         _ => &[],
     };
@@ -429,14 +444,36 @@ fn analyze_all(json: bool, options: &WireOptions) -> ExitCode {
 /// `gpa serve`: run the daemon until a client sends `shutdown`.
 fn run_serve(flags: &Flags) -> ExitCode {
     let defaults = ServerConfig::default();
+    let engine = match flags.engine.as_deref() {
+        None | Some("reactor") => ServerEngine::Reactor,
+        Some("threads") => ServerEngine::Threads,
+        Some(other) => {
+            return usage(&format!("unknown engine `{other}` (expected reactor or threads)"))
+        }
+    };
+    let peers: Vec<String> = flags
+        .peers
+        .as_deref()
+        .map(|list| {
+            list.split(',').map(str::trim).filter(|p| !p.is_empty()).map(str::to_string).collect()
+        })
+        .unwrap_or_default();
+    if flags.peers.is_some() && peers.is_empty() {
+        return usage("flag --peers expects a comma-separated list of addresses");
+    }
     let config = ServerConfig {
         addr: flags.addr.clone().unwrap_or(defaults.addr),
         workers: flags.workers.unwrap_or(defaults.workers),
         queue: flags.queue.unwrap_or(defaults.queue),
         store_capacity: flags.store.unwrap_or(defaults.store_capacity),
         persist_dir: flags.persist.clone(),
+        engine,
+        peers,
+        advertise: flags.advertise.clone(),
+        ..ServerConfig::default()
     };
     let (workers, queue) = (config.workers, config.queue);
+    let peer_count = config.peers.len();
     let handle = match serve(Arc::new(Session::full()), config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -447,6 +484,9 @@ fn run_serve(flags: &Flags) -> ExitCode {
     // The exact line scripts (and CI) parse to discover an ephemeral
     // port; keep the `listening on <addr>` phrasing stable.
     println!("gpa-serve listening on {} ({workers} workers, queue {queue})", handle.local_addr());
+    if peer_count > 0 {
+        println!("gpa-serve sharding with {peer_count} peer(s) ({} engine)", engine.name());
+    }
     let _ = std::io::stdout().flush();
     handle.join();
     println!("gpa-serve stopped");

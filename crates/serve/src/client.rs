@@ -10,11 +10,26 @@ use gpa_json::Json;
 use gpa_pipeline::AnalysisJob;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default read/write timeout: long enough for a cold 21-app analysis,
+/// short enough that a wedged daemon cannot hang `gpa request` forever.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A connected daemon client.
+///
+/// The request and response buffers live on the client and are reused
+/// across calls, so a long-lived connection issuing thousands of
+/// requests (the bench, a forwarding shard) does not allocate per
+/// frame.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Reused outgoing frame buffer (`frame` + newline, one write).
+    out: String,
+    /// Reused incoming line buffer; [`ServeClient::request_line`]
+    /// returns a borrow of it.
+    line: String,
 }
 
 /// A parsed daemon response.
@@ -69,28 +84,64 @@ impl ServeClient {
     ///
     /// Propagates connection errors.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
-        // Frames are small and strictly request/response; Nagle +
-        // delayed ACK would add ~40ms per round trip.
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(ServeClient { reader, writer })
+        Self::finish_connect(TcpStream::connect(addr)?)
     }
 
-    /// Sends one raw frame and reads one response line.
+    /// Connects with a bound on the connection attempt itself (and the
+    /// same default I/O timeouts), so dialing a dead peer costs one
+    /// bounded stall instead of the kernel's SYN retry schedule.
     ///
     /// # Errors
     ///
-    /// I/O failure, or a response that is not valid frame JSON.
-    pub fn request_line(&mut self, frame: &str) -> io::Result<String> {
+    /// Address resolution failure, or a connection error/timeout.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+        })?;
+        Self::finish_connect(TcpStream::connect_timeout(&addr, timeout)?)
+    }
+
+    fn finish_connect(writer: TcpStream) -> io::Result<Self> {
+        // Frames are small and strictly request/response; Nagle +
+        // delayed ACK would add ~40ms per round trip.
+        writer.set_nodelay(true)?;
+        writer.set_read_timeout(Some(DEFAULT_IO_TIMEOUT))?;
+        writer.set_write_timeout(Some(DEFAULT_IO_TIMEOUT))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServeClient { reader, writer, out: String::new(), line: String::new() })
+    }
+
+    /// Overrides the read/write timeouts ([`None`] blocks forever —
+    /// what a client deliberately waiting out a long `sleep` op wants).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_timeouts(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
+    /// Sends one raw frame and reads one response line (borrowed from
+    /// the client's reused buffer — copy it out to keep it past the
+    /// next call).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure (including a timeout, surfaced as
+    /// `WouldBlock`/`TimedOut`), or the daemon closing the connection.
+    pub fn request_line(&mut self, frame: &str) -> io::Result<&str> {
         debug_assert!(!frame.contains('\n'), "frames are single lines");
-        writeln!(self.writer, "{frame}")?;
+        self.out.clear();
+        self.out.push_str(frame);
+        self.out.push('\n');
+        self.writer.write_all(self.out.as_bytes())?;
         self.writer.flush()?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed connection"));
         }
-        Ok(line)
+        Ok(&self.line)
     }
 
     /// Sends a typed request and parses the response.
@@ -100,7 +151,7 @@ impl ServeClient {
     /// I/O failure or a malformed response frame.
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
         let line = self.request_line(&request.to_wire())?;
-        Response::from_frame(&line)
+        Response::from_frame(line)
     }
 
     /// `analyze`: profile-and-advise `(app, variant)` on the daemon
@@ -162,7 +213,7 @@ impl ServeClient {
         let frame =
             crate::protocol::analyze_profile_frame(app, variant, &profile.compact(), options);
         let line = self.request_line(&frame)?;
-        Response::from_frame(&line)
+        Response::from_frame(line)
     }
 
     /// `profile_begin`: opens a chunked profile upload for
@@ -198,7 +249,7 @@ impl ServeClient {
     pub fn profile_chunk(&mut self, upload_id: u64, profile: &Json) -> io::Result<Response> {
         let frame = crate::protocol::profile_chunk_frame(upload_id, &profile.compact());
         let line = self.request_line(&frame)?;
-        Response::from_frame(&line)
+        Response::from_frame(line)
     }
 
     /// `profile_end`: finalizes an upload — the daemon advises on the

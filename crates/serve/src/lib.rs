@@ -21,6 +21,12 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
+//! The daemon's default engine is a nonblocking epoll reactor (one
+//! thread, per-connection state machines — see `docs/serving.md`), and
+//! with `--peers` several daemons shard the report store over a
+//! consistent-hash [`Ring`], forwarding requests to their owning shard
+//! and replicating computed bodies to each shard's ring successor.
+//!
 //! The wire protocol (ops, schemas, error shapes) is documented in
 //! `docs/protocol.md`.
 //!
@@ -29,6 +35,8 @@
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
+pub mod ring;
 pub mod server;
 pub mod store;
 
@@ -37,5 +45,6 @@ pub use metrics::Metrics;
 pub use protocol::{
     Request, WireOptions, DEFAULT_ADDR, DEFAULT_SCHEMA, MAX_REPEAT, SCHEMA_VERSIONS,
 };
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use ring::Ring;
+pub use server::{serve, serve_on, ServerConfig, ServerEngine, ServerHandle};
 pub use store::{ReportStore, StoreStats};

@@ -41,6 +41,32 @@ pub struct Metrics {
     pub queue_peak: AtomicU64,
     /// Connections accepted over the daemon's lifetime.
     pub connections: AtomicU64,
+    /// `store_get` peer requests received.
+    pub store_get: AtomicU64,
+    /// `store_put` peer requests received.
+    pub store_put: AtomicU64,
+    /// Connections currently open (reactor gauge).
+    pub open_connections: AtomicU64,
+    /// Response bytes buffered but not yet written (reactor gauge).
+    pub pending_bytes: AtomicU64,
+    /// Requests shed because [`Metrics::pending_bytes`] hit the budget.
+    pub byte_sheds: AtomicU64,
+    /// Idle connections reaped by the reactor's deadline sweep.
+    pub idle_reaped: AtomicU64,
+    /// Requests forwarded to their owning shard.
+    pub forwards_out: AtomicU64,
+    /// Forwarded requests received from a peer shard.
+    pub forwards_in: AtomicU64,
+    /// Forwards that failed and fell back to local computation.
+    pub forward_failures: AtomicU64,
+    /// Store entries replicated out to the ring successor.
+    pub replicated_out: AtomicU64,
+    /// Replicas accepted from a peer (`store_put` admitted).
+    pub replicated_in: AtomicU64,
+    /// Replications dropped because the replicator queue was full.
+    pub replication_dropped: AtomicU64,
+    /// Local misses answered by warming the key from the ring successor.
+    pub peer_warm_hits: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -62,6 +88,19 @@ impl Default for Metrics {
             queue_depth: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            store_get: AtomicU64::new(0),
+            store_put: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            pending_bytes: AtomicU64::new(0),
+            byte_sheds: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            forwards_out: AtomicU64::new(0),
+            forwards_in: AtomicU64::new(0),
+            forward_failures: AtomicU64::new(0),
+            replicated_out: AtomicU64::new(0),
+            replicated_in: AtomicU64::new(0),
+            replication_dropped: AtomicU64::new(0),
+            peer_warm_hits: AtomicU64::new(0),
         }
     }
 }
@@ -84,6 +123,8 @@ impl Metrics {
             Request::Status => &self.status,
             Request::Shutdown => &self.shutdown,
             Request::Sleep { .. } => &self.sleep,
+            Request::StoreGet { .. } => &self.store_get,
+            Request::StorePut { .. } => &self.store_put,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -111,6 +152,31 @@ impl Metrics {
             .with("status", self.status.load(Ordering::Relaxed))
             .with("shutdown", self.shutdown.load(Ordering::Relaxed))
             .with("sleep", self.sleep.load(Ordering::Relaxed))
+            .with("store_get", self.store_get.load(Ordering::Relaxed))
+            .with("store_put", self.store_put.load(Ordering::Relaxed))
+    }
+
+    /// The reactor/connection gauge object used inside `status`
+    /// responses.
+    pub fn reactor_json(&self) -> Json {
+        Json::object()
+            .with("open_connections", self.open_connections.load(Ordering::Relaxed))
+            .with("pending_jobs", self.queue_depth.load(Ordering::Relaxed))
+            .with("pending_bytes", self.pending_bytes.load(Ordering::Relaxed))
+            .with("byte_sheds", self.byte_sheds.load(Ordering::Relaxed))
+            .with("idle_reaped", self.idle_reaped.load(Ordering::Relaxed))
+    }
+
+    /// The cluster counter object used inside `status` responses.
+    pub fn cluster_json(&self) -> Json {
+        Json::object()
+            .with("forwards_out", self.forwards_out.load(Ordering::Relaxed))
+            .with("forwards_in", self.forwards_in.load(Ordering::Relaxed))
+            .with("forward_failures", self.forward_failures.load(Ordering::Relaxed))
+            .with("replicated_out", self.replicated_out.load(Ordering::Relaxed))
+            .with("replicated_in", self.replicated_in.load(Ordering::Relaxed))
+            .with("replication_dropped", self.replication_dropped.load(Ordering::Relaxed))
+            .with("peer_warm_hits", self.peer_warm_hits.load(Ordering::Relaxed))
     }
 
     /// Milliseconds since the daemon started.

@@ -59,13 +59,24 @@ pub struct WireOptions {
     /// launch this many times with shifted sampling phases and advises
     /// on the merged profile (1 = plain single-launch profiling).
     pub repeat: u32,
+    /// Cluster-internal marker (`"fwd": true` on the wire): this
+    /// request was already routed by a peer shard, so the receiver must
+    /// answer it locally and never forward it again — the loop guard
+    /// for transiently disagreeing rings. Not part of the content
+    /// address (it does not shape the body).
+    pub forwarded: bool,
     /// Advisor options for this call.
     pub request: AdviceRequest,
 }
 
 impl Default for WireOptions {
     fn default() -> Self {
-        WireOptions { schema: DEFAULT_SCHEMA, repeat: 1, request: AdviceRequest::default() }
+        WireOptions {
+            schema: DEFAULT_SCHEMA,
+            repeat: 1,
+            forwarded: false,
+            request: AdviceRequest::default(),
+        }
     }
 }
 
@@ -93,6 +104,9 @@ impl WireOptions {
                 return Err(format!("`repeat` exceeds the limit of {MAX_REPEAT}"));
             }
             options.repeat = n as u32;
+        }
+        if let Some(v) = doc.get("fwd") {
+            options.forwarded = v.as_bool().map_err(|_| "`fwd` must be a boolean")?;
         }
         let mut request = AdviceRequest::default();
         if let Some(v) = doc.get("top") {
@@ -160,6 +174,9 @@ impl WireOptions {
         }
         if r.evidence != defaults.evidence {
             doc = doc.with("evidence", r.evidence);
+        }
+        if self.forwarded {
+            doc = doc.with("fwd", true);
         }
         doc
     }
@@ -286,6 +303,25 @@ pub enum Request {
         /// The id `profile_begin` returned.
         upload_id: u64,
     },
+    /// Cluster-internal: look up a content address in the receiver's
+    /// *local* report store (memory or disk tier only — never
+    /// forwarded, never computed). A restarted shard uses this against
+    /// its ring successor to warm owned entries from the replica set
+    /// instead of recomputing.
+    StoreGet {
+        /// The canonical content address (a [`Request::cache_key`]).
+        key: String,
+    },
+    /// Cluster-internal: admit a replicated response body into the
+    /// receiver's report store. Sent by a key's owner to its ring
+    /// successor after computing, so the successor holds a warm copy.
+    /// Replica admissions never re-replicate (no cascade).
+    StorePut {
+        /// The canonical content address (a [`Request::cache_key`]).
+        key: String,
+        /// The compact response body to store.
+        body: String,
+    },
     /// Daemon metrics snapshot.
     Status,
     /// Stop accepting work and exit cleanly.
@@ -344,6 +380,15 @@ impl Request {
             }
             "profile_end" => Ok(Request::ProfileEnd { upload_id: upload_id_from(&doc)? }),
             "profile_abort" => Ok(Request::ProfileAbort { upload_id: upload_id_from(&doc)? }),
+            "store_get" => Ok(Request::StoreGet { key: key_from(&doc)? }),
+            "store_put" => {
+                let key = key_from(&doc)?;
+                // The body is re-rendered compactly; compact JSON
+                // round-trips byte-identically (gpa-json's proptests),
+                // so the admitted replica equals the owner's bytes.
+                let body = doc.get("body").ok_or("missing `body` field")?.compact();
+                Ok(Request::StorePut { key, body })
+            }
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
             "sleep" => {
@@ -366,10 +411,38 @@ impl Request {
             Request::ProfileChunk { .. } => "profile_chunk",
             Request::ProfileEnd { .. } => "profile_end",
             Request::ProfileAbort { .. } => "profile_abort",
+            Request::StoreGet { .. } => "store_get",
+            Request::StorePut { .. } => "store_put",
             Request::Status => "status",
             Request::Shutdown => "shutdown",
             Request::Sleep { .. } => "sleep",
         }
+    }
+
+    /// Whether a peer shard already routed this request here (the
+    /// receiver must answer locally). Ops without a forwarding path
+    /// count as forwarded — they are always handled where they arrive.
+    pub fn is_forwarded(&self) -> bool {
+        match self {
+            Request::Analyze { options, .. } | Request::AnalyzeProfile { options, .. } => {
+                options.forwarded
+            }
+            _ => true,
+        }
+    }
+
+    /// A copy of this request marked [forwarded](Request::is_forwarded)
+    /// — what a shard puts on the wire when relaying to the owner.
+    /// Identity for ops that cannot be forwarded.
+    pub fn to_forwarded(&self) -> Request {
+        let mut request = self.clone();
+        match &mut request {
+            Request::Analyze { options, .. } | Request::AnalyzeProfile { options, .. } => {
+                options.forwarded = true;
+            }
+            _ => {}
+        }
+        request
     }
 
     /// The content-address of a cacheable request: a canonical string
@@ -395,6 +468,10 @@ impl Request {
             | Request::ProfileChunk { .. }
             | Request::ProfileEnd { .. }
             | Request::ProfileAbort { .. } => None,
+            // Peer store ops carry a content address as *payload*; they
+            // are themselves reads/writes of the store, not cacheable
+            // analyses.
+            Request::StoreGet { .. } | Request::StorePut { .. } => None,
             Request::Status | Request::Shutdown | Request::Sleep { .. } => None,
         }
     }
@@ -433,6 +510,13 @@ impl Request {
             Request::ProfileAbort { upload_id } => {
                 format!("{{\"op\":\"profile_abort\",\"upload_id\":{upload_id}}}")
             }
+            Request::StoreGet { key } => {
+                format!("{{\"op\":\"store_get\",\"key\":{}}}", Json::from(key.as_str()).compact())
+            }
+            Request::StorePut { key, body } => format!(
+                "{{\"op\":\"store_put\",\"key\":{},\"body\":{body}}}",
+                Json::from(key.as_str()).compact()
+            ),
             Request::Status => "{\"op\":\"status\"}".to_string(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
             Request::Sleep { ms } => format!("{{\"op\":\"sleep\",\"ms\":{ms}}}"),
@@ -479,6 +563,15 @@ fn no_repeat(options: WireOptions, op: &str) -> Result<WireOptions, String> {
         return Err(format!("`repeat` is not supported by `{op}` (use it on `analyze`)"));
     }
     Ok(options)
+}
+
+fn key_from(doc: &Json) -> Result<String, String> {
+    Ok(doc
+        .get("key")
+        .ok_or("missing `key` field")?
+        .as_str()
+        .map_err(|_| "`key` must be a string")?
+        .to_string())
 }
 
 fn upload_id_from(doc: &Json) -> Result<u64, String> {
@@ -729,6 +822,52 @@ mod tests {
             profile_chunk_frame(3, "{}"),
             r#"{"op":"profile_chunk","upload_id":3,"profile":{}}"#
         );
+    }
+
+    #[test]
+    fn parses_the_peer_store_ops() {
+        // Content addresses contain NUL separators; they must survive
+        // the wire as escaped JSON strings.
+        let key = "analyze\0rodinia/nw\00\0s1|r1|t-|c|o|m1.001|h5|e1";
+        let get = Request::StoreGet { key: key.to_string() };
+        let parsed = Request::parse(&get.to_wire()).unwrap();
+        let Request::StoreGet { key: parsed_key } = parsed else { panic!("wrong parse") };
+        assert_eq!(parsed_key, key);
+        let put = Request::StorePut { key: key.to_string(), body: "{\"v\":1}".to_string() };
+        let parsed = Request::parse(&put.to_wire()).unwrap();
+        let Request::StorePut { key: k2, body } = parsed else { panic!("wrong parse") };
+        assert_eq!((k2.as_str(), body.as_str()), (key, "{\"v\":1}"));
+        assert!(put.cache_key().is_none(), "store ops are not themselves cacheable");
+        assert_eq!(put.op(), "store_put");
+        for (line, needle) in [
+            (r#"{"op":"store_get"}"#, "missing `key`"),
+            (r#"{"op":"store_get","key":7}"#, "`key` must be a string"),
+            (r#"{"op":"store_put","key":"k"}"#, "missing `body`"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn forwarding_marker_round_trips_and_stays_out_of_the_address() {
+        let plain = Request::parse(r#"{"op":"analyze","app":"a","schema":2}"#).unwrap();
+        assert!(!plain.is_forwarded());
+        let relayed = plain.to_forwarded();
+        assert!(relayed.is_forwarded());
+        assert_eq!(
+            relayed.to_wire(),
+            r#"{"op":"analyze","app":"a","variant":0,"schema":2,"fwd":true}"#
+        );
+        let parsed = Request::parse(&relayed.to_wire()).unwrap();
+        assert!(parsed.is_forwarded(), "the marker survives the wire");
+        // Forwarded and direct requests must land on ONE store entry —
+        // the relay property depends on it.
+        assert_eq!(plain.cache_key(), parsed.cache_key());
+        // Ops with no forwarding path are always handled where they
+        // arrive.
+        assert!(Request::Status.is_forwarded());
+        assert!(matches!(Request::Status.to_forwarded(), Request::Status));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Consistent hashing over the cluster's members: which shard owns
+//! which content address.
+//!
+//! Every member is projected onto a `u64` ring at [`VNODES`] points
+//! (virtual nodes smooth the keyspace split); a key belongs to the
+//! member owning the first point at or clockwise-after the key's hash.
+//! All shards build the ring from the same sorted member list, so they
+//! agree on ownership without any coordination traffic — and because
+//! the hash is over member *addresses* and content *addresses* only,
+//! adding a member remaps just the slices it takes over (the classic
+//! consistent-hashing property, pinned by a test below).
+//!
+//! Replication pairs with ownership through [`Ring::successor`]: a
+//! member's hot store entries are copied to the next member of the
+//! canonical (sorted) roster, so a restarted shard can warm its cache
+//! from one well-known neighbor instead of only its disk tier. Roster
+//! order — not point order — keeps the replication graph a single
+//! cycle covering every member (clockwise-from-first-point can strand
+//! a member with no replica source when vnode points interleave
+//! unluckily).
+
+use crate::store::fingerprint;
+
+/// Virtual nodes per member. 64 points keeps the largest/smallest
+/// ownership share within a small factor for realistic cluster sizes
+/// while the ring stays a few hundred entries — binary-searched, so
+/// lookup cost is irrelevant next to a single request parse.
+pub const VNODES: usize = 64;
+
+/// The hash ring: sorted points mapping to member indices.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, member index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    /// Member addresses, sorted and deduplicated — the canonical
+    /// cluster roster every shard must share.
+    members: Vec<String>,
+}
+
+impl Ring {
+    /// Builds the ring over the given member addresses. Members are
+    /// sorted and deduplicated first, so every shard that was handed
+    /// the same roster (in any order) builds the identical ring.
+    pub fn new(members: impl IntoIterator<Item = String>) -> Ring {
+        let mut members: Vec<String> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        let mut points = Vec::with_capacity(members.len() * VNODES);
+        for (idx, member) in members.iter().enumerate() {
+            for vnode in 0..VNODES {
+                points.push((fingerprint(&format!("{member}#{vnode}")), idx));
+            }
+        }
+        // Ties (two members hashing a vnode to the same point) resolve
+        // by member index, i.e. lexicographic address order — still
+        // deterministic on every shard.
+        points.sort_unstable();
+        Ring { points, members }
+    }
+
+    /// The canonical (sorted, deduplicated) member roster.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member owning `key`: the first ring point at or after the
+    /// key's hash, wrapping at the top of the `u64` space.
+    ///
+    /// # Panics
+    ///
+    /// On an empty ring (a cluster has at least its own shard).
+    pub fn owner(&self, key: &str) -> &str {
+        assert!(!self.points.is_empty(), "ownership query on an empty ring");
+        let hash = fingerprint(key);
+        let idx = match self.points.binary_search(&(hash, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // wrap past the top
+            Err(i) => i,
+        };
+        &self.members[self.points[idx].1]
+    }
+
+    /// `member`'s replication target: the next member of the canonical
+    /// sorted roster, wrapping at the end — one cycle through every
+    /// member, so each shard has exactly one replica source and one
+    /// target. `None` for unknown members and single-member rings
+    /// (nothing to replicate to).
+    pub fn successor(&self, member: &str) -> Option<&str> {
+        let me = self.members.iter().position(|m| m == member)?;
+        if self.members.len() < 2 {
+            return None;
+        }
+        Some(self.members[(me + 1) % self.members.len()].as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("analyze\0app-{i}\00\0s1")).collect()
+    }
+
+    #[test]
+    fn every_key_has_exactly_one_owner_and_all_members_own_something() {
+        let members = ["127.0.0.1:7071", "127.0.0.1:7072", "127.0.0.1:7073"];
+        let ring = Ring::new(members.iter().map(ToString::to_string));
+        let mut counts = std::collections::HashMap::new();
+        for key in keys(1000) {
+            *counts.entry(ring.owner(&key).to_string()).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), members.len(), "every member owns a slice: {counts:?}");
+        for (member, count) in &counts {
+            assert!(*count >= 100, "{member} owns a degenerate share: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn roster_order_and_duplicates_do_not_change_the_ring() {
+        let a = Ring::new(["b".to_string(), "a".to_string(), "c".to_string()]);
+        let b = Ring::new(["c".to_string(), "a".to_string(), "b".to_string(), "a".to_string()]);
+        assert_eq!(a.members(), b.members());
+        for key in keys(200) {
+            assert_eq!(a.owner(&key), b.owner(&key));
+        }
+    }
+
+    #[test]
+    fn adding_a_member_only_remaps_keys_onto_the_new_member() {
+        let old = Ring::new(["a".to_string(), "b".to_string(), "c".to_string()]);
+        let new = Ring::new(["a".to_string(), "b".to_string(), "c".to_string(), "d".to_string()]);
+        let (mut moved, mut stayed) = (0usize, 0usize);
+        for key in keys(1000) {
+            let (before, after) = (old.owner(&key), new.owner(&key));
+            if before == after {
+                stayed += 1;
+            } else {
+                assert_eq!(after, "d", "a remapped key may only move to the new member");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the new member took over some keys");
+        assert!(stayed > moved, "most keys did not move");
+    }
+
+    #[test]
+    fn successor_is_a_distinct_member_and_covers_the_ring() {
+        let ring = Ring::new(["a".to_string(), "b".to_string(), "c".to_string()]);
+        for member in ring.members() {
+            let succ = ring.successor(member).expect("multi-member rings have successors");
+            assert_ne!(succ, member);
+        }
+        // Following successors visits every member (the replication
+        // graph is one cycle, so no shard is left without a replica
+        // source).
+        let mut seen = std::collections::HashSet::new();
+        let mut at = "a";
+        for _ in 0..ring.len() {
+            seen.insert(at);
+            at = ring.successor(at).unwrap();
+        }
+        assert_eq!(seen.len(), ring.len());
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        let solo = Ring::new(["only".to_string()]);
+        assert_eq!(solo.owner("anything"), "only");
+        assert!(solo.successor("only").is_none(), "nobody to replicate to");
+        assert!(solo.successor("stranger").is_none());
+        assert!(!solo.is_empty());
+        assert!(Ring::new(std::iter::empty()).is_empty());
+    }
+}

@@ -1,26 +1,54 @@
-//! The daemon: a `TcpListener` accept loop, per-connection reader
-//! threads, and a bounded worker pool over one shared [`Session`].
+//! The daemon: a nonblocking reactor (default) or the legacy
+//! thread-per-connection loop, over one bounded worker pool and one
+//! shared [`Session`] — optionally sharded across peers by consistent
+//! hashing.
 //!
-//! Threading model:
+//! ## Engines
 //!
-//! * one **accept** thread hands each connection to its own reader
-//!   thread (connections are few; requests are the unit of work);
-//! * each **connection** thread parses frames, answers `status` /
-//!   cache hits inline, and pushes analysis work onto a bounded queue —
-//!   when the queue is full the request is *rejected with an error*
-//!   (explicit backpressure, never unbounded growth);
-//! * `workers` **worker** threads pop the queue and run the analysis on
-//!   the shared [`Session`], so module/CFG/structure artifacts are
-//!   built once and reused across every request; computed bodies go
-//!   into the content-addressed [`ReportStore`].
+//! * [`ServerEngine::Reactor`] — one thread drives *every* connection
+//!   through an epoll readiness loop (`reactor.rs`): each socket is a
+//!   small state machine (read-accumulate → parse frame → enqueue job →
+//!   write-drain), so thousands of idle connections cost zero threads
+//!   and no stack. Workers hand completed frames back through a
+//!   completion list plus an eventfd waker.
+//! * [`ServerEngine::Threads`] — the original model (one reader thread
+//!   per connection, blocking dispatch), kept as the bench baseline and
+//!   a fallback.
+//!
+//! Both engines share the protocol logic (`handle_line`), the worker
+//! pool, the content-addressed [`ReportStore`], and the admission rules.
+//!
+//! ## Admission control
+//!
+//! Work is *rejected*, never silently buffered: a bounded job queue
+//! (the existing backpressure frame), a daemon-wide pending-response
+//! byte budget (reactor; shed with an error frame before parsing more),
+//! and a per-connection write-buffer gate that stops reading from a
+//! client that does not drain its responses. Idle connections past the
+//! deadline are reaped by the reactor tick (and by read timeouts in the
+//! threads engine) and counted in metrics.
+//!
+//! ## Cluster mode
+//!
+//! With `--peers`, every daemon builds the same consistent-hash
+//! [`Ring`] over the member addresses. `analyze`/`analyze_profile`
+//! requests whose content address hashes to another member are
+//! forwarded there (marked `fwd` so they are answered where they land)
+//! and the owner's response frame is relayed **verbatim** — computed,
+//! cached, forwarded and replicated responses are byte-identical.
+//! Owners replicate computed bodies to their ring successor
+//! (`store_put`), and a restarted shard warms owned keys from that
+//! successor (`store_get`) before recomputing.
 //!
 //! Shutdown (the `shutdown` op, or [`ServerHandle::shutdown`]) is
-//! cooperative: the flag flips, idle workers wake and drain the queue,
-//! open sockets are shut down so reader threads fall out of `read_line`,
-//! and a dummy connect unblocks `accept`.
+//! cooperative: the flag flips, workers drain the queue, the reactor
+//! flushes pending responses (bounded drain), and every thread joins.
 
+use crate::client::ServeClient;
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request, WireOptions, DEFAULT_ADDR, MAX_REQUEST_BYTES};
+use crate::reactor::{Event, Interest, Poller, Waker};
+use crate::ring::Ring;
 use crate::store::ReportStore;
 use gpa_json::Json;
 use gpa_pipeline::{AnalysisJob, Session};
@@ -28,11 +56,34 @@ use gpa_sampling::KernelProfile;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Which connection-handling engine the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerEngine {
+    /// Nonblocking epoll reactor: one thread, per-connection state
+    /// machines. The default.
+    #[default]
+    Reactor,
+    /// Thread-per-connection with blocking dispatch: the pre-reactor
+    /// model, kept as a fallback and as the bench baseline.
+    Threads,
+}
+
+impl ServerEngine {
+    /// The engine's name as reported by `status`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerEngine::Reactor => "reactor",
+            ServerEngine::Threads => "threads",
+        }
+    }
+}
 
 /// Daemon configuration (CLI flags map onto this 1:1).
 #[derive(Debug, Clone)]
@@ -47,6 +98,21 @@ pub struct ServerConfig {
     pub store_capacity: usize,
     /// Optional on-disk report persistence directory.
     pub persist_dir: Option<PathBuf>,
+    /// Connection engine.
+    pub engine: ServerEngine,
+    /// Peer shard addresses (cluster mode when nonempty). The ring is
+    /// built over `peers ∪ {advertise}`, sorted and deduplicated, so
+    /// every shard handed the same roster agrees on ownership.
+    pub peers: Vec<String>,
+    /// The address *peers* reach this daemon at (defaults to the bound
+    /// address, which is right whenever the bind address is routable).
+    pub advertise: Option<String>,
+    /// Idle deadline: connections with no traffic for this long are
+    /// reaped (slow-client guard).
+    pub idle_timeout: Duration,
+    /// Daemon-wide budget on buffered-but-unwritten response bytes;
+    /// past it, new jobs are shed with a backpressure frame.
+    pub max_pending_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +123,11 @@ impl Default for ServerConfig {
             queue: 64,
             store_capacity: 128,
             persist_dir: None,
+            engine: ServerEngine::Reactor,
+            peers: Vec::new(),
+            advertise: None,
+            idle_timeout: Duration::from_secs(60),
+            max_pending_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -68,10 +139,23 @@ impl ServerConfig {
     }
 }
 
-/// One queued analysis request and the channel its frame goes back on.
+/// Where a worker's finished frame goes.
+enum ReplyTo {
+    /// Blocking dispatch (threads engine): the connection thread is
+    /// parked on the receiver.
+    Channel(mpsc::Sender<String>),
+    /// Reactor dispatch: push onto the completion list and wake the
+    /// reactor.
+    Reactor {
+        /// The connection's reactor token.
+        token: u64,
+    },
+}
+
+/// One queued analysis request and where its frame goes back.
 struct Work {
     request: Request,
-    reply: mpsc::Sender<String>,
+    reply: ReplyTo,
 }
 
 /// Open chunked uploads are scoped to one connection: abandoned uploads
@@ -94,6 +178,30 @@ const MAX_UPLOAD_PCS: usize = 1 << 18;
 /// client, this bounds the fleet (a swarm of connections each parking
 /// maximal uploads would otherwise grow daemon memory without limit).
 const MAX_TOTAL_UPLOAD_PCS: usize = 1 << 21;
+
+/// Per-connection unwritten-response gate: past this, the reactor stops
+/// *reading* from the connection until the client drains what it owes
+/// (level-triggered interest modulation, not a disconnect).
+const WRITE_GATE_BYTES: usize = 4 * 1024 * 1024;
+
+/// Reactor poll tick: the idle sweep and shutdown checks run at least
+/// this often even with no socket events.
+const TICK_MS: i32 = 50;
+
+/// How long the reactor keeps flushing in-flight responses after
+/// shutdown triggers before force-closing (covers a worker finishing
+/// the job whose client asked for the frame).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(6);
+
+/// Bounded queue between the store's insert hook and the replicator
+/// thread; when full, replications drop (and are counted) rather than
+/// stall an analysis worker.
+const REPLICATION_QUEUE: usize = 256;
+
+/// Connect/read/write timeout for shard-to-shard traffic — shorter than
+/// the client default so a dead peer costs one bounded stall, after
+/// which the request falls back to local computation.
+const PEER_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// One open chunked upload: the target job, the advice options fixed at
 /// `profile_begin`, and the running merge (never the individual
@@ -118,6 +226,74 @@ enum Control {
     Shutdown,
 }
 
+/// The bookkeeping a dispatched `profile_end` carries: enough to
+/// restore the upload on a backpressure rejection, or to release its
+/// budget share once the worker answers.
+struct UploadTicket {
+    upload_id: u64,
+    chunks: u64,
+    retained_pcs: u64,
+}
+
+/// A request that needs a worker, plus its upload ticket if it was
+/// synthesized by `profile_end`.
+struct Pending {
+    request: Request,
+    ticket: Option<UploadTicket>,
+}
+
+/// What [`handle_line`] decided: answer now, or hand to the worker
+/// pool (engine-specific — the threads engine blocks, the reactor
+/// parks the connection).
+enum Handled {
+    Reply(String, Control),
+    Dispatch(Pending),
+}
+
+/// Shard-cluster state: the ring, this daemon's identity on it, and
+/// pooled connections to peers.
+struct Cluster {
+    ring: Ring,
+    self_addr: String,
+    /// This shard's replication target (`None` in a 1-member ring).
+    successor: Option<String>,
+    /// Idle peer connections, keyed by address. Checked out for one
+    /// request, returned on success, dropped on error.
+    pool: Mutex<HashMap<String, Vec<ServeClient>>>,
+    /// Sender side of the replication queue; `None` once shutdown has
+    /// begun (dropping it lets the replicator thread exit).
+    repl_tx: Mutex<Option<mpsc::SyncSender<(String, String)>>>,
+}
+
+impl Cluster {
+    /// Runs `f` against a connection to `addr`: pooled if available
+    /// (retrying once on a stale socket), freshly dialed otherwise.
+    fn with_peer<T>(
+        &self,
+        addr: &str,
+        f: impl Fn(&mut ServeClient) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let pooled = self.pool.lock().expect("peer pool").get_mut(addr).and_then(Vec::pop);
+        if let Some(mut client) = pooled {
+            if let Ok(v) = f(&mut client) {
+                self.check_in(addr, client);
+                return Ok(v);
+            }
+            // The pooled socket was stale (peer restarted, idle-reaped,
+            // ...): fall through to a fresh dial.
+        }
+        let mut client = ServeClient::connect_timeout(addr, PEER_IO_TIMEOUT)?;
+        client.set_timeouts(Some(PEER_IO_TIMEOUT))?;
+        let v = f(&mut client)?;
+        self.check_in(addr, client);
+        Ok(v)
+    }
+
+    fn check_in(&self, addr: &str, client: ServeClient) {
+        self.pool.lock().expect("peer pool").entry(addr.to_string()).or_default().push(client);
+    }
+}
+
 struct Shared {
     session: Arc<Session>,
     store: ReportStore,
@@ -127,11 +303,20 @@ struct Shared {
     queue_capacity: usize,
     workers: usize,
     persisted: bool,
+    engine: ServerEngine,
+    idle_timeout: Duration,
+    max_pending_bytes: u64,
+    cluster: Option<Cluster>,
     shutting_down: AtomicBool,
     next_conn_id: AtomicU64,
+    /// Threads engine only: dup'd sockets for shutdown kicks.
     conns: Mutex<Vec<(u64, TcpStream)>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     local_addr: SocketAddr,
+    /// Worker → reactor completions, drained on waker events.
+    completions: Mutex<Vec<(u64, String)>>,
+    /// The reactor's waker (absent under the threads engine).
+    waker: OnceLock<Arc<Waker>>,
     /// PC entries currently retained by open uploads, daemon-wide
     /// (see [`MAX_TOTAL_UPLOAD_PCS`]). Approximate accounting —
     /// relaxed atomics — is fine for a resource budget.
@@ -147,6 +332,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    replicator: Option<JoinHandle<()>>,
 }
 
 /// Binds and starts the daemon.
@@ -156,10 +342,44 @@ pub struct ServerHandle {
 /// When the address cannot be bound or the persist directory cannot be
 /// created.
 pub fn serve(session: Arc<Session>, config: ServerConfig) -> io::Result<ServerHandle> {
-    let store = ReportStore::new(config.store_capacity, config.persist_dir.clone())?;
     let listener = TcpListener::bind(&config.addr)?;
+    serve_on(session, listener, config)
+}
+
+/// Starts the daemon on an already-bound listener. This is how cluster
+/// tests bootstrap: bind every shard first (learning the ephemeral
+/// ports), then start each daemon with the full peer roster.
+///
+/// # Errors
+///
+/// When the listener is unusable or the persist directory cannot be
+/// created.
+pub fn serve_on(
+    session: Arc<Session>,
+    listener: TcpListener,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let store = ReportStore::new(config.store_capacity, config.persist_dir.clone())?;
     let local_addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let (cluster, repl_rx) = if config.peers.is_empty() {
+        (None, None)
+    } else {
+        let self_addr = config.advertise.clone().unwrap_or_else(|| local_addr.to_string());
+        let members = config.peers.iter().cloned().chain([self_addr.clone()]);
+        let ring = Ring::new(members);
+        let successor = ring.successor(&self_addr).map(str::to_string);
+        let (tx, rx) = mpsc::sync_channel(REPLICATION_QUEUE);
+        let rx = successor.is_some().then_some(rx);
+        let cluster = Cluster {
+            ring,
+            self_addr,
+            successor,
+            pool: Mutex::new(HashMap::new()),
+            repl_tx: Mutex::new(Some(tx)),
+        };
+        (Some(cluster), rx)
+    };
     let shared = Arc::new(Shared {
         session,
         store,
@@ -169,13 +389,51 @@ pub fn serve(session: Arc<Session>, config: ServerConfig) -> io::Result<ServerHa
         queue_capacity: config.queue.max(1),
         workers,
         persisted: config.persist_dir.is_some(),
+        engine: config.engine,
+        idle_timeout: config.idle_timeout,
+        max_pending_bytes: config.max_pending_bytes,
+        cluster,
         shutting_down: AtomicBool::new(false),
         next_conn_id: AtomicU64::new(0),
         conns: Mutex::new(Vec::new()),
         conn_threads: Mutex::new(Vec::new()),
         local_addr,
+        completions: Mutex::new(Vec::new()),
+        waker: OnceLock::new(),
         upload_pcs: AtomicU64::new(0),
     });
+    if shared.cluster.as_ref().is_some_and(|c| c.successor.is_some()) {
+        // The store's insert hook queues owned computed bodies for the
+        // replicator. Weak: the hook lives inside Shared's own store, so
+        // a strong Arc here would be a reference cycle.
+        let weak = Arc::downgrade(&shared);
+        shared.store.set_insert_hook(move |key, body| {
+            let Some(shared) = weak.upgrade() else { return };
+            let Some(cluster) = &shared.cluster else { return };
+            // Replicate only keys this shard owns: a body computed here
+            // as a forwarding *fallback* belongs to another shard's
+            // replica chain, not ours.
+            if cluster.ring.owner(key) != cluster.self_addr {
+                return;
+            }
+            let tx = cluster.repl_tx.lock().expect("repl tx").clone();
+            let Some(tx) = tx else { return };
+            if tx.try_send((key.to_string(), body.to_string())).is_err() {
+                shared.metrics.replication_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    let replicator = match repl_rx {
+        Some(rx) => {
+            let sh = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("gpa-serve-replicator".to_string())
+                    .spawn(move || replicator_loop(&sh, &rx))?,
+            )
+        }
+        None => None,
+    };
     let worker_handles = (0..workers)
         .map(|i| {
             let sh = Arc::clone(&shared);
@@ -184,13 +442,26 @@ pub fn serve(session: Arc<Session>, config: ServerConfig) -> io::Result<ServerHa
                 .spawn(move || worker_loop(&sh))
         })
         .collect::<io::Result<Vec<_>>>()?;
-    let accept = {
-        let sh = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("gpa-serve-accept".to_string())
-            .spawn(move || accept_loop(&sh, &listener))?
+    let accept = match config.engine {
+        ServerEngine::Reactor => {
+            let waker = Arc::new(Waker::new()?);
+            shared
+                .waker
+                .set(Arc::clone(&waker))
+                .map_err(|_| io::Error::other("waker set twice"))?;
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gpa-serve-reactor".to_string())
+                .spawn(move || reactor_loop(&sh, &listener, &waker))?
+        }
+        ServerEngine::Threads => {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gpa-serve-accept".to_string())
+                .spawn(move || accept_loop(&sh, &listener))?
+        }
     };
-    Ok(ServerHandle { shared, accept: Some(accept), workers: worker_handles })
+    Ok(ServerHandle { shared, accept: Some(accept), workers: worker_handles, replicator })
 }
 
 impl ServerHandle {
@@ -218,6 +489,9 @@ impl ServerHandle {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(h) = self.replicator.take() {
+            let _ = h.join();
+        }
         let conns = std::mem::take(&mut *self.shared.conn_threads.lock().expect("conn threads"));
         for h in conns {
             let _ = h.join();
@@ -242,150 +516,99 @@ fn trigger_shutdown(shared: &Shared) {
         let _guard = shared.queue.lock().expect("queue lock");
         shared.available.notify_all();
     }
-    // Unblock the accept loop.
+    // Let the replicator drain and exit: dropping the only long-lived
+    // sender disconnects its channel.
+    if let Some(cluster) = &shared.cluster {
+        cluster.repl_tx.lock().expect("repl tx").take();
+    }
+    // Pop the reactor out of epoll_wait.
+    if let Some(waker) = shared.waker.get() {
+        waker.wake();
+    }
+    // Unblock a threads-engine accept loop.
     let _ = TcpStream::connect(shared.local_addr);
-    // Kick live connections out of their blocking reads. Responses
-    // already written are still delivered (FIN follows queued data).
+    // Kick threads-engine connections out of their blocking reads.
+    // Responses already written are still delivered (FIN follows queued
+    // data).
     for (_, conn) in shared.conns.lock().expect("conns lock").drain(..) {
         let _ = conn.shutdown(std::net::Shutdown::Both);
     }
 }
 
-/// Joins connection threads that have already finished, so a long-lived
-/// daemon serving many short connections does not accumulate handles.
-fn reap_finished_connections(shared: &Shared) {
-    let mut threads = shared.conn_threads.lock().expect("conn threads");
-    let mut i = 0;
-    while i < threads.len() {
-        if threads[i].is_finished() {
-            let _ = threads.swap_remove(i).join();
-        } else {
-            i += 1;
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// Shared request handling (both engines)
+// ---------------------------------------------------------------------
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.shutting_down.load(Ordering::Acquire) {
-                    break;
-                }
-                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                // See ServeClient::connect: small frames, no Nagle.
-                let _ = stream.set_nodelay(true);
-                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-                if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().expect("conns lock").push((conn_id, clone));
-                }
-                reap_finished_connections(shared);
-                let sh = Arc::clone(shared);
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("gpa-serve-conn".to_string())
-                    .spawn(move || connection_loop(&sh, conn_id, stream))
-                {
-                    shared.conn_threads.lock().expect("conn threads").push(handle);
-                }
-            }
-            Err(_) => {
-                if shared.shutting_down.load(Ordering::Acquire) {
-                    break;
-                }
-                // Transient accept errors (e.g. EMFILE): back off briefly
-                // instead of spinning.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
-fn connection_loop(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        shared.conns.lock().expect("conns lock").retain(|(id, _)| *id != conn_id);
-        return;
-    };
-    let mut writer = stream;
-    let mut reader = BufReader::new(read_half).take(MAX_REQUEST_BYTES);
-    let mut line = String::new();
-    let mut state = ConnState::default();
-    loop {
-        line.clear();
-        reader.set_limit(MAX_REQUEST_BYTES);
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-        if !line.ends_with('\n') && reader.limit() == 0 {
-            // The frame hit the size cap without a newline; the stream
-            // cannot be resynced, so answer and hang up.
-            let frame = protocol::error_frame(&format!(
-                "request exceeds {MAX_REQUEST_BYTES} bytes; closing connection"
-            ));
-            let _ = writeln!(writer, "{frame}");
-            break;
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, control) = handle_line(shared, &mut state, &line);
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            break;
-        }
-        if matches!(control, Control::Shutdown) {
-            trigger_shutdown(shared);
-            break;
-        }
-    }
-    // Abandoned uploads die with the connection — return their share of
-    // the daemon-wide retained-PC budget.
-    for upload in state.uploads.values() {
-        release_upload_pcs(shared, upload);
-    }
-    // Deregister this connection's dup'd socket so a long-lived daemon
-    // does not hold one CLOSE_WAIT fd per past client.
-    shared.conns.lock().expect("conns lock").retain(|(id, _)| *id != conn_id);
-}
-
-fn handle_line(shared: &Shared, state: &mut ConnState, line: &str) -> (String, Control) {
+fn handle_line(shared: &Shared, state: &mut ConnState, line: &str) -> Handled {
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(msg) => {
             shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return (protocol::error_frame(&msg), Control::Continue);
+            return Handled::Reply(protocol::error_frame(&msg), Control::Continue);
         }
     };
     shared.metrics.count_op(&request);
     let request = match request {
         Request::Status => {
-            return (protocol::ok_frame(false, &status_body(shared).compact()), Control::Continue)
+            return Handled::Reply(
+                protocol::ok_frame(false, &status_body(shared).compact()),
+                Control::Continue,
+            )
         }
         Request::Shutdown => {
-            return (protocol::ok_frame(false, "{\"shutting_down\":true}"), Control::Shutdown)
+            return Handled::Reply(
+                protocol::ok_frame(false, "{\"shutting_down\":true}"),
+                Control::Shutdown,
+            )
         }
-        // Upload bookkeeping is answered inline by the connection
-        // thread; only the finalized merge consumes a worker slot, as a
-        // synthesized `analyze_profile` request.
+        // Upload bookkeeping is answered inline; only the finalized
+        // merge consumes a worker slot, as a synthesized
+        // `analyze_profile` request.
         Request::ProfileBegin { job, options } => {
-            return (upload_begin(shared, state, job, options), Control::Continue)
+            return Handled::Reply(upload_begin(shared, state, job, options), Control::Continue)
         }
         Request::ProfileChunk { upload_id, profile } => {
-            return (upload_chunk(shared, state, upload_id, profile), Control::Continue)
+            return Handled::Reply(
+                upload_chunk(shared, state, upload_id, profile),
+                Control::Continue,
+            )
         }
         Request::ProfileAbort { upload_id } => {
-            return (upload_abort(shared, state, upload_id), Control::Continue)
+            return Handled::Reply(upload_abort(shared, state, upload_id), Control::Continue)
         }
-        Request::ProfileEnd { upload_id } => {
-            return (upload_end(shared, state, upload_id), Control::Continue)
+        Request::ProfileEnd { upload_id } => return upload_end(shared, state, upload_id),
+        // Peer store ops touch only the *local* store tiers — no
+        // forwarding, no computation — so they are answered inline.
+        Request::StoreGet { key } => {
+            let body = match shared.store.get(&key) {
+                // Bodies are compact JSON; splice verbatim so the
+                // replica a peer admits equals the owner's bytes.
+                Some(body) => format!("{{\"found\":true,\"body\":{body}}}"),
+                None => "{\"found\":false}".to_string(),
+            };
+            return Handled::Reply(protocol::ok_frame(false, &body), Control::Continue);
+        }
+        Request::StorePut { key, body } => {
+            shared.store.insert_replica(&key, &body);
+            shared.metrics.replicated_in.fetch_add(1, Ordering::Relaxed);
+            return Handled::Reply(
+                protocol::ok_frame(false, "{\"stored\":true}"),
+                Control::Continue,
+            );
         }
         other => other,
     };
-    if let Some(key) = request.cache_key() {
-        if let Some(body) = shared.store.get(&key) {
-            return (protocol::ok_frame(true, &body), Control::Continue);
+    if let Request::Analyze { options, .. } | Request::AnalyzeProfile { options, .. } = &request {
+        if options.forwarded {
+            shared.metrics.forwards_in.fetch_add(1, Ordering::Relaxed);
         }
     }
-    (dispatch(shared, request).into_frame(), Control::Continue)
+    if let Some(key) = request.cache_key() {
+        if let Some(body) = shared.store.get(&key) {
+            return Handled::Reply(protocol::ok_frame(true, &body), Control::Continue);
+        }
+    }
+    Handled::Dispatch(Pending { request, ticket: None })
 }
 
 /// `profile_begin`: opens an upload slot after validating (and warming)
@@ -482,15 +705,21 @@ fn upload_abort(shared: &Shared, state: &mut ConnState, upload_id: u64) -> Strin
 /// entry. A backpressure rejection restores the upload (the "retry
 /// later" advice must be followable); success and cache hits release
 /// its budget share.
-fn upload_end(shared: &Shared, state: &mut ConnState, upload_id: u64) -> String {
+fn upload_end(shared: &Shared, state: &mut ConnState, upload_id: u64) -> Handled {
     let Some(upload) = state.uploads.remove(&upload_id) else {
-        return protocol::error_frame(&format!("unknown upload id {upload_id}"));
+        return Handled::Reply(
+            protocol::error_frame(&format!("unknown upload id {upload_id}")),
+            Control::Continue,
+        );
     };
     let Upload { job, options, merged, chunks } = upload;
     let Some(profile) = merged else {
-        return protocol::error_frame(&format!(
-            "upload {upload_id} has no chunks; send profile_chunk before profile_end"
-        ));
+        return Handled::Reply(
+            protocol::error_frame(&format!(
+                "upload {upload_id} has no chunks; send profile_chunk before profile_end"
+            )),
+            Control::Continue,
+        );
     };
     let retained_pcs = profile.pcs.len() as u64;
     let canon = profile.to_doc().compact();
@@ -498,22 +727,29 @@ fn upload_end(shared: &Shared, state: &mut ConnState, upload_id: u64) -> String 
     if let Some(key) = request.cache_key() {
         if let Some(body) = shared.store.get(&key) {
             shared.upload_pcs.fetch_sub(retained_pcs, Ordering::Relaxed);
-            return protocol::ok_frame(true, &body);
+            return Handled::Reply(protocol::ok_frame(true, &body), Control::Continue);
         }
     }
-    match dispatch(shared, request) {
-        Dispatched::Replied(frame) => {
-            shared.upload_pcs.fetch_sub(retained_pcs, Ordering::Relaxed);
-            frame
-        }
-        Dispatched::Rejected { request, frame } => {
-            if let Request::AnalyzeProfile { job, profile, options, .. } = request {
-                state
-                    .uploads
-                    .insert(upload_id, Upload { job, options, merged: Some(*profile), chunks });
-            }
-            frame
-        }
+    Handled::Dispatch(Pending {
+        request,
+        ticket: Some(UploadTicket { upload_id, chunks, retained_pcs }),
+    })
+}
+
+/// Settles a dispatched `profile_end` once a worker answered (any
+/// frame, success or analysis error: the upload is consumed).
+fn settle_ticket(shared: &Shared, ticket: UploadTicket) {
+    shared.upload_pcs.fetch_sub(ticket.retained_pcs, Ordering::Relaxed);
+}
+
+/// Re-opens a `profile_end` upload whose dispatch was rejected, so the
+/// "retry later" backpressure advice stays followable.
+fn restore_upload(state: &mut ConnState, ticket: UploadTicket, request: Request) {
+    if let Request::AnalyzeProfile { job, profile, options, .. } = request {
+        state.uploads.insert(
+            ticket.upload_id,
+            Upload { job, options, merged: Some(*profile), chunks: ticket.chunks },
+        );
     }
 }
 
@@ -522,6 +758,48 @@ fn release_upload_pcs(shared: &Shared, upload: &Upload) {
     if let Some(merged) = &upload.merged {
         shared.upload_pcs.fetch_sub(merged.pcs.len() as u64, Ordering::Relaxed);
     }
+}
+
+/// Admits a request to the worker queue, or rejects it (shutdown, byte
+/// budget, queue capacity) handing the request back with the error
+/// frame to send. The rejection is boxed: `Request` is large and the
+/// happy path should not pay for its stack space.
+fn try_enqueue(
+    shared: &Shared,
+    request: Request,
+    reply: ReplyTo,
+) -> Result<(), Box<(Request, String)>> {
+    let pending_bytes = shared.metrics.pending_bytes.load(Ordering::Relaxed);
+    if pending_bytes > shared.max_pending_bytes {
+        shared.metrics.byte_sheds.fetch_add(1, Ordering::Relaxed);
+        return Err(Box::new((
+            request,
+            protocol::error_frame(&format!(
+                "response backlog over budget ({pending_bytes} pending bytes, budget {}); \
+                 retry later",
+                shared.max_pending_bytes
+            )),
+        )));
+    }
+    let mut queue = shared.queue.lock().expect("queue lock");
+    if shared.shutting_down.load(Ordering::Acquire) {
+        return Err(Box::new((request, protocol::error_frame("server is shutting down"))));
+    }
+    if queue.len() >= shared.queue_capacity {
+        drop(queue);
+        shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        return Err(Box::new((
+            request,
+            protocol::error_frame(&format!(
+                "request queue full ({} pending, capacity {}); retry later",
+                shared.queue_capacity, shared.queue_capacity
+            )),
+        )));
+    }
+    queue.push_back(Work { request, reply });
+    shared.metrics.note_enqueued();
+    shared.available.notify_one();
+    Ok(())
 }
 
 /// The outcome of [`dispatch`]: a reply frame, or a backpressure
@@ -540,45 +818,20 @@ enum Dispatched {
     },
 }
 
-impl Dispatched {
-    fn into_frame(self) -> String {
-        match self {
-            Dispatched::Replied(frame) | Dispatched::Rejected { frame, .. } => frame,
-        }
-    }
-}
-
-/// Pushes a request onto the bounded queue and waits for its frame;
-/// rejects immediately when the queue is at capacity.
+/// Blocking dispatch (threads engine): pushes onto the bounded queue
+/// and waits for the frame.
 fn dispatch(shared: &Shared, request: Request) -> Dispatched {
     let (reply, result) = mpsc::channel();
-    {
-        let mut queue = shared.queue.lock().expect("queue lock");
-        if shared.shutting_down.load(Ordering::Acquire) {
-            return Dispatched::Rejected {
-                request,
-                frame: protocol::error_frame("server is shutting down"),
-            };
+    match try_enqueue(shared, request, ReplyTo::Channel(reply)) {
+        Err(rejection) => {
+            let (request, frame) = *rejection;
+            Dispatched::Rejected { request, frame }
         }
-        if queue.len() >= shared.queue_capacity {
-            drop(queue);
-            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return Dispatched::Rejected {
-                request,
-                frame: protocol::error_frame(&format!(
-                    "request queue full ({} pending, capacity {}); retry later",
-                    shared.queue_capacity, shared.queue_capacity
-                )),
-            };
-        }
-        queue.push_back(Work { request, reply });
-        shared.metrics.note_enqueued();
-        shared.available.notify_one();
+        Ok(()) => Dispatched::Replied(match result.recv() {
+            Ok(frame) => frame,
+            Err(_) => protocol::error_frame("internal error: worker abandoned the request"),
+        }),
     }
-    Dispatched::Replied(match result.recv() {
-        Ok(frame) => frame,
-        Err(_) => protocol::error_frame("internal error: worker abandoned the request"),
-    })
 }
 
 fn worker_loop(shared: &Shared) {
@@ -598,16 +851,111 @@ fn worker_loop(shared: &Shared) {
         };
         let Some(work) = work else { break };
         let frame = execute(shared, work.request);
-        // The connection may already be gone; that only means nobody is
-        // waiting for this frame.
-        let _ = work.reply.send(frame);
+        match work.reply {
+            // The connection may already be gone; that only means
+            // nobody is waiting for this frame.
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(frame);
+            }
+            ReplyTo::Reactor { token } => {
+                shared.completions.lock().expect("completions").push((token, frame));
+                if let Some(waker) = shared.waker.get() {
+                    waker.wake();
+                }
+            }
+        }
     }
 }
 
-/// Runs one dequeued request on the shared session. Successful bodies
-/// go into the report store under the request's content address.
+// ---------------------------------------------------------------------
+// Execution and cluster routing (worker threads)
+// ---------------------------------------------------------------------
+
+/// Runs one dequeued request: forwarded to its owning shard in cluster
+/// mode, computed locally otherwise (or as the fallback when the owner
+/// is unreachable).
 fn execute(shared: &Shared, request: Request) -> String {
+    if let Some(owner) = route_away(shared, &request) {
+        match forward(shared, &owner, &request) {
+            Ok(frame) => return frame,
+            Err(_) => {
+                shared.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
+                // The owner is unreachable: answer locally. Check the
+                // store once more first — the frame may have landed as a
+                // replica while we waited on the dead peer.
+                if let Some(key) = request.cache_key() {
+                    if let Some(body) = shared.store.get(&key) {
+                        return protocol::ok_frame(true, &body);
+                    }
+                }
+            }
+        }
+    }
+    execute_local(shared, request)
+}
+
+/// The shard `request` must be relayed to: `Some(owner)` only in
+/// cluster mode, for cacheable requests not already forwarded, whose
+/// content address hashes to another member.
+fn route_away(shared: &Shared, request: &Request) -> Option<String> {
+    let cluster = shared.cluster.as_ref()?;
+    if request.is_forwarded() {
+        return None;
+    }
+    let key = request.cache_key()?;
+    let owner = cluster.ring.owner(&key);
+    (owner != cluster.self_addr).then(|| owner.to_string())
+}
+
+/// Relays `request` to its owner and returns the owner's response frame
+/// **verbatim** — the `cached` flag and the body bytes are the owner's,
+/// so forwarded responses stay byte-identical to direct ones.
+fn forward(shared: &Shared, owner: &str, request: &Request) -> io::Result<String> {
+    let cluster = shared.cluster.as_ref().expect("routed with a cluster");
+    shared.metrics.forwards_out.fetch_add(1, Ordering::Relaxed);
+    let wire = request.to_forwarded().to_wire();
+    cluster.with_peer(owner, |client| Ok(client.request_line(&wire)?.trim_end().to_string()))
+}
+
+/// Fetches an owned-but-missing key from the ring successor (which
+/// holds this shard's replicas): how a restarted shard warms from its
+/// neighbor instead of recomputing.
+fn warm_from_successor(shared: &Shared, key: &str) -> Option<String> {
+    let cluster = shared.cluster.as_ref()?;
+    let successor = cluster.successor.as_deref()?;
+    if cluster.ring.owner(key) != cluster.self_addr {
+        return None;
+    }
+    let wire = Request::StoreGet { key: key.to_string() }.to_wire();
+    let line = cluster
+        .with_peer(successor, |client| Ok(client.request_line(&wire)?.trim_end().to_string()))
+        .ok()?;
+    let doc = Json::parse(&line).ok()?;
+    if !doc.get("ok")?.as_bool().ok()? {
+        return None;
+    }
+    let result = doc.get("result")?;
+    if !result.get("found")?.as_bool().ok()? {
+        return None;
+    }
+    // Compact re-rendering round-trips byte-identically (gpa-json's
+    // proptests), so the warmed body equals the replica's bytes.
+    let body = result.get("body")?.compact();
+    shared.metrics.peer_warm_hits.fetch_add(1, Ordering::Relaxed);
+    shared.store.insert_replica(key, &body);
+    Some(body)
+}
+
+/// Computes one request on the shared session. Successful bodies go
+/// into the report store under the request's content address (which
+/// fires replication in cluster mode).
+fn execute_local(shared: &Shared, request: Request) -> String {
     let key = request.cache_key();
+    if let Some(key) = &key {
+        if let Some(body) = warm_from_successor(shared, key) {
+            return protocol::ok_frame(true, &body);
+        }
+    }
     match request {
         Request::Analyze { job, options } => {
             match shared.session.run_one_request_repeat(&job, &options.request, options.repeat) {
@@ -641,23 +989,630 @@ fn execute(shared: &Shared, request: Request) -> String {
             std::thread::sleep(Duration::from_millis(ms));
             protocol::ok_frame(false, &format!("{{\"slept_ms\":{ms}}}"))
         }
-        // Handled inline by the connection thread; never queued.
+        // Handled inline by the connection layer; never queued.
         Request::Status
         | Request::Shutdown
         | Request::ProfileBegin { .. }
         | Request::ProfileChunk { .. }
         | Request::ProfileEnd { .. }
-        | Request::ProfileAbort { .. } => {
+        | Request::ProfileAbort { .. }
+        | Request::StoreGet { .. }
+        | Request::StorePut { .. } => {
             protocol::error_frame("internal error: control op reached the worker pool")
         }
     }
 }
 
+/// Ships queued `(key, body)` replications to the ring successor. Runs
+/// on its own thread so a slow or dead successor never stalls an
+/// analysis worker; exits when the sender side is dropped (shutdown).
+fn replicator_loop(shared: &Shared, rx: &mpsc::Receiver<(String, String)>) {
+    while let Ok((key, body)) = rx.recv() {
+        let Some(cluster) = &shared.cluster else { break };
+        let Some(successor) = cluster.successor.as_deref() else { break };
+        let wire = Request::StorePut { key, body }.to_wire();
+        let sent = cluster
+            .with_peer(successor, |client| Ok(client.request_line(&wire)?.trim_end().to_string()));
+        match sent {
+            Ok(_) => {
+                shared.metrics.replicated_out.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.metrics.replication_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads engine (legacy; bench baseline)
+// ---------------------------------------------------------------------
+
+/// Joins connection threads that have already finished, so a long-lived
+/// daemon serving many short connections does not accumulate handles.
+fn reap_finished_connections(shared: &Shared) {
+    let mut threads = shared.conn_threads.lock().expect("conn threads");
+    let mut i = 0;
+    while i < threads.len() {
+        if threads[i].is_finished() {
+            let _ = threads.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break;
+                }
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                // See ServeClient::connect: small frames, no Nagle.
+                let _ = stream.set_nodelay(true);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().expect("conns lock").push((conn_id, clone));
+                }
+                reap_finished_connections(shared);
+                let sh = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("gpa-serve-conn".to_string())
+                    .spawn(move || connection_loop(&sh, conn_id, stream))
+                {
+                    shared.conn_threads.lock().expect("conn threads").push(handle);
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break;
+                }
+                // Transient accept errors (e.g. EMFILE): back off briefly
+                // instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        shared.conns.lock().expect("conns lock").retain(|(id, _)| *id != conn_id);
+        return;
+    };
+    shared.metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+    // The threads-engine slow-client guard: a read that sits idle past
+    // the deadline errors out (WouldBlock/TimedOut) and the connection
+    // is reaped, mirroring the reactor's sweep.
+    let _ = read_half.set_read_timeout(Some(shared.idle_timeout));
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half).take(MAX_REQUEST_BYTES);
+    let mut line = String::new();
+    let mut state = ConnState::default();
+    loop {
+        line.clear();
+        reader.set_limit(MAX_REQUEST_BYTES);
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Err(e) => {
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                    shared.metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            Ok(_) => {}
+        }
+        if !line.ends_with('\n') && reader.limit() == 0 {
+            // The frame hit the size cap without a newline; the stream
+            // cannot be resynced, so answer and hang up.
+            let frame = protocol::error_frame(&format!(
+                "request exceeds {MAX_REQUEST_BYTES} bytes; closing connection"
+            ));
+            let _ = writeln!(writer, "{frame}");
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = match handle_line(shared, &mut state, &line) {
+            Handled::Reply(frame, control) => (frame, control),
+            Handled::Dispatch(pending) => {
+                let frame = match dispatch(shared, pending.request) {
+                    Dispatched::Replied(frame) => {
+                        if let Some(ticket) = pending.ticket {
+                            settle_ticket(shared, ticket);
+                        }
+                        frame
+                    }
+                    Dispatched::Rejected { request, frame } => {
+                        if let Some(ticket) = pending.ticket {
+                            restore_upload(&mut state, ticket, request);
+                        }
+                        frame
+                    }
+                };
+                (frame, Control::Continue)
+            }
+        };
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if matches!(control, Control::Shutdown) {
+            trigger_shutdown(shared);
+            break;
+        }
+    }
+    // Abandoned uploads die with the connection — return their share of
+    // the daemon-wide retained-PC budget.
+    for upload in state.uploads.values() {
+        release_upload_pcs(shared, upload);
+    }
+    shared.metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+    // Deregister this connection's dup'd socket so a long-lived daemon
+    // does not hold one CLOSE_WAIT fd per past client.
+    shared.conns.lock().expect("conns lock").retain(|(id, _)| *id != conn_id);
+}
+
+// ---------------------------------------------------------------------
+// Reactor engine
+// ---------------------------------------------------------------------
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// One reactor-managed connection: its socket, both buffers, and the
+/// state-machine flags.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Accumulated request bytes not yet framed.
+    read_buf: Vec<u8>,
+    /// Queued response bytes; `written` of them are already on the
+    /// socket.
+    write_buf: Vec<u8>,
+    written: usize,
+    state: ConnState,
+    /// One dispatched job in flight (per-connection serial execution:
+    /// pipelined frames wait in `read_buf`, responses stay in order).
+    busy: bool,
+    /// `profile_end` bookkeeping for the in-flight job.
+    ticket: Option<UploadTicket>,
+    /// Stop reading; close once `write_buf` drains.
+    close_after_drain: bool,
+    /// This connection's `shutdown` op stops the daemon once its
+    /// response frame is on the wire.
+    shutdown_when_drained: bool,
+    /// Last moment bytes arrived (the idle-sweep clock).
+    last_activity: Instant,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn unwritten(&self) -> usize {
+        self.write_buf.len() - self.written
+    }
+
+    /// Queues a response frame (newline-terminated) and grows the
+    /// daemon-wide pending-byte gauge.
+    fn push_frame(&mut self, shared: &Shared, frame: &str) {
+        self.write_buf.extend_from_slice(frame.as_bytes());
+        self.write_buf.push(b'\n');
+        shared.metrics.pending_bytes.fetch_add(frame.len() as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// The interest this connection's state wants registered: reads
+    /// unless gated (over the write budget, closing, or an oversized
+    /// pipeline backlog), writes while anything is queued.
+    fn desired_interest(&self) -> Interest {
+        let gated = self.unwritten() > WRITE_GATE_BYTES
+            || self.close_after_drain
+            || self.read_buf.len() as u64 >= MAX_REQUEST_BYTES;
+        Interest { readable: !gated, writable: self.unwritten() > 0 }
+    }
+}
+
+/// Why a connection is being torn down (metrics bookkeeping).
+enum CloseReason {
+    /// Peer closed, I/O error, or normal end-of-session.
+    Gone,
+    /// The idle sweep reaped it.
+    Idle,
+}
+
+/// The reactor: owns the listener, the poller and every connection;
+/// loops on readiness events, a completion list fed by workers, and a
+/// periodic tick for the idle sweep.
+fn reactor_loop(shared: &Arc<Shared>, listener: &TcpListener, waker: &Arc<Waker>) {
+    let Ok(poller) = Poller::new() else { return };
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    if poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ).is_err() {
+        return;
+    }
+    if poller.add(waker.fd(), WAKER_TOKEN, Interest::READ).is_err() {
+        return;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+
+    loop {
+        events.clear();
+        let _ = poller.wait(&mut events, TICK_MS);
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        for &event in &events {
+            match event.token {
+                LISTENER_TOKEN => {
+                    accept_ready(shared, &poller, listener, &mut conns, &mut next_token)
+                }
+                WAKER_TOKEN => waker.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else { continue };
+                    let mut dead = event.closed;
+                    if !dead && event.readable {
+                        dead = !read_ready(shared, conn, &mut scratch);
+                    }
+                    if !dead && event.writable {
+                        dead = !flush_writes(shared, conn);
+                    }
+                    if dead {
+                        close_conn(shared, &poller, &mut conns, token, CloseReason::Gone);
+                    } else {
+                        finish_turn(shared, &poller, &mut conns, token);
+                    }
+                }
+            }
+        }
+        // Completions can land without their waker event being in this
+        // batch; drain unconditionally (an uncontended lock).
+        deliver_completions(shared, &poller, &mut conns);
+        sweep_idle(shared, &poller, &mut conns);
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    drain_and_close(shared, &poller, waker, &mut conns);
+}
+
+/// Accepts everything pending on the listener and registers each new
+/// connection read-ready.
+fn accept_ready(
+    shared: &Shared,
+    poller: &Poller,
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // See ServeClient::connect: small frames, no Nagle.
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if poller.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                    continue;
+                }
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+                conns.insert(
+                    token,
+                    Conn {
+                        stream,
+                        token,
+                        read_buf: Vec::new(),
+                        write_buf: Vec::new(),
+                        written: 0,
+                        state: ConnState::default(),
+                        busy: false,
+                        ticket: None,
+                        close_after_drain: false,
+                        shutdown_when_drained: false,
+                        last_activity: Instant::now(),
+                        interest: Interest::READ,
+                    },
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Pulls everything readable into the connection's buffer. Returns
+/// `false` when the connection is finished (EOF or a hard error).
+fn read_ready(shared: &Shared, conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&scratch[..n]);
+                conn.last_activity = Instant::now();
+                if conn.read_buf.len() as u64 > MAX_REQUEST_BYTES && !conn.read_buf.contains(&b'\n')
+                {
+                    // One frame over the cap and no newline in sight:
+                    // the stream cannot be resynced. Same reply as the
+                    // threads engine, then hang up.
+                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let frame = protocol::error_frame(&format!(
+                        "request exceeds {MAX_REQUEST_BYTES} bytes; closing connection"
+                    ));
+                    conn.read_buf.clear();
+                    conn.push_frame(shared, &frame);
+                    conn.close_after_drain = true;
+                    return true;
+                }
+                // A full-buffer read may have more behind it; a short
+                // read means the socket is drained (level-triggered, so
+                // a wrong guess only costs one more wakeup).
+                if n < scratch.len() {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Writes as much queued response as the socket accepts. Returns
+/// `false` on a dead socket.
+fn flush_writes(shared: &Shared, conn: &mut Conn) -> bool {
+    while conn.written < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.written..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.written += n;
+                shared.metrics.pending_bytes.fetch_sub(n as u64, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if conn.written == conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.written = 0;
+    }
+    true
+}
+
+/// Extracts and handles complete frames from the read buffer until the
+/// connection goes busy (one in-flight job per connection keeps
+/// responses in order) or runs out of full lines. Returns `false` when
+/// the connection must close immediately (undecodable bytes).
+fn process_frames(shared: &Shared, conn: &mut Conn) -> bool {
+    while !conn.busy && !conn.close_after_drain {
+        let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else { break };
+        let line_bytes: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+        let Ok(line) = std::str::from_utf8(&line_bytes) else {
+            // The threads engine's read_line fails the same way: a
+            // non-UTF-8 frame ends the session.
+            shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            conn.push_frame(shared, &protocol::error_frame("malformed request: not UTF-8"));
+            conn.close_after_drain = true;
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_line(shared, &mut conn.state, line) {
+            Handled::Reply(frame, control) => {
+                conn.push_frame(shared, &frame);
+                if matches!(control, Control::Shutdown) {
+                    conn.close_after_drain = true;
+                    conn.shutdown_when_drained = true;
+                    break;
+                }
+            }
+            Handled::Dispatch(pending) => {
+                match try_enqueue(shared, pending.request, ReplyTo::Reactor { token: conn.token }) {
+                    Ok(()) => {
+                        conn.busy = true;
+                        conn.ticket = pending.ticket;
+                    }
+                    Err(rejection) => {
+                        let (request, frame) = *rejection;
+                        if let Some(ticket) = pending.ticket {
+                            restore_upload(&mut conn.state, ticket, request);
+                        }
+                        conn.push_frame(shared, &frame);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// One connection's end-of-event bookkeeping: process buffered frames,
+/// flush opportunistically (most responses fit the socket buffer, so
+/// waiting for EPOLLOUT would add a poll round trip), then settle the
+/// close-or-rearm decision.
+fn finish_turn(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
+    let Some(conn) = conns.get_mut(&token) else { return };
+    if !process_frames(shared, conn) || !flush_writes(shared, conn) {
+        close_conn(shared, poller, conns, token, CloseReason::Gone);
+        return;
+    }
+    if conn.close_after_drain && conn.unwritten() == 0 {
+        if conn.shutdown_when_drained {
+            trigger_shutdown(shared);
+        }
+        close_conn(shared, poller, conns, token, CloseReason::Gone);
+        return;
+    }
+    let desired = conn.desired_interest();
+    if desired != conn.interest {
+        if poller.modify(conn.stream.as_raw_fd(), token, desired).is_err() {
+            close_conn(shared, poller, conns, token, CloseReason::Gone);
+            return;
+        }
+        conn.interest = desired;
+    }
+}
+
+/// Hands worker completions to their connections and re-runs their
+/// frame pumps (pipelined requests may be waiting).
+fn deliver_completions(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+    let completed = std::mem::take(&mut *shared.completions.lock().expect("completions"));
+    for (token, frame) in completed {
+        let Some(conn) = conns.get_mut(&token) else {
+            // The client left while its job ran; the body (if cacheable)
+            // is in the store regardless.
+            continue;
+        };
+        conn.busy = false;
+        if let Some(ticket) = conn.ticket.take() {
+            settle_ticket(shared, ticket);
+        }
+        conn.push_frame(shared, &frame);
+        finish_turn(shared, poller, conns, token);
+    }
+}
+
+/// Reaps connections idle past the deadline (not waiting on a worker,
+/// nothing left to write): the slow-client guard that keeps half-open
+/// sockets from accumulating forever.
+fn sweep_idle(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+    let now = Instant::now();
+    let stale: Vec<u64> = conns
+        .values()
+        .filter(|c| {
+            !c.busy
+                && c.unwritten() == 0
+                && now.duration_since(c.last_activity) > shared.idle_timeout
+        })
+        .map(|c| c.token)
+        .collect();
+    for token in stale {
+        close_conn(shared, poller, conns, token, CloseReason::Idle);
+    }
+}
+
+fn close_conn(
+    shared: &Shared,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    token: u64,
+    reason: CloseReason,
+) {
+    let Some(mut conn) = conns.remove(&token) else { return };
+    let _ = poller.delete(conn.stream.as_raw_fd());
+    for upload in conn.state.uploads.values() {
+        release_upload_pcs(shared, upload);
+    }
+    if let Some(ticket) = conn.ticket.take() {
+        // The in-flight job will still finish and (if cacheable) land in
+        // the store; its upload budget share is released here since no
+        // completion handler will.
+        settle_ticket(shared, ticket);
+    }
+    shared.metrics.pending_bytes.fetch_sub(conn.unwritten() as u64, Ordering::Relaxed);
+    shared.metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+    if matches!(reason, CloseReason::Idle) {
+        shared.metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+    // Dropping the stream closes the fd.
+}
+
+/// The shutdown drain: stop accepting, keep delivering completions and
+/// flushing responses until every connection is settled (or the
+/// deadline passes), then close everything. This is what gets the
+/// `shutdown` op's own response onto the wire, and lets in-flight jobs
+/// answer their clients.
+fn drain_and_close(
+    shared: &Shared,
+    poller: &Poller,
+    waker: &Waker,
+    conns: &mut HashMap<u64, Conn>,
+) {
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        deliver_completions(shared, poller, conns);
+        // Connections with nothing owed can go now; reads are over.
+        let settled: Vec<u64> =
+            conns.values().filter(|c| !c.busy && c.unwritten() == 0).map(|c| c.token).collect();
+        for token in settled {
+            if let Some(c) = conns.get(&token) {
+                if c.shutdown_when_drained {
+                    trigger_shutdown(shared);
+                }
+            }
+            close_conn(shared, poller, conns, token, CloseReason::Gone);
+        }
+        if conns.is_empty() || Instant::now() >= deadline {
+            break;
+        }
+        events.clear();
+        let _ = poller.wait(&mut events, TICK_MS);
+        waker.drain();
+        for event in &events {
+            if event.token < FIRST_CONN_TOKEN {
+                continue;
+            }
+            if event.closed {
+                close_conn(shared, poller, conns, event.token, CloseReason::Gone);
+            } else if event.writable {
+                if let Some(conn) = conns.get_mut(&event.token) {
+                    if !flush_writes(shared, conn) {
+                        close_conn(shared, poller, conns, event.token, CloseReason::Gone);
+                    }
+                }
+            }
+        }
+        // Freshly queued frames may flush without an EPOLLOUT edge.
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = conns.get_mut(&token) {
+                if conn.unwritten() > 0 {
+                    let desired = Interest { readable: false, writable: true };
+                    if desired != conn.interest
+                        && poller.modify(conn.stream.as_raw_fd(), token, desired).is_ok()
+                    {
+                        conn.interest = desired;
+                    }
+                    if !flush_writes(shared, conn) {
+                        close_conn(shared, poller, conns, token, CloseReason::Gone);
+                    }
+                }
+            }
+        }
+    }
+    // Force-close whatever is left (deadline expired).
+    let tokens: Vec<u64> = conns.keys().copied().collect();
+    for token in tokens {
+        close_conn(shared, poller, conns, token, CloseReason::Gone);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------
+
 fn status_body(shared: &Shared) -> Json {
     let m = &shared.metrics;
     let st = shared.store.stats();
-    Json::object()
+    let mut body = Json::object()
         .with("uptime_ms", m.uptime_ms())
+        .with("engine", shared.engine.name())
         .with("workers", shared.workers)
         .with(
             "schemas",
@@ -667,6 +1622,7 @@ fn status_body(shared: &Shared) -> Json {
         )
         .with("connections", m.connections.load(Ordering::Relaxed))
         .with("ops", m.ops_json())
+        .with("reactor", m.reactor_json())
         .with(
             "queue",
             Json::object()
@@ -692,5 +1648,20 @@ fn status_body(shared: &Shared) -> Json {
             Json::object()
                 .with("protocol", m.protocol_errors.load(Ordering::Relaxed))
                 .with("analysis", m.analysis_errors.load(Ordering::Relaxed)),
-        )
+        );
+    if let Some(cluster) = &shared.cluster {
+        body = body.with(
+            "cluster",
+            m.cluster_json()
+                .with("self", cluster.self_addr.clone())
+                .with(
+                    "members",
+                    Json::Arr(
+                        cluster.ring.members().iter().map(|s| Json::from(s.as_str())).collect(),
+                    ),
+                )
+                .with("successor", cluster.successor.clone().map_or(Json::Null, Json::Str)),
+        );
+    }
+    body
 }

@@ -6,12 +6,23 @@
 //! tier, when enabled, is append-only — evicted entries stay on disk
 //! and are re-admitted to memory on the next request, so a restarted
 //! daemon warms up from its persist directory instead of re-simulating.
+//!
+//! In cluster mode the store is also the replication source: an
+//! [insert hook](ReportStore::set_insert_hook) observes every *computed*
+//! admission so the daemon can copy hot entries to the owning shard's
+//! ring successor, while [`ReportStore::insert_replica`] admits copies
+//! *received* from a peer without re-firing the hook (replicas must not
+//! cascade around the ring).
 
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Observer of computed-body admissions (`(key, body)`), used to drive
+/// replication to the ring successor.
+pub type InsertHook = Box<dyn Fn(&str, &str) + Send + Sync>;
 
 /// FNV-1a 64-bit over the canonical request key: the content address.
 pub fn fingerprint(key: &str) -> u64 {
@@ -63,6 +74,9 @@ pub struct ReportStore {
     inner: Mutex<Inner>,
     capacity: usize,
     persist_dir: Option<PathBuf>,
+    /// Fires on every computed-body [`ReportStore::insert`] (but never
+    /// on [`ReportStore::insert_replica`]): the replication tap.
+    insert_hook: OnceLock<InsertHook>,
     hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
@@ -85,6 +99,7 @@ impl ReportStore {
             inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
             capacity: capacity.max(1),
             persist_dir,
+            insert_hook: OnceLock::new(),
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -137,9 +152,34 @@ impl ReportStore {
         None
     }
 
+    /// Installs the replication tap: called once at daemon startup
+    /// (before any traffic) in cluster mode. Later calls are ignored.
+    pub fn set_insert_hook(&self, hook: impl Fn(&str, &str) + Send + Sync + 'static) {
+        let _ = self.insert_hook.set(Box::new(hook));
+    }
+
     /// Inserts a computed body, persisting it when the disk tier is
-    /// enabled. Returns the stored (shared) body.
+    /// enabled and firing the [replication hook]. Returns the stored
+    /// (shared) body.
+    ///
+    /// [replication hook]: ReportStore::set_insert_hook
     pub fn insert(&self, key: &str, body: &str) -> Arc<str> {
+        let shared = self.admit_and_persist(key, body);
+        if let Some(hook) = self.insert_hook.get() {
+            hook(key, body);
+        }
+        shared
+    }
+
+    /// Admits a body *replicated from a peer* (or warmed from one):
+    /// identical to [`ReportStore::insert`] — memory and disk tier —
+    /// except the replication hook does not fire, so copies never
+    /// cascade around the ring.
+    pub fn insert_replica(&self, key: &str, body: &str) -> Arc<str> {
+        self.admit_and_persist(key, body)
+    }
+
+    fn admit_and_persist(&self, key: &str, body: &str) -> Arc<str> {
         let hash = fingerprint(key);
         if let Some(path) = self.disk_path(hash) {
             if std::fs::write(&path, format!("{key}\n{body}")).is_err() {

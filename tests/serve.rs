@@ -10,8 +10,13 @@
 use gpa::core::schema;
 use gpa::json::Json;
 use gpa::pipeline::{AnalysisJob, Session};
-use gpa::serve::{protocol, serve, Request, ServeClient, ServerConfig, WireOptions};
+use gpa::serve::{
+    protocol, serve, serve_on, Request, Ring, ServeClient, ServerConfig, ServerEngine, WireOptions,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn test_server(config: ServerConfig) -> gpa::serve::ServerHandle {
     serve(Arc::new(Session::test()), config).expect("daemon binds an ephemeral port")
@@ -485,7 +490,7 @@ fn protocol_errors_are_reported_not_fatal() {
         ("{\"no_op\":true}", "missing `op`"),
     ] {
         let frame = client.request_line(line).expect("server answers bad input");
-        let doc = Json::parse(&frame).expect("error frame is JSON");
+        let doc = Json::parse(frame).expect("error frame is JSON");
         assert!(!doc.field("ok").unwrap().as_bool().unwrap());
         let msg = doc.field("error").unwrap().as_str().unwrap();
         assert!(msg.contains(needle), "{line}: {msg}");
@@ -565,4 +570,343 @@ fn persisted_store_warms_a_restarted_daemon() {
     second.shutdown();
     second.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Reactor engine
+// ---------------------------------------------------------------------
+
+/// The wire line for a default-options `analyze` of `(app, 0)`.
+fn analyze_wire(app: &str) -> String {
+    Request::Analyze { job: AnalysisJob::new(app, 0), options: WireOptions::default() }.to_wire()
+}
+
+/// The content address of a default-options `analyze` of `(app, 0)` —
+/// what the daemon's store and the cluster ring hash.
+fn analyze_key(app: &str) -> String {
+    Request::Analyze { job: AnalysisJob::new(app, 0), options: WireOptions::default() }
+        .cache_key()
+        .expect("analyze is cacheable")
+}
+
+/// The reactor must frame requests by newline, not by read boundary: a
+/// frame trickling in over several writes parses once complete, and
+/// several frames arriving in one write all answer, in order.
+#[test]
+fn reactor_reassembles_partial_frames_and_pipelines_in_order() {
+    let handle = test_server(ephemeral());
+    let reference = Session::test();
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // One frame, three writes, pauses in between.
+    let frame = "{\"op\":\"status\"}\n";
+    for piece in [&frame[..5], &frame[5..11], &frame[11..]] {
+        stream.write_all(piece.as_bytes()).expect("partial write");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response to the reassembled frame");
+    let doc = Json::parse(&line).expect("frame JSON");
+    assert!(doc.field("ok").unwrap().as_bool().unwrap(), "partial-frame status answered");
+
+    // Three frames, one write: responses come back in request order.
+    let pipelined = format!(
+        "{}\n{}\n{}\n",
+        analyze_wire("rodinia/hotspot"),
+        analyze_wire("rodinia/nw"),
+        "{\"op\":\"status\"}"
+    );
+    stream.write_all(pipelined.as_bytes()).expect("pipelined write");
+    let mut bodies = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("pipelined response");
+        bodies.push(Json::parse(&line).expect("frame JSON"));
+    }
+    for (idx, app) in ["rodinia/hotspot", "rodinia/nw"].iter().enumerate() {
+        let job = AnalysisJob::new(*app, 0);
+        assert_eq!(
+            bodies[idx].field("result").unwrap().compact(),
+            reference_body(&reference, &job),
+            "pipelined response {idx} is {app}'s bytes, in order"
+        );
+    }
+    assert!(bodies[2].field("result").unwrap().get("uptime_ms").is_some(), "status came last");
+    handle.shutdown();
+    handle.join();
+}
+
+/// The pending-byte budget is admission control, not buffering: with the
+/// budget at zero, a job frame pipelined behind unflushed responses is
+/// shed with an explicit error, and the shed is counted.
+#[test]
+fn pending_byte_budget_sheds_jobs_with_backpressure() {
+    let config = ServerConfig { max_pending_bytes: 0, ..ephemeral() };
+    let handle = test_server(config);
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // One small write, so every frame lands in the reactor's buffer in
+    // one batch: the statuses queue response bytes, and the sleep job
+    // behind them must be shed before it reaches the worker pool.
+    let sleep_wire = Request::Sleep { ms: 10 }.to_wire();
+    let burst = format!("{0}\n{0}\n{0}\n{1}\n", "{\"op\":\"status\"}", sleep_wire);
+    stream.write_all(burst.as_bytes()).expect("burst write");
+    let mut frames = Vec::new();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("burst response");
+        frames.push(Json::parse(&line).expect("frame JSON"));
+    }
+    for frame in &frames[..3] {
+        assert!(frame.field("ok").unwrap().as_bool().unwrap(), "statuses answered normally");
+    }
+    assert!(!frames[3].field("ok").unwrap().as_bool().unwrap(), "job behind the backlog shed");
+    let msg = frames[3].field("error").unwrap().as_str().unwrap();
+    assert!(msg.contains("backlog over budget"), "shed names the budget: {msg}");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let status = client.status().expect("status").into_result().expect("ok");
+    let reactor = status.field("reactor").unwrap();
+    assert!(reactor.field("byte_sheds").unwrap().as_u64().unwrap() >= 1, "shed counted");
+    handle.shutdown();
+    handle.join();
+}
+
+/// The slow-client guard: a connection that goes quiet past the idle
+/// deadline is reaped by the reactor's sweep (observed as EOF) and
+/// counted in the metrics.
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let config = ServerConfig { idle_timeout: Duration::from_millis(150), ..ephemeral() };
+    let handle = test_server(config);
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut buf = [0u8; 16];
+    // The daemon closes us: read returns 0 well before our own 5s guard.
+    let n = stream.read(&mut buf).expect("daemon closed the idle connection");
+    assert_eq!(n, 0, "idle connection saw EOF");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let status = client.status().expect("status").into_result().expect("ok");
+    let reactor = status.field("reactor").unwrap();
+    assert!(reactor.field("idle_reaped").unwrap().as_u64().unwrap() >= 1, "reap counted");
+    assert_eq!(status.field("engine").unwrap().as_str().unwrap(), "reactor");
+    handle.shutdown();
+    handle.join();
+}
+
+/// The client's read timeout keeps a wedged (or just slow) daemon from
+/// hanging `gpa request` forever.
+#[test]
+fn client_read_timeout_bounds_a_slow_daemon() {
+    let handle = test_server(ephemeral());
+    let mut slow = ServeClient::connect(handle.local_addr()).expect("connect");
+    slow.set_timeouts(Some(Duration::from_millis(150))).expect("timeouts");
+    let err = slow.request(&Request::Sleep { ms: 1500 }).expect_err("read must time out");
+    assert!(
+        matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+        "timeout, not a hang: {err}"
+    );
+    // The daemon itself is healthy; a fresh client still gets answers.
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    assert!(client.analyze("rodinia/hotspot", 0).expect("analyze").ok);
+    handle.shutdown();
+    handle.join();
+}
+
+/// The legacy thread-per-connection engine stays wire-compatible (it is
+/// the bench baseline): same bytes, same cache behavior, clean shutdown.
+#[test]
+fn threads_engine_remains_byte_compatible() {
+    let config = ServerConfig { engine: ServerEngine::Threads, ..ephemeral() };
+    let handle = test_server(config);
+    let reference = Session::test();
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    for app in ["rodinia/hotspot", "rodinia/gaussian"] {
+        let job = AnalysisJob::new(app, 0);
+        let r = client.analyze(app, 0).expect("analyze");
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.result.unwrap().compact(), reference_body(&reference, &job));
+        let again = client.analyze(app, 0).expect("repeat");
+        assert!(again.cached, "store works under the threads engine");
+    }
+    let status = client.status().expect("status").into_result().expect("ok");
+    assert_eq!(status.field("engine").unwrap().as_str().unwrap(), "threads");
+    handle.shutdown();
+    handle.join();
+}
+
+// ---------------------------------------------------------------------
+// Cluster mode
+// ---------------------------------------------------------------------
+
+/// Binds `n` loopback listeners first (learning every ephemeral port),
+/// then starts one daemon per listener with the full peer roster — the
+/// same bootstrap the CI smoke uses with fixed ports.
+fn test_cluster(n: usize) -> (Vec<gpa::serve::ServerHandle>, Vec<String>) {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind shard")).collect();
+    let addrs: Vec<String> =
+        listeners.iter().map(|l| l.local_addr().expect("addr").to_string()).collect();
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let peers =
+                addrs.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, a)| a.clone()).collect();
+            let config = ServerConfig { workers: 2, peers, ..ServerConfig::ephemeral() };
+            serve_on(Arc::new(Session::test()), listener, config).expect("shard starts")
+        })
+        .collect();
+    (handles, addrs)
+}
+
+/// Polls a shard's local store for `key` (replication is asynchronous).
+fn wait_for_replica(addr: &str, key: &str, deadline: Duration) -> Option<String> {
+    let start = std::time::Instant::now();
+    let mut client = ServeClient::connect(addr).ok()?;
+    while start.elapsed() < deadline {
+        let r =
+            client.request(&Request::StoreGet { key: key.to_string() }).ok()?.into_result().ok()?;
+        if r.field("found").unwrap().as_bool().unwrap() {
+            return Some(r.field("body").unwrap().compact());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    None
+}
+
+/// The cluster correctness anchor: whichever shard a client asks, over
+/// all 21 apps, the bytes equal single-node `run_one` — computed,
+/// forwarded, cached and replicated alike — and the second wave is
+/// answered from the sharded store.
+#[test]
+fn three_shard_cluster_answers_byte_identically_from_any_shard() {
+    let (handles, addrs) = test_cluster(3);
+    let ring = Ring::new(addrs.iter().cloned());
+    let reference = Session::test();
+    let jobs = reference.jobs_for_all_apps();
+    let expected: Vec<String> = jobs.iter().map(|j| reference_body(&reference, j)).collect();
+
+    // Wave 1 through shard 0: every response byte-identical, none
+    // cached (fresh cluster), and the keys shard 0 does not own were
+    // forwarded.
+    let mut client0 = ServeClient::connect(addrs[0].as_str()).expect("connect shard 0");
+    for (job, want) in jobs.iter().zip(&expected) {
+        let r = client0.analyze(&job.app, job.variant).expect("wave 1");
+        assert!(r.ok, "{}: {:?}", job, r.error);
+        assert!(!r.cached, "{job}: first ask computes");
+        assert_eq!(&r.result.unwrap().compact(), want, "{job}: wave 1 bytes");
+    }
+    let status0 = client0.status().expect("status").into_result().expect("ok");
+    let cluster0 = status0.field("cluster").unwrap();
+    assert!(
+        cluster0.field("forwards_out").unwrap().as_u64().unwrap() > 0,
+        "shard 0 forwarded the keys it does not own"
+    );
+    assert_eq!(
+        cluster0.field("members").unwrap().as_array().unwrap().len(),
+        3,
+        "all shards agree on the roster"
+    );
+
+    // Waves 2 and 3 through the other shards: byte-identical AND all
+    // answered from the sharded store (every key's owner computed it in
+    // wave 1).
+    for addr in &addrs[1..] {
+        let mut client = ServeClient::connect(addr.as_str()).expect("connect shard");
+        for (job, want) in jobs.iter().zip(&expected) {
+            let r = client.analyze(&job.app, job.variant).expect("later wave");
+            assert!(r.ok, "{}: {:?}", job, r.error);
+            assert!(r.cached, "{job}: the cluster already holds this report");
+            assert_eq!(&r.result.unwrap().compact(), want, "{job}: later-wave bytes");
+        }
+    }
+
+    // Replication: an owned key's bytes appear, verbatim, in the
+    // owner's ring successor's local store.
+    let probe = &jobs[0];
+    let key = analyze_key(&probe.app);
+    let owner = ring.owner(&key).to_string();
+    let successor = ring.successor(&owner).expect("3-member ring").to_string();
+    let replica = wait_for_replica(&successor, &key, Duration::from_secs(5))
+        .expect("replica reaches the successor");
+    assert_eq!(replica, expected[0], "replicated bytes identical");
+
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// A restarted shard warms owned keys from its ring successor instead
+/// of recomputing: the replica flows back over `store_get` and the
+/// response stays byte-identical.
+#[test]
+fn restarted_shard_warms_from_its_neighbor() {
+    let (mut handles, addrs) = test_cluster(2);
+    let ring = Ring::new(addrs.iter().cloned());
+    let reference = Session::test();
+
+    // Pick an app owned by shard 0 (over 21 apps one always is).
+    let (job, key) = reference
+        .jobs_for_all_apps()
+        .into_iter()
+        .map(|j| {
+            let key = analyze_key(&j.app);
+            (j, key)
+        })
+        .find(|(_, key)| ring.owner(key) == addrs[0])
+        .expect("some app hashes to shard 0");
+    let expected = reference_body(&reference, &job);
+
+    let mut client = ServeClient::connect(addrs[0].as_str()).expect("connect shard 0");
+    let first = client.analyze(&job.app, job.variant).expect("compute on the owner");
+    assert!(first.ok && !first.cached);
+    assert_eq!(first.result.unwrap().compact(), expected);
+
+    // Wait until the replica lands on shard 1 (shard 0's successor in a
+    // 2-member ring), then kill shard 0 — memory store and all.
+    assert!(
+        wait_for_replica(&addrs[1], &key, Duration::from_secs(5)).is_some(),
+        "replica reached the neighbor before the restart"
+    );
+    let shard0 = handles.remove(0);
+    shard0.shutdown();
+    shard0.join();
+
+    // Restart shard 0 on the same address with a cold store.
+    let listener = (0..50)
+        .find_map(|_| {
+            TcpListener::bind(addrs[0].as_str()).ok().or_else(|| {
+                std::thread::sleep(Duration::from_millis(100));
+                None
+            })
+        })
+        .expect("rebind the shard's address");
+    let config =
+        ServerConfig { workers: 2, peers: vec![addrs[1].clone()], ..ServerConfig::ephemeral() };
+    let restarted = serve_on(Arc::new(Session::test()), listener, config).expect("shard restarts");
+
+    // The first ask after the restart is answered from the neighbor's
+    // replica — cached, byte-identical, and counted as a warm hit.
+    let mut client = ServeClient::connect(addrs[0].as_str()).expect("reconnect shard 0");
+    let warmed = client.analyze(&job.app, job.variant).expect("analyze after restart");
+    assert!(warmed.ok, "{:?}", warmed.error);
+    assert!(warmed.cached, "warmed from the neighbor, not recomputed");
+    assert_eq!(warmed.result.unwrap().compact(), expected, "warmed bytes identical");
+    let status = client.status().expect("status").into_result().expect("ok");
+    let cluster = status.field("cluster").unwrap();
+    assert!(cluster.field("peer_warm_hits").unwrap().as_u64().unwrap() >= 1);
+
+    restarted.shutdown();
+    restarted.join();
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
 }
