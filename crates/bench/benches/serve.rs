@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpa_pipeline::{AnalysisJob, Session};
-use gpa_serve::{serve, ServeClient, ServerConfig, ServerEngine};
+use gpa_serve::{serve, serve_on, ServeClient, ServerConfig, ServerEngine};
 use std::sync::Arc;
 
 const CLIENTS: usize = 8;
@@ -140,9 +140,73 @@ fn bench_engine_swarm(c: &mut Criterion) {
     }
 }
 
+/// The robustness row behind the failure-handling work: the same
+/// 64-connection warm sweep, but against a 3-shard cluster that just
+/// lost a member — no leave, no drain. The queried survivor burns one
+/// budgeted retry per lost key on first ask, falls back to a counted
+/// local compute, and serves repeat traffic for those keys from its own
+/// store, so the measured steady state is "local hits plus forwards to
+/// the one live peer". The healthy-cluster pass and the first degraded
+/// pass (the retry burn) are timed and printed for the record.
+fn bench_owner_down_swarm(c: &mut Criterion) {
+    let listeners: Vec<std::net::TcpListener> =
+        (0..3).map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind shard")).collect();
+    let addrs: Vec<String> =
+        listeners.iter().map(|l| l.local_addr().expect("addr").to_string()).collect();
+    let mut handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let peers =
+                addrs.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, a)| a.clone()).collect();
+            let config =
+                ServerConfig { workers: CLIENTS, queue: 64, peers, ..ServerConfig::ephemeral() };
+            serve_on(Arc::new(Session::test()), listener, config).expect("shard starts")
+        })
+        .collect();
+    let session = Session::test();
+    let jobs = session.jobs_for_all_apps();
+    let addr = handles[0].local_addr();
+    sweep(addr, &jobs); // warm every shard's slice of the store
+    let frames: Vec<String> = jobs
+        .iter()
+        .map(|job| {
+            let request = gpa_serve::Request::Analyze {
+                job: job.clone(),
+                options: gpa_serve::WireOptions::default(),
+            };
+            format!("{}\n", request.to_wire())
+        })
+        .collect();
+
+    let healthy = std::time::Instant::now();
+    swarm_sweep(addr, &frames);
+    let healthy = healthy.elapsed();
+
+    let dead = handles.remove(2);
+    dead.shutdown();
+    dead.join();
+
+    let degraded = std::time::Instant::now();
+    swarm_sweep(addr, &frames);
+    let degraded = degraded.elapsed();
+    println!(
+        "serve bench: owner-down swarm — healthy pass {healthy:?}, \
+         first degraded pass (retry burn + fallback computes) {degraded:?}"
+    );
+
+    c.bench_function("serve/swarm_64_clients_owner_down", |b| {
+        b.iter(|| swarm_sweep(addr, &frames))
+    });
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serve_throughput, bench_engine_swarm
+    targets = bench_serve_throughput, bench_engine_swarm, bench_owner_down_swarm
 }
 criterion_main!(benches);

@@ -22,7 +22,8 @@ use gpa_json::Json;
 use gpa_kernels::all_apps;
 use gpa_pipeline::{AnalysisError, AnalysisJob, Session};
 use gpa_serve::{
-    serve, ServeClient, ServerConfig, ServerEngine, WireOptions, DEFAULT_ADDR, MAX_REPEAT,
+    serve, FaultPlan, PeerMeta, Request, ServeClient, ServerConfig, ServerEngine, WireOptions,
+    DEFAULT_ADDR, MAX_REPEAT,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -42,10 +43,14 @@ const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
      serve [--addr A] [--workers N] [--queue N] run the advisor daemon\n           \
      [--store N] [--persist DIR]\n           \
      [--peers A,B,..] [--advertise A]           shard with peer daemons (consistent hashing)\n           \
+     [--join A]                                 join a running cluster member at startup\n           \
+     [--faults SPEC]                            seeded peer fault injection (chaos testing)\n           \
      [--engine reactor|threads]                 connection engine (default reactor)\n  \
      request analyze <app> [variant] [--addr A]          analyze on the daemon\n  \
      request analyze_profile <app> [variant] --profile F advise on a saved profile\n  \
-     request status|shutdown [--addr A]                  daemon control\n          \
+     request status|shutdown [--addr A]                  daemon control\n  \
+     request ring [--addr A]                             roster epoch and members\n  \
+     request leave [ADDR] [--addr A]                     drain the daemon (or evict ADDR)\n          \
      request accepts --top/--category/--min-speedup/--schema too,\n          \
      and --repeat on analyze\n\n  \
      categories: stall-elimination, latency-hiding, parallel";
@@ -77,6 +82,8 @@ struct Flags {
     out: Option<PathBuf>,
     peers: Option<String>,
     advertise: Option<String>,
+    join: Option<String>,
+    faults: Option<String>,
     engine: Option<String>,
 }
 
@@ -147,6 +154,8 @@ fn parse_cmdline(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 "out" => flags.out = Some(PathBuf::from(take_value(name, inline, &mut rest)?)),
                 "peers" => flags.peers = Some(take_value(name, inline, &mut rest)?),
                 "advertise" => flags.advertise = Some(take_value(name, inline, &mut rest)?),
+                "join" => flags.join = Some(take_value(name, inline, &mut rest)?),
+                "faults" => flags.faults = Some(take_value(name, inline, &mut rest)?),
                 "engine" => flags.engine = Some(take_value(name, inline, &mut rest)?),
                 _ => return Err(format!("unknown flag `{arg}` (see usage)")),
             }
@@ -178,6 +187,8 @@ fn stray_flag(flags: &Flags, allowed: &[&str]) -> Option<String> {
         ("out", flags.out.is_some()),
         ("peers", flags.peers.is_some()),
         ("advertise", flags.advertise.is_some()),
+        ("join", flags.join.is_some()),
+        ("faults", flags.faults.is_some()),
         ("engine", flags.engine.is_some()),
     ];
     set.iter()
@@ -241,9 +252,18 @@ fn main() -> ExitCode {
     let allowed: &[&str] = match cmd {
         "analyze" => &["json", "all", "top", "category", "min-speedup", "schema", "repeat"],
         "profile" => &["repeat", "out"],
-        "serve" => {
-            &["addr", "workers", "queue", "store", "persist", "peers", "advertise", "engine"]
-        }
+        "serve" => &[
+            "addr",
+            "workers",
+            "queue",
+            "store",
+            "persist",
+            "peers",
+            "advertise",
+            "join",
+            "faults",
+            "engine",
+        ],
         "request" => &["addr", "profile", "top", "category", "min-speedup", "schema", "repeat"],
         _ => &[],
     };
@@ -461,6 +481,13 @@ fn run_serve(flags: &Flags) -> ExitCode {
     if flags.peers.is_some() && peers.is_empty() {
         return usage("flag --peers expects a comma-separated list of addresses");
     }
+    let faults = match flags.faults.as_deref() {
+        None => None,
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(msg) => return usage(&msg),
+        },
+    };
     let config = ServerConfig {
         addr: flags.addr.clone().unwrap_or(defaults.addr),
         workers: flags.workers.unwrap_or(defaults.workers),
@@ -470,10 +497,13 @@ fn run_serve(flags: &Flags) -> ExitCode {
         engine,
         peers,
         advertise: flags.advertise.clone(),
+        join: flags.join.clone(),
+        faults,
         ..ServerConfig::default()
     };
     let (workers, queue) = (config.workers, config.queue);
     let peer_count = config.peers.len();
+    let joined = config.join.clone();
     let handle = match serve(Arc::new(Session::full()), config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -487,6 +517,9 @@ fn run_serve(flags: &Flags) -> ExitCode {
     if peer_count > 0 {
         println!("gpa-serve sharding with {peer_count} peer(s) ({} engine)", engine.name());
     }
+    if let Some(seed) = joined {
+        println!("gpa-serve joined the ring via {seed}");
+    }
     let _ = std::io::stdout().flush();
     handle.join();
     println!("gpa-serve stopped");
@@ -496,7 +529,9 @@ fn run_serve(flags: &Flags) -> ExitCode {
 /// `gpa request <op> ...`: one request against a running daemon.
 fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
     let Some(op) = pos.get(1).map(String::as_str) else {
-        return usage("`request` needs an op: analyze, analyze_profile, status, shutdown");
+        return usage(
+            "`request` needs an op: analyze, analyze_profile, status, shutdown, ring, leave",
+        );
     };
     // Advice options only make sense on the advising ops; anywhere else
     // they would be silently ignored, which strict parsing forbids.
@@ -528,12 +563,18 @@ fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
     enum Prepared {
         Status,
         Shutdown,
+        Ring,
+        Leave { member: Option<String> },
         Analyze { app: String, variant: usize },
         AnalyzeProfile { app: String, variant: usize, profile: Json },
     }
     let prepared = match op {
         "status" => Prepared::Status,
         "shutdown" => Prepared::Shutdown,
+        "ring" => Prepared::Ring,
+        // `leave` alone drains the daemon at --addr; `leave ADDR` evicts
+        // that member from the roster instead.
+        "leave" => Prepared::Leave { member: pos.get(2).cloned() },
         "analyze" | "analyze_profile" => {
             let Some(app) = pos.get(2) else {
                 return usage(&format!("`request {op}` needs an app name"));
@@ -577,6 +618,10 @@ fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
     let sent = match prepared {
         Prepared::Status => client.status(),
         Prepared::Shutdown => client.shutdown(),
+        Prepared::Ring => client.request(&Request::RingStatus),
+        Prepared::Leave { member } => {
+            client.request(&Request::Leave { addr: member, meta: PeerMeta::default() })
+        }
         Prepared::Analyze { app, variant } => client.analyze_with(&app, variant, &options),
         Prepared::AnalyzeProfile { app, variant, profile } => {
             client.analyze_profile_with(&app, variant, &profile, &options)

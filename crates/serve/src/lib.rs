@@ -33,18 +33,21 @@
 //! [`Session`]: gpa_pipeline::Session
 
 pub mod client;
+pub mod faults;
 pub mod metrics;
+mod peer;
 pub mod protocol;
 pub mod reactor;
 pub mod ring;
 pub mod server;
 pub mod store;
 
-pub use client::{Response, ServeClient};
+pub use client::{ClientError, Response, ServeClient};
+pub use faults::{FaultAction, FaultPlan, FAULTS_ENV};
 pub use metrics::Metrics;
 pub use protocol::{
-    Request, WireOptions, DEFAULT_ADDR, DEFAULT_SCHEMA, MAX_REPEAT, SCHEMA_VERSIONS,
+    PeerMeta, Request, WireOptions, DEFAULT_ADDR, DEFAULT_SCHEMA, MAX_REPEAT, SCHEMA_VERSIONS,
 };
-pub use ring::Ring;
+pub use ring::{Ring, Roster};
 pub use server::{serve, serve_on, ServerConfig, ServerEngine, ServerHandle};
 pub use store::{ReportStore, StoreStats};

@@ -67,6 +67,37 @@ pub struct Metrics {
     pub replication_dropped: AtomicU64,
     /// Local misses answered by warming the key from the ring successor.
     pub peer_warm_hits: AtomicU64,
+    /// `join` peer requests received.
+    pub join: AtomicU64,
+    /// `leave` peer requests received.
+    pub leave: AtomicU64,
+    /// `ring_status` peer requests received.
+    pub ring_status: AtomicU64,
+    /// Forwarded frames rejected because the sender's epoch was stale.
+    pub stale_epoch_rejected: AtomicU64,
+    /// Roster refreshes adopted from a peer (anti-entropy catches).
+    pub ring_refreshes: AtomicU64,
+    /// Store entries handed off to their new owner after an epoch bump.
+    pub handoff_shipped: AtomicU64,
+    /// Handoff shipments that failed (the new owner was unreachable).
+    pub handoff_failed: AtomicU64,
+    /// Replications currently queued behind the replicator (gauge).
+    pub replication_queued: AtomicU64,
+    /// Budgeted peer retries actually spent.
+    pub retries_spent: AtomicU64,
+    /// Peer retries denied because the token bucket was empty.
+    pub retries_denied: AtomicU64,
+    /// Free retries after a stale pooled connection failed on reuse.
+    pub stale_retries: AtomicU64,
+    /// Peer circuit breakers tripped open.
+    pub breaker_trips: AtomicU64,
+    /// Peer calls failed fast because the breaker was open.
+    pub breaker_fast_fails: AtomicU64,
+    /// Half-open probes let through a cooled-down breaker.
+    pub peer_probes: AtomicU64,
+    /// The most recent replication/handoff shipment error, for
+    /// `status.cluster.replication.last_error`.
+    pub last_replication_error: std::sync::Mutex<Option<String>>,
 }
 
 impl Default for Metrics {
@@ -101,6 +132,21 @@ impl Default for Metrics {
             replicated_in: AtomicU64::new(0),
             replication_dropped: AtomicU64::new(0),
             peer_warm_hits: AtomicU64::new(0),
+            join: AtomicU64::new(0),
+            leave: AtomicU64::new(0),
+            ring_status: AtomicU64::new(0),
+            stale_epoch_rejected: AtomicU64::new(0),
+            ring_refreshes: AtomicU64::new(0),
+            handoff_shipped: AtomicU64::new(0),
+            handoff_failed: AtomicU64::new(0),
+            replication_queued: AtomicU64::new(0),
+            retries_spent: AtomicU64::new(0),
+            retries_denied: AtomicU64::new(0),
+            stale_retries: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_fast_fails: AtomicU64::new(0),
+            peer_probes: AtomicU64::new(0),
+            last_replication_error: std::sync::Mutex::new(None),
         }
     }
 }
@@ -125,8 +171,26 @@ impl Metrics {
             Request::Sleep { .. } => &self.sleep,
             Request::StoreGet { .. } => &self.store_get,
             Request::StorePut { .. } => &self.store_put,
+            Request::Join { .. } => &self.join,
+            Request::Leave { .. } => &self.leave,
+            Request::RingStatus => &self.ring_status,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dropped replication/handoff shipment, remembering
+    /// the failure for `status` and warning on the daemon's stderr the
+    /// first time — an operator watching logs learns replicas are
+    /// degrading before a shard dies and the misses show up.
+    pub fn note_replication_drop(&self, detail: &str) {
+        if self.replication_dropped.fetch_add(1, Ordering::Relaxed) == 0 {
+            eprintln!(
+                "gpa-serve: warning: replication dropped ({detail}); \
+                 further drops are counted in status.cluster.replication"
+            );
+        }
+        *self.last_replication_error.lock().expect("replication error lock") =
+            Some(detail.to_string());
     }
 
     /// Records a queue push and keeps the high-water mark current.
@@ -154,6 +218,9 @@ impl Metrics {
             .with("sleep", self.sleep.load(Ordering::Relaxed))
             .with("store_get", self.store_get.load(Ordering::Relaxed))
             .with("store_put", self.store_put.load(Ordering::Relaxed))
+            .with("join", self.join.load(Ordering::Relaxed))
+            .with("leave", self.leave.load(Ordering::Relaxed))
+            .with("ring_status", self.ring_status.load(Ordering::Relaxed))
     }
 
     /// The reactor/connection gauge object used inside `status`

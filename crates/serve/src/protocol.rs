@@ -48,6 +48,48 @@ pub const MAX_REPEAT: u32 = 64;
 /// `analyze` default).
 pub const REPORT_TOP: usize = 5;
 
+/// Anti-entropy metadata piggybacked on cluster-internal frames: the
+/// sender's roster epoch (`"epoch"`) and advertised address
+/// (`"from"`). Both optional — plain client traffic never carries
+/// them — and never part of a content address (they do not shape the
+/// body). A receiver that is *ahead* of the sender answers normally
+/// and rejects nothing; a receiver *behind* the sender schedules a
+/// roster refresh from `from`; a forwarded analyze whose sender is
+/// behind gets a [`stale_epoch_frame`] instead of a wrong-owner
+/// answer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeerMeta {
+    /// The sender's roster epoch.
+    pub epoch: Option<u64>,
+    /// The sender's advertised address, for refresh callbacks.
+    pub from: Option<String>,
+}
+
+impl PeerMeta {
+    /// Parses the optional anti-entropy fields of a frame.
+    fn parse(doc: &Json) -> Result<PeerMeta, String> {
+        let mut meta = PeerMeta::default();
+        if let Some(v) = doc.get("epoch") {
+            meta.epoch = Some(v.as_u64().map_err(|_| "`epoch` must be an unsigned integer")?);
+        }
+        if let Some(v) = doc.get("from") {
+            meta.from = Some(v.as_str().map_err(|_| "`from` must be a string")?.to_string());
+        }
+        Ok(meta)
+    }
+
+    /// Appends the set fields to a wire frame object.
+    fn extend_wire(&self, mut doc: Json) -> Json {
+        if let Some(epoch) = self.epoch {
+            doc = doc.with("epoch", epoch);
+        }
+        if let Some(from) = &self.from {
+            doc = doc.with("from", from.clone());
+        }
+        doc
+    }
+}
+
 /// Per-request advice options carried on the wire: the negotiated
 /// schema version, the profiling repeat count, plus the
 /// [`AdviceRequest`] the advisor runs with.
@@ -65,6 +107,9 @@ pub struct WireOptions {
     /// for transiently disagreeing rings. Not part of the content
     /// address (it does not shape the body).
     pub forwarded: bool,
+    /// Anti-entropy metadata on forwarded frames (sender epoch and
+    /// address). Like `forwarded`, never part of the content address.
+    pub meta: PeerMeta,
     /// Advisor options for this call.
     pub request: AdviceRequest,
 }
@@ -75,6 +120,7 @@ impl Default for WireOptions {
             schema: DEFAULT_SCHEMA,
             repeat: 1,
             forwarded: false,
+            meta: PeerMeta::default(),
             request: AdviceRequest::default(),
         }
     }
@@ -108,6 +154,7 @@ impl WireOptions {
         if let Some(v) = doc.get("fwd") {
             options.forwarded = v.as_bool().map_err(|_| "`fwd` must be a boolean")?;
         }
+        options.meta = PeerMeta::parse(doc)?;
         let mut request = AdviceRequest::default();
         if let Some(v) = doc.get("top") {
             let top = v.as_u64().map_err(|_| "`top` must be an unsigned integer")?;
@@ -178,7 +225,7 @@ impl WireOptions {
         if self.forwarded {
             doc = doc.with("fwd", true);
         }
-        doc
+        self.meta.extend_wire(doc)
     }
 
     /// A canonical rendering of everything in the options that shapes a
@@ -314,14 +361,44 @@ pub enum Request {
     },
     /// Cluster-internal: admit a replicated response body into the
     /// receiver's report store. Sent by a key's owner to its ring
-    /// successor after computing, so the successor holds a warm copy.
+    /// successor after computing (and by the handoff scan after a
+    /// membership change), so the right shard holds a warm copy.
     /// Replica admissions never re-replicate (no cascade).
     StorePut {
         /// The canonical content address (a [`Request::cache_key`]).
         key: String,
         /// The compact response body to store.
         body: String,
+        /// The sender's epoch/address, for lazy anti-entropy.
+        meta: PeerMeta,
     },
+    /// Membership: add `addr` to the receiver's roster (bumping the
+    /// epoch if it was absent) and answer with the receiver's full
+    /// roster. A starting shard announces itself through one seed
+    /// member with this op; the rest of the fleet learns lazily from
+    /// epoch-tagged peer traffic.
+    Join {
+        /// The joining shard's advertised address.
+        addr: String,
+        /// The sender's epoch/address, for lazy anti-entropy.
+        meta: PeerMeta,
+    },
+    /// Membership: remove a member from the roster. Without `addr` (or
+    /// naming the receiver itself) this asks the *receiver* to drain:
+    /// it leaves its own roster, hands its store slice off to the new
+    /// owners, announces the departure, and keeps serving as a
+    /// forwarding-only non-member. With a third-party `addr` it merely
+    /// records that member's departure.
+    Leave {
+        /// The departing member (`None` = the receiver itself).
+        addr: Option<String>,
+        /// The sender's epoch/address, for lazy anti-entropy.
+        meta: PeerMeta,
+    },
+    /// Membership: the receiver's roster view — epoch, members,
+    /// successor, drain state. The anti-entropy refresh call, and an
+    /// operator's ring inspector (`gpa request ring`).
+    RingStatus,
     /// Daemon metrics snapshot.
     Status,
     /// Stop accepting work and exit cleanly.
@@ -387,8 +464,25 @@ impl Request {
                 // round-trips byte-identically (gpa-json's proptests),
                 // so the admitted replica equals the owner's bytes.
                 let body = doc.get("body").ok_or("missing `body` field")?.compact();
-                Ok(Request::StorePut { key, body })
+                Ok(Request::StorePut { key, body, meta: PeerMeta::parse(&doc)? })
             }
+            "join" => {
+                let addr = doc
+                    .get("addr")
+                    .ok_or("missing `addr` field")?
+                    .as_str()
+                    .map_err(|_| "`addr` must be a string")?
+                    .to_string();
+                Ok(Request::Join { addr, meta: PeerMeta::parse(&doc)? })
+            }
+            "leave" => {
+                let addr = match doc.get("addr") {
+                    Some(v) => Some(v.as_str().map_err(|_| "`addr` must be a string")?.to_string()),
+                    None => None,
+                };
+                Ok(Request::Leave { addr, meta: PeerMeta::parse(&doc)? })
+            }
+            "ring_status" => Ok(Request::RingStatus),
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
             "sleep" => {
@@ -413,6 +507,9 @@ impl Request {
             Request::ProfileAbort { .. } => "profile_abort",
             Request::StoreGet { .. } => "store_get",
             Request::StorePut { .. } => "store_put",
+            Request::Join { .. } => "join",
+            Request::Leave { .. } => "leave",
+            Request::RingStatus => "ring_status",
             Request::Status => "status",
             Request::Shutdown => "shutdown",
             Request::Sleep { .. } => "sleep",
@@ -472,6 +569,8 @@ impl Request {
             // are themselves reads/writes of the store, not cacheable
             // analyses.
             Request::StoreGet { .. } | Request::StorePut { .. } => None,
+            // Membership ops mutate/inspect live cluster state.
+            Request::Join { .. } | Request::Leave { .. } | Request::RingStatus => None,
             Request::Status | Request::Shutdown | Request::Sleep { .. } => None,
         }
     }
@@ -513,10 +612,26 @@ impl Request {
             Request::StoreGet { key } => {
                 format!("{{\"op\":\"store_get\",\"key\":{}}}", Json::from(key.as_str()).compact())
             }
-            Request::StorePut { key, body } => format!(
-                "{{\"op\":\"store_put\",\"key\":{},\"body\":{body}}}",
-                Json::from(key.as_str()).compact()
-            ),
+            Request::StorePut { key, body, meta } => {
+                let extra = meta.extend_wire(Json::object()).compact();
+                let extra = extra.trim_start_matches('{').trim_end_matches('}');
+                let extra = if extra.is_empty() { String::new() } else { format!(",{extra}") };
+                format!(
+                    "{{\"op\":\"store_put\",\"key\":{},\"body\":{body}{extra}}}",
+                    Json::from(key.as_str()).compact()
+                )
+            }
+            Request::Join { addr, meta } => meta
+                .extend_wire(Json::object().with("op", "join").with("addr", addr.clone()))
+                .compact(),
+            Request::Leave { addr, meta } => {
+                let mut doc = Json::object().with("op", "leave");
+                if let Some(addr) = addr {
+                    doc = doc.with("addr", addr.clone());
+                }
+                meta.extend_wire(doc).compact()
+            }
+            Request::RingStatus => "{\"op\":\"ring_status\"}".to_string(),
             Request::Status => "{\"op\":\"status\"}".to_string(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
             Request::Sleep { ms } => format!("{{\"op\":\"sleep\",\"ms\":{ms}}}"),
@@ -607,6 +722,44 @@ pub fn ok_frame(cached: bool, body: &str) -> String {
 /// An error frame.
 pub fn error_frame(message: &str) -> String {
     Json::object().with("ok", false).with("error", message).compact()
+}
+
+/// The error frame a shard answers a forwarded request with when the
+/// sender's roster epoch is behind its own. It embeds the receiver's
+/// roster, so the one rejection doubles as the refresh — the sender
+/// adopts it and re-routes instead of serving a wrong-owner answer.
+pub fn stale_epoch_frame(epoch: u64, members: &[String]) -> String {
+    Json::object()
+        .with("ok", false)
+        .with("error", format!("stale ring epoch: cluster is at {epoch}"))
+        .with("stale_epoch", true)
+        .with(
+            "ring",
+            Json::object()
+                .with("epoch", epoch)
+                .with("members", Json::Arr(members.iter().map(|m| m.as_str().into()).collect())),
+        )
+        .compact()
+}
+
+/// Recognizes a [`stale_epoch_frame`] response and extracts the
+/// embedded roster. `None` for every other frame (including ordinary
+/// errors).
+pub fn parse_stale_epoch(frame: &str) -> Option<(u64, Vec<String>)> {
+    let doc = Json::parse(frame).ok()?;
+    if !doc.get("stale_epoch")?.as_bool().ok()? {
+        return None;
+    }
+    let ring = doc.get("ring")?;
+    let epoch = ring.get("epoch")?.as_u64().ok()?;
+    let members = ring
+        .get("members")?
+        .as_array()
+        .ok()?
+        .iter()
+        .filter_map(|m| m.as_str().ok().map(str::to_string))
+        .collect();
+    Some((epoch, members))
 }
 
 /// An error frame for a failed analysis, carrying the job identity like
@@ -833,10 +986,15 @@ mod tests {
         let parsed = Request::parse(&get.to_wire()).unwrap();
         let Request::StoreGet { key: parsed_key } = parsed else { panic!("wrong parse") };
         assert_eq!(parsed_key, key);
-        let put = Request::StorePut { key: key.to_string(), body: "{\"v\":1}".to_string() };
+        let put = Request::StorePut {
+            key: key.to_string(),
+            body: "{\"v\":1}".to_string(),
+            meta: PeerMeta::default(),
+        };
         let parsed = Request::parse(&put.to_wire()).unwrap();
-        let Request::StorePut { key: k2, body } = parsed else { panic!("wrong parse") };
+        let Request::StorePut { key: k2, body, meta } = parsed else { panic!("wrong parse") };
         assert_eq!((k2.as_str(), body.as_str()), (key, "{\"v\":1}"));
+        assert_eq!(meta, PeerMeta::default(), "no meta on the wire, none parsed");
         assert!(put.cache_key().is_none(), "store ops are not themselves cacheable");
         assert_eq!(put.op(), "store_put");
         for (line, needle) in [
@@ -847,6 +1005,103 @@ mod tests {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn parses_the_membership_ops() {
+        let meta = PeerMeta { epoch: Some(3), from: Some("127.0.0.1:7070".to_string()) };
+        let join = Request::Join { addr: "127.0.0.1:7074".to_string(), meta: meta.clone() };
+        assert_eq!(
+            join.to_wire(),
+            r#"{"op":"join","addr":"127.0.0.1:7074","epoch":3,"from":"127.0.0.1:7070"}"#
+        );
+        let parsed = Request::parse(&join.to_wire()).unwrap();
+        let Request::Join { addr, meta: parsed_meta } = parsed else { panic!("wrong parse") };
+        assert_eq!(addr, "127.0.0.1:7074");
+        assert_eq!(parsed_meta, meta);
+
+        // `leave` without an address asks the receiver to drain itself.
+        let drain = Request::parse(r#"{"op":"leave"}"#).unwrap();
+        assert!(matches!(drain, Request::Leave { addr: None, .. }));
+        let third_party =
+            Request::Leave { addr: Some("127.0.0.1:7074".to_string()), meta: meta.clone() };
+        let parsed = Request::parse(&third_party.to_wire()).unwrap();
+        let Request::Leave { addr: Some(addr), .. } = parsed else { panic!("wrong parse") };
+        assert_eq!(addr, "127.0.0.1:7074");
+
+        assert!(matches!(Request::parse(r#"{"op":"ring_status"}"#), Ok(Request::RingStatus)));
+        assert_eq!(Request::RingStatus.to_wire(), r#"{"op":"ring_status"}"#);
+
+        // Membership ops are handled where they arrive and never cached.
+        for op in [
+            Request::Join { addr: "a:1".to_string(), meta: PeerMeta::default() },
+            Request::Leave { addr: None, meta: PeerMeta::default() },
+            Request::RingStatus,
+        ] {
+            assert!(op.is_forwarded());
+            assert!(op.cache_key().is_none());
+        }
+        for (line, needle) in [
+            (r#"{"op":"join"}"#, "missing `addr`"),
+            (r#"{"op":"join","addr":7}"#, "`addr` must be a string"),
+            (r#"{"op":"join","addr":"a:1","epoch":"x"}"#, "`epoch` must be"),
+            (r#"{"op":"leave","addr":7}"#, "`addr` must be a string"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn store_put_carries_the_senders_epoch_for_anti_entropy() {
+        let put = Request::StorePut {
+            key: "k".to_string(),
+            body: "{}".to_string(),
+            meta: PeerMeta { epoch: Some(9), from: Some("a:1".to_string()) },
+        };
+        assert_eq!(
+            put.to_wire(),
+            r#"{"op":"store_put","key":"k","body":{},"epoch":9,"from":"a:1"}"#
+        );
+        let Request::StorePut { meta, .. } = Request::parse(&put.to_wire()).unwrap() else {
+            panic!("wrong parse")
+        };
+        assert_eq!(meta.epoch, Some(9));
+        assert_eq!(meta.from.as_deref(), Some("a:1"));
+    }
+
+    #[test]
+    fn stale_epoch_frames_round_trip_and_ordinary_errors_do_not_match() {
+        let members = vec!["a:1".to_string(), "b:2".to_string()];
+        let frame = stale_epoch_frame(7, &members);
+        assert!(!frame.contains('\n'));
+        let doc = Json::parse(&frame).unwrap();
+        assert!(!doc.field("ok").unwrap().as_bool().unwrap(), "stale epoch is an error frame");
+        let (epoch, parsed) = parse_stale_epoch(&frame).expect("recognized");
+        assert_eq!(epoch, 7);
+        assert_eq!(parsed, members);
+        assert!(parse_stale_epoch(&error_frame("boom")).is_none());
+        assert!(parse_stale_epoch(&ok_frame(false, "{}")).is_none());
+        assert!(parse_stale_epoch("not json").is_none());
+    }
+
+    #[test]
+    fn forwarded_frames_carry_the_senders_epoch_after_the_marker() {
+        let mut options = WireOptions::v2();
+        options.forwarded = true;
+        options.meta = PeerMeta { epoch: Some(4), from: Some("s:1".to_string()) };
+        let r = Request::Analyze { job: AnalysisJob::new("a", 0), options };
+        assert_eq!(
+            r.to_wire(),
+            r#"{"op":"analyze","app":"a","variant":0,"schema":2,"fwd":true,"epoch":4,"from":"s:1"}"#
+        );
+        let parsed = Request::parse(&r.to_wire()).unwrap();
+        let Request::Analyze { options, .. } = &parsed else { panic!("wrong parse") };
+        assert_eq!(options.meta.epoch, Some(4));
+        // The epoch/sender tags never split the content address: the
+        // same request routed at different epochs is one store entry.
+        let plain = Request::parse(r#"{"op":"analyze","app":"a","schema":2}"#).unwrap();
+        assert_eq!(plain.cache_key(), parsed.cache_key());
     }
 
     #[test]

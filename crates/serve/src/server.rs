@@ -30,25 +30,39 @@
 //!
 //! ## Cluster mode
 //!
-//! With `--peers`, every daemon builds the same consistent-hash
-//! [`Ring`] over the member addresses. `analyze`/`analyze_profile`
-//! requests whose content address hashes to another member are
-//! forwarded there (marked `fwd` so they are answered where they land)
-//! and the owner's response frame is relayed **verbatim** — computed,
-//! cached, forwarded and replicated responses are byte-identical.
-//! Owners replicate computed bodies to their ring successor
-//! (`store_put`), and a restarted shard warms owned keys from that
-//! successor (`store_get`) before recomputing.
+//! With `--peers` (or `--join`), every daemon keeps an epoch-versioned
+//! [`Roster`] of members and derives the consistent-hash [`Ring`] from
+//! it. `analyze`/`analyze_profile` requests whose content address
+//! hashes to another member are forwarded there (marked `fwd`, stamped
+//! with the sender's epoch) and the owner's response frame is relayed
+//! **verbatim** — computed, cached, forwarded and replicated responses
+//! are byte-identical. Owners replicate computed bodies to their ring
+//! successor (`store_put`), and a restarted shard warms owned keys
+//! from that successor (`store_get`) before recomputing.
+//!
+//! Membership is live: `join` adds a shard (the seed answers with the
+//! bumped roster and every member catches up lazily — a forward whose
+//! epoch is stale earns a [`stale_epoch_frame`] instead of a
+//! wrong-owner answer, and a sender that is *ahead* triggers a
+//! `ring_status` refresh), `leave` drains one (its entries are shipped
+//! to their new owners before the roster shrinks). After any epoch
+//! bump a background handoff pass re-ships entries the new ring maps
+//! elsewhere. Every peer call rides the hardened path in `peer.rs`:
+//! pooled connections, a circuit breaker per peer, a shared retry
+//! budget, and deterministic fault injection (`GPA_FAULTS`).
+//!
+//! [`stale_epoch_frame`]: protocol::stale_epoch_frame
 //!
 //! Shutdown (the `shutdown` op, or [`ServerHandle::shutdown`]) is
 //! cooperative: the flag flips, workers drain the queue, the reactor
 //! flushes pending responses (bounded drain), and every thread joins.
 
-use crate::client::ServeClient;
+use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
-use crate::protocol::{self, Request, WireOptions, DEFAULT_ADDR, MAX_REQUEST_BYTES};
+use crate::peer::PeerTable;
+use crate::protocol::{self, PeerMeta, Request, WireOptions, DEFAULT_ADDR, MAX_REQUEST_BYTES};
 use crate::reactor::{Event, Interest, Poller, Waker};
-use crate::ring::Ring;
+use crate::ring::{Ring, Roster};
 use crate::store::ReportStore;
 use gpa_json::Json;
 use gpa_pipeline::{AnalysisJob, Session};
@@ -59,7 +73,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -107,6 +121,19 @@ pub struct ServerConfig {
     /// The address *peers* reach this daemon at (defaults to the bound
     /// address, which is right whenever the bind address is routable).
     pub advertise: Option<String>,
+    /// A running member to `join` at startup: the daemon announces
+    /// itself there, adopts the answered roster, and enters the ring
+    /// without any shard restarting. Implies cluster mode.
+    pub join: Option<String>,
+    /// Deterministic peer-path fault plan (chaos tests). `None` falls
+    /// back to the `GPA_FAULTS` environment variable.
+    pub faults: Option<FaultPlan>,
+    /// Retry-budget capacity: the token bucket shared by every
+    /// budgeted peer retry (forwards).
+    pub peer_retry_budget: u32,
+    /// How long a tripped peer breaker stays open before one call
+    /// probes it half-open.
+    pub peer_trip_cooldown: Duration,
     /// Idle deadline: connections with no traffic for this long are
     /// reaped (slow-client guard).
     pub idle_timeout: Duration,
@@ -126,6 +153,10 @@ impl Default for ServerConfig {
             engine: ServerEngine::Reactor,
             peers: Vec::new(),
             advertise: None,
+            join: None,
+            faults: None,
+            peer_retry_budget: 16,
+            peer_trip_cooldown: Duration::from_secs(2),
             idle_timeout: Duration::from_secs(60),
             max_pending_bytes: 64 * 1024 * 1024,
         }
@@ -203,6 +234,22 @@ const REPLICATION_QUEUE: usize = 256;
 /// which the request falls back to local computation.
 const PEER_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Bounded queue of background cluster chores (roster refreshes,
+/// handoff passes); when full, a chore is dropped — the periodic
+/// anti-entropy tick will get there eventually.
+const CLUSTER_TASKS: usize = 32;
+
+/// How often the cluster chore thread wakes with no work queued, to
+/// probe tripped peers (half-open breaker checks double as roster
+/// anti-entropy).
+const CLUSTER_TICK: Duration = Duration::from_millis(250);
+
+/// A forward that comes back `stale_epoch` re-routes on the adopted
+/// roster; this bounds how many times one request will chase the ring
+/// before computing locally (each hop means *we* were behind, which a
+/// healthy cluster resolves in one adoption).
+const MAX_FORWARD_HOPS: u32 = 3;
+
 /// One open chunked upload: the target job, the advice options fixed at
 /// `profile_begin`, and the running merge (never the individual
 /// chunks).
@@ -244,53 +291,117 @@ struct Pending {
 
 /// What [`handle_line`] decided: answer now, or hand to the worker
 /// pool (engine-specific — the threads engine blocks, the reactor
-/// parks the connection).
+/// parks the connection). The variants differ in size by the whole
+/// `Request`, but the value lives on the stack for one call only —
+/// boxing it would buy nothing but an allocation per dispatched job.
+#[allow(clippy::large_enum_variant)]
 enum Handled {
     Reply(String, Control),
     Dispatch(Pending),
 }
 
-/// Shard-cluster state: the ring, this daemon's identity on it, and
-/// pooled connections to peers.
-struct Cluster {
+/// The roster and everything derived from it, swapped atomically under
+/// one lock so no reader ever sees an epoch paired with another
+/// epoch's ring.
+struct ClusterState {
+    roster: Roster,
     ring: Ring,
-    self_addr: String,
-    /// This shard's replication target (`None` in a 1-member ring).
+    /// This shard's replication target (`None` off the ring or in a
+    /// 1-member ring).
     successor: Option<String>,
-    /// Idle peer connections, keyed by address. Checked out for one
-    /// request, returned on success, dropped on error.
-    pool: Mutex<HashMap<String, Vec<ServeClient>>>,
+}
+
+impl ClusterState {
+    fn new(roster: Roster, self_addr: &str) -> ClusterState {
+        let ring = roster.ring();
+        let successor = ring.successor(self_addr).map(str::to_string);
+        ClusterState { roster, ring, successor }
+    }
+}
+
+/// Background cluster chores, run off the request path.
+enum ClusterTask {
+    /// Pull `ring_status` from this member and adopt anything newer.
+    Refresh(String),
+    /// Re-ship store entries the current ring maps to another owner.
+    Handoff,
+}
+
+/// Shard-cluster state: the live roster/ring, this daemon's identity
+/// on it, and the hardened peer path.
+struct Cluster {
+    self_addr: String,
+    state: RwLock<ClusterState>,
+    /// Pooled + breaker-guarded + budgeted peer connections.
+    peers: PeerTable,
     /// Sender side of the replication queue; `None` once shutdown has
     /// begun (dropping it lets the replicator thread exit).
     repl_tx: Mutex<Option<mpsc::SyncSender<(String, String)>>>,
+    /// Sender side of the chore queue; `None` once shutdown has begun.
+    task_tx: Mutex<Option<mpsc::SyncSender<ClusterTask>>>,
+    /// Set for good by a self-`leave`: the daemon keeps serving (and
+    /// forwarding) but is no longer a ring member and re-joins nothing.
+    draining: AtomicBool,
 }
 
 impl Cluster {
-    /// Runs `f` against a connection to `addr`: pooled if available
-    /// (retrying once on a stale socket), freshly dialed otherwise.
-    fn with_peer<T>(
-        &self,
-        addr: &str,
-        f: impl Fn(&mut ServeClient) -> io::Result<T>,
-    ) -> io::Result<T> {
-        let pooled = self.pool.lock().expect("peer pool").get_mut(addr).and_then(Vec::pop);
-        if let Some(mut client) = pooled {
-            if let Ok(v) = f(&mut client) {
-                self.check_in(addr, client);
-                return Ok(v);
-            }
-            // The pooled socket was stale (peer restarted, idle-reaped,
-            // ...): fall through to a fresh dial.
-        }
-        let mut client = ServeClient::connect_timeout(addr, PEER_IO_TIMEOUT)?;
-        client.set_timeouts(Some(PEER_IO_TIMEOUT))?;
-        let v = f(&mut client)?;
-        self.check_in(addr, client);
-        Ok(v)
+    fn epoch(&self) -> u64 {
+        self.state.read().expect("cluster state").roster.epoch()
     }
 
-    fn check_in(&self, addr: &str, client: ServeClient) {
-        self.pool.lock().expect("peer pool").entry(addr.to_string()).or_default().push(client);
+    fn members(&self) -> Vec<String> {
+        self.state.read().expect("cluster state").roster.members().to_vec()
+    }
+
+    fn successor(&self) -> Option<String> {
+        self.state.read().expect("cluster state").successor.clone()
+    }
+
+    /// Whether the current ring maps `key` to this shard.
+    fn owns(&self, key: &str) -> bool {
+        let state = self.state.read().expect("cluster state");
+        !state.ring.is_empty() && state.ring.owner(key) == self.self_addr
+    }
+
+    /// The anti-entropy stamp this shard puts on peer frames.
+    fn meta(&self) -> PeerMeta {
+        PeerMeta { epoch: Some(self.epoch()), from: Some(self.self_addr.clone()) }
+    }
+
+    /// Applies a roster mutation; on change, rebuilds the derived ring
+    /// and successor under the same lock. Returns whether anything
+    /// changed.
+    fn mutate(&self, f: impl FnOnce(&mut Roster) -> bool) -> bool {
+        let mut state = self.state.write().expect("cluster state");
+        let changed = f(&mut state.roster);
+        if changed {
+            state.ring = state.roster.ring();
+            state.successor = state.ring.successor(&self.self_addr).map(str::to_string);
+        }
+        changed
+    }
+
+    /// Adopts a peer's roster snapshot (newer epochs win), then puts
+    /// this shard back on the roster if the snapshot dropped it — a
+    /// member that is not draining never gossips itself out of the
+    /// ring.
+    fn adopt(&self, epoch: u64, members: &[String]) -> bool {
+        let draining = self.draining.load(Ordering::Acquire);
+        self.mutate(|roster| {
+            let mut changed = roster.adopt(epoch, members);
+            if !draining && !roster.contains(&self.self_addr) {
+                changed |= roster.join(&self.self_addr);
+            }
+            changed
+        })
+    }
+
+    /// Queues a background chore (best-effort: a full queue drops it,
+    /// and the periodic tick catches up).
+    fn schedule(&self, task: ClusterTask) {
+        if let Some(tx) = self.task_tx.lock().expect("task tx").as_ref() {
+            let _ = tx.try_send(task);
+        }
     }
 }
 
@@ -333,6 +444,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     replicator: Option<JoinHandle<()>>,
+    cluster_worker: Option<JoinHandle<()>>,
 }
 
 /// Binds and starts the daemon.
@@ -362,23 +474,51 @@ pub fn serve_on(
     let store = ReportStore::new(config.store_capacity, config.persist_dir.clone())?;
     let local_addr = listener.local_addr()?;
     let workers = config.workers.max(1);
-    let (cluster, repl_rx) = if config.peers.is_empty() {
-        (None, None)
-    } else {
+    let cluster_mode =
+        !config.peers.is_empty() || config.advertise.is_some() || config.join.is_some();
+    let (cluster, repl_rx, task_rx) = if cluster_mode {
         let self_addr = config.advertise.clone().unwrap_or_else(|| local_addr.to_string());
-        let members = config.peers.iter().cloned().chain([self_addr.clone()]);
-        let ring = Ring::new(members);
-        let successor = ring.successor(&self_addr).map(str::to_string);
-        let (tx, rx) = mpsc::sync_channel(REPLICATION_QUEUE);
-        let rx = successor.is_some().then_some(rx);
-        let cluster = Cluster {
-            ring,
-            self_addr,
-            successor,
-            pool: Mutex::new(HashMap::new()),
-            repl_tx: Mutex::new(Some(tx)),
+        if config.peers.contains(&self_addr) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "--advertise {self_addr} duplicates a peer address; \
+                     a shard cannot be its own peer"
+                ),
+            ));
+        }
+        if config.join.as_deref() == Some(self_addr.as_str()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("--join {self_addr} points at this daemon; join an existing member"),
+            ));
+        }
+        let faults = match &config.faults {
+            Some(plan) => Some(plan.clone()),
+            None => {
+                FaultPlan::from_env().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?
+            }
         };
-        (Some(cluster), rx)
+        let roster = Roster::new(config.peers.iter().cloned().chain([self_addr.clone()]));
+        let state = ClusterState::new(roster, &self_addr);
+        let (repl_tx, repl_rx) = mpsc::sync_channel(REPLICATION_QUEUE);
+        let (task_tx, task_rx) = mpsc::sync_channel(CLUSTER_TASKS);
+        let cluster = Cluster {
+            self_addr,
+            state: RwLock::new(state),
+            peers: PeerTable::new(
+                PEER_IO_TIMEOUT,
+                config.peer_trip_cooldown,
+                config.peer_retry_budget,
+                faults,
+            ),
+            repl_tx: Mutex::new(Some(repl_tx)),
+            task_tx: Mutex::new(Some(task_tx)),
+            draining: AtomicBool::new(false),
+        };
+        (Some(cluster), Some(repl_rx), Some(task_rx))
+    } else {
+        (None, None, None)
     };
     let shared = Arc::new(Shared {
         session,
@@ -402,7 +542,7 @@ pub fn serve_on(
         waker: OnceLock::new(),
         upload_pcs: AtomicU64::new(0),
     });
-    if shared.cluster.as_ref().is_some_and(|c| c.successor.is_some()) {
+    if shared.cluster.is_some() {
         // The store's insert hook queues owned computed bodies for the
         // replicator. Weak: the hook lives inside Shared's own store, so
         // a strong Arc here would be a reference cycle.
@@ -413,13 +553,15 @@ pub fn serve_on(
             // Replicate only keys this shard owns: a body computed here
             // as a forwarding *fallback* belongs to another shard's
             // replica chain, not ours.
-            if cluster.ring.owner(key) != cluster.self_addr {
+            if !cluster.owns(key) {
                 return;
             }
             let tx = cluster.repl_tx.lock().expect("repl tx").clone();
             let Some(tx) = tx else { return };
-            if tx.try_send((key.to_string(), body.to_string())).is_err() {
-                shared.metrics.replication_dropped.fetch_add(1, Ordering::Relaxed);
+            if tx.try_send((key.to_string(), body.to_string())).is_ok() {
+                shared.metrics.replication_queued.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.metrics.note_replication_drop("replication queue full");
             }
         });
     }
@@ -430,6 +572,17 @@ pub fn serve_on(
                 std::thread::Builder::new()
                     .name("gpa-serve-replicator".to_string())
                     .spawn(move || replicator_loop(&sh, &rx))?,
+            )
+        }
+        None => None,
+    };
+    let cluster_worker = match task_rx {
+        Some(rx) => {
+            let sh = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("gpa-serve-cluster".to_string())
+                    .spawn(move || cluster_loop(&sh, &rx))?,
             )
         }
         None => None,
@@ -461,7 +614,69 @@ pub fn serve_on(
                 .spawn(move || accept_loop(&sh, &listener))?
         }
     };
-    Ok(ServerHandle { shared, accept: Some(accept), workers: worker_handles, replicator })
+    let handle = ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers: worker_handles,
+        replicator,
+        cluster_worker,
+    };
+    if let Some(seed) = &config.join {
+        // Announce to the seed and adopt its answer before reporting
+        // the daemon up; a failed join tears everything down (the
+        // operator pointed us at a dead or misaddressed member).
+        join_cluster(&handle.shared, seed)?;
+    }
+    Ok(handle)
+}
+
+/// Announces this daemon to `seed` with a `join` op and adopts the
+/// roster the seed answers with.
+fn join_cluster(shared: &Shared, seed: &str) -> io::Result<()> {
+    let cluster = shared.cluster.as_ref().expect("join implies cluster mode");
+    let wire = Request::Join { addr: cluster.self_addr.clone(), meta: cluster.meta() }.to_wire();
+    let line = cluster
+        .peers
+        .call(seed, &shared.metrics, true, |client| {
+            Ok(client.request_line(&wire)?.trim_end().to_string())
+        })
+        .map_err(|e| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, format!("join via {seed}: {e}"))
+        })?;
+    let reply = Json::parse(&line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("join via {seed}: {e}")))?;
+    let bad = |what: &str| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("join via {seed}: {what} in {line}"))
+    };
+    if !reply.get("ok").and_then(|v| v.as_bool().ok()).unwrap_or(false) {
+        return Err(bad("not an ok frame"));
+    }
+    let result = reply.get("result").ok_or_else(|| bad("no result"))?;
+    let epoch =
+        result.get("epoch").and_then(|v| v.as_u64().ok()).ok_or_else(|| bad("no roster epoch"))?;
+    let members: Vec<String> = result
+        .get("members")
+        .and_then(|v| v.as_array().ok())
+        .ok_or_else(|| bad("no member list"))?
+        .iter()
+        .filter_map(|v| v.as_str().ok().map(str::to_string))
+        .collect();
+    if cluster.adopt(epoch, &members) {
+        shared.metrics.ring_refreshes.fetch_add(1, Ordering::Relaxed);
+    } else {
+        // The adoption tie-break refused an equal-epoch snapshot; merge
+        // member-by-member instead so the rings still converge.
+        cluster.mutate(|roster| {
+            // Every member must be joined — `any` would short-circuit.
+            let mut changed = false;
+            for member in &members {
+                changed |= roster.join(member);
+            }
+            changed
+        });
+    }
+    cluster.schedule(ClusterTask::Handoff);
+    Ok(())
 }
 
 impl ServerHandle {
@@ -492,6 +707,9 @@ impl ServerHandle {
         if let Some(h) = self.replicator.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.cluster_worker.take() {
+            let _ = h.join();
+        }
         let conns = std::mem::take(&mut *self.shared.conn_threads.lock().expect("conn threads"));
         for h in conns {
             let _ = h.join();
@@ -516,10 +734,11 @@ fn trigger_shutdown(shared: &Shared) {
         let _guard = shared.queue.lock().expect("queue lock");
         shared.available.notify_all();
     }
-    // Let the replicator drain and exit: dropping the only long-lived
-    // sender disconnects its channel.
+    // Let the replicator and the chore thread drain and exit: dropping
+    // the only long-lived senders disconnects their channels.
     if let Some(cluster) = &shared.cluster {
         cluster.repl_tx.lock().expect("repl tx").take();
+        cluster.task_tx.lock().expect("task tx").take();
     }
     // Pop the reactor out of epoll_wait.
     if let Some(waker) = shared.waker.get() {
@@ -588,19 +807,48 @@ fn handle_line(shared: &Shared, state: &mut ConnState, line: &str) -> Handled {
             };
             return Handled::Reply(protocol::ok_frame(false, &body), Control::Continue);
         }
-        Request::StorePut { key, body } => {
+        Request::StorePut { key, body, meta } => {
             shared.store.insert_replica(&key, &body);
             shared.metrics.replicated_in.fetch_add(1, Ordering::Relaxed);
+            apply_peer_meta(shared, &meta);
             return Handled::Reply(
                 protocol::ok_frame(false, "{\"stored\":true}"),
                 Control::Continue,
             );
+        }
+        // Membership ops mutate only the roster (cheap, lock-bounded);
+        // the handoff they may imply runs on the chore thread.
+        Request::RingStatus => {
+            return Handled::Reply(ring_status(shared), Control::Continue);
+        }
+        Request::Join { addr, meta } => {
+            return Handled::Reply(peer_join(shared, &addr, &meta), Control::Continue);
+        }
+        Request::Leave { addr, meta } => {
+            // Removing *another* member is a roster edit; draining
+            // *this* shard ships the whole store and takes a worker.
+            match leave_inline(shared, addr.as_deref(), &meta) {
+                Some(frame) => return Handled::Reply(frame, Control::Continue),
+                None => {
+                    return Handled::Dispatch(Pending {
+                        request: Request::Leave { addr, meta },
+                        ticket: None,
+                    })
+                }
+            }
         }
         other => other,
     };
     if let Request::Analyze { options, .. } | Request::AnalyzeProfile { options, .. } = &request {
         if options.forwarded {
             shared.metrics.forwards_in.fetch_add(1, Ordering::Relaxed);
+            // A forwarded frame from a shard whose roster is behind
+            // ours would be answered by the *wrong* owner; bounce it
+            // with the current roster instead so the sender catches up
+            // and re-routes.
+            if let Some(stale) = check_peer_epoch(shared, &options.meta) {
+                return Handled::Reply(stale, Control::Continue);
+            }
         }
     }
     if let Some(key) = request.cache_key() {
@@ -609,6 +857,183 @@ fn handle_line(shared: &Shared, state: &mut ConnState, line: &str) -> Handled {
         }
     }
     Handled::Dispatch(Pending { request, ticket: None })
+}
+
+// ---------------------------------------------------------------------
+// Membership ops and epoch anti-entropy
+// ---------------------------------------------------------------------
+
+/// Reacts to the anti-entropy stamp on a peer frame: a sender that is
+/// *ahead* of this roster knows members we do not, so schedule a
+/// refresh from it. (Behind-sender handling is op-specific; see
+/// [`check_peer_epoch`].)
+fn apply_peer_meta(shared: &Shared, meta: &PeerMeta) {
+    let Some(cluster) = &shared.cluster else { return };
+    let Some(sender_epoch) = meta.epoch else { return };
+    if sender_epoch > cluster.epoch() {
+        if let Some(from) = &meta.from {
+            if from != &cluster.self_addr {
+                cluster.schedule(ClusterTask::Refresh(from.clone()));
+            }
+        }
+    }
+}
+
+/// The stale-epoch gate for forwarded analyze frames: `Some(frame)`
+/// when the sender's roster is behind ours and the request must bounce
+/// instead of being answered by a non-owner.
+fn check_peer_epoch(shared: &Shared, meta: &PeerMeta) -> Option<String> {
+    let cluster = shared.cluster.as_ref()?;
+    let sender_epoch = meta.epoch?;
+    let (local_epoch, members) = {
+        let state = cluster.state.read().expect("cluster state");
+        (state.roster.epoch(), state.roster.members().to_vec())
+    };
+    if sender_epoch < local_epoch {
+        shared.metrics.stale_epoch_rejected.fetch_add(1, Ordering::Relaxed);
+        return Some(protocol::stale_epoch_frame(local_epoch, &members));
+    }
+    apply_peer_meta(shared, meta);
+    None
+}
+
+/// The `ring_status` reply: this shard's roster view.
+fn ring_status(shared: &Shared) -> String {
+    let Some(cluster) = &shared.cluster else {
+        return protocol::error_frame("this daemon is not in cluster mode");
+    };
+    let state = cluster.state.read().expect("cluster state");
+    let body = Json::object()
+        .with("epoch", state.roster.epoch())
+        .with("self", cluster.self_addr.clone())
+        .with(
+            "members",
+            Json::Arr(state.roster.members().iter().map(|m| Json::from(m.as_str())).collect()),
+        )
+        .with("successor", state.successor.clone().map_or(Json::Null, Json::Str))
+        .with("draining", cluster.draining.load(Ordering::Relaxed));
+    protocol::ok_frame(false, &body.compact())
+}
+
+/// The `join` op: adds `addr` to the roster (bumping the epoch) and
+/// answers with the post-join roster so the joiner can adopt it.
+fn peer_join(shared: &Shared, addr: &str, meta: &PeerMeta) -> String {
+    let Some(cluster) = &shared.cluster else {
+        return protocol::error_frame("this daemon is not in cluster mode");
+    };
+    if !addr.contains(':') {
+        return protocol::error_frame("`addr` must be a host:port address");
+    }
+    apply_peer_meta(shared, meta);
+    let added = cluster.mutate(|roster| roster.join(addr));
+    if added {
+        // Entries the wider ring now maps to the joiner (possibly via
+        // other members) get re-shipped in the background.
+        cluster.schedule(ClusterTask::Handoff);
+    }
+    let (epoch, members) = {
+        let state = cluster.state.read().expect("cluster state");
+        (state.roster.epoch(), state.roster.members().to_vec())
+    };
+    let body = Json::object()
+        .with("added", added)
+        .with("epoch", epoch)
+        .with("members", Json::Arr(members.iter().map(|m| Json::from(m.as_str())).collect()));
+    protocol::ok_frame(false, &body.compact())
+}
+
+/// The roster-edit half of `leave`: removing a member that is not this
+/// shard is answered inline; `None` means the target is this shard
+/// itself (an explicit address or none at all), which drains on a
+/// worker thread instead.
+fn leave_inline(shared: &Shared, addr: Option<&str>, meta: &PeerMeta) -> Option<String> {
+    let Some(cluster) = &shared.cluster else {
+        return Some(protocol::error_frame("this daemon is not in cluster mode"));
+    };
+    let target = addr?;
+    if target == cluster.self_addr {
+        return None;
+    }
+    apply_peer_meta(shared, meta);
+    let removed = cluster.mutate(|roster| roster.leave(target));
+    if removed {
+        cluster.schedule(ClusterTask::Handoff);
+    }
+    let (epoch, members) = {
+        let state = cluster.state.read().expect("cluster state");
+        (state.roster.epoch(), state.roster.members().to_vec())
+    };
+    let body = Json::object()
+        .with("removed", removed)
+        .with("epoch", epoch)
+        .with("members", Json::Arr(members.iter().map(|m| Json::from(m.as_str())).collect()));
+    Some(protocol::ok_frame(false, &body.compact()))
+}
+
+/// Drains this shard out of the ring: leave the roster, ship every
+/// stored entry to its new owner, and announce the departure to the
+/// remaining members. The daemon keeps serving afterwards — local
+/// store, forwarding to the survivors — it just owns nothing.
+fn drain_self(shared: &Shared) -> String {
+    let Some(cluster) = &shared.cluster else {
+        return protocol::error_frame("this daemon is not in cluster mode");
+    };
+    if cluster.draining.swap(true, Ordering::AcqRel) {
+        return protocol::error_frame("this shard is already draining");
+    }
+    cluster.mutate(|roster| roster.leave(&cluster.self_addr));
+    let (epoch, members) = {
+        let state = cluster.state.read().expect("cluster state");
+        (state.roster.epoch(), state.roster.members().to_vec())
+    };
+    let mut handed_off = 0u64;
+    let mut failed = 0u64;
+    if !members.is_empty() {
+        let ring = Ring::new(members.iter().cloned());
+        for (key, body) in shared.store.entries() {
+            if ship_entry(shared, cluster, ring.owner(&key), &key, &body) {
+                handed_off += 1;
+            } else {
+                failed += 1;
+            }
+        }
+    }
+    // Best-effort departure announce; a member that misses it learns
+    // from the next stale-epoch bounce or refresh.
+    let announce =
+        Request::Leave { addr: Some(cluster.self_addr.clone()), meta: cluster.meta() }.to_wire();
+    for member in &members {
+        let _ = cluster.peers.call(member, &shared.metrics, false, |client| {
+            client.request_line(&announce).map(drop)
+        });
+    }
+    let body = Json::object()
+        .with("left", true)
+        .with("epoch", epoch)
+        .with("handed_off", handed_off)
+        .with("handoff_failed", failed);
+    protocol::ok_frame(false, &body.compact())
+}
+
+/// Ships one store entry to `owner` over the hardened peer path
+/// (best-effort: no retry budget is spent on a handoff).
+fn ship_entry(shared: &Shared, cluster: &Cluster, owner: &str, key: &str, body: &str) -> bool {
+    let wire =
+        Request::StorePut { key: key.to_string(), body: body.to_string(), meta: cluster.meta() }
+            .to_wire();
+    let sent = cluster
+        .peers
+        .call(owner, &shared.metrics, false, |client| client.request_line(&wire).map(drop));
+    match sent {
+        Ok(()) => {
+            shared.metrics.handoff_shipped.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Err(_) => {
+            shared.metrics.handoff_failed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
 }
 
 /// `profile_begin`: opens an upload slot after validating (and warming)
@@ -804,7 +1229,10 @@ fn try_enqueue(
 
 /// The outcome of [`dispatch`]: a reply frame, or a backpressure
 /// rejection that hands the request back so stateful callers
-/// (`profile_end`) can preserve what it was built from.
+/// (`profile_end`) can preserve what it was built from. Same
+/// stack-transient story as [`Handled`]: boxing the returned request
+/// would cost an allocation on every rejection for no benefit.
+#[allow(clippy::large_enum_variant)]
 enum Dispatched {
     /// A worker (or the rejection path of a worker-less op) answered.
     Replied(String),
@@ -871,13 +1299,26 @@ fn worker_loop(shared: &Shared) {
 // Execution and cluster routing (worker threads)
 // ---------------------------------------------------------------------
 
+/// What one forwarding attempt came back with.
+enum Forwarded {
+    /// The owner's frame, to be relayed verbatim.
+    Frame(String),
+    /// The owner said our roster was behind; we adopted its snapshot
+    /// and the request should re-route on the new ring.
+    StaleEpoch,
+}
+
 /// Runs one dequeued request: forwarded to its owning shard in cluster
 /// mode, computed locally otherwise (or as the fallback when the owner
 /// is unreachable).
 fn execute(shared: &Shared, request: Request) -> String {
-    if let Some(owner) = route_away(shared, &request) {
+    for _hop in 0..MAX_FORWARD_HOPS {
+        let Some(owner) = route_away(shared, &request) else { break };
         match forward(shared, &owner, &request) {
-            Ok(frame) => return frame,
+            Ok(Forwarded::Frame(frame)) => return frame,
+            // Our roster was behind; it has been refreshed from the
+            // bounce, so re-route (the key may even be ours now).
+            Ok(Forwarded::StaleEpoch) => continue,
             Err(_) => {
                 shared.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
                 // The owner is unreachable: answer locally. Check the
@@ -888,6 +1329,7 @@ fn execute(shared: &Shared, request: Request) -> String {
                         return protocol::ok_frame(true, &body);
                     }
                 }
+                break;
             }
         }
     }
@@ -903,18 +1345,43 @@ fn route_away(shared: &Shared, request: &Request) -> Option<String> {
         return None;
     }
     let key = request.cache_key()?;
-    let owner = cluster.ring.owner(&key);
+    let state = cluster.state.read().expect("cluster state");
+    if state.ring.is_empty() {
+        return None;
+    }
+    let owner = state.ring.owner(&key);
     (owner != cluster.self_addr).then(|| owner.to_string())
 }
 
 /// Relays `request` to its owner and returns the owner's response frame
 /// **verbatim** — the `cached` flag and the body bytes are the owner's,
-/// so forwarded responses stay byte-identical to direct ones.
-fn forward(shared: &Shared, owner: &str, request: &Request) -> io::Result<String> {
+/// so forwarded responses stay byte-identical to direct ones. The
+/// forwarded frame carries this shard's epoch; a `stale_epoch` bounce
+/// adopts the owner's roster instead of returning a frame.
+fn forward(shared: &Shared, owner: &str, request: &Request) -> Result<Forwarded, io::Error> {
     let cluster = shared.cluster.as_ref().expect("routed with a cluster");
     shared.metrics.forwards_out.fetch_add(1, Ordering::Relaxed);
-    let wire = request.to_forwarded().to_wire();
-    cluster.with_peer(owner, |client| Ok(client.request_line(&wire)?.trim_end().to_string()))
+    let mut forwarded = request.to_forwarded();
+    if let Request::Analyze { options, .. } | Request::AnalyzeProfile { options, .. } =
+        &mut forwarded
+    {
+        options.meta = cluster.meta();
+    }
+    let wire = forwarded.to_wire();
+    let line = cluster
+        .peers
+        .call(owner, &shared.metrics, true, |client| {
+            Ok(client.request_line(&wire)?.trim_end().to_string())
+        })
+        .map_err(crate::client::ClientError::into_io)?;
+    if let Some((epoch, members)) = protocol::parse_stale_epoch(&line) {
+        if cluster.adopt(epoch, &members) {
+            shared.metrics.ring_refreshes.fetch_add(1, Ordering::Relaxed);
+            cluster.schedule(ClusterTask::Handoff);
+        }
+        return Ok(Forwarded::StaleEpoch);
+    }
+    Ok(Forwarded::Frame(line))
 }
 
 /// Fetches an owned-but-missing key from the ring successor (which
@@ -922,13 +1389,16 @@ fn forward(shared: &Shared, owner: &str, request: &Request) -> io::Result<String
 /// neighbor instead of recomputing.
 fn warm_from_successor(shared: &Shared, key: &str) -> Option<String> {
     let cluster = shared.cluster.as_ref()?;
-    let successor = cluster.successor.as_deref()?;
-    if cluster.ring.owner(key) != cluster.self_addr {
+    let successor = cluster.successor()?;
+    if !cluster.owns(key) {
         return None;
     }
     let wire = Request::StoreGet { key: key.to_string() }.to_wire();
     let line = cluster
-        .with_peer(successor, |client| Ok(client.request_line(&wire)?.trim_end().to_string()))
+        .peers
+        .call(&successor, &shared.metrics, false, |client| {
+            Ok(client.request_line(&wire)?.trim_end().to_string())
+        })
         .ok()?;
     let doc = Json::parse(&line).ok()?;
     if !doc.get("ok")?.as_bool().ok()? {
@@ -989,6 +1459,9 @@ fn execute_local(shared: &Shared, request: Request) -> String {
             std::thread::sleep(Duration::from_millis(ms));
             protocol::ok_frame(false, &format!("{{\"slept_ms\":{ms}}}"))
         }
+        // A self-`leave` ships the whole store; it is the one
+        // membership op that takes a worker slot.
+        Request::Leave { .. } => drain_self(shared),
         // Handled inline by the connection layer; never queued.
         Request::Status
         | Request::Shutdown
@@ -997,30 +1470,125 @@ fn execute_local(shared: &Shared, request: Request) -> String {
         | Request::ProfileEnd { .. }
         | Request::ProfileAbort { .. }
         | Request::StoreGet { .. }
-        | Request::StorePut { .. } => {
+        | Request::StorePut { .. }
+        | Request::Join { .. }
+        | Request::RingStatus => {
             protocol::error_frame("internal error: control op reached the worker pool")
         }
     }
 }
 
-/// Ships queued `(key, body)` replications to the ring successor. Runs
-/// on its own thread so a slow or dead successor never stalls an
+/// Ships queued `(key, body)` replications to the ring successor
+/// (re-read per item: membership may have changed since the enqueue).
+/// Runs on its own thread so a slow or dead successor never stalls an
 /// analysis worker; exits when the sender side is dropped (shutdown).
 fn replicator_loop(shared: &Shared, rx: &mpsc::Receiver<(String, String)>) {
     while let Ok((key, body)) = rx.recv() {
+        shared.metrics.replication_queued.fetch_sub(1, Ordering::Relaxed);
         let Some(cluster) = &shared.cluster else { break };
-        let Some(successor) = cluster.successor.as_deref() else { break };
-        let wire = Request::StorePut { key, body }.to_wire();
-        let sent = cluster
-            .with_peer(successor, |client| Ok(client.request_line(&wire)?.trim_end().to_string()));
+        // No successor (solo ring, or drained off it): nothing to
+        // replicate to — not a drop.
+        let Some(successor) = cluster.successor() else { continue };
+        let wire = Request::StorePut { key, body, meta: cluster.meta() }.to_wire();
+        let sent = cluster.peers.call(&successor, &shared.metrics, false, |client| {
+            client.request_line(&wire).map(drop)
+        });
         match sent {
-            Ok(_) => {
+            Ok(()) => {
                 shared.metrics.replicated_out.fetch_add(1, Ordering::Relaxed);
             }
-            Err(_) => {
-                shared.metrics.replication_dropped.fetch_add(1, Ordering::Relaxed);
+            Err(e) => {
+                shared.metrics.note_replication_drop(&format!("to {successor}: {e}"));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster chores (background thread)
+// ---------------------------------------------------------------------
+
+/// The cluster chore thread: runs roster refreshes and handoff passes
+/// off the request path, and on idle ticks probes tripped peers (the
+/// probe doubles as roster anti-entropy). Exits when the task sender
+/// is dropped (shutdown).
+fn cluster_loop(shared: &Shared, rx: &mpsc::Receiver<ClusterTask>) {
+    loop {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        match rx.recv_timeout(CLUSTER_TICK) {
+            Ok(ClusterTask::Refresh(addr)) => refresh_from(shared, &addr),
+            Ok(ClusterTask::Handoff) => run_handoff(shared),
+            Err(mpsc::RecvTimeoutError::Timeout) => probe_tripped_peers(shared),
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Pulls `ring_status` from `addr` and adopts anything newer than the
+/// local roster.
+fn refresh_from(shared: &Shared, addr: &str) {
+    let Some(cluster) = &shared.cluster else { return };
+    if addr == cluster.self_addr {
+        return;
+    }
+    let wire = Request::RingStatus.to_wire();
+    let Ok(line) = cluster.peers.call(addr, &shared.metrics, false, |client| {
+        Ok(client.request_line(&wire)?.trim_end().to_string())
+    }) else {
+        return;
+    };
+    let Ok(reply) = Json::parse(&line) else { return };
+    if !reply.get("ok").and_then(|v| v.as_bool().ok()).unwrap_or(false) {
+        return;
+    }
+    let Some(result) = reply.get("result") else { return };
+    let Some(epoch) = result.get("epoch").and_then(|v| v.as_u64().ok()) else { return };
+    let Some(members) = result.get("members").and_then(|v| v.as_array().ok()) else { return };
+    let members: Vec<String> =
+        members.iter().filter_map(|v| v.as_str().ok().map(str::to_string)).collect();
+    if cluster.adopt(epoch, &members) {
+        shared.metrics.ring_refreshes.fetch_add(1, Ordering::Relaxed);
+        cluster.schedule(ClusterTask::Handoff);
+    }
+}
+
+/// One bounded handoff pass: scan the memory tier and re-ship every
+/// entry the *current* ring maps to another owner. Runs after epoch
+/// bumps; the scan is bounded by the store's capacity.
+fn run_handoff(shared: &Shared) {
+    let Some(cluster) = &shared.cluster else { return };
+    if cluster.draining.load(Ordering::Acquire) {
+        return;
+    }
+    let members = cluster.members();
+    if members.len() < 2 {
+        return;
+    }
+    let ring = Ring::new(members);
+    for (key, body) in shared.store.entries() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        let owner = ring.owner(&key);
+        if owner != cluster.self_addr {
+            ship_entry(shared, cluster, owner, &key, &body);
+        }
+    }
+}
+
+/// Sends one `ring_status` probe to every peer whose breaker cooldown
+/// has elapsed: the success closes the breaker, and the answered
+/// roster catches this shard up on anything it missed while the peer
+/// was unreachable.
+fn probe_tripped_peers(shared: &Shared) {
+    let Some(cluster) = &shared.cluster else { return };
+    for addr in cluster.peers.ready_to_probe() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        refresh_from(shared, &addr);
     }
 }
 
@@ -1650,17 +2218,62 @@ fn status_body(shared: &Shared) -> Json {
                 .with("analysis", m.analysis_errors.load(Ordering::Relaxed)),
         );
     if let Some(cluster) = &shared.cluster {
+        let (epoch, members, successor) = {
+            let state = cluster.state.read().expect("cluster state");
+            (state.roster.epoch(), state.roster.members().to_vec(), state.successor.clone())
+        };
+        let last_error =
+            shared.metrics.last_replication_error.lock().expect("replication error lock").clone();
         body = body.with(
             "cluster",
             m.cluster_json()
                 .with("self", cluster.self_addr.clone())
+                .with("epoch", epoch)
+                .with("draining", cluster.draining.load(Ordering::Relaxed))
                 .with(
                     "members",
-                    Json::Arr(
-                        cluster.ring.members().iter().map(|s| Json::from(s.as_str())).collect(),
-                    ),
+                    Json::Arr(members.iter().map(|s| Json::from(s.as_str())).collect()),
                 )
-                .with("successor", cluster.successor.clone().map_or(Json::Null, Json::Str)),
+                .with("successor", successor.map_or(Json::Null, Json::Str))
+                .with(
+                    "membership",
+                    Json::object()
+                        .with("stale_rejected", m.stale_epoch_rejected.load(Ordering::Relaxed))
+                        .with("refreshes", m.ring_refreshes.load(Ordering::Relaxed)),
+                )
+                .with(
+                    "replication",
+                    Json::object()
+                        .with("queued", m.replication_queued.load(Ordering::Relaxed))
+                        .with("shipped", m.replicated_out.load(Ordering::Relaxed))
+                        .with("dropped", m.replication_dropped.load(Ordering::Relaxed))
+                        .with("last_error", last_error.map_or(Json::Null, Json::Str)),
+                )
+                .with(
+                    "handoff",
+                    Json::object()
+                        .with("shipped", m.handoff_shipped.load(Ordering::Relaxed))
+                        .with("failed", m.handoff_failed.load(Ordering::Relaxed)),
+                )
+                .with("retry", cluster.peers.retry_json(m))
+                .with(
+                    "breaker",
+                    Json::object()
+                        .with("trips", m.breaker_trips.load(Ordering::Relaxed))
+                        .with("fast_fails", m.breaker_fast_fails.load(Ordering::Relaxed))
+                        .with("probes", m.peer_probes.load(Ordering::Relaxed))
+                        .with("stale_retries", m.stale_retries.load(Ordering::Relaxed)),
+                )
+                .with("peers", cluster.peers.status_json())
+                .with(
+                    "faults",
+                    match cluster.peers.faults() {
+                        Some(plan) => {
+                            Json::object().with("active", true).with("fired", plan.fired())
+                        }
+                        None => Json::object().with("active", false).with("fired", 0u64),
+                    },
+                ),
         );
     }
     body

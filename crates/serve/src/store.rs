@@ -213,6 +213,20 @@ impl ReportStore {
         shared
     }
 
+    /// A `(key, body)` snapshot of the memory tier — what a membership
+    /// handoff scans to ship remapped entries to their new owner. The
+    /// bodies are `Arc` clones, so the snapshot is cheap and the lock
+    /// is held only for the copy.
+    pub fn entries(&self) -> Vec<(String, Arc<str>)> {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .map
+            .values()
+            .map(|entry| (entry.key.clone(), Arc::clone(&entry.body)))
+            .collect()
+    }
+
     /// Entries currently held in memory.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("store lock").map.len()

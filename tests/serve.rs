@@ -11,7 +11,8 @@ use gpa::core::schema;
 use gpa::json::Json;
 use gpa::pipeline::{AnalysisJob, Session};
 use gpa::serve::{
-    protocol, serve, serve_on, Request, Ring, ServeClient, ServerConfig, ServerEngine, WireOptions,
+    protocol, serve, serve_on, FaultPlan, PeerMeta, Request, Ring, ServeClient, ServerConfig,
+    ServerEngine, WireOptions,
 };
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -748,6 +749,16 @@ fn threads_engine_remains_byte_compatible() {
 /// then starts one daemon per listener with the full peer roster — the
 /// same bootstrap the CI smoke uses with fixed ports.
 fn test_cluster(n: usize) -> (Vec<gpa::serve::ServerHandle>, Vec<String>) {
+    test_cluster_with(n, |_, config| config)
+}
+
+/// [`test_cluster`], but each shard's config passes through `tweak`
+/// (indexed by shard) — how the failure tests plant fault plans and
+/// shorten breaker cooldowns on specific members.
+fn test_cluster_with(
+    n: usize,
+    tweak: impl Fn(usize, ServerConfig) -> ServerConfig,
+) -> (Vec<gpa::serve::ServerHandle>, Vec<String>) {
     let listeners: Vec<TcpListener> =
         (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind shard")).collect();
     let addrs: Vec<String> =
@@ -758,7 +769,7 @@ fn test_cluster(n: usize) -> (Vec<gpa::serve::ServerHandle>, Vec<String>) {
         .map(|(i, listener)| {
             let peers =
                 addrs.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, a)| a.clone()).collect();
-            let config = ServerConfig { workers: 2, peers, ..ServerConfig::ephemeral() };
+            let config = tweak(i, ServerConfig { workers: 2, peers, ..ServerConfig::ephemeral() });
             serve_on(Arc::new(Session::test()), listener, config).expect("shard starts")
         })
         .collect();
@@ -905,6 +916,506 @@ fn restarted_shard_warms_from_its_neighbor() {
 
     restarted.shutdown();
     restarted.join();
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Membership & failure
+// ---------------------------------------------------------------------
+
+/// A shard cannot be its own peer, and cannot join through itself —
+/// both misconfigurations are refused at startup instead of producing
+/// a ring that forwards to itself.
+#[test]
+fn self_addressed_cluster_configs_are_rejected() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let config =
+        ServerConfig { workers: 1, peers: vec![addr.clone()], ..ServerConfig::ephemeral() };
+    let err = serve_on(Arc::new(Session::test()), listener, config)
+        .err()
+        .expect("a self-addressed peer list must not start");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("duplicates a peer"), "names the mistake: {err}");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let config = ServerConfig { workers: 1, join: Some(addr), ..ServerConfig::ephemeral() };
+    let err = serve_on(Arc::new(Session::test()), listener, config)
+        .err()
+        .expect("joining through yourself must not start");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+/// Live membership: a third shard joins a running 2-shard cluster via
+/// `--join` — no restarts — the epoch advances past the static
+/// bootstrap, and the background handoff streams the keys the wider
+/// ring moved onto the joiner, so it answers them from its store.
+#[test]
+fn join_grows_the_ring_and_handoff_warms_the_new_shard() {
+    let (handles, addrs) = test_cluster(2);
+    let reference = Session::test();
+    let jobs = reference.jobs_for_all_apps();
+
+    // Warm the whole keyspace through shard 0: every key ends up in its
+    // (old-ring) owner's store.
+    let mut client0 = ServeClient::connect(addrs[0].as_str()).expect("connect shard 0");
+    for job in &jobs {
+        assert!(client0.analyze(&job.app, job.variant).expect("warm wave").ok);
+    }
+
+    // Bind the joiner's address before it starts, so a store entry the
+    // wider ring will assign to it can be planted in the seed's store —
+    // the handoff probe does not depend on where the 21 apps hash.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind joiner");
+    let joiner_addr = listener.local_addr().expect("addr").to_string();
+    let new_ring = Ring::new([addrs[0].clone(), addrs[1].clone(), joiner_addr.clone()]);
+    let probe_key = (0..)
+        .map(|i| format!("probe-{i}"))
+        .find(|k| new_ring.owner(k) == joiner_addr)
+        .expect("some key hashes to the joiner");
+    let probe_body = "{\"probe\":true}";
+    let put = client0
+        .request(&Request::StorePut {
+            key: probe_key.clone(),
+            body: probe_body.to_string(),
+            meta: PeerMeta::default(),
+        })
+        .expect("store_put");
+    assert!(put.ok, "{:?}", put.error);
+
+    let config =
+        ServerConfig { workers: 2, join: Some(addrs[0].clone()), ..ServerConfig::ephemeral() };
+    let joiner = serve_on(Arc::new(Session::test()), listener, config).expect("joiner starts");
+
+    // The joiner adopted the seed's roster plus itself; the seed's
+    // epoch moved for the join.
+    let mut jc = ServeClient::connect(joiner_addr.as_str()).expect("connect joiner");
+    let view = jc.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+    assert_eq!(view.field("members").unwrap().as_array().unwrap().len(), 3);
+    assert!(view.field("epoch").unwrap().as_u64().unwrap() >= 2);
+    let seed_view = client0.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+    assert!(
+        seed_view
+            .field("members")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|m| m.as_str().unwrap() == joiner_addr),
+        "the seed's roster lists the joiner"
+    );
+    assert!(seed_view.field("epoch").unwrap().as_u64().unwrap() >= 2);
+
+    // The seed's background handoff ships the planted entry to its new
+    // owner without any client asking for it.
+    let replica = wait_for_replica(&joiner_addr, &probe_key, Duration::from_secs(5))
+        .expect("handoff ships the moved entry to the joiner");
+    assert_eq!(replica, probe_body, "handed-off bytes identical");
+
+    // Epoch-tagged peer traffic is the anti-entropy channel: shard 1
+    // took no part in the join, but one forwarded frame carrying the
+    // joiner's epoch makes it refresh its roster from the sender.
+    let joiner_epoch = view.field("epoch").unwrap().as_u64().unwrap();
+    let mut stream = TcpStream::connect(addrs[1].as_str()).expect("connect shard 1");
+    let frame = format!(
+        "{{\"op\":\"analyze\",\"app\":\"rodinia/hotspot\",\"variant\":0,\"schema\":2,\
+         \"fwd\":true,\"epoch\":{joiner_epoch},\"from\":\"{joiner_addr}\"}}\n"
+    );
+    stream.write_all(frame.as_bytes()).expect("epoch-tagged forward");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("answer");
+    assert!(Json::parse(&line).expect("frame JSON").field("ok").unwrap().as_bool().unwrap());
+    let mut client1 = ServeClient::connect(addrs[1].as_str()).expect("connect shard 1");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let view = client1.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+        if view.field("members").unwrap().as_array().unwrap().len() == 3 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "shard 1 never refreshed its roster");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // When the hash moved a real report onto the joiner, the handoff
+    // delivered it too and the joiner answers it from its store.
+    if let Some(moved) = jobs.iter().find(|j| new_ring.owner(&analyze_key(&j.app)) == joiner_addr) {
+        let replica =
+            wait_for_replica(&joiner_addr, &analyze_key(&moved.app), Duration::from_secs(5))
+                .expect("handoff reaches the joiner");
+        assert_eq!(replica, reference_body(&reference, moved), "moved bytes identical");
+        let warmed = jc.analyze(&moved.app, moved.variant).expect("moved key via the joiner");
+        assert!(warmed.ok && warmed.cached, "the joiner answers its new keys from the handoff");
+    }
+
+    joiner.shutdown();
+    joiner.join();
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// A forwarded frame from a sender whose roster epoch is behind gets
+/// bounced with the receiver's fresh roster — never answered by a
+/// non-owner — while a current-epoch forward is answered in place.
+#[test]
+fn stale_epoch_forwards_bounce_with_the_fresh_roster() {
+    let (handles, addrs) = test_cluster(2);
+    let mut stream = TcpStream::connect(addrs[0].as_str()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let stale = "{\"op\":\"analyze\",\"app\":\"rodinia/hotspot\",\"variant\":0,\"schema\":2,\
+                 \"fwd\":true,\"epoch\":0,\"from\":\"127.0.0.1:9\"}\n";
+    stream.write_all(stale.as_bytes()).expect("stale forward");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("bounce");
+    let doc = Json::parse(&line).expect("frame JSON");
+    assert!(!doc.field("ok").unwrap().as_bool().unwrap(), "stale forward is refused");
+    assert!(doc.field("stale_epoch").unwrap().as_bool().unwrap());
+    let ring = doc.field("ring").unwrap();
+    assert_eq!(ring.field("epoch").unwrap().as_u64().unwrap(), 1, "bootstrap epoch");
+    assert_eq!(ring.field("members").unwrap().as_array().unwrap().len(), 2, "full fresh roster");
+
+    // The same frame at the current epoch is answered in place.
+    let current = "{\"op\":\"analyze\",\"app\":\"rodinia/hotspot\",\"variant\":0,\"schema\":2,\
+                   \"fwd\":true,\"epoch\":1,\"from\":\"127.0.0.1:9\"}\n";
+    stream.write_all(current.as_bytes()).expect("current forward");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("answer");
+    let doc = Json::parse(&line).expect("frame JSON");
+    assert!(doc.field("ok").unwrap().as_bool().unwrap(), "current-epoch forward answered");
+    assert!(doc.field("result").is_ok());
+
+    let mut client = ServeClient::connect(addrs[0].as_str()).expect("connect");
+    let status = client.status().expect("status").into_result().expect("ok");
+    let membership = status.field("cluster").unwrap().field("membership").unwrap();
+    assert!(membership.field("stale_rejected").unwrap().as_u64().unwrap() >= 1, "bounce counted");
+
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// Owner-down degradation: with the heaviest-owning shard killed (no
+/// leave, no drain), every answer through a survivor still matches
+/// `run_one` — one budgeted retry per dead forward, then a counted
+/// local fallback — and the dead peer's breaker trips, fast-fails,
+/// and is probed in the background.
+#[test]
+fn owner_down_falls_back_locally_and_trips_the_breaker() {
+    let (mut handles, addrs) = test_cluster_with(3, |_, config| ServerConfig {
+        peer_trip_cooldown: Duration::from_millis(100),
+        ..config
+    });
+    let ring = Ring::new(addrs.iter().cloned());
+    let reference = Session::test();
+    let jobs = reference.jobs_for_all_apps();
+
+    // Kill the shard that owns the most keys, so the wave is guaranteed
+    // to hit the corpse several times.
+    let mut owned = vec![0usize; addrs.len()];
+    for job in &jobs {
+        let owner = ring.owner(&analyze_key(&job.app)).to_string();
+        owned[addrs.iter().position(|a| *a == owner).expect("owner is a member")] += 1;
+    }
+    let dead_idx = owned.iter().enumerate().max_by_key(|&(_, n)| *n).expect("3 shards").0;
+    let dead_addr = addrs[dead_idx].clone();
+    let dead = handles.remove(dead_idx);
+    dead.shutdown();
+    dead.join();
+
+    let live = addrs.iter().find(|a| **a != dead_addr).expect("a survivor");
+    let mut client = ServeClient::connect(live.as_str()).expect("connect survivor");
+    for job in &jobs {
+        let r = client.analyze(&job.app, job.variant).expect("degraded wave");
+        assert!(r.ok, "{}: {:?}", job, r.error);
+        assert_eq!(
+            r.result.unwrap().compact(),
+            reference_body(&reference, job),
+            "{job}: owner-down answer still byte-identical"
+        );
+    }
+
+    let status = client.status().expect("status").into_result().expect("ok");
+    let cluster = status.field("cluster").unwrap();
+    assert!(cluster.field("forward_failures").unwrap().as_u64().unwrap() >= 1);
+    let retry = cluster.field("retry").unwrap();
+    assert!(retry.field("spent").unwrap().as_u64().unwrap() >= 1, "budgeted retries were spent");
+    let breaker = cluster.field("breaker").unwrap();
+    assert!(breaker.field("trips").unwrap().as_u64().unwrap() >= 1, "dead peer's breaker tripped");
+    assert!(
+        breaker.field("fast_fails").unwrap().as_u64().unwrap()
+            + breaker.field("probes").unwrap().as_u64().unwrap()
+            >= 1,
+        "post-trip calls fast-failed or probed"
+    );
+
+    // The background chore probes the tripped peer once its cooldown
+    // elapses — visible without any client traffic.
+    let deadline = std::time::Instant::now() + Duration::from_secs(3);
+    loop {
+        let status = client.status().expect("status").into_result().expect("ok");
+        let probes = status
+            .field("cluster")
+            .unwrap()
+            .field("breaker")
+            .unwrap()
+            .field("probes")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if probes >= 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "breaker probe never happened");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// A seeded fault plan scripts the peer path: `deny:*:count=2` on
+/// shard 0 kills exactly the first two forwards (each falling back to
+/// a byte-identical local compute) and the third sails through — the
+/// same way on every run.
+#[test]
+fn a_seeded_fault_plan_scripts_forward_failures_deterministically() {
+    let plan = FaultPlan::parse("seed=7;deny:*:count=2").expect("plan parses");
+    let (handles, addrs) = test_cluster_with(2, |i, config| match i {
+        0 => ServerConfig { faults: Some(plan.clone()), ..config },
+        _ => config,
+    });
+    let reference = Session::test();
+    let ring = Ring::new(addrs.iter().cloned());
+    let remote: Vec<AnalysisJob> = reference
+        .jobs_for_all_apps()
+        .into_iter()
+        .filter(|j| ring.owner(&analyze_key(&j.app)) == addrs[1])
+        .collect();
+    assert!(remote.len() >= 3, "several apps hash to shard 1");
+
+    let mut client = ServeClient::connect(addrs[0].as_str()).expect("connect shard 0");
+    for job in &remote[..2] {
+        let r = client.analyze(&job.app, job.variant).expect("denied forward");
+        assert!(r.ok, "{:?}", r.error);
+        assert!(!r.cached, "the fallback computes locally");
+        assert_eq!(r.result.unwrap().compact(), reference_body(&reference, job));
+    }
+    let status = client.status().expect("status").into_result().expect("ok");
+    let cluster = status.field("cluster").unwrap();
+    let faults = cluster.field("faults").unwrap();
+    assert!(faults.field("active").unwrap().as_bool().unwrap());
+    assert_eq!(
+        faults.field("fired").unwrap().as_u64().unwrap(),
+        2,
+        "the deny window burned exactly its two scripted calls"
+    );
+    assert!(cluster.field("forward_failures").unwrap().as_u64().unwrap() >= 2);
+
+    // The window is spent: the next remote key forwards normally and
+    // the plan stays quiet.
+    let job = &remote[2];
+    let r = client.analyze(&job.app, job.variant).expect("healthy forward");
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.result.unwrap().compact(), reference_body(&reference, job));
+    let status = client.status().expect("status").into_result().expect("ok");
+    let cluster = status.field("cluster").unwrap();
+    assert!(cluster.field("forwards_out").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(cluster.field("faults").unwrap().field("fired").unwrap().as_u64().unwrap(), 2);
+
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// `leave` drains a shard out of the ring: its store ships to the new
+/// owners, the survivors' rosters shrink (down to a 1-member ring with
+/// no successor), and the drained daemon keeps serving — it just owns
+/// nothing.
+#[test]
+fn leave_drains_the_shard_into_the_survivors() {
+    let (handles, addrs) = test_cluster(2);
+    let reference = Session::test();
+    let ring = Ring::new(addrs.iter().cloned());
+    let (job, key) = reference
+        .jobs_for_all_apps()
+        .into_iter()
+        .map(|j| {
+            let key = analyze_key(&j.app);
+            (j, key)
+        })
+        .find(|(_, key)| ring.owner(key) == addrs[1])
+        .expect("some app hashes to shard 1");
+    let expected = reference_body(&reference, &job);
+
+    let mut client1 = ServeClient::connect(addrs[1].as_str()).expect("connect shard 1");
+    let computed = client1.analyze(&job.app, job.variant).expect("compute on the owner");
+    assert!(computed.ok && !computed.cached);
+
+    let drained = client1
+        .request(&Request::Leave { addr: None, meta: PeerMeta::default() })
+        .expect("leave")
+        .into_result()
+        .expect("drain ok");
+    assert!(drained.field("left").unwrap().as_bool().unwrap());
+    assert!(drained.field("epoch").unwrap().as_u64().unwrap() >= 2);
+    assert!(drained.field("handed_off").unwrap().as_u64().unwrap() >= 1, "store shipped out");
+    assert_eq!(drained.field("handoff_failed").unwrap().as_u64().unwrap(), 0);
+
+    // The survivor heard the departure announce: a 1-member ring, no
+    // successor, and the drained shard's entry in its store.
+    let mut client0 = ServeClient::connect(addrs[0].as_str()).expect("connect shard 0");
+    let view = client0.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+    assert_eq!(view.field("members").unwrap().as_array().unwrap().len(), 1);
+    assert!(view.field("epoch").unwrap().as_u64().unwrap() >= 2);
+    assert_eq!(view.field("successor").unwrap(), &Json::Null, "1-member ring");
+    let replica = wait_for_replica(&addrs[0], &key, Duration::from_secs(5))
+        .expect("drained entry reached the survivor");
+    assert_eq!(replica, expected, "drained bytes identical");
+
+    // The drained shard still answers — from its store or by
+    // forwarding to the survivor — and reports its state.
+    let view = client1.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+    assert!(view.field("draining").unwrap().as_bool().unwrap());
+    let again = client1.analyze(&job.app, job.variant).expect("serve while drained");
+    assert!(again.ok && again.cached);
+
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// The acceptance chaos run: a seeded fault plan delays shard 0's peer
+/// calls, a shard is killed mid-sweep and evicted, a replacement joins
+/// the live ring, and every survivor still answers all 21 apps with
+/// bytes identical to `run_one` — with the churn (epoch bumps, spent
+/// retries, fired faults, handoff) visible in `status`.
+#[test]
+fn chaos_membership_churn_keeps_bytes_identical() {
+    let plan = FaultPlan::parse("seed=42;delay:*:ms=2,count=8").expect("plan parses");
+    let (mut handles, addrs) = test_cluster_with(3, |i, config| match i {
+        0 => ServerConfig { faults: Some(plan.clone()), ..config },
+        _ => config,
+    });
+    let reference = Session::test();
+    let jobs = reference.jobs_for_all_apps();
+    let expected: Vec<String> = jobs.iter().map(|j| reference_body(&reference, j)).collect();
+    let old_ring = Ring::new(addrs.iter().cloned());
+
+    // Wave 1 through shard 0, cluster healthy (the delay faults slow
+    // its forwards without failing them).
+    let mut client0 = ServeClient::connect(addrs[0].as_str()).expect("connect shard 0");
+    for (job, want) in jobs.iter().zip(&expected) {
+        let r = client0.analyze(&job.app, job.variant).expect("wave 1");
+        assert!(r.ok, "{}: {:?}", job, r.error);
+        assert_eq!(&r.result.unwrap().compact(), want, "{job}: wave 1 bytes");
+    }
+
+    // A shard dies mid-sweep — no leave, no drain, store and all. Of
+    // the two non-fault-planted shards, kill the one owning more keys,
+    // so some key is guaranteed lost with the corpse.
+    let owned =
+        |addr: &str| jobs.iter().filter(|j| old_ring.owner(&analyze_key(&j.app)) == addr).count();
+    let dead_idx = if owned(&addrs[1]) > owned(&addrs[2]) { 1 } else { 2 };
+    let dead_addr = addrs[dead_idx].clone();
+    let survivors: Vec<String> = addrs.iter().filter(|a| **a != dead_addr).cloned().collect();
+    let dead = handles.remove(dead_idx);
+    dead.shutdown();
+    dead.join();
+
+    // A key the corpse owned, asked through the survivor that does NOT
+    // hold the corpse's replicas: the forward burns a budgeted retry,
+    // then falls back to a local compute — and the bytes do not change.
+    // (The corpse's ring successor would answer from its replica set
+    // instead, which is the other designed degraded path.)
+    let replica_holder = old_ring.successor(&dead_addr).expect("3-member ring").to_string();
+    let degraded_addr =
+        survivors.iter().find(|a| **a != replica_holder).expect("a replica-free survivor").clone();
+    let (lost_idx, lost_job) = jobs
+        .iter()
+        .enumerate()
+        .find(|(_, j)| old_ring.owner(&analyze_key(&j.app)) == dead_addr)
+        .expect("some app hashed to the dead shard");
+    let mut degraded = ServeClient::connect(degraded_addr.as_str()).expect("connect survivor");
+    let r = degraded.analyze(&lost_job.app, lost_job.variant).expect("degraded analyze");
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.result.unwrap().compact(), expected[lost_idx], "fallback bytes identical");
+    let status = degraded.status().expect("status").into_result().expect("ok");
+    assert!(
+        status
+            .field("cluster")
+            .unwrap()
+            .field("retry")
+            .unwrap()
+            .field("spent")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1,
+        "the dead owner cost a budgeted retry"
+    );
+
+    // Evict the corpse, then a replacement joins through shard 0.
+    let evicted = client0
+        .request(&Request::Leave { addr: Some(dead_addr.clone()), meta: PeerMeta::default() })
+        .expect("leave")
+        .into_result()
+        .expect("evict ok");
+    assert!(evicted.field("removed").unwrap().as_bool().unwrap());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind replacement");
+    let new_addr = listener.local_addr().expect("addr").to_string();
+    let config =
+        ServerConfig { workers: 2, join: Some(addrs[0].clone()), ..ServerConfig::ephemeral() };
+    handles.push(serve_on(Arc::new(Session::test()), listener, config).expect("replacement joins"));
+
+    // If the new ring moved one of shard 0's stored keys onto the
+    // replacement, the background handoff delivers it before any
+    // client asks.
+    let new_ring = Ring::new(survivors.iter().cloned().chain(std::iter::once(new_addr.clone())));
+    if let Some((idx, job)) = jobs.iter().enumerate().find(|(_, j)| {
+        let key = analyze_key(&j.app);
+        old_ring.owner(&key) == addrs[0] && new_ring.owner(&key) == new_addr
+    }) {
+        let replica = wait_for_replica(&new_addr, &analyze_key(&job.app), Duration::from_secs(5))
+            .expect("handoff reaches the replacement");
+        assert_eq!(replica, expected[idx], "handed-off bytes identical");
+    }
+
+    // Wave 2 through every survivor: the shard that saw the churn, the
+    // shard that must catch up lazily, and the brand-new member.
+    for addr in survivors.iter().cloned().chain(std::iter::once(new_addr.clone())) {
+        let mut client = ServeClient::connect(addr.as_str()).expect("connect survivor");
+        for (job, want) in jobs.iter().zip(&expected) {
+            let r = client.analyze(&job.app, job.variant).expect("wave 2");
+            assert!(r.ok, "{}: {:?}", job, r.error);
+            assert_eq!(&r.result.unwrap().compact(), want, "{job}: wave 2 bytes via {addr}");
+        }
+    }
+
+    // The churn is visible in shard 0's status.
+    let status = client0.status().expect("status").into_result().expect("ok");
+    let cluster = status.field("cluster").unwrap();
+    assert!(cluster.field("epoch").unwrap().as_u64().unwrap() >= 3, "eviction + join epochs");
+    let members = cluster.field("members").unwrap().as_array().unwrap();
+    assert_eq!(members.len(), 3);
+    assert!(members.iter().any(|m| m.as_str().unwrap() == new_addr));
+    assert!(members.iter().all(|m| m.as_str().unwrap() != dead_addr));
+    let faults = cluster.field("faults").unwrap();
+    assert!(faults.field("active").unwrap().as_bool().unwrap());
+    assert!(faults.field("fired").unwrap().as_u64().unwrap() >= 1, "the seeded plan fired");
+
     for handle in handles {
         handle.shutdown();
         handle.join();
