@@ -2,6 +2,74 @@
 
 use gpa_isa::Pipe;
 
+/// How the simulator times memory instructions.
+///
+/// `Flat` charges the classic per-space latencies straight from the
+/// `lat_*` fields (the original model; every byte-identity gate is pinned
+/// against it). `Hierarchy` threads global accesses through timed L1/L2
+/// servers with MSHR tracking and bounded queues, and serializes shared
+/// accesses per bank — producing the richer stall taxonomy (bank
+/// conflicts, uncoalesced access, MSHR/L2-queue backpressure) the memory
+/// advisors consume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum MemModel {
+    /// Flat per-space latencies (default; byte-identical to pre-hierarchy
+    /// builds).
+    #[default]
+    Flat,
+    /// Timed L1/L2/shared servers with bounded queues and backpressure.
+    Hierarchy(HierarchyConfig),
+}
+
+impl MemModel {
+    /// Whether the hierarchy model is selected.
+    pub fn is_hierarchy(&self) -> bool {
+        matches!(self, MemModel::Hierarchy(_))
+    }
+}
+
+/// Knobs for the timed memory hierarchy ([`MemModel::Hierarchy`]).
+///
+/// Capacities bound the *standing occupancy* of each level: a full MSHR
+/// file or L2 queue back-pressures issue exactly like the flat model's
+/// LSU limit, but with its own stall reason so the advisor can tell the
+/// levels apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Per-SM L1 data cache size in bytes.
+    pub l1_size: u32,
+    /// L1 line size in bytes (also the coalescing sector size).
+    pub l1_line: u32,
+    /// Global-memory latency on an L1 hit (cycles).
+    pub lat_l1_hit: u32,
+    /// Miss-status holding registers per SM — in-flight L1 misses beyond
+    /// this stall issue with `MshrFull`.
+    pub mshr_capacity: u32,
+    /// Per-SM share of the L2 request queue — in-flight L2 requests
+    /// beyond this stall issue with `L2Queue`.
+    pub l2_queue_capacity: u32,
+    /// Warp accesses splitting into at least this many sectors are blamed
+    /// as `Uncoalesced` rather than plain memory dependencies.
+    pub uncoalesced_sectors: u32,
+    /// Extra cycles per serialized shared-memory bank access beyond the
+    /// first (degree-k conflict costs `(k-1) * this`).
+    pub smem_bank_interval: u32,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1_size: 128 * 1024,
+            l1_line: 32,
+            lat_l1_hit: 32,
+            mshr_capacity: 64,
+            l2_queue_capacity: 32,
+            uncoalesced_sectors: 8,
+            smem_bank_interval: 2,
+        }
+    }
+}
+
 /// A GPU machine description.
 ///
 /// Defaults model an NVIDIA Volta V100; [`ArchConfig::small`] produces a
@@ -59,6 +127,11 @@ pub struct ArchConfig {
     /// Maximum in-flight memory requests per SM before the LSU back-
     /// pressures issue (memory-throttle stalls).
     pub max_mem_inflight_per_sm: u32,
+
+    /// Memory timing model. `Flat` (the default) reproduces the original
+    /// fixed-latency behaviour byte for byte; toggling this does **not**
+    /// change `name`, so compiled artifacts stay valid across models.
+    pub mem: MemModel,
 }
 
 impl ArchConfig {
@@ -87,7 +160,16 @@ impl ArchConfig {
             lat_ifetch_miss: 40,
             lat_branch_redirect: 4,
             max_mem_inflight_per_sm: 256,
+            mem: MemModel::Flat,
         }
+    }
+
+    /// This configuration with the timed memory hierarchy enabled
+    /// (default [`HierarchyConfig`] knobs). The name is untouched so
+    /// artifacts compiled for the flat twin remain valid.
+    pub fn with_hierarchy(mut self) -> Self {
+        self.mem = MemModel::Hierarchy(HierarchyConfig::default());
+        self
     }
 
     /// A scaled-down Volta with `num_sms` SMs for fast experiments.
@@ -144,5 +226,14 @@ mod tests {
         assert_eq!(a.num_sms, 4);
         assert_eq!(a.schedulers_per_sm, 4);
         assert_eq!(a.max_warps_per_sm(), 64);
+    }
+
+    #[test]
+    fn hierarchy_toggle_keeps_the_name() {
+        let flat = ArchConfig::small(2);
+        let hier = ArchConfig::small(2).with_hierarchy();
+        assert_eq!(flat.mem, MemModel::Flat);
+        assert!(hier.mem.is_hierarchy());
+        assert_eq!(flat.name, hier.name, "compiled artifacts must stay valid");
     }
 }

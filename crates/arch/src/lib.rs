@@ -22,6 +22,6 @@ pub mod latency;
 pub mod occupancy;
 pub mod schedule;
 
-pub use config::ArchConfig;
+pub use config::{ArchConfig, HierarchyConfig, MemModel};
 pub use latency::LatencyTable;
 pub use occupancy::{LaunchConfig, OccLimiter, Occupancy};

@@ -170,6 +170,27 @@ fn bench_sampling_sink(c: &mut Criterion) {
     });
 }
 
+/// Flat memory model vs the timed hierarchy (L1/MSHR/L2 servers) on the
+/// demo kernel built to saturate those servers, plus a real app where
+/// the hierarchy mostly idles — the delta is the cost of carrying the
+/// server state through the event core.
+fn bench_flat_vs_hierarchy(c: &mut Criterion) {
+    let p = Params::test();
+    let flat = arch_for(&p);
+    let hier = arch_for(&p).with_hierarchy();
+    for (label, spec) in [
+        ("membound", (apps::membound::app().build)(0, &p)),
+        ("hotspot", (apps::hotspot::app().build)(0, &p)),
+    ] {
+        c.bench_function(&format!("sim/mem_model/{label}_flat"), |b| {
+            b.iter(|| launch_spec_with(&spec, &flat, sim_config()).expect("launch"))
+        });
+        c.bench_function(&format!("sim/mem_model/{label}_hierarchy"), |b| {
+            b.iter(|| launch_spec_with(&spec, &hier, sim_config()).expect("launch"))
+        });
+    }
+}
+
 fn bench_blamer(c: &mut Criterion) {
     let p = Params::test();
     let arch = arch_for(&p);
@@ -207,6 +228,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_simulator, bench_dense_vs_event, bench_long_latency, bench_compiled_reuse,
-        bench_sampling_sink, bench_blamer, bench_advisor, bench_static_analysis
+        bench_sampling_sink, bench_flat_vs_hierarchy, bench_blamer, bench_advisor,
+        bench_static_analysis
 }
 criterion_main!(benches);

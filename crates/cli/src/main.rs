@@ -36,7 +36,8 @@ const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
      analyze --all [--json]                     analyze every app in parallel, with summary\n          \
      [--top N] [--category C] [--min-speedup X] scope the advice request\n          \
      [--schema v1|v2]                           advice schema for --json output\n          \
-     [--repeat N]                               merge N replayed profiling launches\n  \
+     [--repeat N]                               merge N replayed profiling launches\n          \
+     [--mem-model flat|hierarchy]               memory timing model (default flat)\n  \
      profile <app> [variant] [--repeat N]       dump the (merged) profile JSON\n           \
      [--out FILE]                               write it to FILE instead of stdout\n  \
      asm <app> [variant]                        print kernel assembly\n  \
@@ -51,7 +52,7 @@ const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
      request status|shutdown [--addr A]                  daemon control\n  \
      request ring [--addr A]                             roster epoch and members\n  \
      request leave [ADDR] [--addr A]                     drain the daemon (or evict ADDR)\n          \
-     request accepts --top/--category/--min-speedup/--schema too,\n          \
+     request accepts --top/--category/--min-speedup/--schema/--mem-model too,\n          \
      and --repeat on analyze\n\n  \
      categories: stall-elimination, latency-hiding, parallel";
 
@@ -79,6 +80,7 @@ struct Flags {
     min_speedup: Option<f64>,
     schema: Option<String>,
     repeat: Option<usize>,
+    mem_model: Option<String>,
     out: Option<PathBuf>,
     peers: Option<String>,
     advertise: Option<String>,
@@ -151,6 +153,7 @@ fn parse_cmdline(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 }
                 "schema" => flags.schema = Some(take_value(name, inline, &mut rest)?),
                 "repeat" => flags.repeat = Some(take_usize(name, inline, &mut rest)?),
+                "mem-model" => flags.mem_model = Some(take_value(name, inline, &mut rest)?),
                 "out" => flags.out = Some(PathBuf::from(take_value(name, inline, &mut rest)?)),
                 "peers" => flags.peers = Some(take_value(name, inline, &mut rest)?),
                 "advertise" => flags.advertise = Some(take_value(name, inline, &mut rest)?),
@@ -184,6 +187,7 @@ fn stray_flag(flags: &Flags, allowed: &[&str]) -> Option<String> {
         ("min-speedup", flags.min_speedup.is_some()),
         ("schema", flags.schema.is_some()),
         ("repeat", flags.repeat.is_some()),
+        ("mem-model", flags.mem_model.is_some()),
         ("out", flags.out.is_some()),
         ("peers", flags.peers.is_some()),
         ("advertise", flags.advertise.is_some()),
@@ -228,6 +232,15 @@ fn advice_options(flags: &Flags) -> Result<WireOptions, String> {
     if let Some(m) = flags.min_speedup {
         options.request.min_speedup = m;
     }
+    if let Some(m) = &flags.mem_model {
+        options.hierarchy = match m.as_str() {
+            "flat" => false,
+            "hierarchy" => true,
+            other => {
+                return Err(format!("unknown memory model `{other}` (expected flat or hierarchy)"))
+            }
+        };
+    }
     if let Some(r) = flags.repeat {
         if r == 0 {
             return Err("flag --repeat expects a count of at least 1".to_string());
@@ -250,8 +263,10 @@ fn main() -> ExitCode {
     };
     let Some(cmd) = pos.first().map(String::as_str) else { return usage("") };
     let allowed: &[&str] = match cmd {
-        "analyze" => &["json", "all", "top", "category", "min-speedup", "schema", "repeat"],
-        "profile" => &["repeat", "out"],
+        "analyze" => {
+            &["json", "all", "top", "category", "min-speedup", "schema", "repeat", "mem-model"]
+        }
+        "profile" => &["repeat", "out", "mem-model"],
         "serve" => &[
             "addr",
             "workers",
@@ -264,7 +279,9 @@ fn main() -> ExitCode {
             "faults",
             "engine",
         ],
-        "request" => &["addr", "profile", "top", "category", "min-speedup", "schema", "repeat"],
+        "request" => {
+            &["addr", "profile", "top", "category", "min-speedup", "schema", "repeat", "mem-model"]
+        }
         _ => &[],
     };
     if let Some(msg) = stray_flag(&flags, allowed) {
@@ -318,7 +335,10 @@ fn run_local(
     options: &WireOptions,
     out: Option<&std::path::Path>,
 ) -> ExitCode {
-    let session = Session::full().with_repeat(options.repeat);
+    let mut session = Session::full().with_repeat(options.repeat);
+    if options.hierarchy {
+        session = session.with_hierarchy();
+    }
     let job = AnalysisJob::new(name, variant);
     if cmd == "asm" {
         return match session.artifacts(&job) {
@@ -387,7 +407,10 @@ fn analysis_failure(json: bool, e: &AnalysisError) -> ExitCode {
 /// `gpa analyze --all [--json]`: every registry app (baseline variant)
 /// through the parallel batch pipeline, then an end-of-run summary.
 fn analyze_all(json: bool, options: &WireOptions) -> ExitCode {
-    let session = Session::full().with_repeat(options.repeat);
+    let mut session = Session::full().with_repeat(options.repeat);
+    if options.hierarchy {
+        session = session.with_hierarchy();
+    }
     let jobs = session.jobs_for_all_apps();
     let t0 = std::time::Instant::now();
     let results = session.run_batch_request(&jobs, &options.request);
@@ -542,6 +565,7 @@ fn run_request(pos: &[String], flags: &Flags) -> ExitCode {
             ("min-speedup", flags.min_speedup.is_some()),
             ("schema", flags.schema.is_some()),
             ("repeat", flags.repeat.is_some()),
+            ("mem-model", flags.mem_model.is_some()),
         ] {
             if set {
                 return usage(&format!("flag --{name} is not supported by `request {op}`"));

@@ -194,6 +194,41 @@ fn profile_flags_are_validated_strictly() {
 }
 
 #[test]
+fn mem_model_flag_is_validated_and_scoped() {
+    let out = gpa(&["analyze", "rodinia/hotspot", "--mem-model", "l3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("unknown memory model `l3` (expected flat or hierarchy)"),
+        "{}",
+        stderr(&out)
+    );
+    // Scoped off subcommands that never simulate anything.
+    let out = gpa(&["asm", "rodinia/hotspot", "--mem-model", "hierarchy"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--mem-model is not supported"), "{}", stderr(&out));
+    let out = gpa(&["request", "status", "--mem-model", "hierarchy"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--mem-model is not supported by `request status`"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn analyze_with_the_hierarchy_model_reaches_the_memory_advisors() {
+    // The flat default never emits hierarchy stall reasons, so the
+    // memory optimizers stay silent there; under --mem-model hierarchy
+    // the same kernel may surface them. Either way the run must
+    // succeed and produce a well-formed v2 report.
+    let out =
+        gpa(&["analyze", "rodinia/nw", "--json", "--schema", "v2", "--mem-model", "hierarchy"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let doc = gpa_json::Json::parse(stdout(&out).trim()).expect("v2 report is JSON");
+    assert!(doc.field("report").is_ok(), "has a report body");
+}
+
+#[test]
 fn profile_writes_merged_dumps_to_files() {
     let dir = std::env::temp_dir().join(format!("gpa-cli-profile-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

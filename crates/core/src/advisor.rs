@@ -15,7 +15,8 @@
 
 use crate::blamer::{BlamedEdge, ModuleBlame};
 use crate::estimators::{
-    parallel_speedup, scoped_latency_hiding_speedup, stall_elimination_speedup, ParallelParams,
+    parallel_speedup, residual_elimination_speedup, scoped_latency_hiding_speedup,
+    stall_elimination_speedup, ParallelParams,
 };
 use crate::optimizers::{
     Hint, Hotspot, Optimizer, OptimizerCategory, OptimizerId, OptimizerRegistry,
@@ -188,6 +189,17 @@ pub enum EstimatorInputs {
         /// The model inputs, when the optimizer proposed a new
         /// configuration.
         params: Option<ParallelParams>,
+    },
+    /// Eq. 2 with a residual floor: `S = T / (T − (1 − r)·M)` — the
+    /// memory-hierarchy advisors, whose rewrites shrink an access's
+    /// serialization but cannot remove the access.
+    ResidualElimination {
+        /// Total samples `T`.
+        total: f64,
+        /// Matched stall samples `M`.
+        matched: f64,
+        /// Fraction `r` of each matched stall that survives the fix.
+        residual: f64,
     },
 }
 
@@ -522,31 +534,48 @@ impl Advisor {
                 continue;
             }
             m.keep_top_hotspots(request.hotspots);
-            let (estimated_speedup, estimator) = match id.category() {
-                OptimizerCategory::StallElimination => (
-                    stall_elimination_speedup(total, m.matched),
-                    EstimatorInputs::StallElimination { total, matched: m.matched },
-                ),
-                OptimizerCategory::LatencyHiding => {
-                    let pairs: Vec<(f64, f64)> =
-                        m.scopes.iter().map(|(s, ml)| (ctx.active_in_scope(*s), *ml)).collect();
-                    (
-                        scoped_latency_hiding_speedup(total, active, &pairs),
-                        EstimatorInputs::LatencyHiding {
-                            total,
-                            active,
-                            matched_latency: m.matched_latency,
-                            scopes: m.scopes.len() as u32,
-                        },
-                    )
+            // The memory-hierarchy advisors use the residual estimator
+            // (their rewrites shrink accesses, not remove them); every
+            // other optimizer dispatches on its category.
+            let residual = match id {
+                OptimizerId::MemoryCoalescing => Some(crate::estimators::COALESCING_RESIDUAL),
+                OptimizerId::BankConflictResolution => {
+                    Some(crate::estimators::BANK_CONFLICT_RESIDUAL)
                 }
-                OptimizerCategory::Parallel => {
-                    let issue_ratio = profile.issue_ratio();
-                    let speedup = match &m.parallel {
-                        Some(p) => parallel_speedup(issue_ratio, p),
-                        None => 1.0,
-                    };
-                    (speedup, EstimatorInputs::Parallel { issue_ratio, params: m.parallel })
+                _ => None,
+            };
+            let (estimated_speedup, estimator) = if let Some(residual) = residual {
+                (
+                    residual_elimination_speedup(total, m.matched, residual),
+                    EstimatorInputs::ResidualElimination { total, matched: m.matched, residual },
+                )
+            } else {
+                match id.category() {
+                    OptimizerCategory::StallElimination => (
+                        stall_elimination_speedup(total, m.matched),
+                        EstimatorInputs::StallElimination { total, matched: m.matched },
+                    ),
+                    OptimizerCategory::LatencyHiding => {
+                        let pairs: Vec<(f64, f64)> =
+                            m.scopes.iter().map(|(s, ml)| (ctx.active_in_scope(*s), *ml)).collect();
+                        (
+                            scoped_latency_hiding_speedup(total, active, &pairs),
+                            EstimatorInputs::LatencyHiding {
+                                total,
+                                active,
+                                matched_latency: m.matched_latency,
+                                scopes: m.scopes.len() as u32,
+                            },
+                        )
+                    }
+                    OptimizerCategory::Parallel => {
+                        let issue_ratio = profile.issue_ratio();
+                        let speedup = match &m.parallel {
+                            Some(p) => parallel_speedup(issue_ratio, p),
+                            None => 1.0,
+                        };
+                        (speedup, EstimatorInputs::Parallel { issue_ratio, params: m.parallel })
+                    }
                 }
             };
             if estimated_speedup < request.min_speedup {

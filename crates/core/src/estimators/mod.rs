@@ -21,6 +21,44 @@ pub fn stall_elimination_speedup(total: f64, matched: f64) -> f64 {
     total / (total - m)
 }
 
+/// Fraction of a matched *uncoalesced* stall that survives coalescing:
+/// a perfectly coalesced warp access still performs one transaction, so
+/// roughly a sector's worth of latency remains.
+pub const COALESCING_RESIDUAL: f64 = 0.25;
+
+/// Fraction of a matched *bank-conflict* stall that survives fixing the
+/// conflict: a conflict-free access still pays one bank's service time
+/// (1 of up to 32 serialized accesses).
+pub const BANK_CONFLICT_RESIDUAL: f64 = 1.0 / 32.0;
+
+/// Eq. 2 with a residual: the speedup of *shrinking* (not removing)
+/// `matched` of `total` samples, leaving `residual · matched` behind —
+/// the Theorem-5.1-style bound for memory-access rewrites that cannot
+/// eliminate the access itself, only its serialization.
+///
+/// `S = T / (T − (1 − residual) · M)`, so the estimate is always between
+/// 1 and the plain [`stall_elimination_speedup`] of the same match.
+pub fn residual_elimination_speedup(total: f64, matched: f64, residual: f64) -> f64 {
+    if total <= 0.0 || matched <= 0.0 {
+        return 1.0;
+    }
+    let r = residual.clamp(0.0, 1.0);
+    let m = (matched * (1.0 - r)).min(total * 0.999);
+    total / (total - m)
+}
+
+/// The coalescing advisor's estimator: residual elimination with a
+/// one-transaction floor ([`COALESCING_RESIDUAL`]).
+pub fn coalescing_speedup(total: f64, matched: f64) -> f64 {
+    residual_elimination_speedup(total, matched, COALESCING_RESIDUAL)
+}
+
+/// The bank-conflict advisor's estimator: residual elimination with a
+/// single-bank floor ([`BANK_CONFLICT_RESIDUAL`]).
+pub fn bank_conflict_speedup(total: f64, matched: f64) -> f64 {
+    residual_elimination_speedup(total, matched, BANK_CONFLICT_RESIDUAL)
+}
+
 /// Eq. 4 — latency hiding bounded by the kernel's active samples.
 pub fn latency_hiding_speedup(total: f64, active: f64, matched_latency: f64) -> f64 {
     if total <= 0.0 || matched_latency <= 0.0 {
@@ -213,6 +251,37 @@ mod tests {
             // And monotonicity in the matched share holds up to the cap.
             let half = stall_elimination_speedup(total, total * 0.5);
             prop_assert!(half <= full && half >= 1.0);
+        }
+
+        /// Residual elimination is sane: `1 ≤ S_res ≤ Se` for any
+        /// residual, monotone in the matched share, and degenerates to
+        /// Eq. 2 at residual 0 and to 1 at residual 1.
+        #[test]
+        fn residual_elimination_bounded_by_eq2(total in 1.0f64..1e9, matched in 0.0f64..1e9,
+                                               residual in 0.0f64..1.0, grow in 1.0f64..4.0) {
+            let s = residual_elimination_speedup(total, matched, residual);
+            let se = stall_elimination_speedup(total, matched);
+            prop_assert!(s >= 1.0 && s.is_finite());
+            prop_assert!(s <= se + 1e-9, "residual {s} exceeds plain elimination {se}");
+            prop_assert!(residual_elimination_speedup(total, matched * grow, residual) >= s - 1e-9,
+                         "monotone in matched");
+            let zero = residual_elimination_speedup(total, matched, 0.0);
+            prop_assert!((zero - se).abs() <= 1e-9 * se);
+            prop_assert!((residual_elimination_speedup(total, matched, 1.0) - 1.0).abs() < 1e-12);
+        }
+
+        /// The memory advisors' concrete estimators satisfy S ≥ 1 and
+        /// the residual bound.
+        #[test]
+        fn memory_estimators_at_least_one(total in 1.0f64..1e9, matched in 0.0f64..1e9) {
+            for s in [coalescing_speedup(total, matched), bank_conflict_speedup(total, matched)] {
+                prop_assert!(s >= 1.0 && s.is_finite());
+                prop_assert!(s <= stall_elimination_speedup(total, matched) + 1e-9);
+            }
+            // The bank-conflict residual is smaller, so its estimate for
+            // the same match is at least the coalescing one.
+            prop_assert!(bank_conflict_speedup(total, matched)
+                         >= coalescing_speedup(total, matched) - 1e-9);
         }
 
         /// More warps never predict a slowdown (all else equal).

@@ -1,0 +1,88 @@
+//! Memory-hierarchy optimizers — advice classes that only exist when the
+//! simulator's timed memory model ([`gpa_arch::MemModel::Hierarchy`]) is
+//! enabled, because the flat model never emits their stall reasons.
+//!
+//! Both are stall-elimination advisors with *residual* estimators (see
+//! [`crate::estimators::residual_elimination_speedup`]): rewriting an
+//! access pattern shrinks its serialization but cannot remove the access,
+//! so the predicted speedup is bounded above by plain Eq. 2 on the same
+//! match — the Theorem-5.1 shape for memory rewrites.
+
+use super::{Hotspot, MatchResult, Optimizer, OptimizerId};
+use crate::advisor::AnalysisCtx;
+use gpa_sampling::StallReason;
+
+/// Accumulates every sample with one of `reasons` into a per-PC match.
+fn match_reasons(ctx: &AnalysisCtx<'_>, reasons: &[StallReason]) -> MatchResult {
+    let mut m = MatchResult::default();
+    for (&pc, st) in &ctx.profile.pcs {
+        let mut stalls = 0.0;
+        let mut latency = 0.0;
+        for &r in reasons {
+            stalls += st.stalls(r) as f64;
+            latency += st.latency_stalls(r) as f64;
+        }
+        if stalls > 0.0 {
+            m.matched += stalls;
+            m.matched_latency += latency;
+            m.hotspots.push(Hotspot { def_pc: None, use_pc: pc, samples: stalls, distance: None });
+        }
+    }
+    m
+}
+
+/// Matches uncoalesced-access stalls and the structural backpressure
+/// they cause (full MSHR file, full L2 queue). Hierarchy model only —
+/// the flat model never classifies these reasons, so this optimizer is
+/// silent (and omitted from reports) under the default configuration.
+pub struct MemoryCoalescing;
+
+impl Optimizer for MemoryCoalescing {
+    fn id(&self) -> OptimizerId {
+        OptimizerId::MemoryCoalescing
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Warp accesses split into many memory sectors: make consecutive lanes touch consecutive addresses.",
+            "Restructure array-of-structs into struct-of-arrays so a warp's loads share cache lines.",
+            "Stage strided data through shared memory with a coalesced global access pattern.",
+            "A full MSHR file or L2 queue means the sector storm is saturating the memory pipeline; coalescing shrinks it at the source.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        let mut m = match_reasons(
+            ctx,
+            &[StallReason::Uncoalesced, StallReason::MshrFull, StallReason::L2Queue],
+        );
+        if m.matched > 0.0 {
+            m.notes.push(format!(
+                "{} global transactions observed ({} L2 hits, {} misses)",
+                ctx.profile.mem_transactions, ctx.profile.l2_hits, ctx.profile.l2_misses
+            ));
+        }
+        m
+    }
+}
+
+/// Matches shared-memory bank-conflict stalls. Hierarchy model only.
+pub struct BankConflictResolution;
+
+impl Optimizer for BankConflictResolution {
+    fn id(&self) -> OptimizerId {
+        OptimizerId::BankConflictResolution
+    }
+
+    fn hints(&self) -> Vec<&'static str> {
+        vec![
+            "Lanes of a warp hit the same shared-memory bank; accesses serialize up to 32-way.",
+            "Pad shared arrays (e.g. [32][33] instead of [32][32]) so column walks touch distinct banks.",
+            "Swizzle indices (xor the row into the column) to spread accesses over banks.",
+        ]
+    }
+
+    fn match_stalls(&self, ctx: &AnalysisCtx<'_>) -> MatchResult {
+        match_reasons(ctx, &[StallReason::BankConflict])
+    }
+}

@@ -17,12 +17,16 @@
 //! | | Function Inlining | stalls in device functions and call sites |
 //! | Parallel | Block Increase | fewer blocks than the device can host |
 //! | | Thread Increase | occupancy limited by threads per block |
+//! | Stall elimination | Memory Coalescing | uncoalesced/MSHR/L2-queue stalls (hierarchy model) |
+//! | | Bank Conflict Resolution | shared-memory bank-conflict stalls (hierarchy model) |
 
 mod latency_hiding;
+mod memory;
 mod parallel;
 mod stall_elim;
 
 pub use latency_hiding::{CodeReordering, FunctionInlining, LoopUnrolling};
+pub use memory::{BankConflictResolution, MemoryCoalescing};
 pub use parallel::{BlockIncrease, ThreadIncrease};
 pub use stall_elim::{
     FastMath, FunctionSplit, MemoryTransactionReduction, RegisterReuse, StrengthReduction,
@@ -108,11 +112,19 @@ pub enum OptimizerId {
     BlockIncrease,
     /// Blocks too small for full occupancy.
     ThreadIncrease,
+    /// Uncoalesced-access and memory-backpressure stalls (hierarchy
+    /// model).
+    MemoryCoalescing,
+    /// Shared-memory bank-conflict stalls (hierarchy model).
+    BankConflictResolution,
 }
 
 impl OptimizerId {
-    /// Every built-in optimizer, in Table 2 (catalog) order.
-    pub const ALL: [OptimizerId; 11] = [
+    /// Every built-in optimizer, in Table 2 (catalog) order, followed by
+    /// the memory-hierarchy additions (appended so the catalog order of
+    /// the original eleven — and every report ranking tie-break — is
+    /// unchanged).
+    pub const ALL: [OptimizerId; 13] = [
         OptimizerId::RegisterReuse,
         OptimizerId::StrengthReduction,
         OptimizerId::FunctionSplit,
@@ -124,6 +136,8 @@ impl OptimizerId {
         OptimizerId::FunctionInlining,
         OptimizerId::BlockIncrease,
         OptimizerId::ThreadIncrease,
+        OptimizerId::MemoryCoalescing,
+        OptimizerId::BankConflictResolution,
     ];
 
     /// The paper-style display name (e.g. `GPURegisterReuseOptimizer`).
@@ -140,6 +154,8 @@ impl OptimizerId {
             OptimizerId::FunctionInlining => "GPUFunctionInliningOptimizer",
             OptimizerId::BlockIncrease => "GPUBlockIncreaseOptimizer",
             OptimizerId::ThreadIncrease => "GPUThreadIncreaseOptimizer",
+            OptimizerId::MemoryCoalescing => "GPUMemoryCoalescingOptimizer",
+            OptimizerId::BankConflictResolution => "GPUBankConflictResolutionOptimizer",
         }
     }
 
@@ -157,6 +173,8 @@ impl OptimizerId {
             OptimizerId::FunctionInlining => "function-inlining",
             OptimizerId::BlockIncrease => "block-increase",
             OptimizerId::ThreadIncrease => "thread-increase",
+            OptimizerId::MemoryCoalescing => "memory-coalescing",
+            OptimizerId::BankConflictResolution => "bank-conflict-resolution",
         }
     }
 
@@ -168,7 +186,9 @@ impl OptimizerId {
             | OptimizerId::FunctionSplit
             | OptimizerId::FastMath
             | OptimizerId::WarpBalance
-            | OptimizerId::MemoryTransactionReduction => OptimizerCategory::StallElimination,
+            | OptimizerId::MemoryTransactionReduction
+            | OptimizerId::MemoryCoalescing
+            | OptimizerId::BankConflictResolution => OptimizerCategory::StallElimination,
             OptimizerId::LoopUnrolling
             | OptimizerId::CodeReordering
             | OptimizerId::FunctionInlining => OptimizerCategory::LatencyHiding,
@@ -420,6 +440,8 @@ pub fn builtin(id: OptimizerId) -> Box<dyn Optimizer> {
         OptimizerId::FunctionInlining => Box::new(FunctionInlining),
         OptimizerId::BlockIncrease => Box::new(BlockIncrease),
         OptimizerId::ThreadIncrease => Box::new(ThreadIncrease),
+        OptimizerId::MemoryCoalescing => Box::new(MemoryCoalescing),
+        OptimizerId::BankConflictResolution => Box::new(BankConflictResolution),
     }
 }
 
@@ -448,14 +470,14 @@ mod tests {
             r.insert(builtin(*id));
         }
         assert_eq!(r.ids(), OptimizerId::ALL.to_vec());
-        assert_eq!(r.len(), 11);
+        assert_eq!(r.len(), 13);
 
         // Replacing a slot keeps the registry unique.
         r.insert(builtin(OptimizerId::FastMath));
-        assert_eq!(r.len(), 11);
+        assert_eq!(r.len(), 13);
         r.remove(OptimizerId::FastMath);
         assert!(r.get(OptimizerId::FastMath).is_none());
-        assert_eq!(r.len(), 10);
+        assert_eq!(r.len(), 12);
 
         let sub = OptimizerRegistry::of(&[OptimizerId::ThreadIncrease, OptimizerId::FastMath]);
         assert_eq!(sub.ids(), vec![OptimizerId::FastMath, OptimizerId::ThreadIncrease]);

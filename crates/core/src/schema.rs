@@ -71,6 +71,11 @@ fn estimator_to_json(estimator: &EstimatorInputs) -> Json {
             .with("kind", "parallel")
             .with("issue_ratio", *issue_ratio)
             .with("params", params.as_ref().map_or(Json::Null, params_to_json)),
+        EstimatorInputs::ResidualElimination { total, matched, residual } => Json::object()
+            .with("kind", "residual-elimination")
+            .with("total", *total)
+            .with("matched", *matched)
+            .with("residual", *residual),
     }
 }
 
@@ -206,6 +211,11 @@ fn estimator_from_json(doc: &Json) -> Result<EstimatorInputs> {
                 params,
             })
         }
+        "residual-elimination" => Ok(EstimatorInputs::ResidualElimination {
+            total: doc.field("total")?.as_f64()?,
+            matched: doc.field("matched")?.as_f64()?,
+            residual: doc.field("residual")?.as_f64()?,
+        }),
         other => Err(JsonError::from_msg(format!("unknown estimator kind `{other}`"))),
     }
 }
@@ -348,6 +358,19 @@ mod tests {
                         }),
                     },
                     hints: vec![Hint::guidance("split blocks")],
+                    hotspots: vec![],
+                },
+                AdviceItem {
+                    id: OptimizerId::MemoryCoalescing,
+                    category: OptimizerCategory::StallElimination,
+                    matched_ratio: 0.3,
+                    estimated_speedup: 1.29,
+                    estimator: EstimatorInputs::ResidualElimination {
+                        total: 1000.0,
+                        matched: 300.0,
+                        residual: 0.25,
+                    },
+                    hints: vec![Hint::guidance("coalesce warp accesses")],
                     hotspots: vec![],
                 },
             ],

@@ -12,6 +12,7 @@ pub mod huffman;
 pub mod kmeans;
 pub mod lavamd;
 pub mod lud;
+pub mod membound;
 pub mod minimod;
 pub mod myocyte;
 pub mod nw;

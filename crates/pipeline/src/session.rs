@@ -111,6 +111,28 @@ impl Session {
         self
     }
 
+    /// Replaces the memory timing model ([`gpa_arch::MemModel`]) without
+    /// touching the rest of the device description. The arch *name* is
+    /// unchanged, so cached [`CompiledProgram`]s stay valid — but cached
+    /// outcomes must not mix models, so the artifact cache is cleared.
+    #[must_use]
+    pub fn with_mem_model(mut self, mem: gpa_arch::MemModel) -> Self {
+        self.arch.mem = mem;
+        self.latency = LatencyTable::for_arch(&self.arch);
+        self.cache = Mutex::new(HashMap::new());
+        self
+    }
+
+    /// Enables the timed memory hierarchy with its default
+    /// configuration — shorthand for
+    /// [`with_mem_model`](Session::with_mem_model) with a default
+    /// [`gpa_arch::HierarchyConfig`].
+    #[must_use]
+    pub fn with_hierarchy(self) -> Self {
+        let mem = gpa_arch::MemModel::Hierarchy(gpa_arch::HierarchyConfig::default());
+        self.with_mem_model(mem)
+    }
+
     /// Sets the session's default profiling-repeat count: every sampling
     /// run replays the kernel this many times with shifted sampling
     /// phases and merges the profiles (replay-style noise reduction, see

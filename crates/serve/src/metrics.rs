@@ -95,6 +95,10 @@ pub struct Metrics {
     pub breaker_fast_fails: AtomicU64,
     /// Half-open probes let through a cooled-down breaker.
     pub peer_probes: AtomicU64,
+    /// Liveness heartbeats sent to healthy roster members on the chore
+    /// tick — a dead peer fails these and trips its breaker before the
+    /// first user call would have to.
+    pub heartbeats: AtomicU64,
     /// The most recent replication/handoff shipment error, for
     /// `status.cluster.replication.last_error`.
     pub last_replication_error: std::sync::Mutex<Option<String>>,
@@ -146,6 +150,7 @@ impl Default for Metrics {
             breaker_trips: AtomicU64::new(0),
             breaker_fast_fails: AtomicU64::new(0),
             peer_probes: AtomicU64::new(0),
+            heartbeats: AtomicU64::new(0),
             last_replication_error: std::sync::Mutex::new(None),
         }
     }

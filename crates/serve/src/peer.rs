@@ -283,6 +283,18 @@ impl PeerTable {
         Duration::from_millis(BACKOFF_BASE_MS * 2u64.pow(attempt.saturating_sub(1)) + jitter)
     }
 
+    /// Whether `addr`'s breaker is currently open (calls fail fast).
+    /// The liveness heartbeat skips tripped peers — the cooldown probe
+    /// path owns them until they answer again.
+    pub(crate) fn is_tripped(&self, addr: &str) -> bool {
+        let now = Instant::now();
+        self.peers
+            .lock()
+            .expect("peer table lock")
+            .get(addr)
+            .is_some_and(|state| state.tripped_until.is_some_and(|until| now < until))
+    }
+
     /// Peers whose breaker cooldown has elapsed — candidates for a
     /// background probe.
     pub(crate) fn ready_to_probe(&self) -> Vec<String> {

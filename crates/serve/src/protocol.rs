@@ -110,6 +110,11 @@ pub struct WireOptions {
     /// Anti-entropy metadata on forwarded frames (sender epoch and
     /// address). Like `forwarded`, never part of the content address.
     pub meta: PeerMeta,
+    /// Memory timing model for the simulation (`"mem": "hierarchy"` on
+    /// the wire): `true` runs the kernel against the timed L1/L2/shared
+    /// servers instead of the flat latency table. Part of the content
+    /// address — the two models produce different profiles.
+    pub hierarchy: bool,
     /// Advisor options for this call.
     pub request: AdviceRequest,
 }
@@ -121,6 +126,7 @@ impl Default for WireOptions {
             repeat: 1,
             forwarded: false,
             meta: PeerMeta::default(),
+            hierarchy: false,
             request: AdviceRequest::default(),
         }
     }
@@ -153,6 +159,18 @@ impl WireOptions {
         }
         if let Some(v) = doc.get("fwd") {
             options.forwarded = v.as_bool().map_err(|_| "`fwd` must be a boolean")?;
+        }
+        if let Some(v) = doc.get("mem") {
+            let s = v.as_str().map_err(|_| "`mem` must be a string")?;
+            options.hierarchy = match s {
+                "flat" => false,
+                "hierarchy" => true,
+                other => {
+                    return Err(format!(
+                        "unknown memory model `{other}` (expected flat or hierarchy)"
+                    ))
+                }
+            };
         }
         options.meta = PeerMeta::parse(doc)?;
         let mut request = AdviceRequest::default();
@@ -196,6 +214,9 @@ impl WireOptions {
         }
         if self.repeat != 1 {
             doc = doc.with("repeat", self.repeat);
+        }
+        if self.hierarchy {
+            doc = doc.with("mem", "hierarchy");
         }
         let r = &self.request;
         if let Some(top) = r.top {
@@ -241,7 +262,7 @@ impl WireOptions {
         let mut opts: Vec<&str> = r.optimizers.iter().map(|o| o.slug()).collect();
         opts.sort_unstable();
         opts.dedup();
-        format!(
+        let mut seg = format!(
             "s{}|r{}|t{}|c{}|o{}|m{}|h{}|e{}",
             self.schema,
             self.repeat,
@@ -251,7 +272,13 @@ impl WireOptions {
             r.min_speedup,
             r.hotspots,
             u8::from(r.evidence),
-        )
+        );
+        // Appended (rather than a fixed field) so every pre-existing
+        // flat-model content address stays byte-identical.
+        if self.hierarchy {
+            seg.push_str("|Mh");
+        }
+        seg
     }
 }
 
@@ -937,6 +964,31 @@ mod tests {
             (r#"{"op":"analyze","app":"a","repeat":"thrice"}"#, "`repeat` must be"),
             (r#"{"op":"analyze","app":"a","repeat":65}"#, "exceeds the limit of 64"),
             (r#"{"op":"analyze","app":"a","repeat":4294967295}"#, "exceeds the limit"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_the_memory_model_and_renders_it_on_the_wire() {
+        let r = Request::parse(r#"{"op":"analyze","app":"a","mem":"hierarchy"}"#).unwrap();
+        let Request::Analyze { options, .. } = r else { panic!("wrong parse") };
+        assert!(options.hierarchy);
+        let wire = Request::Analyze { job: AnalysisJob::new("a", 0), options: options.clone() };
+        assert_eq!(wire.to_wire(), r#"{"op":"analyze","app":"a","variant":0,"mem":"hierarchy"}"#);
+        // `"mem": "flat"` is accepted and normalizes to the default —
+        // so it vanishes from re-rendered frames and content addresses.
+        let r = Request::parse(r#"{"op":"analyze","app":"a","mem":"flat"}"#).unwrap();
+        let Request::Analyze { options: flat, .. } = r else { panic!("wrong parse") };
+        assert!(!flat.hierarchy);
+        let plain = Request::Analyze { job: AnalysisJob::new("a", 0), options: flat };
+        assert_eq!(plain.to_wire(), r#"{"op":"analyze","app":"a","variant":0}"#);
+        assert_ne!(plain.cache_key(), wire.cache_key(), "memory model shapes the body");
+        assert!(!plain.cache_key().unwrap().contains("|M"), "flat addresses carry no model marker");
+        for (line, needle) in [
+            (r#"{"op":"analyze","app":"a","mem":"l3"}"#, "unknown memory model `l3`"),
+            (r#"{"op":"analyze","app":"a","mem":7}"#, "`mem` must be a string"),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");

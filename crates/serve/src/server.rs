@@ -244,6 +244,13 @@ const CLUSTER_TASKS: usize = 32;
 /// anti-entropy).
 const CLUSTER_TICK: Duration = Duration::from_millis(250);
 
+/// How often the chore thread heartbeats *healthy* roster members (a
+/// `ring_status` exchange, so liveness checks double as anti-entropy).
+/// A dead peer fails [`TRIP_THRESHOLD`](crate::peer) consecutive
+/// heartbeats and trips its breaker in a few seconds — before the
+/// first user call has to eat the failure.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(1000);
+
 /// A forward that comes back `stale_epoch` re-routes on the adopted
 /// roster; this bounds how many times one request will chase the ring
 /// before computing locally (each hop means *we* were behind, which a
@@ -407,6 +414,11 @@ impl Cluster {
 
 struct Shared {
     session: Arc<Session>,
+    /// Lazily-built twin of `session` running the timed memory
+    /// hierarchy ([`gpa_arch::MemModel::Hierarchy`]), serving requests
+    /// that negotiate `"mem": "hierarchy"`. Built on first use so
+    /// flat-only daemons pay nothing.
+    hier_session: OnceLock<Arc<Session>>,
     store: ReportStore,
     metrics: Metrics,
     queue: Mutex<VecDeque<Work>>,
@@ -522,6 +534,7 @@ pub fn serve_on(
     };
     let shared = Arc::new(Shared {
         session,
+        hier_session: OnceLock::new(),
         store,
         metrics: Metrics::new(),
         queue: Mutex::new(VecDeque::new()),
@@ -1416,6 +1429,27 @@ fn warm_from_successor(shared: &Shared, key: &str) -> Option<String> {
     Some(body)
 }
 
+/// The session a request's negotiated memory model selects: the shared
+/// flat session, or (for `"mem": "hierarchy"`) its lazily-built twin
+/// with the timed L1/L2/shared servers enabled. The twin shares the
+/// device, simulator configuration, scaling parameters, and repeat
+/// count — only [`ArchConfig::mem`](gpa_arch::ArchConfig) differs.
+fn session_for(shared: &Shared, hierarchy: bool) -> &Session {
+    if !hierarchy {
+        return &shared.session;
+    }
+    shared.hier_session.get_or_init(|| {
+        let base = &shared.session;
+        let session = Session::new(
+            base.arch().clone().with_hierarchy(),
+            base.sim_config().clone(),
+            *base.params(),
+        )
+        .with_repeat(base.repeat());
+        Arc::new(session)
+    })
+}
+
 /// Computes one request on the shared session. Successful bodies go
 /// into the report store under the request's content address (which
 /// fires replication in cluster mode).
@@ -1428,7 +1462,8 @@ fn execute_local(shared: &Shared, request: Request) -> String {
     }
     match request {
         Request::Analyze { job, options } => {
-            match shared.session.run_one_request_repeat(&job, &options.request, options.repeat) {
+            let session = session_for(shared, options.hierarchy);
+            match session.run_one_request_repeat(&job, &options.request, options.repeat) {
                 Ok(outcome) => {
                     let body = protocol::analyze_body(&outcome, options.schema).compact();
                     let stored = shared.store.insert(&key.expect("analyze is cacheable"), &body);
@@ -1441,7 +1476,8 @@ fn execute_local(shared: &Shared, request: Request) -> String {
             }
         }
         Request::AnalyzeProfile { job, profile, options, .. } => {
-            match shared.session.advise_profile_request(&job, &profile, &options.request) {
+            let session = session_for(shared, options.hierarchy);
+            match session.advise_profile_request(&job, &profile, &options.request) {
                 Ok(report) => {
                     let body =
                         protocol::profile_body(&job, &profile, &report, options.schema).compact();
@@ -1509,10 +1545,13 @@ fn replicator_loop(shared: &Shared, rx: &mpsc::Receiver<(String, String)>) {
 // ---------------------------------------------------------------------
 
 /// The cluster chore thread: runs roster refreshes and handoff passes
-/// off the request path, and on idle ticks probes tripped peers (the
-/// probe doubles as roster anti-entropy). Exits when the task sender
-/// is dropped (shutdown).
+/// off the request path; on idle ticks probes tripped peers (the probe
+/// doubles as roster anti-entropy) and, every [`HEARTBEAT_INTERVAL`],
+/// heartbeats the healthy members so a dead peer is discovered — and
+/// its breaker tripped — before the first user call. Exits when the
+/// task sender is dropped (shutdown).
 fn cluster_loop(shared: &Shared, rx: &mpsc::Receiver<ClusterTask>) {
+    let mut last_heartbeat = Instant::now();
     loop {
         if shared.shutting_down.load(Ordering::Acquire) {
             break;
@@ -1520,9 +1559,35 @@ fn cluster_loop(shared: &Shared, rx: &mpsc::Receiver<ClusterTask>) {
         match rx.recv_timeout(CLUSTER_TICK) {
             Ok(ClusterTask::Refresh(addr)) => refresh_from(shared, &addr),
             Ok(ClusterTask::Handoff) => run_handoff(shared),
-            Err(mpsc::RecvTimeoutError::Timeout) => probe_tripped_peers(shared),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                probe_tripped_peers(shared);
+                if last_heartbeat.elapsed() >= HEARTBEAT_INTERVAL {
+                    last_heartbeat = Instant::now();
+                    heartbeat_members(shared);
+                }
+            }
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
+    }
+}
+
+/// One liveness pass over the roster: a cheap `ring_status` exchange
+/// with every healthy member. Failures are recorded by the peer table
+/// exactly like user-call failures, so three missed heartbeats trip the
+/// member's breaker and user requests fail fast to local computation
+/// instead of eating a connect timeout. Tripped members are skipped —
+/// [`probe_tripped_peers`] owns them until the cooldown probe succeeds.
+fn heartbeat_members(shared: &Shared) {
+    let Some(cluster) = &shared.cluster else { return };
+    for addr in cluster.members() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        if addr == cluster.self_addr || cluster.peers.is_tripped(&addr) {
+            continue;
+        }
+        shared.metrics.heartbeats.fetch_add(1, Ordering::Relaxed);
+        refresh_from(shared, &addr);
     }
 }
 
@@ -2239,7 +2304,8 @@ fn status_body(shared: &Shared) -> Json {
                     "membership",
                     Json::object()
                         .with("stale_rejected", m.stale_epoch_rejected.load(Ordering::Relaxed))
-                        .with("refreshes", m.ring_refreshes.load(Ordering::Relaxed)),
+                        .with("refreshes", m.ring_refreshes.load(Ordering::Relaxed))
+                        .with("heartbeats", m.heartbeats.load(Ordering::Relaxed)),
                 )
                 .with(
                     "replication",

@@ -66,6 +66,7 @@
 //! ```
 
 pub mod exec;
+pub mod hier;
 pub mod machine;
 pub mod mem;
 pub mod reconv;
@@ -73,6 +74,7 @@ pub mod sample;
 pub mod stall;
 pub mod warp;
 
+pub use hier::{SmHier, TimedServer};
 pub use machine::{CompiledProgram, GpuSim, LaunchResult, RawSample, SimConfig, SmStats};
 pub use mem::GlobalMem;
 pub use sample::{SampleSet, SampleSink, N_REASONS};

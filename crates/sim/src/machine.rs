@@ -12,13 +12,14 @@
 //! for differential testing.
 
 use crate::exec::{execute, ExecCtx, Outcome};
+use crate::hier::SmHier;
 use crate::mem::{ConstMem, DirectCache, GlobalMem};
 use crate::reconv::build_reconvergence;
 use crate::sample::{SampleSet, SampleSink};
 use crate::stall::StallReason;
 use crate::warp::WarpState;
 use crate::{Result, SimError};
-use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig, Occupancy};
+use gpa_arch::{ArchConfig, LatencyTable, LaunchConfig, MemModel, Occupancy};
 use gpa_isa::{Instruction, MemSpace, Module, Opcode, Pipe, Slot, Visibility, INSTR_BYTES};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -348,6 +349,12 @@ struct Sm {
     pipe_free: Vec<u64>,
     rr_issue: Vec<usize>,
     rr_sample: Vec<usize>,
+    /// Timed memory-hierarchy state (`None` under the flat model). Its
+    /// servers obey the same bound-validity contract as `inflight`:
+    /// occupancy rises only at issues and falls at times fixed at
+    /// admission, so event-core bounds built from `clear_time` remain
+    /// valid lower bounds.
+    hier: Option<SmHier>,
     stats: SmStats,
 }
 
@@ -552,6 +559,10 @@ impl GpuSim {
                     pipe_free: vec![0; nsched * N_PIPES],
                     rr_issue: vec![0; nsched],
                     rr_sample: vec![0; nsched],
+                    hier: match &self.arch.mem {
+                        MemModel::Flat => None,
+                        MemModel::Hierarchy(h) => Some(SmHier::new(h)),
+                    },
                     stats: SmStats::default(),
                 }
             })
@@ -693,6 +704,9 @@ impl LaunchState<'_> {
             });
             sm.next_retire = next;
         }
+        if let Some(h) = &mut sm.hier {
+            h.retire(cycle);
+        }
         let period = self.cfg.sampling_period as u64;
         let phase = self.cfg.sampling_phase as u64;
         let sample_due = period > 0 && cycle >= phase && (cycle - phase).is_multiple_of(period);
@@ -780,7 +794,12 @@ impl LaunchState<'_> {
     /// next-ready bound — the cycles in between cannot issue and are
     /// never scanned again.
     fn event_issue_scan(&self, sm: &mut Sm, sched: usize, cycle: u64) -> Option<usize> {
-        let throttle_clear = throttle_clear_time(sm, self.arch);
+        // All memory back-pressure gates the same instructions
+        // (`throttled_mem`), so their clear times fold into one horizon.
+        let mut throttle_clear = throttle_clear_time(sm, self.arch);
+        if let Some(h) = &sm.hier {
+            throttle_clear = throttle_clear.max(h.mshr.clear_time()).max(h.l2q.clear_time());
+        }
         let list_len = sm.sched_warps[sched].len();
         let mut earliest = u64::MAX;
         for k in 0..list_len {
@@ -830,7 +849,10 @@ impl LaunchState<'_> {
         let (lat, reason) = if let Some(l) = meta.fixed_lat {
             (l, StallReason::ExecutionDependency)
         } else if let Some(mem) = &res.mem {
-            let (lat, txns, reason) = mem_latency(&mut self.l2, self.arch, self.cfg, mem, instr);
+            let (lat, txns, reason) = match sm.hier.as_mut() {
+                Some(h) => mem_latency_hier(h, &mut self.l2, self.arch, self.cfg, mem, instr, now),
+                None => mem_latency(&mut self.l2, self.arch, self.cfg, mem, instr),
+            };
             if txns > 0 {
                 let done_at = now + lat as u64;
                 // Keep the queue ordered by completion time so the
@@ -1079,9 +1101,20 @@ fn classify(sm: &Sm, wi: usize, prog: &CompiledProgram, now: u64, arch: &ArchCon
             }
         }
     }
-    // LSU back-pressure.
-    if meta.throttled_mem && sm.inflight_count >= arch.max_mem_inflight_per_sm {
-        return Status::Stalled(StallReason::MemoryThrottle);
+    // Memory back-pressure: hierarchy servers first (more specific), then
+    // the LSU limit. Each arm mirrors a `clear_time` term in [`ready_at`].
+    if meta.throttled_mem {
+        if let Some(h) = &sm.hier {
+            if h.mshr.is_full() {
+                return Status::Stalled(StallReason::MshrFull);
+            }
+            if h.l2q.is_full() {
+                return Status::Stalled(StallReason::L2Queue);
+            }
+        }
+        if sm.inflight_count >= arch.max_mem_inflight_per_sm {
+            return Status::Stalled(StallReason::MemoryThrottle);
+        }
     }
     // Pipe throughput.
     let sched = w.scheduler as usize;
@@ -1217,6 +1250,81 @@ fn mem_latency(
             (lat, 0, StallReason::ExecutionDependency)
         }
         MemSpace::Constant => (arch.lat_constant, 0, StallReason::MemoryDependency),
+    }
+}
+
+/// [`mem_latency`] under the timed hierarchy: global accesses probe the
+/// per-SM L1 sector by sector, misses occupy an MSHR and an L2-queue slot
+/// until the access completes, and blame sharpens to `Uncoalesced` /
+/// `BankConflict` where the access pattern (not the memory system) is the
+/// problem. Local and constant traffic keeps the flat charging — it is
+/// L1-resident/broadcast by construction and carries no advice signal.
+fn mem_latency_hier(
+    hier: &mut SmHier,
+    l2: &mut DirectCache,
+    arch: &ArchConfig,
+    cfg: &SimConfig,
+    mem: &crate::exec::MemAccess,
+    instr: &Instruction,
+    now: u64,
+) -> (u32, u32, StallReason) {
+    match mem.space {
+        MemSpace::Global => {
+            let line = hier.cfg.l1_line.max(1) as u64;
+            let mut sectors: Vec<u64> = mem.addrs.iter().map(|a| a / line).collect();
+            sectors.sort_unstable();
+            sectors.dedup();
+            let mut worst = 0u32;
+            let mut misses = 0u32;
+            for &s in &sectors {
+                let addr = s * line;
+                let lat = if hier.l1.access(addr) {
+                    hier.cfg.lat_l1_hit
+                } else {
+                    misses += 1;
+                    if l2.access(addr) {
+                        arch.lat_global_l2
+                    } else {
+                        arch.lat_global_dram
+                    }
+                };
+                worst = worst.max(lat);
+            }
+            let n = sectors.len() as u32;
+            let mut lat = worst + n.saturating_sub(1) * arch.lat_per_extra_transaction;
+            if matches!(instr.opcode, Opcode::AtomG) {
+                lat += cfg.atom_extra;
+            }
+            if misses > 0 {
+                let done_at = now + lat as u64;
+                hier.mshr.admit(done_at, misses);
+                hier.l2q.admit(done_at, misses);
+            }
+            let reason = if n >= hier.cfg.uncoalesced_sectors {
+                StallReason::Uncoalesced
+            } else {
+                StallReason::MemoryDependency
+            };
+            (lat, n, reason)
+        }
+        MemSpace::Shared => {
+            let mut banks = [0u8; 32];
+            for a in &mem.addrs {
+                banks[((a / 4) % 32) as usize] += 1;
+            }
+            let conflict = banks.iter().copied().max().unwrap_or(1).max(1) as u32;
+            let mut lat = arch.lat_shared + (conflict - 1) * hier.cfg.smem_bank_interval;
+            if matches!(instr.opcode, Opcode::AtomS) {
+                lat += cfg.atom_extra;
+            }
+            let reason = if conflict >= 2 {
+                StallReason::BankConflict
+            } else {
+                StallReason::ExecutionDependency
+            };
+            (lat, 0, reason)
+        }
+        MemSpace::Local | MemSpace::Constant => mem_latency(l2, arch, cfg, mem, instr),
     }
 }
 
@@ -1492,6 +1600,29 @@ join:
         nbufs: u64,
         words_per_buf: u64,
     ) {
+        assert_dense_event_identical_on(
+            ArchConfig::small(2),
+            text,
+            entry,
+            launch,
+            period,
+            phase,
+            nbufs,
+            words_per_buf,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assert_dense_event_identical_on(
+        arch: ArchConfig,
+        text: &str,
+        entry: &str,
+        launch: LaunchConfig,
+        period: u32,
+        phase: u32,
+        nbufs: u64,
+        words_per_buf: u64,
+    ) {
         let m = parse_module(text).unwrap();
         // One arming recipe for every run in this helper: `raw = None`
         // launches through the default aggregating sink, `Some` buffers
@@ -1503,7 +1634,7 @@ join:
                 dense_reference: dense,
                 ..SimConfig::default()
             };
-            let mut gpu = GpuSim::new(ArchConfig::small(2), cfg);
+            let mut gpu = GpuSim::new(arch.clone(), cfg);
             let bufs: Vec<u64> =
                 (0..nbufs).map(|_| gpu.global_mut().alloc(4 * words_per_buf)).collect();
             for (bi, b) in bufs.iter().enumerate() {
@@ -1544,6 +1675,160 @@ join:
     #[test]
     fn event_core_matches_dense_without_sampling() {
         assert_dense_event_identical(VEC_ADD, "vecadd", LaunchConfig::new(4, 64), 0, 0, 3, 256);
+    }
+
+    /// Stride-128 global loads (one sector per lane — maximally
+    /// uncoalesced) plus stride-128 shared traffic (every lane in bank 0
+    /// — a 32-way conflict). Params: in, out (u64 each); buffers hold
+    /// 1024 words.
+    const MEMBOUND: &str = r#"
+.module membound
+.kernel membound
+  S2R R0, SR_TID.X {W:B0, S:1}
+  MOV R2, c[0][0] {S:1}
+  MOV R3, c[0][4] {S:1}
+  SHL R1, R0, 7 {WT:[B0], S:2}
+  IADD R2:R3, R2:R3, R1 {S:2}
+  LDG.E.32 R8, [R2:R3] {W:B1, S:1}
+  SHL R9, R0, 7 {S:2}
+  STS.32 [R9], R8 {WT:[B1], R:B2, S:2}
+  LDS.32 R10, [R9] {WT:[B2], W:B3, S:1}
+  MOV R4, c[0][8] {S:1}
+  MOV R5, c[0][12] {S:1}
+  IADD R4:R5, R4:R5, R1 {S:2}
+  STG.E.32 [R4:R5], R10 {WT:[B3], R:B4, S:1}
+  EXIT {WT:[B4], S:1}
+.endfunc
+"#;
+
+    fn membound_launch(blocks: u32) -> LaunchConfig {
+        let mut lc = LaunchConfig::new(blocks, 32);
+        lc.smem_per_block = 32 * 128;
+        lc
+    }
+
+    #[test]
+    fn event_core_matches_dense_with_hierarchy() {
+        let arch = || ArchConfig::small(2).with_hierarchy();
+        assert_dense_event_identical_on(
+            arch(),
+            VEC_ADD,
+            "vecadd",
+            LaunchConfig::new(4, 64),
+            13,
+            0,
+            3,
+            256,
+        );
+        assert_dense_event_identical_on(
+            arch(),
+            BARRIER,
+            "barrier",
+            LaunchConfig::new(2, 64),
+            31,
+            0,
+            0,
+            0,
+        );
+        assert_dense_event_identical_on(
+            arch(),
+            MEMBOUND,
+            "membound",
+            membound_launch(4),
+            7,
+            0,
+            2,
+            1024,
+        );
+    }
+
+    /// A hierarchy run with a tight MSHR file must classify the new stall
+    /// reasons, and the flat model must never emit them.
+    #[test]
+    fn hierarchy_produces_new_stall_reasons_and_flat_does_not() {
+        use gpa_arch::HierarchyConfig;
+        let m = parse_module(MEMBOUND).unwrap();
+        let run = |arch: ArchConfig| {
+            let cfg = SimConfig { sampling_period: 3, ..SimConfig::default() };
+            let mut gpu = GpuSim::new(arch, cfg);
+            let input = gpu.global_mut().alloc(4 * 1024);
+            let out = gpu.global_mut().alloc(4 * 1024);
+            for i in 0..1024u64 {
+                gpu.global_mut().write_u32(input + 4 * i, i as u32);
+            }
+            let mut raw: Vec<RawSample> = Vec::new();
+            let r = gpu
+                .launch_with_sink(
+                    &m,
+                    "membound",
+                    &membound_launch(8),
+                    &params_u64(&[input, out]),
+                    &mut raw,
+                )
+                .unwrap();
+            // Functional result is model-independent.
+            for lane in 0..32u64 {
+                assert_eq!(gpu.global().read_u32(out + 128 * lane), 32 * lane as u32);
+            }
+            (r, raw)
+        };
+
+        let mut tight = ArchConfig::small(1);
+        tight.mem = MemModel::Hierarchy(HierarchyConfig {
+            mshr_capacity: 4,
+            l2_queue_capacity: 4,
+            ..HierarchyConfig::default()
+        });
+        let (_, hier_raw) = run(tight);
+        let seen = |raw: &[RawSample], r: StallReason| raw.iter().any(|s| s.stall == r);
+        assert!(seen(&hier_raw, StallReason::Uncoalesced), "stride-128 loads blame Uncoalesced");
+        assert!(
+            seen(&hier_raw, StallReason::BankConflict),
+            "bank-0 smem traffic blames BankConflict"
+        );
+        assert!(
+            seen(&hier_raw, StallReason::MshrFull) || seen(&hier_raw, StallReason::L2Queue),
+            "a 4-entry MSHR/L2 queue backpressures 32-sector bursts"
+        );
+
+        let (_, flat_raw) = run(ArchConfig::small(1));
+        for s in &flat_raw {
+            assert!(
+                s.stall.code() <= StallReason::Other.code(),
+                "flat model must never emit hierarchy reasons, got {}",
+                s.stall
+            );
+        }
+    }
+
+    /// Widening a bounded queue only removes stall conditions: on the
+    /// memory-bound kernel, cycle counts are non-increasing in MSHR and
+    /// L2-queue capacity.
+    #[test]
+    fn hierarchy_capacity_is_monotone() {
+        use gpa_arch::HierarchyConfig;
+        let m = parse_module(MEMBOUND).unwrap();
+        let cycles = |cap: u32| {
+            let mut arch = ArchConfig::small(1);
+            arch.mem = MemModel::Hierarchy(HierarchyConfig {
+                mshr_capacity: cap,
+                l2_queue_capacity: cap,
+                ..HierarchyConfig::default()
+            });
+            let mut gpu = GpuSim::new(arch, SimConfig::default());
+            let input = gpu.global_mut().alloc(4 * 1024);
+            let out = gpu.global_mut().alloc(4 * 1024);
+            let r = gpu
+                .launch(&m, "membound", &membound_launch(8), &params_u64(&[input, out]))
+                .unwrap();
+            r.cycles
+        };
+        let caps = [2u32, 4, 8, 16, 32, 64];
+        let runs: Vec<u64> = caps.iter().map(|&c| cycles(c)).collect();
+        for w in runs.windows(2) {
+            assert!(w[1] <= w[0], "more capacity must never slow a kernel: {runs:?}");
+        }
+        assert!(runs[runs.len() - 1] < runs[0], "the tightest queue must actually bite: {runs:?}");
     }
 
     #[test]

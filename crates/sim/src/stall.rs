@@ -29,11 +29,28 @@ pub enum StallReason {
     PipeBusy,
     /// Anything else (drain after exit, launch overhead).
     Other,
+    /// Waiting on a shared-memory access serialized by bank conflicts
+    /// (hierarchy model only).
+    BankConflict,
+    /// Waiting on a global access that split into many sectors —
+    /// uncoalesced addressing (hierarchy model only).
+    Uncoalesced,
+    /// All L1 MSHRs are occupied; misses cannot be tracked, so memory
+    /// instructions cannot issue (hierarchy model only).
+    MshrFull,
+    /// The L2 request queue is full; misses cannot be forwarded
+    /// (hierarchy model only).
+    L2Queue,
 }
 
 impl StallReason {
     /// All reasons, for histograms and encoding.
-    pub const ALL: [StallReason; 9] = [
+    ///
+    /// Order is a wire/storage contract: codes are positions in this
+    /// array, and existing profiles persist them, so new reasons are only
+    /// ever **appended** (the hierarchy-model reasons sit after `Other`,
+    /// leaving codes 0–8 exactly as the flat model wrote them).
+    pub const ALL: [StallReason; 13] = [
         StallReason::Selected,
         StallReason::NotSelected,
         StallReason::ExecutionDependency,
@@ -43,6 +60,10 @@ impl StallReason {
         StallReason::InstructionFetch,
         StallReason::PipeBusy,
         StallReason::Other,
+        StallReason::BankConflict,
+        StallReason::Uncoalesced,
+        StallReason::MshrFull,
+        StallReason::L2Queue,
     ];
 
     /// Dense code for array-indexed histograms.
@@ -71,6 +92,8 @@ impl StallReason {
             StallReason::MemoryDependency
                 | StallReason::ExecutionDependency
                 | StallReason::Synchronization
+                | StallReason::BankConflict
+                | StallReason::Uncoalesced
         )
     }
 
@@ -86,6 +109,10 @@ impl StallReason {
             StallReason::InstructionFetch => "inst_fetch",
             StallReason::PipeBusy => "pipe_busy",
             StallReason::Other => "other",
+            StallReason::BankConflict => "bank_conflict",
+            StallReason::Uncoalesced => "uncoalesced",
+            StallReason::MshrFull => "mshr_full",
+            StallReason::L2Queue => "l2_queue",
         }
     }
 }
@@ -115,5 +142,21 @@ mod tests {
         assert!(StallReason::MemoryDependency.is_attributable());
         assert!(StallReason::Synchronization.is_attributable());
         assert!(!StallReason::MemoryThrottle.is_attributable());
+        assert!(StallReason::BankConflict.is_attributable());
+        assert!(StallReason::Uncoalesced.is_attributable());
+        assert!(!StallReason::MshrFull.is_attributable());
+        assert!(!StallReason::L2Queue.is_attributable());
+    }
+
+    /// Codes 0–8 are persisted by pre-hierarchy profiles; appending the
+    /// hierarchy reasons must not have disturbed them.
+    #[test]
+    fn legacy_codes_are_stable() {
+        assert_eq!(StallReason::Selected.code(), 0);
+        assert_eq!(StallReason::Other.code(), 8);
+        assert_eq!(StallReason::BankConflict.code(), 9);
+        assert_eq!(StallReason::Uncoalesced.code(), 10);
+        assert_eq!(StallReason::MshrFull.code(), 11);
+        assert_eq!(StallReason::L2Queue.code(), 12);
     }
 }

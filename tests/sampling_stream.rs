@@ -161,7 +161,98 @@ fn gen_profile(seed: u64) -> KernelProfile {
     }
 }
 
+/// Re-renders `a`'s JSON with the first PC's `by_reason` array passed
+/// through `f` — the schema-surgery helper for the rejection tests.
+fn with_mutated_columns(
+    a: &KernelProfile,
+    f: impl Fn(Vec<gpa::json::Json>) -> Vec<gpa::json::Json>,
+) -> String {
+    use gpa::json::Json;
+    let doc = Json::parse(&a.to_json()).unwrap();
+    let mut new_pcs = Json::object();
+    for (i, (pc, stats)) in doc.field("pcs").unwrap().entries().unwrap().iter().enumerate() {
+        let stats = if i == 0 {
+            let mut s = Json::object();
+            for (k, v) in stats.entries().unwrap() {
+                if k == "by_reason" {
+                    s = s.with(k, Json::Arr(f(v.as_array().unwrap().to_vec())));
+                } else {
+                    s = s.with(k, v.clone());
+                }
+            }
+            s
+        } else {
+            stats.clone()
+        };
+        new_pcs = new_pcs.with(pc, stats);
+    }
+    let mut out = Json::object();
+    for (k, v) in doc.entries().unwrap() {
+        out = out.with(k, if k == "pcs" { new_pcs.clone() } else { v.clone() });
+    }
+    out.compact()
+}
+
+/// The hierarchy stall reasons appended in the taxonomy extension —
+/// the columns the rejection/overflow tests below pin.
+const HIER_REASONS: [StallReason; 4] = [
+    StallReason::BankConflict,
+    StallReason::Uncoalesced,
+    StallReason::MshrFull,
+    StallReason::L2Queue,
+];
+
 proptest! {
+    /// Strict validation rejects histograms with unknown stall-reason
+    /// columns (a longer array than this build's taxonomy) and legacy
+    /// pre-hierarchy rows (the 9-column shape) alike — the wire format
+    /// is positional, so column count IS the schema version.
+    #[test]
+    fn unknown_stall_reason_columns_are_rejected(sa in 0u64..1_000_000) {
+        // The shim has no prop_assume: walk seeds to a non-empty profile.
+        let a = (0..8).map(|i| gen_profile(sa + i)).find(|p| !p.pcs.is_empty()).unwrap();
+        let extended = with_mutated_columns(&a, |mut cols| {
+            cols.push(gpa::json::Json::from(0u64));
+            cols
+        });
+        let err = KernelProfile::from_json(&extended).unwrap_err().to_string();
+        prop_assert!(err.contains("stall-reason counters"), "{}", err);
+        let legacy = with_mutated_columns(&a, |cols| cols[..9].to_vec());
+        let err = KernelProfile::from_json(&legacy).unwrap_err().to_string();
+        prop_assert!(err.contains("stall-reason counters"), "{}", err);
+    }
+
+    /// Merging adds the hierarchy columns like any other — per PC and
+    /// reason, the merged count is the sum of the inputs'.
+    #[test]
+    fn merge_adds_the_hierarchy_columns(sa in 0u64..1_000_000, sb in 0u64..1_000_000) {
+        let (a, b) = (gen_profile(sa), gen_profile(sb));
+        let merged = a.merge(&b).unwrap();
+        for r in HIER_REASONS {
+            for (&pc, st) in &merged.pcs {
+                let want = a.pcs.get(&pc).map_or(0, |s| s.stalls(r))
+                    + b.pcs.get(&pc).map_or(0, |s| s.stalls(r));
+                prop_assert_eq!(st.stalls(r), want);
+            }
+        }
+    }
+
+    /// A hierarchy column at `u64::MAX` overflows on merge: the merge
+    /// is rejected (`CounterOverflow`) and the receiver is untouched —
+    /// a poisoned chunk cannot corrupt an open upload.
+    #[test]
+    fn hierarchy_column_overflow_rejects_the_merge_untouched(sa in 0u64..1_000_000, r in 0usize..4) {
+        let mut a = (0..8).map(|i| gen_profile(sa + i)).find(|p| !p.pcs.is_empty()).unwrap();
+        let pc = *a.pcs.keys().next().unwrap();
+        let code = HIER_REASONS[r].code() as usize;
+        a.pcs.get_mut(&pc).unwrap().by_reason[code] = u64::MAX;
+        let b = a.clone();
+        prop_assert!(a.merge(&b).is_err());
+        let mut receiver = a.clone();
+        prop_assert!(receiver.merge_in(&b).is_err());
+        prop_assert_eq!(receiver, a, "failed merge left the receiver untouched");
+    }
+
     /// Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
     #[test]
     fn merge_is_associative(sa in 0u64..1_000_000, sb in 0u64..1_000_000, sc in 0u64..1_000_000) {

@@ -1184,6 +1184,89 @@ fn owner_down_falls_back_locally_and_trips_the_breaker() {
     }
 }
 
+/// The liveness heartbeat discovers a dead peer with *no client
+/// traffic at all*: kill shard 1 outright, and within a few 1-second
+/// heartbeat intervals shard 0's breaker for the corpse trips in the
+/// background. The first real user call then fast-fails straight to a
+/// byte-identical local computation instead of eating a connect
+/// timeout. A seeded delay plan rides along to pin the heartbeat onto
+/// the injected-fault path too (the counter proves it fired there).
+#[test]
+fn heartbeat_trips_a_dead_peers_breaker_before_any_user_call() {
+    let plan = FaultPlan::parse("seed=11;delay:*:ms=1,count=2").expect("plan parses");
+    let (mut handles, addrs) = test_cluster_with(2, |i, config| match i {
+        0 => ServerConfig {
+            faults: Some(plan.clone()),
+            // Long cooldown: once tripped, stays tripped for the whole
+            // test (no half-open probe races the assertions).
+            peer_trip_cooldown: Duration::from_secs(60),
+            ..config
+        },
+        _ => config,
+    });
+
+    // Kill shard 1 with no leave and no drain — a corpse, not a
+    // departure.
+    let dead = handles.remove(1);
+    dead.shutdown();
+    dead.join();
+
+    // Only the chore thread talks: status is answered inline and never
+    // touches the peer path. Three failed heartbeats trip the breaker.
+    let mut client = ServeClient::connect(addrs[0].as_str()).expect("connect shard 0");
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    loop {
+        let status = client.status().expect("status").into_result().expect("ok");
+        let cluster = status.field("cluster").unwrap();
+        let trips = cluster.field("breaker").unwrap().field("trips").unwrap().as_u64().unwrap();
+        if trips >= 1 {
+            let heartbeats =
+                cluster.field("membership").unwrap().field("heartbeats").unwrap().as_u64().unwrap();
+            assert!(heartbeats >= 3, "the trip came from repeated heartbeats, got {heartbeats}");
+            let peer = cluster.field("peers").unwrap().field(addrs[1].as_str()).unwrap();
+            assert_eq!(peer.field("state").unwrap().as_str().unwrap(), "tripped");
+            let faults = cluster.field("faults").unwrap();
+            assert!(faults.field("active").unwrap().as_bool().unwrap());
+            assert_eq!(
+                faults.field("fired").unwrap().as_u64().unwrap(),
+                2,
+                "the heartbeats burned the scripted delay window"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "heartbeats never tripped the dead peer's breaker"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The FIRST user call that would forward to the dead member finds
+    // the breaker already open: it fast-fails and computes locally.
+    let reference = Session::test();
+    let ring = Ring::new(addrs.iter().cloned());
+    let job = reference
+        .jobs_for_all_apps()
+        .into_iter()
+        .find(|j| ring.owner(&analyze_key(&j.app)) == addrs[1])
+        .expect("some app hashes to shard 1");
+    let r = client.analyze(&job.app, job.variant).expect("degraded call");
+    assert!(r.ok, "{:?}", r.error);
+    assert!(!r.cached, "the fallback computes locally");
+    assert_eq!(r.result.unwrap().compact(), reference_body(&reference, &job));
+    let status = client.status().expect("status").into_result().expect("ok");
+    let cluster = status.field("cluster").unwrap();
+    assert!(
+        cluster.field("breaker").unwrap().field("fast_fails").unwrap().as_u64().unwrap() >= 1,
+        "the user call never waited on the dead peer"
+    );
+
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
 /// A seeded fault plan scripts the peer path: `deny:*:count=2` on
 /// shard 0 kills exactly the first two forwards (each falling back to
 /// a byte-identical local compute) and the third sails through — the

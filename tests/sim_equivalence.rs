@@ -88,6 +88,30 @@ fn all_apps_raw_sample_streams_identical() {
     }
 }
 
+/// The same 21-app differential with the timed memory hierarchy
+/// enabled: the hierarchy's servers (L1, MSHR file, L2 queue) are part
+/// of the frozen machine state, so the event core must still land on
+/// byte-identical results — raw sample streams included, since the new
+/// stall reasons ride in them. The demo kernel rides along as the 22nd
+/// subject because it is the one built to saturate those servers.
+#[test]
+fn all_apps_dense_vs_event_driven_identical_with_hierarchy() {
+    let p = Params::test();
+    let arch = arch_for(&p).with_hierarchy();
+    let specs = all_apps()
+        .iter()
+        .map(|app| (app.name, (app.build)(0, &p)))
+        .chain([("demo/membound", (gpa::kernels::apps::membound::app().build)(0, &p))])
+        .collect::<Vec<_>>();
+    for (name, spec) in &specs {
+        let (dense, dense_raw) = launch_raw(spec, &arch, cfg(true));
+        let (event, event_raw) = launch_raw(spec, &arch, cfg(false));
+        assert_eq!(dense.cycles, event.cycles, "{name}: cycles under hierarchy");
+        assert_eq!(dense_raw, event_raw, "{name}: raw sample streams under hierarchy");
+        assert_eq!(dense, event, "{name}: full LaunchResult under hierarchy");
+    }
+}
+
 #[test]
 fn aggregated_profiles_are_identical_too() {
     // Sample aggregation is deterministic, so identical raw samples must
