@@ -140,6 +140,76 @@ fn bench_engine_swarm(c: &mut Criterion) {
     }
 }
 
+/// One persistent-pipelined pass: `CLIENTS` long-lived connections,
+/// each writing the whole sweep as one burst and reading the responses
+/// back in order. No connection churn at all — this is the traffic
+/// shape the per-reactor buffer pools and completion routing serve in
+/// the steady state, and the regression guard for the 8-client
+/// persistent rows.
+fn pipelined_sweep(addr: std::net::SocketAddr, frames: &[String]) {
+    use std::io::{BufRead, BufReader, Write};
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let burst: String = frames.concat();
+                stream.write_all(burst.as_bytes()).expect("pipelined burst");
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                for _ in frames {
+                    line.clear();
+                    reader.read_line(&mut line).expect("response");
+                    assert!(line.starts_with("{\"ok\":true"), "{line}");
+                }
+            });
+        }
+    });
+}
+
+/// The multi-reactor scaling rows: the 64-connection dial-per-request
+/// swarm and the 8-client persistent-pipelined sweep, each against a
+/// warm store on 1, 2 and 4 reactors. On a multi-core host the swarm
+/// rows are where reactor count pays (accept + frame handling spread
+/// over cores); on a single-core CI container the expectation is
+/// parity — the rewrite must not cost anything when there is nothing
+/// to parallelize.
+fn bench_reactor_scaling(c: &mut Criterion) {
+    for reactors in [1usize, 2, 4] {
+        let session = Arc::new(Session::test());
+        let jobs = session.jobs_for_all_apps();
+        let config =
+            ServerConfig { workers: CLIENTS, queue: 64, reactors, ..ServerConfig::ephemeral() };
+        let handle = serve(session, config).expect("daemon starts");
+        let addr = handle.local_addr();
+        println!(
+            "serve bench: {} reactor(s) ({} accept) on {addr}",
+            handle.reactors(),
+            handle.accept_path()
+        );
+        // Warm the store so every benched request is a cache hit.
+        sweep(addr, &jobs);
+        let frames: Vec<String> = jobs
+            .iter()
+            .map(|job| {
+                let request = gpa_serve::Request::Analyze {
+                    job: job.clone(),
+                    options: gpa_serve::WireOptions::default(),
+                };
+                format!("{}\n", request.to_wire())
+            })
+            .collect();
+        c.bench_function(&format!("serve/swarm_64_clients_reactors_{reactors}"), |b| {
+            b.iter(|| swarm_sweep(addr, &frames))
+        });
+        c.bench_function(&format!("serve/8_clients_pipelined_warm_reactors_{reactors}"), |b| {
+            b.iter(|| pipelined_sweep(addr, &frames))
+        });
+        handle.shutdown();
+        handle.join();
+    }
+}
+
 /// The robustness row behind the failure-handling work: the same
 /// 64-connection warm sweep, but against a 3-shard cluster that just
 /// lost a member — no leave, no drain. The queried survivor burns one
@@ -207,6 +277,7 @@ fn bench_owner_down_swarm(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serve_throughput, bench_engine_swarm, bench_owner_down_swarm
+    targets = bench_serve_throughput, bench_engine_swarm, bench_reactor_scaling,
+        bench_owner_down_swarm
 }
 criterion_main!(benches);

@@ -43,6 +43,7 @@ const USAGE: &str = "usage: gpa <command> [args] [flags]\n\n  \
      asm <app> [variant]                        print kernel assembly\n  \
      serve [--addr A] [--workers N] [--queue N] run the advisor daemon\n           \
      [--store N] [--persist DIR]\n           \
+     [--reactors N]                             reactor threads (default: CPU count, capped at 8)\n           \
      [--peers A,B,..] [--advertise A]           shard with peer daemons (consistent hashing)\n           \
      [--join A]                                 join a running cluster member at startup\n           \
      [--faults SPEC]                            seeded peer fault injection (chaos testing)\n           \
@@ -87,6 +88,7 @@ struct Flags {
     join: Option<String>,
     faults: Option<String>,
     engine: Option<String>,
+    reactors: Option<usize>,
 }
 
 fn take_value(
@@ -160,6 +162,7 @@ fn parse_cmdline(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 "join" => flags.join = Some(take_value(name, inline, &mut rest)?),
                 "faults" => flags.faults = Some(take_value(name, inline, &mut rest)?),
                 "engine" => flags.engine = Some(take_value(name, inline, &mut rest)?),
+                "reactors" => flags.reactors = Some(take_usize(name, inline, &mut rest)?),
                 _ => return Err(format!("unknown flag `{arg}` (see usage)")),
             }
         } else if arg.starts_with('-') && arg.len() > 1 {
@@ -194,6 +197,7 @@ fn stray_flag(flags: &Flags, allowed: &[&str]) -> Option<String> {
         ("join", flags.join.is_some()),
         ("faults", flags.faults.is_some()),
         ("engine", flags.engine.is_some()),
+        ("reactors", flags.reactors.is_some()),
     ];
     set.iter()
         .find(|(name, on)| *on && !allowed.contains(name))
@@ -278,6 +282,7 @@ fn main() -> ExitCode {
             "join",
             "faults",
             "engine",
+            "reactors",
         ],
         "request" => {
             &["addr", "profile", "top", "category", "min-speedup", "schema", "repeat", "mem-model"]
@@ -511,9 +516,16 @@ fn run_serve(flags: &Flags) -> ExitCode {
             Err(msg) => return usage(&msg),
         },
     };
+    if flags.reactors == Some(0) {
+        return usage("flag --reactors expects a count of at least 1 (omit it for the default)");
+    }
+    if flags.reactors.is_some() && engine == ServerEngine::Threads {
+        return usage("flag --reactors only applies to the reactor engine");
+    }
     let config = ServerConfig {
         addr: flags.addr.clone().unwrap_or(defaults.addr),
         workers: flags.workers.unwrap_or(defaults.workers),
+        reactors: flags.reactors.unwrap_or(defaults.reactors),
         queue: flags.queue.unwrap_or(defaults.queue),
         store_capacity: flags.store.unwrap_or(defaults.store_capacity),
         persist_dir: flags.persist.clone(),
@@ -537,6 +549,11 @@ fn run_serve(flags: &Flags) -> ExitCode {
     // The exact line scripts (and CI) parse to discover an ephemeral
     // port; keep the `listening on <addr>` phrasing stable.
     println!("gpa-serve listening on {} ({workers} workers, queue {queue})", handle.local_addr());
+    if handle.reactors() > 0 {
+        // The *effective* count: a request above the cap (or `0` = auto)
+        // reports what actually runs, matching `status.reactor.count`.
+        println!("gpa-serve reactors: {} ({} accept)", handle.reactors(), handle.accept_path());
+    }
     if peer_count > 0 {
         println!("gpa-serve sharding with {peer_count} peer(s) ({} engine)", engine.name());
     }

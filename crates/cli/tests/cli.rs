@@ -263,3 +263,26 @@ fn request_against_no_daemon_fails_cleanly() {
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("cannot connect"), "{}", stderr(&out));
 }
+
+#[test]
+fn serve_reactors_flag_is_validated_strictly() {
+    // Zero reactors is meaningless: the daemon needs at least one.
+    let out = gpa(&["serve", "--reactors", "0"]);
+    assert_eq!(out.status.code(), Some(2), "usage error exit code");
+    assert!(stderr(&out).contains("--reactors expects a count of at least 1"), "{}", stderr(&out));
+    // Non-numeric values are parse errors, not silently defaulted.
+    let out = gpa(&["serve", "--reactors", "two"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--reactors expects a number"), "{}", stderr(&out));
+    let out = gpa(&["serve", "--reactors"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--reactors requires a value"), "{}", stderr(&out));
+    // The flag configures reactor threads; the threads engine has none.
+    let out = gpa(&["serve", "--reactors", "2", "--engine", "threads"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--reactors only applies"), "{}", stderr(&out));
+    // And it is scoped to `serve`.
+    let out = gpa(&["analyze", "rodinia/hotspot", "--reactors", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--reactors is not supported"), "{}", stderr(&out));
+}

@@ -44,10 +44,10 @@ pub mod store;
 
 pub use client::{ClientError, Response, ServeClient};
 pub use faults::{FaultAction, FaultPlan, FAULTS_ENV};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, ReactorStats};
 pub use protocol::{
     PeerMeta, Request, WireOptions, DEFAULT_ADDR, DEFAULT_SCHEMA, MAX_REPEAT, SCHEMA_VERSIONS,
 };
 pub use ring::{Ring, Roster};
-pub use server::{serve, serve_on, ServerConfig, ServerEngine, ServerHandle};
+pub use server::{serve, serve_on, ServerConfig, ServerEngine, ServerHandle, MAX_REACTORS};
 pub use store::{ReportStore, StoreStats};

@@ -257,6 +257,50 @@ impl Metrics {
     }
 }
 
+/// One reactor thread's counters. The daemon-wide [`Metrics`] gauges
+/// keep counting everything (so `status.reactor` stays the roll-up it
+/// always was); these split the same events by owning reactor for the
+/// `status.reactors` array, and `pending_bytes` doubles as the gauge
+/// the reactor's *own* byte-budget share is enforced against.
+#[derive(Default)]
+pub struct ReactorStats {
+    /// Connections this reactor accepted (or was handed) over the
+    /// daemon's lifetime.
+    pub accepted: AtomicU64,
+    /// Connections currently owned by this reactor.
+    pub open_connections: AtomicU64,
+    /// Response bytes buffered on this reactor's connections but not
+    /// yet written.
+    pub pending_bytes: AtomicU64,
+    /// Jobs shed because this reactor's byte-budget share was spent.
+    pub byte_sheds: AtomicU64,
+    /// Idle connections reaped by this reactor's deadline sweep.
+    pub idle_reaped: AtomicU64,
+    /// Connection buffers served from this reactor's recycle pool
+    /// instead of a fresh allocation.
+    pub buffer_reuses: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ReactorStats::default()
+    }
+
+    /// One entry of the `status.reactors` array; `byte_budget` is the
+    /// reactor's share of the daemon's pending-byte budget.
+    pub fn json(&self, byte_budget: u64) -> Json {
+        Json::object()
+            .with("accepted", self.accepted.load(Ordering::Relaxed))
+            .with("open_connections", self.open_connections.load(Ordering::Relaxed))
+            .with("pending_bytes", self.pending_bytes.load(Ordering::Relaxed))
+            .with("byte_budget", byte_budget)
+            .with("byte_sheds", self.byte_sheds.load(Ordering::Relaxed))
+            .with("idle_reaped", self.idle_reaped.load(Ordering::Relaxed))
+            .with("buffer_reuses", self.buffer_reuses.load(Ordering::Relaxed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,7 +58,7 @@
 //! flushes pending responses (bounded drain), and every thread joins.
 
 use crate::faults::FaultPlan;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ReactorStats};
 use crate::peer::PeerTable;
 use crate::protocol::{self, PeerMeta, Request, WireOptions, DEFAULT_ADDR, MAX_REQUEST_BYTES};
 use crate::reactor::{Event, Interest, Poller, Waker};
@@ -99,6 +99,11 @@ impl ServerEngine {
     }
 }
 
+/// Hard cap on reactor threads: accept-path fan-out saturates long
+/// before the worker pool does, and each reactor costs a thread, an
+/// epoll instance and an eventfd.
+pub const MAX_REACTORS: usize = 8;
+
 /// Daemon configuration (CLI flags map onto this 1:1).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -106,6 +111,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker-pool width.
     pub workers: usize,
+    /// Reactor-thread count for the reactor engine. `0` (the default)
+    /// picks `available_parallelism`; either way the effective count is
+    /// clamped to `1..=`[`MAX_REACTORS`]. `1` reproduces the
+    /// single-reactor engine exactly — byte- and behavior-identical.
+    pub reactors: usize,
     /// Bounded request-queue capacity (backpressure threshold).
     pub queue: usize,
     /// In-memory report-store capacity (entries, LRU-evicted).
@@ -147,6 +157,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: DEFAULT_ADDR.to_string(),
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            reactors: 0,
             queue: 64,
             store_capacity: 128,
             persist_dir: None,
@@ -168,6 +179,52 @@ impl ServerConfig {
     pub fn ephemeral() -> Self {
         ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() }
     }
+
+    /// The reactor-thread count this config actually runs: `0` resolves
+    /// to `available_parallelism`, and everything is clamped to
+    /// `1..=`[`MAX_REACTORS`]. Always `0` under the threads engine,
+    /// which has no reactors.
+    pub fn effective_reactors(&self) -> usize {
+        match self.engine {
+            ServerEngine::Threads => 0,
+            ServerEngine::Reactor => {
+                let requested = if self.reactors == 0 {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    self.reactors
+                };
+                requested.clamp(1, MAX_REACTORS)
+            }
+        }
+    }
+}
+
+/// How accepted sockets reach their reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcceptPath {
+    /// Every reactor owns its own `SO_REUSEPORT` listener on the shared
+    /// port; the kernel load-balances connections across the group. The
+    /// default whenever the daemon binds its own sockets and the
+    /// platform takes the option.
+    Reuseport,
+    /// One listener, owned by reactor 0, which accepts everything and
+    /// round-robins the sockets to the other reactors through their
+    /// wakers. The fallback for externally-bound listeners
+    /// ([`serve_on`]) and reuseport-less platforms; with one reactor it
+    /// is exactly the pre-multi-reactor engine.
+    RoundRobin,
+    /// Threads engine: no reactors at all.
+    None,
+}
+
+impl AcceptPath {
+    fn name(self) -> &'static str {
+        match self {
+            AcceptPath::Reuseport => "reuseport",
+            AcceptPath::RoundRobin => "round_robin",
+            AcceptPath::None => "none",
+        }
+    }
 }
 
 /// Where a worker's finished frame goes.
@@ -175,10 +232,12 @@ enum ReplyTo {
     /// Blocking dispatch (threads engine): the connection thread is
     /// parked on the receiver.
     Channel(mpsc::Sender<String>),
-    /// Reactor dispatch: push onto the completion list and wake the
-    /// reactor.
+    /// Reactor dispatch: push onto the owning reactor's completion
+    /// list and wake it.
     Reactor {
-        /// The connection's reactor token.
+        /// The reactor that owns the connection.
+        reactor: usize,
+        /// The connection's token within that reactor.
         token: u64,
     },
 }
@@ -218,6 +277,16 @@ const WRITE_GATE_BYTES: usize = 4 * 1024 * 1024;
 /// Reactor poll tick: the idle sweep and shutdown checks run at least
 /// this often even with no socket events.
 const TICK_MS: i32 = 50;
+
+/// Per-reactor recycle pool: at most this many connection buffers are
+/// kept for reuse, so a burst of ten thousand connections does not pin
+/// ten thousand buffers forever.
+const POOL_MAX_BUFFERS: usize = 64;
+
+/// Buffers grown past this capacity are dropped instead of pooled — a
+/// single 8 MiB upload must not turn the pool into a permanent 8 MiB
+/// hoard per slot.
+const POOL_MAX_BUF_CAPACITY: usize = 256 * 1024;
 
 /// How long the reactor keeps flushing in-flight responses after
 /// shutdown triggers before force-closing (covers a worker finishing
@@ -412,6 +481,28 @@ impl Cluster {
     }
 }
 
+/// One reactor thread's cross-thread surface: the handles workers (and
+/// the round-robin acceptor) use to reach it. Everything thread-local
+/// to the reactor — poller, connection table, buffer pool — lives on
+/// its stack in [`reactor_loop`].
+struct ReactorShared {
+    /// Wakes the reactor out of `epoll_wait` (completions, handed-off
+    /// sockets, shutdown).
+    waker: Waker,
+    /// Worker → reactor finished frames, drained every loop turn.
+    completions: Mutex<Vec<(u64, String)>>,
+    /// Sockets accepted elsewhere (round-robin path) waiting for this
+    /// reactor to register them.
+    incoming: Mutex<Vec<TcpStream>>,
+    /// This reactor's counters (the `status.reactors` entry).
+    stats: ReactorStats,
+    /// This reactor's share of the daemon's pending-byte budget: the
+    /// admission gate checks the reactor's *own* backlog against its
+    /// own share, so one reactor's slow-client pile-up cannot shed
+    /// jobs arriving on the others.
+    byte_budget: u64,
+}
+
 struct Shared {
     session: Arc<Session>,
     /// Lazily-built twin of `session` running the timed memory
@@ -436,10 +527,11 @@ struct Shared {
     conns: Mutex<Vec<(u64, TcpStream)>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     local_addr: SocketAddr,
-    /// Worker → reactor completions, drained on waker events.
-    completions: Mutex<Vec<(u64, String)>>,
-    /// The reactor's waker (absent under the threads engine).
-    waker: OnceLock<Arc<Waker>>,
+    /// The reactor threads' shared surfaces, indexed by reactor id
+    /// (empty under the threads engine).
+    reactors: Vec<ReactorShared>,
+    /// How accepted sockets are distributed across the reactors.
+    accept: AcceptPath,
     /// PC entries currently retained by open uploads, daemon-wide
     /// (see [`MAX_TOTAL_UPLOAD_PCS`]). Approximate accounting —
     /// relaxed atomics — is fine for a resource budget.
@@ -453,7 +545,9 @@ struct Shared {
 /// client's `shutdown` op) stops it.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    /// One thread per reactor (reactor engine) or the single blocking
+    /// accept loop (threads engine).
+    accept: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     replicator: Option<JoinHandle<()>>,
     cluster_worker: Option<JoinHandle<()>>,
@@ -466,13 +560,46 @@ pub struct ServerHandle {
 /// When the address cannot be bound or the persist directory cannot be
 /// created.
 pub fn serve(session: Arc<Session>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let n = config.effective_reactors();
+    if n > 1 {
+        // Multi-reactor default: one SO_REUSEPORT listener per reactor,
+        // kernel-balanced. Falls back to the single-listener round-robin
+        // path below when the platform refuses the option (or the
+        // address itself is unusable — in which case the plain bind
+        // reports the real error).
+        if let Ok(listeners) = bind_reuseport_group(&config.addr, n) {
+            return serve_listeners(session, listeners, AcceptPath::Reuseport, config);
+        }
+    }
     let listener = TcpListener::bind(&config.addr)?;
     serve_on(session, listener, config)
+}
+
+/// Binds `count` `SO_REUSEPORT` listeners on one address (resolving an
+/// ephemeral port once, with the first bind).
+fn bind_reuseport_group(addr: &str, count: usize) -> io::Result<Vec<TcpListener>> {
+    use std::net::ToSocketAddrs;
+    let target = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+    })?;
+    let first = crate::reactor::reuseport_listener(target)?;
+    let local = first.local_addr()?;
+    let mut group = vec![first];
+    for _ in 1..count {
+        group.push(crate::reactor::reuseport_listener(local)?);
+    }
+    Ok(group)
 }
 
 /// Starts the daemon on an already-bound listener. This is how cluster
 /// tests bootstrap: bind every shard first (learning the ephemeral
 /// ports), then start each daemon with the full peer roster.
+///
+/// With more than one reactor configured, the daemon first tries to
+/// grow the listener into an `SO_REUSEPORT` group; an externally-bound
+/// listener normally lacks the option (it must be set before `bind`),
+/// so the attempt fails cleanly and reactor 0 becomes the single
+/// acceptor, round-robining sockets to its siblings.
 ///
 /// # Errors
 ///
@@ -483,9 +610,48 @@ pub fn serve_on(
     listener: TcpListener,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
+    let n = config.effective_reactors();
+    if n > 1 {
+        if let Ok(local) = listener.local_addr() {
+            if local.port() != 0 {
+                if let Ok(siblings) = bind_reuseport_group(&local.to_string(), n - 1) {
+                    let mut listeners = vec![listener];
+                    listeners.extend(siblings);
+                    return serve_listeners(session, listeners, AcceptPath::Reuseport, config);
+                }
+            }
+        }
+    }
+    let path = match config.engine {
+        ServerEngine::Reactor => AcceptPath::RoundRobin,
+        ServerEngine::Threads => AcceptPath::None,
+    };
+    serve_listeners(session, vec![listener], path, config)
+}
+
+/// The common daemon bring-up: `listeners` is one listener per reactor
+/// ([`AcceptPath::Reuseport`]) or exactly one ([`AcceptPath::RoundRobin`]
+/// and the threads engine).
+fn serve_listeners(
+    session: Arc<Session>,
+    listeners: Vec<TcpListener>,
+    accept_path: AcceptPath,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let store = ReportStore::new(config.store_capacity, config.persist_dir.clone())?;
-    let local_addr = listener.local_addr()?;
+    let local_addr = listeners[0].local_addr()?;
     let workers = config.workers.max(1);
+    let n_reactors = config.effective_reactors();
+    let mut reactor_shared = Vec::with_capacity(n_reactors);
+    for _ in 0..n_reactors {
+        reactor_shared.push(ReactorShared {
+            waker: Waker::new()?,
+            completions: Mutex::new(Vec::new()),
+            incoming: Mutex::new(Vec::new()),
+            stats: ReactorStats::new(),
+            byte_budget: config.max_pending_bytes / n_reactors.max(1) as u64,
+        });
+    }
     let cluster_mode =
         !config.peers.is_empty() || config.advertise.is_some() || config.join.is_some();
     let (cluster, repl_rx, task_rx) = if cluster_mode {
@@ -551,8 +717,8 @@ pub fn serve_on(
         conns: Mutex::new(Vec::new()),
         conn_threads: Mutex::new(Vec::new()),
         local_addr,
-        completions: Mutex::new(Vec::new()),
-        waker: OnceLock::new(),
+        reactors: reactor_shared,
+        accept: accept_path,
         upload_pcs: AtomicU64::new(0),
     });
     if shared.cluster.is_some() {
@@ -608,32 +774,39 @@ pub fn serve_on(
                 .spawn(move || worker_loop(&sh))
         })
         .collect::<io::Result<Vec<_>>>()?;
+    let mut listeners = listeners;
     let accept = match config.engine {
         ServerEngine::Reactor => {
-            let waker = Arc::new(Waker::new()?);
-            shared
-                .waker
-                .set(Arc::clone(&waker))
-                .map_err(|_| io::Error::other("waker set twice"))?;
-            let sh = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("gpa-serve-reactor".to_string())
-                .spawn(move || reactor_loop(&sh, &listener, &waker))?
+            // Reuseport: every reactor owns listeners[i]. Round-robin:
+            // reactor 0 owns the single listener, the rest poll only
+            // their waker and adopt handed-off sockets.
+            let mut threads = Vec::with_capacity(n_reactors);
+            for (idx, listener) in listeners
+                .drain(..)
+                .map(Some)
+                .chain(std::iter::repeat_with(|| None))
+                .take(n_reactors)
+                .enumerate()
+            {
+                let sh = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("gpa-serve-reactor-{idx}"))
+                        .spawn(move || reactor_loop(&sh, idx, listener))?,
+                );
+            }
+            threads
         }
         ServerEngine::Threads => {
+            let listener = listeners.remove(0);
             let sh = Arc::clone(&shared);
-            std::thread::Builder::new()
+            vec![std::thread::Builder::new()
                 .name("gpa-serve-accept".to_string())
-                .spawn(move || accept_loop(&sh, &listener))?
+                .spawn(move || accept_loop(&sh, &listener))?]
         }
     };
-    let handle = ServerHandle {
-        shared,
-        accept: Some(accept),
-        workers: worker_handles,
-        replicator,
-        cluster_worker,
-    };
+    let handle =
+        ServerHandle { shared, accept, workers: worker_handles, replicator, cluster_worker };
     if let Some(seed) = &config.join {
         // Announce to the seed and adopt its answer before reporting
         // the daemon up; a failed join tears everything down (the
@@ -704,6 +877,18 @@ impl ServerHandle {
         trigger_shutdown(&self.shared);
     }
 
+    /// How many reactor threads this daemon runs (0 under the threads
+    /// engine).
+    pub fn reactors(&self) -> usize {
+        self.shared.reactors.len()
+    }
+
+    /// The accept path in effect: `"reuseport"`, `"round_robin"`, or
+    /// `"none"` (threads engine).
+    pub fn accept_path(&self) -> &'static str {
+        self.shared.accept.name()
+    }
+
     /// Blocks until the daemon has fully stopped: the accept loop has
     /// exited, the queue is drained, and every thread is joined.
     pub fn join(mut self) {
@@ -711,7 +896,7 @@ impl ServerHandle {
     }
 
     fn join_inner(&mut self) {
-        if let Some(h) = self.accept.take() {
+        for h in self.accept.drain(..) {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -753,9 +938,9 @@ fn trigger_shutdown(shared: &Shared) {
         cluster.repl_tx.lock().expect("repl tx").take();
         cluster.task_tx.lock().expect("task tx").take();
     }
-    // Pop the reactor out of epoll_wait.
-    if let Some(waker) = shared.waker.get() {
-        waker.wake();
+    // Pop every reactor out of epoll_wait.
+    for reactor in &shared.reactors {
+        reactor.waker.wake();
     }
     // Unblock a threads-engine accept loop.
     let _ = TcpStream::connect(shared.local_addr);
@@ -1207,15 +1392,31 @@ fn try_enqueue(
     request: Request,
     reply: ReplyTo,
 ) -> Result<(), Box<(Request, String)>> {
-    let pending_bytes = shared.metrics.pending_bytes.load(Ordering::Relaxed);
-    if pending_bytes > shared.max_pending_bytes {
+    // The byte gate is per reactor: each reactor's own backlog is
+    // checked against its own share of the daemon budget, so one
+    // reactor's slow-client pile-up cannot shed jobs arriving on the
+    // others. With one reactor the share *is* the whole budget and the
+    // gauge is the daemon gauge — same check, same frame, as ever. The
+    // threads engine has no reactors and keeps the daemon-wide gate.
+    let (pending_bytes, budget) = match &reply {
+        ReplyTo::Reactor { reactor, .. } => {
+            let rs = &shared.reactors[*reactor];
+            (rs.stats.pending_bytes.load(Ordering::Relaxed), rs.byte_budget)
+        }
+        ReplyTo::Channel(_) => {
+            (shared.metrics.pending_bytes.load(Ordering::Relaxed), shared.max_pending_bytes)
+        }
+    };
+    if pending_bytes > budget {
         shared.metrics.byte_sheds.fetch_add(1, Ordering::Relaxed);
+        if let ReplyTo::Reactor { reactor, .. } = &reply {
+            shared.reactors[*reactor].stats.byte_sheds.fetch_add(1, Ordering::Relaxed);
+        }
         return Err(Box::new((
             request,
             protocol::error_frame(&format!(
-                "response backlog over budget ({pending_bytes} pending bytes, budget {}); \
-                 retry later",
-                shared.max_pending_bytes
+                "response backlog over budget ({pending_bytes} pending bytes, budget {budget}); \
+                 retry later"
             )),
         )));
     }
@@ -1298,11 +1499,10 @@ fn worker_loop(shared: &Shared) {
             ReplyTo::Channel(tx) => {
                 let _ = tx.send(frame);
             }
-            ReplyTo::Reactor { token } => {
-                shared.completions.lock().expect("completions").push((token, frame));
-                if let Some(waker) = shared.waker.get() {
-                    waker.wake();
-                }
+            ReplyTo::Reactor { reactor, token } => {
+                let rs = &shared.reactors[reactor];
+                rs.completions.lock().expect("completions").push((token, frame));
+                rs.waker.wake();
             }
         }
     }
@@ -1801,6 +2001,10 @@ const FIRST_CONN_TOKEN: u64 = 2;
 struct Conn {
     stream: TcpStream,
     token: u64,
+    /// The reactor that owns this connection (indexes
+    /// `Shared::reactors` for the per-reactor gauges and completion
+    /// routing).
+    reactor: usize,
     /// Accumulated request bytes not yet framed.
     read_buf: Vec<u8>,
     /// Queued response bytes; `written` of them are already on the
@@ -1829,12 +2033,14 @@ impl Conn {
         self.write_buf.len() - self.written
     }
 
-    /// Queues a response frame (newline-terminated) and grows the
-    /// daemon-wide pending-byte gauge.
+    /// Queues a response frame (newline-terminated) and grows both the
+    /// daemon-wide and the owning reactor's pending-byte gauges.
     fn push_frame(&mut self, shared: &Shared, frame: &str) {
         self.write_buf.extend_from_slice(frame.as_bytes());
         self.write_buf.push(b'\n');
-        shared.metrics.pending_bytes.fetch_add(frame.len() as u64 + 1, Ordering::Relaxed);
+        let queued = frame.len() as u64 + 1;
+        shared.metrics.pending_bytes.fetch_add(queued, Ordering::Relaxed);
+        shared.reactors[self.reactor].stats.pending_bytes.fetch_add(queued, Ordering::Relaxed);
     }
 
     /// The interest this connection's state wants registered: reads
@@ -1856,24 +2062,72 @@ enum CloseReason {
     Idle,
 }
 
-/// The reactor: owns the listener, the poller and every connection;
-/// loops on readiness events, a completion list fed by workers, and a
+/// A reactor-local stash of retired connection buffers. Bounded two
+/// ways — [`POOL_MAX_BUFFERS`] slots, [`POOL_MAX_BUF_CAPACITY`] per
+/// buffer — so connection churn recycles allocations without an
+/// occasional huge upload turning the pool into a permanent hoard.
+/// Thread-local to one reactor: no locks on the accept path.
+struct BufferPool {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    fn new() -> BufferPool {
+        BufferPool { bufs: Vec::new() }
+    }
+
+    /// An empty buffer, recycled when one is banked.
+    fn take(&mut self, stats: &ReactorStats) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(buf) => {
+                stats.buffer_reuses.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Banks a retired buffer, unless it never allocated, outgrew the
+    /// per-buffer cap, or the pool is full.
+    fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0
+            || buf.capacity() > POOL_MAX_BUF_CAPACITY
+            || self.bufs.len() >= POOL_MAX_BUFFERS
+        {
+            return;
+        }
+        buf.clear();
+        self.bufs.push(buf);
+    }
+}
+
+/// One reactor thread: owns its poller, its connection table, its
+/// buffer pool, and (reuseport, or reactor 0 under round-robin) a
+/// listener; loops on readiness events, a completion list fed by
+/// workers, handed-off sockets from the round-robin acceptor, and a
 /// periodic tick for the idle sweep.
-fn reactor_loop(shared: &Arc<Shared>, listener: &TcpListener, waker: &Arc<Waker>) {
+fn reactor_loop(shared: &Arc<Shared>, idx: usize, listener: Option<TcpListener>) {
+    let rs = &shared.reactors[idx];
     let Ok(poller) = Poller::new() else { return };
-    if listener.set_nonblocking(true).is_err() {
-        return;
+    if let Some(listener) = &listener {
+        if listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        if poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ).is_err() {
+            return;
+        }
     }
-    if poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ).is_err() {
-        return;
-    }
-    if poller.add(waker.fd(), WAKER_TOKEN, Interest::READ).is_err() {
+    if poller.add(rs.waker.fd(), WAKER_TOKEN, Interest::READ).is_err() {
         return;
     }
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token = FIRST_CONN_TOKEN;
     let mut events: Vec<Event> = Vec::new();
     let mut scratch = [0u8; 16 * 1024];
+    let mut pool = BufferPool::new();
+    // Round-robin cursor (the acceptor rotates over every reactor,
+    // itself included). Unused on the reuseport path.
+    let mut next_rr = idx;
 
     loop {
         events.clear();
@@ -1883,10 +2137,17 @@ fn reactor_loop(shared: &Arc<Shared>, listener: &TcpListener, waker: &Arc<Waker>
         }
         for &event in &events {
             match event.token {
-                LISTENER_TOKEN => {
-                    accept_ready(shared, &poller, listener, &mut conns, &mut next_token)
-                }
-                WAKER_TOKEN => waker.drain(),
+                LISTENER_TOKEN if listener.is_some() => accept_ready(
+                    shared,
+                    idx,
+                    &poller,
+                    listener.as_ref().expect("listener event implies listener"),
+                    &mut conns,
+                    &mut next_token,
+                    &mut next_rr,
+                    &mut pool,
+                ),
+                WAKER_TOKEN => rs.waker.drain(),
                 token => {
                     let Some(conn) = conns.get_mut(&token) else { continue };
                     let mut dead = event.closed;
@@ -1897,32 +2158,48 @@ fn reactor_loop(shared: &Arc<Shared>, listener: &TcpListener, waker: &Arc<Waker>
                         dead = !flush_writes(shared, conn);
                     }
                     if dead {
-                        close_conn(shared, &poller, &mut conns, token, CloseReason::Gone);
+                        close_conn(
+                            shared,
+                            &poller,
+                            &mut conns,
+                            &mut pool,
+                            token,
+                            CloseReason::Gone,
+                        );
                     } else {
-                        finish_turn(shared, &poller, &mut conns, token);
+                        finish_turn(shared, &poller, &mut conns, &mut pool, token);
                     }
                 }
             }
         }
-        // Completions can land without their waker event being in this
-        // batch; drain unconditionally (an uncontended lock).
-        deliver_completions(shared, &poller, &mut conns);
-        sweep_idle(shared, &poller, &mut conns);
+        // Sockets the round-robin acceptor handed over, then worker
+        // completions — both can land without their waker event being
+        // in this batch; drain unconditionally (uncontended locks).
+        adopt_incoming(shared, idx, &poller, &mut conns, &mut next_token, &mut pool);
+        deliver_completions(shared, idx, &poller, &mut conns, &mut pool);
+        sweep_idle(shared, &poller, &mut conns, &mut pool);
         if shared.shutting_down.load(Ordering::Acquire) {
             break;
         }
     }
-    drain_and_close(shared, &poller, waker, &mut conns);
+    drain_and_close(shared, idx, &poller, &mut conns, &mut pool);
 }
 
-/// Accepts everything pending on the listener and registers each new
-/// connection read-ready.
+/// Accepts everything pending on the listener; each socket is either
+/// registered here (reuseport — the kernel already balanced it to this
+/// reactor; round-robin when the rotation lands on the acceptor
+/// itself) or handed to the rotation's next reactor through its
+/// `incoming` list and waker.
+#[allow(clippy::too_many_arguments)]
 fn accept_ready(
     shared: &Shared,
+    idx: usize,
     poller: &Poller,
     listener: &TcpListener,
     conns: &mut HashMap<u64, Conn>,
     next_token: &mut u64,
+    next_rr: &mut usize,
+    pool: &mut BufferPool,
 ) {
     loop {
         match listener.accept() {
@@ -1930,41 +2207,92 @@ fn accept_ready(
                 if shared.shutting_down.load(Ordering::Acquire) {
                     return;
                 }
-                if stream.set_nonblocking(true).is_err() {
+                let target = match shared.accept {
+                    AcceptPath::RoundRobin => {
+                        let t = *next_rr % shared.reactors.len();
+                        *next_rr = (t + 1) % shared.reactors.len();
+                        t
+                    }
+                    AcceptPath::Reuseport | AcceptPath::None => idx,
+                };
+                if target != idx {
+                    let peer = &shared.reactors[target];
+                    peer.incoming.lock().expect("incoming").push(stream);
+                    peer.waker.wake();
                     continue;
                 }
-                // See ServeClient::connect: small frames, no Nagle.
-                let _ = stream.set_nodelay(true);
-                let token = *next_token;
-                *next_token += 1;
-                if poller.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
-                    continue;
-                }
-                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.open_connections.fetch_add(1, Ordering::Relaxed);
-                conns.insert(
-                    token,
-                    Conn {
-                        stream,
-                        token,
-                        read_buf: Vec::new(),
-                        write_buf: Vec::new(),
-                        written: 0,
-                        state: ConnState::default(),
-                        busy: false,
-                        ticket: None,
-                        close_after_drain: false,
-                        shutdown_when_drained: false,
-                        last_activity: Instant::now(),
-                        interest: Interest::READ,
-                    },
-                );
+                register_conn(shared, idx, poller, stream, conns, next_token, pool);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return,
         }
     }
+}
+
+/// Registers handed-off sockets from the round-robin acceptor into
+/// this reactor's connection table.
+fn adopt_incoming(
+    shared: &Shared,
+    idx: usize,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    pool: &mut BufferPool,
+) {
+    let streams = std::mem::take(&mut *shared.reactors[idx].incoming.lock().expect("incoming"));
+    for stream in streams {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        register_conn(shared, idx, poller, stream, conns, next_token, pool);
+    }
+}
+
+/// Puts one accepted socket under this reactor's wing: nonblocking, no
+/// Nagle, registered read-ready, buffers from the recycle pool.
+fn register_conn(
+    shared: &Shared,
+    idx: usize,
+    poller: &Poller,
+    stream: TcpStream,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    pool: &mut BufferPool,
+) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    // See ServeClient::connect: small frames, no Nagle.
+    let _ = stream.set_nodelay(true);
+    let token = *next_token;
+    *next_token += 1;
+    if poller.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
+        return;
+    }
+    let rs = &shared.reactors[idx];
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+    rs.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    rs.stats.open_connections.fetch_add(1, Ordering::Relaxed);
+    conns.insert(
+        token,
+        Conn {
+            stream,
+            token,
+            reactor: idx,
+            read_buf: pool.take(&rs.stats),
+            write_buf: pool.take(&rs.stats),
+            written: 0,
+            state: ConnState::default(),
+            busy: false,
+            ticket: None,
+            close_after_drain: false,
+            shutdown_when_drained: false,
+            last_activity: Instant::now(),
+            interest: Interest::READ,
+        },
+    );
 }
 
 /// Pulls everything readable into the connection's buffer. Returns
@@ -2013,6 +2341,10 @@ fn flush_writes(shared: &Shared, conn: &mut Conn) -> bool {
             Ok(n) => {
                 conn.written += n;
                 shared.metrics.pending_bytes.fetch_sub(n as u64, Ordering::Relaxed);
+                shared.reactors[conn.reactor]
+                    .stats
+                    .pending_bytes
+                    .fetch_sub(n as u64, Ordering::Relaxed);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -2055,7 +2387,8 @@ fn process_frames(shared: &Shared, conn: &mut Conn) -> bool {
                 }
             }
             Handled::Dispatch(pending) => {
-                match try_enqueue(shared, pending.request, ReplyTo::Reactor { token: conn.token }) {
+                let reply = ReplyTo::Reactor { reactor: conn.reactor, token: conn.token };
+                match try_enqueue(shared, pending.request, reply) {
                     Ok(()) => {
                         conn.busy = true;
                         conn.ticket = pending.ticket;
@@ -2078,23 +2411,29 @@ fn process_frames(shared: &Shared, conn: &mut Conn) -> bool {
 /// flush opportunistically (most responses fit the socket buffer, so
 /// waiting for EPOLLOUT would add a poll round trip), then settle the
 /// close-or-rearm decision.
-fn finish_turn(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
+fn finish_turn(
+    shared: &Shared,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    pool: &mut BufferPool,
+    token: u64,
+) {
     let Some(conn) = conns.get_mut(&token) else { return };
     if !process_frames(shared, conn) || !flush_writes(shared, conn) {
-        close_conn(shared, poller, conns, token, CloseReason::Gone);
+        close_conn(shared, poller, conns, pool, token, CloseReason::Gone);
         return;
     }
     if conn.close_after_drain && conn.unwritten() == 0 {
         if conn.shutdown_when_drained {
             trigger_shutdown(shared);
         }
-        close_conn(shared, poller, conns, token, CloseReason::Gone);
+        close_conn(shared, poller, conns, pool, token, CloseReason::Gone);
         return;
     }
     let desired = conn.desired_interest();
     if desired != conn.interest {
         if poller.modify(conn.stream.as_raw_fd(), token, desired).is_err() {
-            close_conn(shared, poller, conns, token, CloseReason::Gone);
+            close_conn(shared, poller, conns, pool, token, CloseReason::Gone);
             return;
         }
         conn.interest = desired;
@@ -2103,8 +2442,15 @@ fn finish_turn(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>,
 
 /// Hands worker completions to their connections and re-runs their
 /// frame pumps (pipelined requests may be waiting).
-fn deliver_completions(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
-    let completed = std::mem::take(&mut *shared.completions.lock().expect("completions"));
+fn deliver_completions(
+    shared: &Shared,
+    idx: usize,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    pool: &mut BufferPool,
+) {
+    let completed =
+        std::mem::take(&mut *shared.reactors[idx].completions.lock().expect("completions"));
     for (token, frame) in completed {
         let Some(conn) = conns.get_mut(&token) else {
             // The client left while its job ran; the body (if cacheable)
@@ -2116,14 +2462,19 @@ fn deliver_completions(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64
             settle_ticket(shared, ticket);
         }
         conn.push_frame(shared, &frame);
-        finish_turn(shared, poller, conns, token);
+        finish_turn(shared, poller, conns, pool, token);
     }
 }
 
 /// Reaps connections idle past the deadline (not waiting on a worker,
 /// nothing left to write): the slow-client guard that keeps half-open
 /// sockets from accumulating forever.
-fn sweep_idle(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+fn sweep_idle(
+    shared: &Shared,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    pool: &mut BufferPool,
+) {
     let now = Instant::now();
     let stale: Vec<u64> = conns
         .values()
@@ -2135,7 +2486,7 @@ fn sweep_idle(shared: &Shared, poller: &Poller, conns: &mut HashMap<u64, Conn>) 
         .map(|c| c.token)
         .collect();
     for token in stale {
-        close_conn(shared, poller, conns, token, CloseReason::Idle);
+        close_conn(shared, poller, conns, pool, token, CloseReason::Idle);
     }
 }
 
@@ -2143,6 +2494,7 @@ fn close_conn(
     shared: &Shared,
     poller: &Poller,
     conns: &mut HashMap<u64, Conn>,
+    pool: &mut BufferPool,
     token: u64,
     reason: CloseReason,
 ) {
@@ -2157,12 +2509,19 @@ fn close_conn(
         // completion handler will.
         settle_ticket(shared, ticket);
     }
+    let rs = &shared.reactors[conn.reactor];
     shared.metrics.pending_bytes.fetch_sub(conn.unwritten() as u64, Ordering::Relaxed);
+    rs.stats.pending_bytes.fetch_sub(conn.unwritten() as u64, Ordering::Relaxed);
     shared.metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+    rs.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
     if matches!(reason, CloseReason::Idle) {
         shared.metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        rs.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
     }
-    // Dropping the stream closes the fd.
+    // Bank the buffers for the next connection; dropping the stream
+    // closes the fd.
+    pool.put(std::mem::take(&mut conn.read_buf));
+    pool.put(std::mem::take(&mut conn.write_buf));
 }
 
 /// The shutdown drain: stop accepting, keep delivering completions and
@@ -2172,14 +2531,15 @@ fn close_conn(
 /// answer their clients.
 fn drain_and_close(
     shared: &Shared,
+    idx: usize,
     poller: &Poller,
-    waker: &Waker,
     conns: &mut HashMap<u64, Conn>,
+    pool: &mut BufferPool,
 ) {
     let deadline = Instant::now() + DRAIN_DEADLINE;
     let mut events: Vec<Event> = Vec::new();
     loop {
-        deliver_completions(shared, poller, conns);
+        deliver_completions(shared, idx, poller, conns, pool);
         // Connections with nothing owed can go now; reads are over.
         let settled: Vec<u64> =
             conns.values().filter(|c| !c.busy && c.unwritten() == 0).map(|c| c.token).collect();
@@ -2189,24 +2549,24 @@ fn drain_and_close(
                     trigger_shutdown(shared);
                 }
             }
-            close_conn(shared, poller, conns, token, CloseReason::Gone);
+            close_conn(shared, poller, conns, pool, token, CloseReason::Gone);
         }
         if conns.is_empty() || Instant::now() >= deadline {
             break;
         }
         events.clear();
         let _ = poller.wait(&mut events, TICK_MS);
-        waker.drain();
+        shared.reactors[idx].waker.drain();
         for event in &events {
             if event.token < FIRST_CONN_TOKEN {
                 continue;
             }
             if event.closed {
-                close_conn(shared, poller, conns, event.token, CloseReason::Gone);
+                close_conn(shared, poller, conns, pool, event.token, CloseReason::Gone);
             } else if event.writable {
                 if let Some(conn) = conns.get_mut(&event.token) {
                     if !flush_writes(shared, conn) {
-                        close_conn(shared, poller, conns, event.token, CloseReason::Gone);
+                        close_conn(shared, poller, conns, pool, event.token, CloseReason::Gone);
                     }
                 }
             }
@@ -2223,7 +2583,7 @@ fn drain_and_close(
                         conn.interest = desired;
                     }
                     if !flush_writes(shared, conn) {
-                        close_conn(shared, poller, conns, token, CloseReason::Gone);
+                        close_conn(shared, poller, conns, pool, token, CloseReason::Gone);
                     }
                 }
             }
@@ -2232,7 +2592,7 @@ fn drain_and_close(
     // Force-close whatever is left (deadline expired).
     let tokens: Vec<u64> = conns.keys().copied().collect();
     for token in tokens {
-        close_conn(shared, poller, conns, token, CloseReason::Gone);
+        close_conn(shared, poller, conns, pool, token, CloseReason::Gone);
     }
 }
 
@@ -2255,7 +2615,16 @@ fn status_body(shared: &Shared) -> Json {
         )
         .with("connections", m.connections.load(Ordering::Relaxed))
         .with("ops", m.ops_json())
-        .with("reactor", m.reactor_json())
+        .with(
+            "reactor",
+            m.reactor_json()
+                .with("count", shared.reactors.len())
+                .with("accept", shared.accept.name()),
+        )
+        .with(
+            "reactors",
+            Json::Arr(shared.reactors.iter().map(|r| r.stats.json(r.byte_budget)).collect()),
+        )
         .with(
             "queue",
             Json::object()

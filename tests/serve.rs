@@ -742,6 +742,145 @@ fn threads_engine_remains_byte_compatible() {
 }
 
 // ---------------------------------------------------------------------
+// Multi-reactor serving
+// ---------------------------------------------------------------------
+
+/// `--reactors 1` is the compatibility anchor: across the whole 21-app
+/// registry, a one-reactor daemon's bytes equal both `Session::run_one`
+/// and a default-config daemon's answers, and the status surface
+/// reports one reactor with the full byte budget.
+#[test]
+fn single_reactor_stays_byte_identical_across_all_apps() {
+    let one = test_server(ServerConfig { reactors: 1, ..ephemeral() });
+    let fallback = test_server(ephemeral());
+    let reference = Session::test();
+    let jobs = reference.jobs_for_all_apps();
+    assert_eq!(jobs.len(), 21);
+    assert_eq!(one.reactors(), 1);
+    assert_eq!(one.accept_path(), "round_robin", "one reactor needs no reuseport group");
+
+    let mut c1 = ServeClient::connect(one.local_addr()).expect("connect");
+    let mut cd = ServeClient::connect(fallback.local_addr()).expect("connect");
+    for job in &jobs {
+        let expected = reference_body(&reference, job);
+        let a = c1.analyze(&job.app, job.variant).expect("one-reactor analyze");
+        assert!(a.ok, "{job}: {:?}", a.error);
+        assert_eq!(a.result.unwrap().compact(), expected, "{job}: one-reactor bytes");
+        let b = cd.analyze(&job.app, job.variant).expect("default analyze");
+        assert!(b.ok, "{job}: {:?}", b.error);
+        assert_eq!(b.result.unwrap().compact(), expected, "{job}: default-config bytes");
+    }
+
+    let status = c1.status().expect("status").into_result().expect("ok");
+    let reactor = status.field("reactor").unwrap();
+    assert_eq!(reactor.field("count").unwrap().as_u64().unwrap(), 1);
+    let per = status.field("reactors").unwrap().as_array().unwrap();
+    assert_eq!(per.len(), 1, "one entry in status.reactors");
+    assert_eq!(
+        per[0].field("byte_budget").unwrap().as_u64().unwrap(),
+        ServerConfig::default().max_pending_bytes,
+        "a single reactor owns the whole byte budget"
+    );
+    assert!(per[0].field("accepted").unwrap().as_u64().unwrap() >= 1);
+    one.shutdown();
+    one.join();
+    fallback.shutdown();
+    fallback.join();
+}
+
+/// A requested reactor count above [`gpa::serve::MAX_REACTORS`] is
+/// capped, and `status` reports the *effective* count.
+#[test]
+fn reactor_count_is_capped_and_reported_effectively() {
+    let handle = test_server(ServerConfig { reactors: 64, ..ephemeral() });
+    assert_eq!(handle.reactors(), gpa::serve::MAX_REACTORS);
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let status = client.status().expect("status").into_result().expect("ok");
+    let reactor = status.field("reactor").unwrap();
+    assert_eq!(
+        reactor.field("count").unwrap().as_u64().unwrap(),
+        gpa::serve::MAX_REACTORS as u64,
+        "status reports the capped effective count"
+    );
+    let per = status.field("reactors").unwrap().as_array().unwrap();
+    assert_eq!(per.len(), gpa::serve::MAX_REACTORS);
+    let budget = ServerConfig::default().max_pending_bytes / gpa::serve::MAX_REACTORS as u64;
+    for entry in per {
+        assert_eq!(entry.field("byte_budget").unwrap().as_u64().unwrap(), budget);
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+/// On a multi-reactor daemon — kernel-balanced SO_REUSEPORT listeners —
+/// pipelined frames on one connection still answer in order with
+/// byte-identical bodies, and each reactor's own idle sweep still reaps
+/// quiet connections.
+#[test]
+fn multi_reactor_pipelines_in_order_and_reaps_idle() {
+    let config =
+        ServerConfig { reactors: 2, idle_timeout: Duration::from_millis(200), ..ephemeral() };
+    let handle = test_server(config);
+    assert_eq!(handle.reactors(), 2);
+    assert_eq!(handle.accept_path(), "reuseport");
+    let reference = Session::test();
+
+    // Enough fresh connections that the 4-tuple hash spreads them over
+    // both listeners; each pipelines three frames and must get its
+    // three answers in request order.
+    for round in 0..8 {
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let pipelined = format!(
+            "{}\n{}\n{}\n",
+            analyze_wire("rodinia/hotspot"),
+            analyze_wire("rodinia/nw"),
+            "{\"op\":\"status\"}"
+        );
+        stream.write_all(pipelined.as_bytes()).expect("pipelined write");
+        let mut bodies = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("pipelined response");
+            bodies.push(Json::parse(&line).expect("frame JSON"));
+        }
+        for (idx, app) in ["rodinia/hotspot", "rodinia/nw"].iter().enumerate() {
+            let job = AnalysisJob::new(*app, 0);
+            assert_eq!(
+                bodies[idx].field("result").unwrap().compact(),
+                reference_body(&reference, &job),
+                "round {round}: pipelined response {idx} is {app}'s bytes, in order"
+            );
+        }
+        assert!(bodies[2].field("result").unwrap().get("uptime_ms").is_some(), "status last");
+    }
+
+    // A connection that goes quiet is reaped by whichever reactor owns
+    // it (per-reactor sweeps, observed as EOF).
+    let mut idle = TcpStream::connect(handle.local_addr()).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut buf = [0u8; 16];
+    let n = idle.read(&mut buf).expect("daemon closed the idle connection");
+    assert_eq!(n, 0, "idle connection saw EOF");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let status = client.status().expect("status").into_result().expect("ok");
+    let reactor = status.field("reactor").unwrap();
+    assert_eq!(reactor.field("count").unwrap().as_u64().unwrap(), 2);
+    assert_eq!(reactor.field("accept").unwrap().as_str().unwrap(), "reuseport");
+    assert!(reactor.field("idle_reaped").unwrap().as_u64().unwrap() >= 1, "reap in the roll-up");
+    let per = status.field("reactors").unwrap().as_array().unwrap();
+    assert_eq!(per.len(), 2);
+    let accepted: u64 = per.iter().map(|r| r.field("accepted").unwrap().as_u64().unwrap()).sum();
+    assert!(accepted >= 10, "every connection was accepted by some reactor: {accepted}");
+    let reaped: u64 = per.iter().map(|r| r.field("idle_reaped").unwrap().as_u64().unwrap()).sum();
+    assert!(reaped >= 1, "the reap is attributed to a reactor");
+    handle.shutdown();
+    handle.join();
+}
+
+// ---------------------------------------------------------------------
 // Cluster mode
 // ---------------------------------------------------------------------
 
@@ -769,7 +908,14 @@ fn test_cluster_with(
         .map(|(i, listener)| {
             let peers =
                 addrs.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, a)| a.clone()).collect();
-            let config = tweak(i, ServerConfig { workers: 2, peers, ..ServerConfig::ephemeral() });
+            // Two reactors per shard: every cluster test (including the
+            // chaos run) exercises the multi-reactor daemon on its
+            // round-robin accept path (a pre-bound listener cannot grow
+            // an SO_REUSEPORT group).
+            let config = tweak(
+                i,
+                ServerConfig { workers: 2, reactors: 2, peers, ..ServerConfig::ephemeral() },
+            );
             serve_on(Arc::new(Session::test()), listener, config).expect("shard starts")
         })
         .collect();
@@ -1499,6 +1645,107 @@ fn chaos_membership_churn_keeps_bytes_identical() {
     assert!(faults.field("active").unwrap().as_bool().unwrap());
     assert!(faults.field("fired").unwrap().as_u64().unwrap() >= 1, "the seeded plan fired");
 
+    for handle in handles {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// Connection-scoped state survives the multi-reactor split: with every
+/// shard running two reactors (round-robin accept), chunked uploads —
+/// whose open-upload table lives on the connection — complete with
+/// byte-identical results from connections landing on different
+/// reactors, and membership ops (`join`/`leave`/`ring_status`) behave
+/// identically no matter which reactor answers.
+#[test]
+fn uploads_and_membership_ops_work_across_reactors() {
+    let (handles, addrs) = test_cluster(2);
+    for handle in &handles {
+        assert_eq!(handle.reactors(), 2, "cluster shards run two reactors");
+        assert_eq!(handle.accept_path(), "round_robin");
+    }
+    let reference = Session::test();
+    let job = AnalysisJob::new("rodinia/hotspot", 0);
+    let (_, profile, _) = reference.profile_one(&job).expect("local profiling");
+    let chunks: Vec<Json> = profile
+        .split_chunks(3)
+        .iter()
+        .map(|c| Json::parse(&c.to_json()).expect("chunk serializes"))
+        .collect();
+    let report = reference.advise_profile(&job, &profile).expect("local advising");
+    let expected = protocol::profile_body(&job, &profile, &report, 1).compact();
+
+    // Four fresh connections, alternating shards: the round-robin
+    // acceptor parks consecutive sockets on different reactors, and
+    // each must hold its own upload state from begin to end.
+    for i in 0..4 {
+        let mut client = ServeClient::connect(addrs[i % 2].as_str()).expect("connect");
+        let r = client
+            .analyze_profile_chunked(&job.app, job.variant, &chunks, &WireOptions::default())
+            .expect("chunked upload");
+        assert!(r.ok, "upload {i}: {:?}", r.error);
+        assert_eq!(r.result.unwrap().compact(), expected, "upload {i} bytes identical");
+    }
+
+    // ring_status from fresh connections agrees on every shard.
+    for addr in &addrs {
+        let mut client = ServeClient::connect(addr.as_str()).expect("connect");
+        let view = client.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+        assert_eq!(view.field("members").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    // A third shard (itself two reactors) joins via shard 0; both
+    // incumbents converge on the 3-member roster.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind joiner");
+    let joiner_addr = listener.local_addr().expect("addr").to_string();
+    let config = ServerConfig {
+        workers: 2,
+        reactors: 2,
+        join: Some(addrs[0].clone()),
+        ..ServerConfig::ephemeral()
+    };
+    let joiner = serve_on(Arc::new(Session::test()), listener, config).expect("joiner starts");
+    assert_eq!(joiner.reactors(), 2);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    for addr in &addrs {
+        let mut client = ServeClient::connect(addr.as_str()).expect("connect");
+        loop {
+            let view =
+                client.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+            if view.field("members").unwrap().as_array().unwrap().len() == 3 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "{addr} never saw the joiner");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // The joiner leaves again (drain through whichever reactor its
+    // connection lands on); the incumbents shrink back to two members.
+    let mut jc = ServeClient::connect(joiner_addr.as_str()).expect("connect joiner");
+    let drained = jc
+        .request(&Request::Leave { addr: None, meta: PeerMeta::default() })
+        .expect("leave")
+        .into_result()
+        .expect("drain ok");
+    assert!(drained.field("left").unwrap().as_bool().unwrap());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    for addr in &addrs {
+        let mut client = ServeClient::connect(addr.as_str()).expect("connect");
+        loop {
+            let view =
+                client.request(&Request::RingStatus).expect("ring").into_result().expect("ok");
+            let members = view.field("members").unwrap().as_array().unwrap();
+            if members.len() == 2 && members.iter().all(|m| m.as_str().unwrap() != joiner_addr) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "{addr} never saw the leave");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    joiner.shutdown();
+    joiner.join();
     for handle in handles {
         handle.shutdown();
         handle.join();
